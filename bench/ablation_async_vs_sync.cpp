@@ -1,0 +1,111 @@
+// Ablation for the architectural claim of Sec. III-A: the self-
+// synchronous pipeline runs at data-dependent average-case speed while a
+// clock-synchronous implementation of the identical datapath must clock
+// at guard-banded worst-case speed. Sweeps data regimes (best-case,
+// random, worst-case) and clock margins.
+#include <cstdio>
+
+#include "sim/clocked_macro.hpp"
+#include "sim/macro.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace ssma;
+
+namespace {
+
+std::vector<maddness::HashTree> mid_trees(int ns) {
+  std::vector<maddness::HashTree> trees(ns);
+  for (auto& t : trees) {
+    for (int l = 0; l < 4; ++l) t.set_split_dim(l, l);
+    for (int l = 0; l < 4; ++l)
+      for (int n = 0; n < (1 << l); ++n) t.set_threshold(l, n, 0x80);
+  }
+  return trees;
+}
+
+std::vector<std::vector<std::array<std::int8_t, 16>>> rand_luts(Rng& rng,
+                                                                int ns,
+                                                                int ndec) {
+  std::vector<std::vector<std::array<std::int8_t, 16>>> luts(
+      ns, std::vector<std::array<std::int8_t, 16>>(ndec));
+  for (auto& b : luts)
+    for (auto& tb : b)
+      for (auto& e : tb) e = static_cast<std::int8_t>(rng.next_int(-127, 127));
+  return luts;
+}
+
+std::vector<std::vector<sim::Subvec>> inputs_for(const std::string& regime,
+                                                 Rng& rng, int tokens,
+                                                 int ns) {
+  std::vector<std::vector<sim::Subvec>> in(tokens,
+                                           std::vector<sim::Subvec>(ns));
+  for (auto& tok : in)
+    for (auto& sv : tok)
+      for (auto& v : sv) {
+        if (regime == "best")
+          v = 0x00;  // every DLC resolves at the MSB
+        else if (regime == "worst")
+          v = 0x80;  // equality: full ripple
+        else
+          v = static_cast<std::uint8_t>(rng.next_int(0, 255));
+      }
+  return in;
+}
+
+}  // namespace
+
+int main() {
+  const int ndec = 8, ns = 8, tokens = 40;
+  Rng rng(7);
+  const auto trees = mid_trees(ns);
+  const auto luts = rand_luts(rng, ns, ndec);
+
+  std::printf(
+      "== Ablation: self-synchronous vs clock-synchronous pipeline ==\n"
+      "Same datapath, same LUTs, bit-identical outputs; only the schedule\n"
+      "differs. Ndec=%d, NS=%d, 0.5 V TTG.\n\n",
+      ndec, ns);
+
+  TextTable t({"data regime", "async interval [ns]", "async TOPS",
+               "sync period [ns] (10% margin)", "sync TOPS",
+               "async speedup"});
+
+  for (const std::string regime : {"best", "random", "worst"}) {
+    Rng drng(17);
+    const auto inputs = inputs_for(regime, drng, tokens, ns);
+
+    sim::MacroConfig mc;
+    mc.ndec = ndec;
+    mc.ns = ns;
+    sim::Macro amacro(mc);
+    amacro.program(trees, luts, std::vector<std::int16_t>(ndec, 0));
+    const auto ares = amacro.run(inputs);
+    const double a_int = ares.stats.output_interval_ns.mean();
+    const double ops = static_cast<double>(ns) * ndec * 18.0;
+    const double a_tops = ops / a_int * 1e-3;
+
+    sim::ClockedMacro cmacro({ndec, ns, ppa::nominal_05v(), 0.10});
+    cmacro.program(trees, luts, std::vector<std::int16_t>(ndec, 0));
+    const auto cres = cmacro.run(inputs);
+
+    // Outputs must agree bit-exactly.
+    if (cres.outputs != ares.outputs) {
+      std::printf("ERROR: output mismatch between async and sync models\n");
+      return 1;
+    }
+
+    t.add_row({regime, TextTable::num(a_int, 2), TextTable::num(a_tops, 3),
+               TextTable::num(cres.clock_period_ns, 2),
+               TextTable::num(cres.throughput_tops, 3),
+               TextTable::num(cres.clock_period_ns / a_int, 2) + "x"});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf(
+      "The async pipeline tracks the data: on random activations it runs\n"
+      "well below the worst case, which a clocked design must provision\n"
+      "for every cycle (plus margin). This is the latency mechanism behind\n"
+      "the paper's 'self-synchronous pipeline accumulation' contribution.\n");
+  return 0;
+}

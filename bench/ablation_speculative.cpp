@@ -1,0 +1,97 @@
+// Extension ablation: speculative encoding. The paper's schedule is
+// serial — each block encodes *after* receiving the upstream partial
+// sums, even though the encoder's operand (the block's own subvector) is
+// available immediately. Letting the encoder race ahead to token k+1
+// while the decoders finish token k hides the encoder-dominated latency
+// (Fig. 7B: encoder is 40-70% of the block latency) at zero accuracy
+// cost — outputs stay bit-identical.
+#include <cstdio>
+
+#include "ppa/delay_model.hpp"
+#include "sim/macro.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace ssma;
+
+namespace {
+
+std::vector<maddness::HashTree> uniform_trees(int ns) {
+  std::vector<maddness::HashTree> trees(ns);
+  for (auto& t : trees) {
+    for (int l = 0; l < 4; ++l) t.set_split_dim(l, l);
+    for (int l = 0; l < 4; ++l)
+      for (int n = 0; n < (1 << l); ++n) t.set_threshold(l, n, 0x80);
+  }
+  return trees;
+}
+
+}  // namespace
+
+int main() {
+  const int ndec = 16, ns = 4, tokens = 40;
+  Rng rng(23);
+  std::vector<std::vector<std::array<std::int8_t, 16>>> luts(
+      ns, std::vector<std::array<std::int8_t, 16>>(ndec));
+  for (auto& b : luts)
+    for (auto& tb : b)
+      for (auto& e : tb) e = static_cast<std::int8_t>(rng.next_int(-127, 127));
+
+  std::printf(
+      "== Extension ablation: speculative encoding ==\n"
+      "Encode token k+1 while decoding token k (the encoder's operand\n"
+      "does not depend on upstream partials). Ndec=%d, NS=%d, 0.5 V.\n\n",
+      ndec, ns);
+
+  TextTable t({"data regime", "baseline interval [ns]",
+               "speculative interval [ns]", "speedup", "bit-exact"});
+
+  for (const std::string regime : {"best", "random", "worst"}) {
+    std::vector<std::vector<sim::Subvec>> inputs(
+        tokens, std::vector<sim::Subvec>(ns));
+    Rng drng(31);
+    for (auto& tok : inputs)
+      for (auto& sv : tok)
+        for (auto& v : sv) {
+          if (regime == "best")
+            v = 0x00;
+          else if (regime == "worst")
+            v = 0x80;
+          else
+            v = static_cast<std::uint8_t>(drng.next_int(0, 255));
+        }
+
+    sim::MacroConfig base;
+    base.ndec = ndec;
+    base.ns = ns;
+    sim::Macro m0(base);
+    m0.program(uniform_trees(ns), luts, std::vector<std::int16_t>(ndec, 0));
+    const auto r0 = m0.run(inputs);
+
+    sim::MacroConfig spec = base;
+    spec.speculative_encode = true;
+    sim::Macro m1(spec);
+    m1.program(uniform_trees(ns), luts, std::vector<std::int16_t>(ndec, 0));
+    const auto r1 = m1.run(inputs);
+
+    const double i0 = r0.stats.output_interval_ns.mean();
+    const double i1 = r1.stats.output_interval_ns.mean();
+    t.add_row({regime, TextTable::num(i0, 2), TextTable::num(i1, 2),
+               TextTable::num(i0 / i1, 2) + "x",
+               r0.outputs == r1.outputs ? "yes" : "NO (BUG)"});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  ppa::DelayModel delay(ppa::nominal_05v());
+  std::printf(
+      "Bottleneck shifts from enc+dec in series (%.1f-%.1f ns) to\n"
+      "max(encoder+precharge, decoder path) = max(%.1f-%.1f, %.1f) ns.\n"
+      "Cost: none in the datapath — one extra input-buffer read port and\n"
+      "speculation control. A candidate improvement the paper's serial\n"
+      "schedule leaves open.\n",
+      delay.block_latency_best_ns(ndec), delay.block_latency_worst_ns(ndec),
+      delay.encoder_best_ns() + delay.precharge_ns(),
+      delay.encoder_worst_ns() + delay.precharge_ns(),
+      delay.decoder_path_ns(ndec));
+  return 0;
+}

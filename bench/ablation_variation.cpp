@@ -1,0 +1,98 @@
+// Ablation for the paper's Sec. IV observation that "larger Ndec values
+// make the circuit vulnerable to local variations", which motivates the
+// Ndec=16 recommendation. Monte-Carlo sampling of within-die Vth
+// mismatch: functional correctness always holds (self-timed RCD), but the
+// worst-sampled block latency degrades with Ndec as the max over more
+// mismatched columns/wires grows.
+#include <cstdio>
+
+#include "sim/macro.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace ssma;
+
+namespace {
+
+std::vector<maddness::HashTree> mid_trees(int ns) {
+  std::vector<maddness::HashTree> trees(ns);
+  for (auto& t : trees) {
+    for (int l = 0; l < 4; ++l) t.set_split_dim(l, l);
+    for (int l = 0; l < 4; ++l)
+      for (int n = 0; n < (1 << l); ++n) t.set_threshold(l, n, 0x80);
+  }
+  return trees;
+}
+
+}  // namespace
+
+int main() {
+  const int ns = 4;
+  const int dies = 12;
+  const int tokens = 12;
+
+  std::printf(
+      "== Ablation: local (within-die) variation vs Ndec ==\n"
+      "Monte-Carlo Vth mismatch (sigma = 18 mV) on DLCs and SRAM read\n"
+      "paths; NS=%d, 0.5 V TTG, worst-case data. %d dies per point.\n\n",
+      ns, dies);
+
+  TextTable t({"Ndec", "nominal interval [ns]", "MC mean [ns]",
+               "MC worst die [ns]", "slowdown (worst/nominal)",
+               "outputs corrupted"});
+
+  for (int ndec : {4, 8, 16, 32}) {
+    Rng rng(100 + static_cast<std::uint64_t>(ndec));
+    std::vector<std::vector<std::array<std::int8_t, 16>>> luts(
+        ns, std::vector<std::array<std::int8_t, 16>>(ndec));
+    for (auto& b : luts)
+      for (auto& tb : b)
+        for (auto& e : tb)
+          e = static_cast<std::int8_t>(rng.next_int(-127, 127));
+
+    sim::Subvec sv;
+    sv.fill(0x80);  // worst case: every comparison ripples fully
+    const std::vector<std::vector<sim::Subvec>> inputs(
+        tokens, std::vector<sim::Subvec>(ns, sv));
+
+    sim::MacroConfig mc;
+    mc.ndec = ndec;
+    mc.ns = ns;
+    sim::Macro nominal(mc);
+    nominal.program(mid_trees(ns), luts,
+                    std::vector<std::int16_t>(ndec, 0));
+    const auto nom = nominal.run(inputs);
+    const double nom_interval = nom.stats.output_interval_ns.mean();
+
+    RunningStats mc_interval;
+    bool corrupted = false;
+    for (int die = 0; die < dies; ++die) {
+      Rng vrng(5000 + static_cast<std::uint64_t>(die) * 31 +
+               static_cast<std::uint64_t>(ndec));
+      sim::Macro m(mc);
+      m.set_variation(
+          sim::sample_variation(ns, ndec, sim::VariationConfig{}, vrng));
+      m.program(mid_trees(ns), luts, std::vector<std::int16_t>(ndec, 0));
+      const auto res = m.run(inputs);
+      mc_interval.add(res.stats.output_interval_ns.mean());
+      corrupted |= (res.outputs != nom.outputs);
+    }
+
+    t.add_row({std::to_string(ndec), TextTable::num(nom_interval, 2),
+               TextTable::num(mc_interval.mean(), 2),
+               TextTable::num(mc_interval.max(), 2),
+               TextTable::num(mc_interval.max() / nom_interval, 3) + "x",
+               corrupted ? "YES (BUG)" : "none"});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf(
+      "Self-timed completion detection keeps every die functionally\n"
+      "correct; the cost of variation appears purely as latency. The\n"
+      "worst-die slowdown grows with Ndec (max over more mismatched\n"
+      "columns + longer RWL wire), while Table I showed the Ndec=16->32\n"
+      "efficiency gain is ~0-2%% — hence the paper's Ndec=16 choice.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces the Sec. II-B design-space discussion: the encoding function
+// is the differentiator of the MADDNESS-accelerator lineage. Compares
+//   * BDT (MADDNESS / proposed hardware): 4 sequential 8-bit compares
+//   * Manhattan full-search (PECAN): K x D subtract-accumulate
+//   * Euclidean full-search (LUT-NN): K x D multiply-accumulate
+// on (a) assignment quality / AMM error and (b) encoding cost in
+// hardware-relevant operation counts — showing the trade the paper's
+// encoder choice makes.
+#include <algorithm>
+#include <cstdio>
+
+#include "maddness/alt_encoders.hpp"
+#include "maddness/amm.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace ssma;
+
+int main() {
+  std::printf(
+      "== Encoding-function comparison (Sec. II-B design space) ==\n\n");
+
+  // Workload: clustered activations (4 codebooks x 9 dims) and a weight
+  // matrix; identical for all encoders.
+  Rng rng(99);
+  const int M = 4, nout = 8;
+  Matrix centers(20, 36);
+  for (std::size_t i = 0; i < centers.size(); ++i)
+    centers.data()[i] = static_cast<float>(rng.next_double(10, 240));
+  Matrix x(1200, 36);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const int k = rng.next_int(0, 19);
+    for (std::size_t j = 0; j < 36; ++j)
+      x(i, j) = static_cast<float>(std::clamp(
+          centers(k, j) + rng.next_gaussian(0, 8.0), 0.0, 255.0));
+  }
+  Matrix w(36, nout);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w.data()[i] = static_cast<float>(rng.next_gaussian(0, 0.05));
+  Matrix exact;
+  gemm(x, w, exact);
+
+  maddness::Config cfg;
+  cfg.ncodebooks = M;
+  const maddness::Amm amm = maddness::Amm::train(cfg, x, w);
+  const auto q = maddness::quantize_activations(x, amm.activation_scale());
+
+  // --- BDT error.
+  const double bdt_err = maddness::relative_error(amm.apply(x), exact);
+
+  // --- Full-search errors: same prototypes, distance-based assignment,
+  // float LUT reconstruction (upper bound for those designs).
+  auto full_search_error = [&](maddness::DistanceKind kind) {
+    Matrix approx(x.rows(), nout);
+    for (std::size_t n = 0; n < x.rows(); ++n) {
+      for (int o = 0; o < nout; ++o) approx(n, o) = 0.0f;
+      for (int c = 0; c < M; ++c) {
+        // Prototypes of codebook c over its own dims.
+        Matrix protos(16, 9);
+        for (int k = 0; k < 16; ++k)
+          for (int j = 0; j < 9; ++j)
+            protos(k, j) = amm.prototypes().row(c, k)[9 * c + j];
+        float sub[9];
+        for (int j = 0; j < 9; ++j)
+          sub[j] = static_cast<float>(q.at(n, 9 * c + j)) * q.scale;
+        const int k = maddness::full_search_encode(protos, sub, kind);
+        for (int o = 0; o < nout; ++o)
+          approx(n, o) +=
+              static_cast<float>(amm.lut().at(c, k, o)) * amm.lut().scale(o);
+      }
+    }
+    return maddness::relative_error(approx, exact);
+  };
+  const double man_err = full_search_error(maddness::DistanceKind::kManhattan);
+  const double euc_err = full_search_error(maddness::DistanceKind::kEuclidean);
+
+  // --- Encoding cost per subvector (hardware-relevant op counts).
+  TextTable t({"encoder", "AMM rel. error", "compares", "add/sub ops",
+               "multiplies", "hardware note"});
+  t.add_row({"BDT (proposed / MADDNESS)", TextTable::num(bdt_err, 3), "4",
+             "0", "0", "4 DLC evaluations, self-timed"});
+  t.add_row({"Manhattan full-search (PECAN)", TextTable::num(man_err, 3),
+             "15", std::to_string(16 * 9 * 2), "0",
+             "16 parallel distance chains ([21]'s analog DTC)"});
+  t.add_row({"Euclidean full-search (LUT-NN)", TextTable::num(euc_err, 3),
+             "15", std::to_string(16 * 9), std::to_string(16 * 9),
+             "needs multipliers — defeats the purpose in HW"});
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf(
+      "The full-search encoders assign slightly better (lower error) but\n"
+      "cost 1-2 orders of magnitude more encoding work per subvector —\n"
+      "and Euclidean reintroduces multiplication. The BDT's 4 dynamic\n"
+      "comparisons are why the proposed encoder reaches 0.054 fJ/op\n"
+      "(Table II) vs 7.47 fJ/op for [21]'s analog distance race.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Google-benchmark microbenchmarks of the software kernels: exact GEMM vs
+// MADDNESS approximate matmul (encode + lookup-accumulate), hash-tree
+// encoding, and the event-driven simulator's token rate — the software
+// cost picture that motivates hardware acceleration in the first place
+// (GPUs lack PQ/lookup primitives; Sec. I).
+#include <benchmark/benchmark.h>
+
+#include "maddness/amm.hpp"
+#include "sim/macro.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+using namespace ssma;
+
+namespace {
+
+Matrix random_activations(Rng& rng, std::size_t n, std::size_t d) {
+  Matrix x(n, d);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.data()[i] = static_cast<float>(rng.next_double(0, 200));
+  return x;
+}
+
+Matrix random_weights(Rng& rng, std::size_t d, std::size_t o) {
+  Matrix w(d, o);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w.data()[i] = static_cast<float>(rng.next_gaussian(0, 0.05));
+  return w;
+}
+
+void BM_ExactGemm(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(1);
+  const Matrix x = random_activations(rng, n, 144);  // 16ch x 9
+  const Matrix w = random_weights(rng, 144, 16);
+  Matrix y;
+  for (auto _ : state) {
+    gemm(x, w, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 144 * 16 * 2);
+}
+BENCHMARK(BM_ExactGemm)->Arg(256)->Arg(1024);
+
+void BM_MaddnessApply(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(2);
+  maddness::Config cfg;
+  cfg.ncodebooks = 16;
+  const Matrix x = random_activations(rng, n, 144);
+  const Matrix w = random_weights(rng, 144, 16);
+  const auto amm = maddness::Amm::train(cfg, x, w);
+  const auto q = maddness::quantize_activations(x, amm.activation_scale());
+  for (auto _ : state) {
+    auto y = amm.apply_int16(q);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 144 * 16 * 2);
+}
+BENCHMARK(BM_MaddnessApply)->Arg(256)->Arg(1024);
+
+void BM_TreeEncode(benchmark::State& state) {
+  Rng rng(3);
+  maddness::HashTree tree;
+  for (int l = 0; l < 4; ++l) tree.set_split_dim(l, rng.next_int(0, 8));
+  for (int l = 0; l < 4; ++l)
+    for (int nd = 0; nd < (1 << l); ++nd)
+      tree.set_threshold(l, nd,
+                         static_cast<std::uint8_t>(rng.next_int(1, 254)));
+  std::vector<std::uint8_t> data(9 * 4096);
+  for (auto& v : data) v = static_cast<std::uint8_t>(rng.next_int(0, 255));
+  for (auto _ : state) {
+    int acc = 0;
+    for (std::size_t i = 0; i < 4096; ++i)
+      acc += tree.encode(data.data() + i * 9);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_TreeEncode);
+
+void BM_EventSimTokens(benchmark::State& state) {
+  const int ndec = static_cast<int>(state.range(0));
+  const int ns = 4;
+  Rng rng(4);
+  std::vector<maddness::HashTree> trees(ns);
+  for (auto& t : trees) {
+    for (int l = 0; l < 4; ++l) t.set_split_dim(l, rng.next_int(0, 8));
+    for (int l = 0; l < 4; ++l)
+      for (int nd = 0; nd < (1 << l); ++nd)
+        t.set_threshold(l, nd,
+                        static_cast<std::uint8_t>(rng.next_int(1, 254)));
+  }
+  std::vector<std::vector<std::array<std::int8_t, 16>>> luts(
+      ns, std::vector<std::array<std::int8_t, 16>>(ndec));
+  for (auto& b : luts)
+    for (auto& tb : b)
+      for (auto& e : tb)
+        e = static_cast<std::int8_t>(rng.next_int(-127, 127));
+  std::vector<std::vector<sim::Subvec>> inputs(
+      16, std::vector<sim::Subvec>(ns));
+  for (auto& tok : inputs)
+    for (auto& sv : tok)
+      for (auto& v : sv) v = static_cast<std::uint8_t>(rng.next_int(0, 255));
+
+  for (auto _ : state) {
+    sim::MacroConfig mc;
+    mc.ndec = ndec;
+    mc.ns = ns;
+    sim::Macro macro(mc);
+    macro.program(trees, luts, std::vector<std::int16_t>(ndec, 0));
+    auto res = macro.run(inputs);
+    benchmark::DoNotOptimize(res.outputs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_EventSimTokens)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

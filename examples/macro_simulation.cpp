@@ -1,0 +1,105 @@
+// Drives the event-driven macro directly at the circuit level: programs
+// thresholds and LUTs, streams tokens, and prints a timeline of the
+// self-synchronous pipeline (per-block latencies, token intervals,
+// energy ledger) — the view a designer would use to study the
+// architecture.
+//
+//   build/examples/macro_simulation
+#include <cstdio>
+#include <fstream>
+
+#include "sim/macro.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace ssma;
+
+int main() {
+  std::printf("== Circuit-level macro simulation ==\n\n");
+
+  const int ndec = 4, ns = 4, tokens = 12;
+  sim::MacroConfig cfg;
+  cfg.ndec = ndec;
+  cfg.ns = ns;
+  cfg.op = ppa::nominal_05v();
+  sim::Macro macro(cfg);
+
+  sim::TraceSink trace;
+  macro.set_trace(&trace);
+
+  // Program: random decision trees and LUT contents (as the global write
+  // driver would after MADDNESS training).
+  Rng rng(7);
+  std::vector<maddness::HashTree> trees(ns);
+  for (auto& t : trees) {
+    for (int l = 0; l < 4; ++l) t.set_split_dim(l, rng.next_int(0, 8));
+    for (int l = 0; l < 4; ++l)
+      for (int n = 0; n < (1 << l); ++n)
+        t.set_threshold(l, n, static_cast<std::uint8_t>(rng.next_int(1, 254)));
+  }
+  std::vector<std::vector<std::array<std::int8_t, 16>>> luts(
+      ns, std::vector<std::array<std::int8_t, 16>>(ndec));
+  for (auto& b : luts)
+    for (auto& tb : b)
+      for (auto& e : tb) e = static_cast<std::int8_t>(rng.next_int(-127, 127));
+  macro.program(trees, luts, std::vector<std::int16_t>(ndec, 0));
+  std::printf("Programmed %d blocks x %d decoders (%d SRAM bits) via the\n"
+              "write port; write energy so far: %.1f pJ\n\n",
+              ns, ndec, ns * ndec * 16 * 8,
+              macro.ctx().ledger.fj(sim::EnergyCat::kWrite) * 1e-3);
+
+  // Stream random tokens.
+  std::vector<std::vector<sim::Subvec>> inputs(tokens,
+                                               std::vector<sim::Subvec>(ns));
+  for (auto& tok : inputs)
+    for (auto& sv : tok)
+      for (auto& v : sv) v = static_cast<std::uint8_t>(rng.next_int(0, 255));
+
+  const auto res = macro.run(inputs);
+
+  std::printf("Per-token outputs (lane values, int16):\n");
+  for (int k = 0; k < tokens; ++k) {
+    std::printf("  token %2d:", k);
+    for (int d = 0; d < ndec; ++d) std::printf(" %6d", res.outputs[k][d]);
+    std::printf("\n");
+  }
+
+  std::printf("\nPipeline timing:\n");
+  TextTable t({"metric", "value"});
+  t.add_row({"tokens", std::to_string(tokens)});
+  t.add_row({"simulated time [ns]", TextTable::num(res.stats.duration_ns, 1)});
+  t.add_row({"events executed", std::to_string(res.stats.events)});
+  t.add_row({"first-token latency [ns]",
+             TextTable::num(res.stats.token_latency_ns.min(), 2)});
+  t.add_row({"steady-state interval [ns]",
+             TextTable::num(res.stats.output_interval_ns.mean(), 2)});
+  t.add_row({"interval min/max [ns]",
+             TextTable::num(res.stats.output_interval_ns.min(), 2) + " / " +
+                 TextTable::num(res.stats.output_interval_ns.max(), 2)});
+  t.add_row({"block 0 mean latency [ns]",
+             TextTable::num(macro.block(0).latency_ns().mean(), 2)});
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Energy ledger:\n%s\n",
+              res.stats.ledger.summary().c_str());
+
+  const long long ops = static_cast<long long>(tokens) * ns * ndec * 18;
+  std::printf("=> %.1f fJ/op, %.1f TOPS/W on this stream\n\n",
+              res.stats.ledger.total_fj() / static_cast<double>(ops),
+              res.stats.tops_per_w(ops));
+
+  // Signal trace: first handshake cycles of the pipeline, plus a VCD
+  // dump loadable in GTKWave.
+  std::printf("First trace records (four-phase handshake visible):\n");
+  int shown = 0;
+  for (const auto& r : trace.records()) {
+    if (shown++ >= 14) break;
+    std::printf("  %8.3f ns  %-14s = %s\n", sim::ns_from_ps(r.t),
+                r.signal.c_str(), r.value.c_str());
+  }
+  std::ofstream vcd("macro_trace.vcd");
+  vcd << trace.render_vcd();
+  std::printf("... %zu records total; waveform written to macro_trace.vcd\n",
+              trace.size());
+  return 0;
+}

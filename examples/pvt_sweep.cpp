@@ -1,0 +1,103 @@
+// PVT robustness demonstration — the "all-digital, self-synchronous"
+// selling point: sweep supply voltage, process corner, temperature and
+// within-die variation, and show that the macro's *outputs never change*
+// (only its speed does), while the analog prior-work encoder [21] starts
+// misclassifying under the same variations.
+//
+//   build/examples/pvt_sweep
+#include <cstdio>
+
+#include "baselines/analog_encoder_model.hpp"
+#include "ppa/corner.hpp"
+#include "sim/macro.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace ssma;
+
+int main() {
+  std::printf("== PVT sweep: functional invariance of the proposed macro ==\n\n");
+
+  const int ndec = 4, ns = 4, tokens = 10;
+  Rng rng(5);
+  std::vector<maddness::HashTree> trees(ns);
+  for (auto& t : trees) {
+    for (int l = 0; l < 4; ++l) t.set_split_dim(l, rng.next_int(0, 8));
+    for (int l = 0; l < 4; ++l)
+      for (int n = 0; n < (1 << l); ++n)
+        t.set_threshold(l, n, static_cast<std::uint8_t>(rng.next_int(1, 254)));
+  }
+  std::vector<std::vector<std::array<std::int8_t, 16>>> luts(
+      ns, std::vector<std::array<std::int8_t, 16>>(ndec));
+  for (auto& b : luts)
+    for (auto& tb : b)
+      for (auto& e : tb) e = static_cast<std::int8_t>(rng.next_int(-127, 127));
+  std::vector<std::vector<sim::Subvec>> inputs(tokens,
+                                               std::vector<sim::Subvec>(ns));
+  for (auto& tok : inputs)
+    for (auto& sv : tok)
+      for (auto& v : sv) v = static_cast<std::uint8_t>(rng.next_int(0, 255));
+
+  // Golden outputs at the nominal point.
+  std::vector<std::vector<std::int16_t>> golden;
+  {
+    sim::MacroConfig cfg;
+    cfg.ndec = ndec;
+    cfg.ns = ns;
+    sim::Macro m(cfg);
+    m.program(trees, luts, std::vector<std::int16_t>(ndec, 0));
+    golden = m.run(inputs).outputs;
+  }
+
+  TextTable t({"VDD [V]", "corner", "temp [C]", "variation",
+               "interval [ns]", "outputs"});
+  Rng vrng(99);
+  for (double vdd : {0.5, 0.7, 1.0}) {
+    for (ppa::Corner corner :
+         {ppa::Corner::TTG, ppa::Corner::FFG, ppa::Corner::SSG}) {
+      for (double temp : {0.0, 85.0}) {
+        for (bool with_var : {false, true}) {
+          sim::MacroConfig cfg;
+          cfg.ndec = ndec;
+          cfg.ns = ns;
+          cfg.op = {vdd, corner, temp};
+          sim::Macro m(cfg);
+          if (with_var)
+            m.set_variation(sim::sample_variation(
+                ns, ndec, sim::VariationConfig{}, vrng));
+          m.program(trees, luts, std::vector<std::int16_t>(ndec, 0));
+          const auto res = m.run(inputs);
+          t.add_row({TextTable::num(vdd, 1), ppa::corner_name(corner),
+                     TextTable::num(temp, 0), with_var ? "MC die" : "nominal",
+                     TextTable::num(res.stats.output_interval_ns.mean(), 2),
+                     res.outputs == golden ? "identical" : "CORRUPTED"});
+        }
+      }
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf(
+      "-- Contrast: the analog time-domain encoder of [21] under the same\n"
+      "   kind of device mismatch (encoding flip rate, 16 prototypes):\n\n");
+  TextTable ta({"delay-cell mismatch sigma", "encode flip rate"});
+  Matrix protos(16, 9);
+  Rng prng(3);
+  for (std::size_t i = 0; i < protos.size(); ++i)
+    protos.data()[i] = static_cast<float>(prng.next_int(0, 63));
+  for (double sigma : {0.0, 0.02, 0.05, 0.10, 0.15}) {
+    Rng mrng(17);
+    const double rate = baselines::AnalogTimeDomainEncoder::
+        misclassification_rate(protos, sigma, 1500, mrng);
+    ta.add_row({TextTable::num(sigma * 100, 0) + "%",
+                TextTable::pct(rate)});
+  }
+  std::printf("%s\n", ta.render().c_str());
+  std::printf(
+      "The digital BDT macro is bit-stable across every PVT condition —\n"
+      "variation shows up only as latency (handled by the self-timed\n"
+      "handshake), whereas the analog race flips encodings and needs\n"
+      "post-fabrication calibration (Sec. II-C of the paper).\n");
+  return 0;
+}

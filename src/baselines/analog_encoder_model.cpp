@@ -1,0 +1,83 @@
+#include "baselines/analog_encoder_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ssma::baselines {
+
+AnalogTimeDomainEncoder::AnalogTimeDomainEncoder(const Matrix& prototypes,
+                                                 double cell_delay_sigma,
+                                                 Rng& rng)
+    : prototypes_(prototypes) {
+  SSMA_CHECK(prototypes.rows() >= 1);
+  SSMA_CHECK(cell_delay_sigma >= 0.0);
+  mismatch_.resize(prototypes.rows() * prototypes.cols());
+  for (auto& m : mismatch_)
+    m = rng.next_gaussian(0.0, cell_delay_sigma);
+}
+
+double AnalogTimeDomainEncoder::chain_delay(const std::vector<int>& x,
+                                            int proto,
+                                            bool with_mismatch) const {
+  SSMA_CHECK(x.size() == prototypes_.cols());
+  // Each dimension contributes |x_d - c_d| unit delay cells (thermometer
+  // difference); mismatch perturbs each segment multiplicatively.
+  double total = 0.0;
+  for (std::size_t d = 0; d < prototypes_.cols(); ++d) {
+    SSMA_CHECK(x[d] >= 0 && x[d] <= 63);
+    const double cells =
+        std::abs(static_cast<double>(x[d]) - prototypes_(proto, d));
+    const double m =
+        with_mismatch
+            ? 1.0 + mismatch_[static_cast<std::size_t>(proto) *
+                                  prototypes_.cols() +
+                              d]
+            : 1.0;
+    total += cells * std::max(m, 0.05);  // delays cannot go negative
+  }
+  return total;
+}
+
+int AnalogTimeDomainEncoder::encode_ideal(const std::vector<int>& x) const {
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (int p = 0; p < k(); ++p) {
+    const double d = chain_delay(x, p, /*with_mismatch=*/false);
+    if (d < best_d) {
+      best_d = d;
+      best = p;
+    }
+  }
+  return best;
+}
+
+int AnalogTimeDomainEncoder::encode(const std::vector<int>& x) const {
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (int p = 0; p < k(); ++p) {
+    const double d = chain_delay(x, p, /*with_mismatch=*/true);
+    if (d < best_d) {
+      best_d = d;
+      best = p;
+    }
+  }
+  return best;
+}
+
+double AnalogTimeDomainEncoder::misclassification_rate(
+    const Matrix& prototypes, double cell_delay_sigma, int trials,
+    Rng& rng) {
+  SSMA_CHECK(trials >= 1);
+  const AnalogTimeDomainEncoder enc(prototypes, cell_delay_sigma, rng);
+  int flipped = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> x(prototypes.cols());
+    for (auto& v : x) v = rng.next_int(0, 63);
+    if (enc.encode(x) != enc.encode_ideal(x)) ++flipped;
+  }
+  return static_cast<double>(flipped) / trials;
+}
+
+}  // namespace ssma::baselines

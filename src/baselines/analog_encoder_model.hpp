@@ -1,0 +1,52 @@
+// Behavioural model of [21]'s analog time-domain encoder: inputs and
+// prototypes expand to thermometer codes and race down per-prototype
+// delay chains (a digital-to-time converter computes Manhattan distance
+// as propagation delay; the fastest chain wins).
+//
+// The model exposes the mechanism the paper criticizes: per-cell delay
+// mismatch (PVT variation) perturbs the race and flips argmin decisions,
+// degrading encoding fidelity — unlike the proposed all-digital BDT whose
+// decisions are discrete comparisons. The PVT-robustness experiment
+// quantifies exactly this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ssma::baselines {
+
+class AnalogTimeDomainEncoder {
+ public:
+  /// `prototypes`: K x D (values in [0, 63], 6-bit as in [21]).
+  /// `cell_delay_sigma`: per-delay-cell mismatch (relative, e.g. 0.05 =
+  /// 5% sigma); one mismatch map is drawn per instance (per die).
+  AnalogTimeDomainEncoder(const Matrix& prototypes, double cell_delay_sigma,
+                          Rng& rng);
+
+  int k() const { return static_cast<int>(prototypes_.rows()); }
+  int dims() const { return static_cast<int>(prototypes_.cols()); }
+
+  /// Ideal (mismatch-free) encode: Manhattan-distance argmin.
+  int encode_ideal(const std::vector<int>& x) const;
+
+  /// Encode through the mismatched delay chains of this die.
+  int encode(const std::vector<int>& x) const;
+
+  /// Fraction of encodes that differ from ideal over random inputs.
+  static double misclassification_rate(const Matrix& prototypes,
+                                       double cell_delay_sigma, int trials,
+                                       Rng& rng);
+
+ private:
+  double chain_delay(const std::vector<int>& x, int proto,
+                     bool with_mismatch) const;
+
+  Matrix prototypes_;
+  /// Per (prototype, dim) relative delay error of the chain segment.
+  std::vector<double> mismatch_;
+};
+
+}  // namespace ssma::baselines

@@ -1,0 +1,33 @@
+#include "baselines/exact_mac_model.hpp"
+
+#include "util/check.hpp"
+
+namespace ssma::baselines {
+
+double MacBaselineModel::node_scale(double node_nm, double vdd) const {
+  SSMA_CHECK(node_nm > 0.0 && vdd > 0.0);
+  const double cap = node_nm / 45.0;           // C ~ feature size
+  const double v = (vdd / 0.9) * (vdd / 0.9);  // 0.9V nominal at 45nm
+  return cap * v;
+}
+
+double MacBaselineModel::mac_energy_fj(double node_nm, double vdd) const {
+  const double s = node_scale(node_nm, vdd);
+  return (mult8_pj_45nm + add16_pj_45nm) * 1e3 * s;
+}
+
+double MacBaselineModel::energy_per_op_fj(double node_nm, double vdd,
+                                          bool include_weight_fetch) const {
+  const double s = node_scale(node_nm, vdd);
+  double per_mac = mac_energy_fj(node_nm, vdd);
+  if (include_weight_fetch)
+    per_mac += sram64k_read8_pj_45nm * 1e3 * s;  // one weight byte per MAC
+  return per_mac / 2.0;  // 1 MAC == 2 ops
+}
+
+double MacBaselineModel::tops_per_w(double node_nm, double vdd,
+                                    bool include_weight_fetch) const {
+  return 1e3 / energy_per_op_fj(node_nm, vdd, include_weight_fetch);
+}
+
+}  // namespace ssma::baselines

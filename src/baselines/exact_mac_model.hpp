@@ -1,0 +1,34 @@
+// Conventional digital MAC-array baseline: energy model built from
+// Horowitz's ISSCC'14 arithmetic-energy survey (the paper's motivation:
+// multipliers cost 6-31x the energy / 8-25x the area of adders), scaled
+// to the 22nm comparison node. Provides the "what if we just multiplied"
+// reference row for the comparison bench.
+#pragma once
+
+namespace ssma::baselines {
+
+struct MacBaselineModel {
+  // 45nm reference energies (Horowitz, ISSCC 2014).
+  double mult8_pj_45nm = 0.2;
+  double add8_pj_45nm = 0.03;
+  double add16_pj_45nm = 0.05;
+  double sram64k_read8_pj_45nm = 2.0;  // per 8-bit word from a 64kB array
+
+  /// Dynamic energy scaling factor 45nm -> target node at VDD
+  /// (capacitance ~ linear in node, energy ~ C * V^2 with 0.9V nominal
+  /// at 45nm).
+  double node_scale(double node_nm, double vdd) const;
+
+  /// Energy of one 8-bit MAC (multiply + 16-bit accumulate) [fJ].
+  double mac_energy_fj(double node_nm, double vdd) const;
+
+  /// Energy per op (1 MAC = 2 ops) including a weight-fetch share [fJ].
+  double energy_per_op_fj(double node_nm, double vdd,
+                          bool include_weight_fetch = true) const;
+
+  /// TOPS/W of the MAC-array baseline.
+  double tops_per_w(double node_nm, double vdd,
+                    bool include_weight_fetch = true) const;
+};
+
+}  // namespace ssma::baselines

@@ -1,0 +1,51 @@
+#include "baselines/prior_work.hpp"
+
+namespace ssma::baselines {
+
+PriorWorkDatapoint fuketa_tcas23() {
+  PriorWorkDatapoint d;
+  d.label = "TCAS-I'23 [21]";
+  d.mode = "MADDNESS (Analog)";
+  d.process_nm = 65.0;
+  d.supply_v = 0.6;  // multiple-VDD structure: 0.35/0.6/1.0
+  d.area_mm2 = 0.31;
+  d.freq_mhz_lo = d.freq_mhz_hi = 77.0;
+  d.throughput_tops = 0.089;
+  d.tops_per_w = 69.0;
+  d.tops_per_mm2 = 0.29;
+  d.tops_per_mm2_scaled22 = 0.40;
+  d.resnet9_cifar10_acc = 89.0;
+  d.encoder_fj_per_op = 7.47;
+  d.decoder_fj_per_op = 7.02;  // accumulator not included
+  // Only the digital parts scale; the analog encoder (~68% of area) does
+  // not — this fraction reproduces the paper's 0.40 TOPS/mm^2.
+  d.scaling = ScalingSpec{65.0, 22.0, 2.0, 0.68};
+  return d;
+}
+
+PriorWorkDatapoint stella_nera() {
+  PriorWorkDatapoint d;
+  d.label = "arXiv'23 [22]";
+  d.mode = "MADDNESS (Digital)";
+  d.process_nm = 14.0;
+  d.supply_v = 0.55;
+  d.area_mm2 = 0.57;
+  d.freq_mhz_lo = d.freq_mhz_hi = 624.0;
+  d.throughput_tops = 2.9;
+  d.tops_per_w = 43.1;
+  d.tops_per_mm2 = 5.1;
+  d.tops_per_mm2_scaled22 = 2.70;
+  d.resnet9_cifar10_acc = 92.6;
+  d.encoder_fj_per_op = 1.27;
+  d.decoder_fj_per_op = 16.47;
+  // Effective density exponent 1.40 between 14nm FinFET and 22nm planar
+  // reproduces the paper's 2.70 TOPS/mm^2 normalization.
+  d.scaling = ScalingSpec{14.0, 22.0, 1.40, 0.0};
+  return d;
+}
+
+double normalized_area_efficiency(const PriorWorkDatapoint& d) {
+  return scale_area_efficiency(d.throughput_tops, d.area_mm2, d.scaling);
+}
+
+}  // namespace ssma::baselines

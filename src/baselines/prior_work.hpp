@@ -1,0 +1,43 @@
+// Published datapoints of the prior accelerators compared in Table II:
+//   [21] Fuketa, TCAS-I'23  — analog time-domain MADDNESS macro, 65nm
+//   [22] Stella Nera        — synthesizable digital MADDNESS, 14nm
+// plus the scaling specs that reproduce the paper's 22nm-normalized
+// area-efficiency numbers (footnote 4).
+#pragma once
+
+#include <string>
+
+#include "baselines/process_scaling.hpp"
+
+namespace ssma::baselines {
+
+struct PriorWorkDatapoint {
+  std::string label;
+  std::string mode;
+  double process_nm = 0.0;
+  double supply_v = 0.0;
+  double area_mm2 = 0.0;
+  double freq_mhz_lo = 0.0;
+  double freq_mhz_hi = 0.0;
+  double throughput_tops = 0.0;
+  double tops_per_w = 0.0;
+  double tops_per_mm2 = 0.0;          ///< at native node
+  double tops_per_mm2_scaled22 = 0.0; ///< paper's normalized value
+  double resnet9_cifar10_acc = 0.0;
+  double encoder_fj_per_op = 0.0;
+  double decoder_fj_per_op = 0.0;
+  ScalingSpec scaling;
+};
+
+/// [21]: measured silicon, analog encoder (68% of area does not scale).
+PriorWorkDatapoint fuketa_tcas23();
+
+/// [22]: simulated, 14nm FinFET digital.
+PriorWorkDatapoint stella_nera();
+
+/// Re-derives the 22nm-normalized area efficiency from the native
+/// datapoint and the scaling spec; tests assert it matches the paper's
+/// parenthesized values (0.40 and 2.70).
+double normalized_area_efficiency(const PriorWorkDatapoint& d);
+
+}  // namespace ssma::baselines

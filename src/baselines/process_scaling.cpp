@@ -1,0 +1,26 @@
+#include "baselines/process_scaling.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ssma::baselines {
+
+double scale_area_mm2(double area_mm2, const ScalingSpec& spec) {
+  SSMA_CHECK(area_mm2 > 0.0);
+  SSMA_CHECK(spec.from_nm > 0.0 && spec.to_nm > 0.0);
+  SSMA_CHECK(spec.unscaled_fraction >= 0.0 && spec.unscaled_fraction <= 1.0);
+  const double shrink =
+      std::pow(spec.to_nm / spec.from_nm, spec.density_exponent);
+  const double unscaled = area_mm2 * spec.unscaled_fraction;
+  const double scaled = area_mm2 * (1.0 - spec.unscaled_fraction) * shrink;
+  return unscaled + scaled;
+}
+
+double scale_area_efficiency(double tops, double area_mm2,
+                             const ScalingSpec& spec) {
+  SSMA_CHECK(tops > 0.0);
+  return tops / scale_area_mm2(area_mm2, spec);
+}
+
+}  // namespace ssma::baselines

@@ -1,0 +1,27 @@
+// Process-node scaling utilities used to normalize prior-work results to
+// the 22nm comparison node (Table II, footnote 4). Classic area scaling
+// goes with the square of the feature-size ratio; real designs deviate
+// (FinFET density, SRAM vs logic mix, analog content), so scaling accepts
+// a density exponent and an unscaled (analog) area fraction.
+#pragma once
+
+namespace ssma::baselines {
+
+struct ScalingSpec {
+  double from_nm = 65.0;
+  double to_nm = 22.0;
+  /// Area ~ (from/to)^-exponent per unit; 2.0 = ideal dimension scaling.
+  double density_exponent = 2.0;
+  /// Fraction of the design's area that does NOT scale (analog blocks,
+  /// I/O): Table II scales "only the digital parts" of [21].
+  double unscaled_fraction = 0.0;
+};
+
+/// Scaled area of a design occupying `area_mm2` at `spec.from_nm`.
+double scale_area_mm2(double area_mm2, const ScalingSpec& spec);
+
+/// Scaled area efficiency (throughput / scaled area).
+double scale_area_efficiency(double tops, double area_mm2,
+                             const ScalingSpec& spec);
+
+}  // namespace ssma::baselines

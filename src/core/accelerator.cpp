@@ -1,0 +1,135 @@
+#include "core/accelerator.hpp"
+
+#include "util/check.hpp"
+#include "util/fixed_point.hpp"
+
+namespace ssma::core {
+
+Accelerator::Accelerator(const AcceleratorOptions& opts) : opts_(opts) {
+  SSMA_CHECK(opts.ndec >= 1 && opts.ns >= 1);
+}
+
+AcceleratorResult Accelerator::run(
+    const maddness::Amm& amm,
+    const maddness::QuantizedActivations& activations,
+    const std::vector<std::int16_t>* bias_int16) {
+  const maddness::Config& mcfg = amm.cfg();
+  SSMA_CHECK_MSG(mcfg.subvec_dim == ppa::kSubvectorDim,
+                 "hardware subvectors are 9-dimensional");
+  SSMA_CHECK(activations.cols ==
+             static_cast<std::size_t>(mcfg.total_dims()));
+  const int nout = amm.lut().nout;
+  if (bias_int16) SSMA_CHECK(static_cast<int>(bias_int16->size()) == nout);
+
+  AcceleratorResult res;
+  res.plan = plan_tiles(mcfg.ncodebooks, nout, opts_.ns, opts_.ndec);
+  const std::size_t ntok = activations.rows;
+  res.outputs.assign(ntok * static_cast<std::size_t>(nout), 0);
+
+  sim::MacroRunStats agg_stats;
+  std::uint64_t total_events = 0;
+  double total_duration = 0.0;
+
+  // Identity tree used by idle (padding) blocks; their LUTs are zero so
+  // they contribute nothing to the accumulation.
+  const maddness::HashTree idle_tree;
+  const std::array<std::int8_t, 16> zero_table{};
+  const sim::Subvec zero_subvec{};
+
+  for (const Tile& tile : res.plan.tiles) {
+    sim::MacroConfig mc;
+    mc.ndec = opts_.ndec;
+    mc.ns = opts_.ns;
+    mc.op = opts_.op;
+    sim::Macro macro(mc);
+
+    // Program: blocks [0, tile.block_n) carry real codebooks, the rest
+    // idle; lanes [0, tile.lane_n) carry real outputs.
+    std::vector<maddness::HashTree> trees(opts_.ns, idle_tree);
+    std::vector<std::vector<std::array<std::int8_t, 16>>> luts(
+        opts_.ns,
+        std::vector<std::array<std::int8_t, 16>>(opts_.ndec, zero_table));
+    for (int b = 0; b < tile.block_n; ++b) {
+      const int cb = tile.block_lo + b;
+      trees[b] = amm.trees()[cb];
+      for (int d = 0; d < tile.lane_n; ++d) {
+        const auto table = amm.lut().table(cb, tile.lane_lo + d);
+        for (int k = 0; k < 16; ++k) luts[b][d][k] = table[k];
+      }
+    }
+    macro.program(trees, luts,
+                  std::vector<std::int16_t>(opts_.ndec, 0));
+
+    // Inputs: real subvectors for occupied blocks, zeros for idle ones.
+    std::vector<std::vector<sim::Subvec>> inputs(
+        ntok, std::vector<sim::Subvec>(opts_.ns, zero_subvec));
+    for (std::size_t k = 0; k < ntok; ++k)
+      for (int b = 0; b < tile.block_n; ++b) {
+        const int cb = tile.block_lo + b;
+        for (int j = 0; j < 9; ++j)
+          inputs[k][b][j] = activations.at(
+              k, static_cast<std::size_t>(cb) * 9 + j);
+      }
+
+    // Initial lanes: bias on the first input tile, prior partial sums on
+    // subsequent ones (hardware partial-sum re-injection).
+    std::vector<std::vector<std::int16_t>> initial(
+        ntok, std::vector<std::int16_t>(opts_.ndec, 0));
+    for (std::size_t k = 0; k < ntok; ++k)
+      for (int d = 0; d < tile.lane_n; ++d) {
+        if (tile.first_input_tile) {
+          initial[k][d] =
+              bias_int16 ? (*bias_int16)[tile.lane_lo + d] : 0;
+        } else {
+          initial[k][d] =
+              res.outputs[k * static_cast<std::size_t>(nout) +
+                          tile.lane_lo + d];
+        }
+      }
+
+    const sim::MacroRunResult run = macro.run(inputs, &initial);
+    for (std::size_t k = 0; k < ntok; ++k)
+      for (int d = 0; d < tile.lane_n; ++d)
+        res.outputs[k * static_cast<std::size_t>(nout) + tile.lane_lo + d] =
+            run.outputs[k][d];
+
+    // Aggregate across tiles.
+    if (&tile == &res.plan.tiles.front()) {
+      agg_stats = run.stats;
+    } else {
+      for (double v : run.stats.output_interval_ns.samples())
+        agg_stats.output_interval_ns.add(v);
+      for (double v : run.stats.token_latency_ns.samples())
+        agg_stats.token_latency_ns.add(v);
+      agg_stats.ledger = [&] {
+        sim::EnergyLedger sum = agg_stats.ledger;
+        for (std::size_t c = 0;
+             c < static_cast<std::size_t>(sim::EnergyCat::kCount); ++c)
+          sum.charge(static_cast<sim::EnergyCat>(c),
+                     run.stats.ledger.fj(static_cast<sim::EnergyCat>(c)));
+        return sum;
+      }();
+    }
+    total_events += run.stats.events;
+    total_duration += run.stats.duration_ns;
+  }
+
+  agg_stats.events = total_events;
+  agg_stats.duration_ns = total_duration;
+
+  sim::MacroConfig mc;
+  mc.ndec = opts_.ndec;
+  mc.ns = opts_.ns;
+  mc.op = opts_.op;
+  res.report = make_report(
+      mc, agg_stats,
+      static_cast<long long>(ntok) *
+          static_cast<long long>(res.plan.tiles.size()));
+  return res;
+}
+
+PpaReport Accelerator::analytic_report(int dlc_depth) const {
+  return make_analytic_report({opts_.ndec, opts_.ns}, opts_.op, dlc_depth);
+}
+
+}  // namespace ssma::core

@@ -1,0 +1,50 @@
+// Top-level public API: program a trained MADDNESS operator onto the
+// simulated macro and run workloads through it, with automatic tiling
+// when the layer exceeds the macro's NS/Ndec, returning bit-exact outputs
+// plus a PPA report. This is the entry point a downstream user adopts.
+#pragma once
+
+#include <memory>
+
+#include "core/layer_mapping.hpp"
+#include "core/ppa_report.hpp"
+#include "maddness/amm.hpp"
+#include "sim/macro.hpp"
+
+namespace ssma::core {
+
+struct AcceleratorOptions {
+  int ndec = 16;
+  int ns = 32;
+  ppa::OperatingPoint op = ppa::nominal_05v();
+};
+
+struct AcceleratorResult {
+  /// outputs[token * nout + o], identical to Amm::apply_int16.
+  std::vector<std::int16_t> outputs;
+  PpaReport report;
+  TilePlan plan;
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(const AcceleratorOptions& opts);
+
+  const AcceleratorOptions& options() const { return opts_; }
+
+  /// Runs the full (possibly tiled) workload of a trained AMM operator on
+  /// the event-driven macro. `bias_int16` (optional, size nout) is
+  /// injected into the first input tile of each output tile.
+  AcceleratorResult run(const maddness::Amm& amm,
+                        const maddness::QuantizedActivations& activations,
+                        const std::vector<std::int16_t>* bias_int16 = nullptr);
+
+  /// Closed-form report for this configuration (0 = average envelope,
+  /// 1/8 = best/worst data).
+  PpaReport analytic_report(int dlc_depth = 0) const;
+
+ private:
+  AcceleratorOptions opts_;
+};
+
+}  // namespace ssma::core

@@ -1,0 +1,252 @@
+#include "core/experiments.hpp"
+
+#include <sstream>
+
+#include "baselines/prior_work.hpp"
+#include "ppa/area_model.hpp"
+#include "ppa/corner.hpp"
+#include "sim/macro.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace ssma::core {
+
+namespace {
+
+/// Uniform-threshold trees + constant inputs pin every DLC to depth 1
+/// (value 0x00) or depth 8 (value 0x80) — the Fig. 6 / Table II
+/// best/worst cases.
+std::vector<maddness::HashTree> uniform_trees(int ns) {
+  std::vector<maddness::HashTree> trees(ns);
+  for (auto& t : trees) {
+    for (int l = 0; l < 4; ++l) t.set_split_dim(l, l);
+    for (int l = 0; l < 4; ++l)
+      for (int n = 0; n < (1 << l); ++n) t.set_threshold(l, n, 0x80);
+  }
+  return trees;
+}
+
+std::vector<std::vector<std::array<std::int8_t, 16>>> random_luts(
+    Rng& rng, int ns, int ndec) {
+  std::vector<std::vector<std::array<std::int8_t, 16>>> luts(
+      ns, std::vector<std::array<std::int8_t, 16>>(ndec));
+  for (auto& block : luts)
+    for (auto& table : block)
+      for (auto& e : table)
+        e = static_cast<std::int8_t>(rng.next_int(-127, 127));
+  return luts;
+}
+
+std::vector<std::vector<sim::Subvec>> constant_inputs(int ntokens, int ns,
+                                                      std::uint8_t value) {
+  sim::Subvec sv;
+  sv.fill(value);
+  return std::vector<std::vector<sim::Subvec>>(
+      ntokens, std::vector<sim::Subvec>(ns, sv));
+}
+
+std::string fmt(double v, int prec) { return TextTable::num(v, prec); }
+
+}  // namespace
+
+// ------------------------------------------------------------------ Fig. 6
+
+std::vector<Fig6Point> run_fig6_sweep(const std::vector<double>& voltages) {
+  std::vector<Fig6Point> points;
+  for (double v : voltages) {
+    for (ppa::Corner c : {ppa::Corner::TTG, ppa::Corner::FFG,
+                          ppa::Corner::SSG, ppa::Corner::SFG,
+                          ppa::Corner::FSG}) {
+      ppa::AnalyticPerf perf({4, 4}, {v, c, 25.0});
+      const auto env = perf.envelope();
+      Fig6Point p;
+      p.vdd = v;
+      p.corner = c;
+      p.best_tops_per_mm2 = env.best.tops_per_mm2;
+      p.worst_tops_per_mm2 = env.worst.tops_per_mm2;
+      p.avg_tops_per_mm2 = env.avg_tops_per_mm2;
+      p.best_tops_per_w = env.best.tops_per_w;
+      p.worst_tops_per_w = env.worst.tops_per_w;
+      p.avg_tops_per_w = env.avg_tops_per_w;
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+std::vector<Fig6Golden> fig6_paper_values() {
+  return {{0.5, 164.0, 1.45}, {0.6, 123.0, 3.46}, {0.7, 92.8, 5.94},
+          {0.8, 72.2, 8.55},  {0.9, 57.5, 11.03}, {1.0, 46.6, 13.25}};
+}
+
+// ------------------------------------------------------------------ Fig. 7
+
+Fig7Breakdown run_fig7_breakdown(int ndec, int sim_tokens, int sim_ns) {
+  SSMA_CHECK(ndec >= 1);
+  Fig7Breakdown b;
+  b.ndec = ndec;
+
+  // (A) energy shares via event simulation on random data. Shares are
+  // NS-independent (all terms scale with NS), so a reduced-NS run keeps
+  // the bench fast without changing the result.
+  {
+    sim::MacroConfig mc;
+    mc.ndec = ndec;
+    mc.ns = sim_ns;
+    mc.op = ppa::nominal_05v();
+    sim::Macro macro(mc);
+    Rng rng(4242 + static_cast<std::uint64_t>(ndec));
+    std::vector<maddness::HashTree> trees(sim_ns);
+    for (auto& t : trees) {
+      for (int l = 0; l < 4; ++l) t.set_split_dim(l, rng.next_int(0, 8));
+      for (int l = 0; l < 4; ++l)
+        for (int n = 0; n < (1 << l); ++n)
+          t.set_threshold(l, n,
+                          static_cast<std::uint8_t>(rng.next_int(1, 254)));
+    }
+    macro.program(trees, random_luts(rng, sim_ns, ndec),
+                  std::vector<std::int16_t>(ndec, 0));
+    std::vector<std::vector<sim::Subvec>> inputs(
+        sim_tokens, std::vector<sim::Subvec>(sim_ns));
+    for (auto& tok : inputs)
+      for (auto& sv : tok)
+        for (auto& v : sv)
+          v = static_cast<std::uint8_t>(rng.next_int(0, 255));
+    const auto res = macro.run(inputs);
+    const auto& l = res.stats.ledger;
+    const double total = l.total_fj();
+    b.energy_decoder_share = l.decoder_fj() / total;
+    b.energy_encoder_share = l.encoder_fj() / total;
+    b.energy_other_share = l.other_fj() / total;
+  }
+
+  // (B) latency from the calibrated delay model.
+  {
+    ppa::DelayModel delay(ppa::nominal_05v());
+    b.latency_best_ns = delay.block_latency_best_ns(ndec);
+    b.latency_worst_ns = delay.block_latency_worst_ns(ndec);
+    b.encoder_latency_share_best =
+        delay.encoder_best_ns() / b.latency_best_ns;
+    b.encoder_latency_share_worst =
+        delay.encoder_worst_ns() / b.latency_worst_ns;
+  }
+
+  // (C) area shares (NS=32 as in the paper).
+  {
+    const ppa::AreaModel area;
+    const auto a = area.macro_area(ndec, 32);
+    b.area_decoder_share = a.decoder_share();
+    b.area_encoder_share = a.encoder_um2 / a.core_um2();
+    b.area_other_share = 1.0 - b.area_decoder_share - b.area_encoder_share;
+  }
+  return b;
+}
+
+// ----------------------------------------------------------------- Table I
+
+std::vector<Table1Row> run_table1_sweep(const std::vector<int>& ndecs) {
+  std::vector<Table1Row> rows;
+  for (int ndec : ndecs) {
+    Table1Row r;
+    r.ndec = ndec;
+    {
+      ppa::AnalyticPerf perf({ndec, 32}, ppa::nominal_05v());
+      const auto env = perf.envelope();
+      r.eff_05v_tops_per_w = env.avg_tops_per_w;
+      r.eff_05v_tops_per_mm2 = env.avg_tops_per_mm2;
+    }
+    {
+      ppa::AnalyticPerf perf({ndec, 32}, ppa::nominal_08v());
+      const auto env = perf.envelope();
+      r.eff_08v_tops_per_w = env.avg_tops_per_w;
+      r.eff_08v_tops_per_mm2 = env.avg_tops_per_mm2;
+    }
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+std::vector<Table1Golden> table1_paper_values() {
+  return {{4, 167.5, 73.0, 1.4, 8.7},
+          {8, 171.8, 74.4, 1.8, 10.8},
+          {16, 174.0, 75.1, 2.0, 11.3},
+          {32, 174.9, 75.4, 2.0, 11.5}};
+}
+
+// ---------------------------------------------------------------- Table II
+
+std::pair<double, double> simulate_flagship_frequency(double vdd, int ns,
+                                                      int tokens) {
+  double best_mhz = 0.0, worst_mhz = 0.0;
+  for (const bool best : {true, false}) {
+    sim::MacroConfig mc;
+    mc.ndec = 16;
+    mc.ns = ns;
+    mc.op = {vdd, ppa::Corner::TTG, 25.0};
+    sim::Macro macro(mc);
+    Rng rng(99);
+    macro.program(uniform_trees(ns), random_luts(rng, ns, 16),
+                  std::vector<std::int16_t>(16, 0));
+    const auto res =
+        macro.run(constant_inputs(tokens, ns, best ? 0x00 : 0x80));
+    const double mhz = 1e3 / res.stats.output_interval_ns.mean();
+    (best ? best_mhz : worst_mhz) = mhz;
+  }
+  return {best_mhz, worst_mhz};
+}
+
+Table2Column run_table2_proposed(double vdd) {
+  Table2Column col;
+  col.label = "Proposed (Ndec=16, NS=32)";
+  col.mode = "MADDNESS (Digital)";
+  col.process = "22 (Planar, simulated)";
+  {
+    std::ostringstream oss;
+    oss << fmt(vdd, 1) << " V";
+    col.supply = oss.str();
+  }
+
+  const auto [best_mhz, worst_mhz] = simulate_flagship_frequency(vdd);
+  col.freq_mhz = fmt(worst_mhz, 1) + "-" + fmt(best_mhz, 1);
+
+  ppa::AnalyticPerf perf({16, 32}, {vdd, ppa::Corner::TTG, 25.0});
+  const auto env = perf.envelope();
+  col.area_mm2 = env.core_mm2;
+  col.throughput_tops =
+      fmt(env.worst.throughput_tops, 2) + "-" + fmt(env.best.throughput_tops, 2);
+  col.tops_per_w = fmt(env.avg_tops_per_w, 1);
+  col.tops_per_mm2 = fmt(env.avg_tops_per_mm2, 2);
+  col.accuracy = "see accuracy bench";
+
+  const auto breakdown = perf.energy_breakdown();
+  col.encoder_fj = fmt(breakdown.encoder_fj, 3);
+  col.decoder_fj = fmt(breakdown.decoder_fj, 1);
+  return col;
+}
+
+std::vector<Table2Column> table2_prior_work() {
+  std::vector<Table2Column> cols;
+  for (const auto& d :
+       {baselines::fuketa_tcas23(), baselines::stella_nera()}) {
+    Table2Column c;
+    c.label = d.label;
+    c.mode = d.mode;
+    c.process = fmt(d.process_nm, 0);
+    c.supply = fmt(d.supply_v, 2) + " V";
+    c.area_mm2 = d.area_mm2;
+    c.freq_mhz = fmt(d.freq_mhz_lo, 0);
+    c.throughput_tops = fmt(d.throughput_tops, 3);
+    c.tops_per_w = fmt(d.tops_per_w, 1);
+    c.tops_per_mm2 = fmt(d.tops_per_mm2, 2) + " (" +
+                     fmt(baselines::normalized_area_efficiency(d), 2) +
+                     " @22nm)";
+    c.accuracy = fmt(d.resnet9_cifar10_acc, 1);
+    c.encoder_fj = fmt(d.encoder_fj_per_op, 2);
+    c.decoder_fj = fmt(d.decoder_fj_per_op, 2);
+    cols.push_back(c);
+  }
+  return cols;
+}
+
+}  // namespace ssma::core

@@ -1,0 +1,113 @@
+// Shared experiment runners behind the benchmark harness: each function
+// regenerates the data for one of the paper's tables/figures, combining
+// the analytic model (wide sweeps) with event-driven simulation anchors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ppa/analytic_perf.hpp"
+#include "ppa/operating_point.hpp"
+
+namespace ssma::core {
+
+// ------------------------------------------------------------------ Fig. 6
+
+struct Fig6Point {
+  double vdd = 0.0;
+  ppa::Corner corner = ppa::Corner::TTG;
+  double best_tops_per_mm2 = 0.0;
+  double worst_tops_per_mm2 = 0.0;
+  double avg_tops_per_mm2 = 0.0;
+  double best_tops_per_w = 0.0;
+  double worst_tops_per_w = 0.0;
+  double avg_tops_per_w = 0.0;
+};
+
+/// Voltage x corner sweep at the Fig. 6 configuration (Ndec=4, NS=4).
+std::vector<Fig6Point> run_fig6_sweep(
+    const std::vector<double>& voltages = {0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+
+/// Paper's published TTG averages for the same sweep (for side-by-side
+/// printing in the bench).
+struct Fig6Golden {
+  double vdd, tops_per_w, tops_per_mm2;
+};
+std::vector<Fig6Golden> fig6_paper_values();
+
+// ------------------------------------------------------------------ Fig. 7
+
+struct Fig7Breakdown {
+  int ndec = 0;
+  // (A) energy shares at 0.5 V, NS=32 (measured via event simulation).
+  double energy_decoder_share = 0.0;
+  double energy_encoder_share = 0.0;
+  double energy_other_share = 0.0;
+  // (B) block latency [ns].
+  double latency_best_ns = 0.0;
+  double latency_worst_ns = 0.0;
+  double encoder_latency_share_best = 0.0;
+  double encoder_latency_share_worst = 0.0;
+  // (C) area shares.
+  double area_decoder_share = 0.0;
+  double area_encoder_share = 0.0;
+  double area_other_share = 0.0;
+};
+
+/// Runs the Fig. 7 breakdown for one Ndec (NS=32, 0.5 V). Uses the event
+/// simulator for the energy shares (random data) and the calibrated
+/// model for latency/area.
+Fig7Breakdown run_fig7_breakdown(int ndec, int sim_tokens = 24,
+                                 int sim_ns = 8);
+
+// ----------------------------------------------------------------- Table I
+
+struct Table1Row {
+  int ndec = 0;
+  double eff_05v_tops_per_w = 0.0;
+  double eff_08v_tops_per_w = 0.0;
+  double eff_05v_tops_per_mm2 = 0.0;
+  double eff_08v_tops_per_mm2 = 0.0;
+};
+
+std::vector<Table1Row> run_table1_sweep(
+    const std::vector<int>& ndecs = {4, 8, 16, 32});
+
+struct Table1Golden {
+  int ndec;
+  double w05, w08, a05, a08;
+};
+std::vector<Table1Golden> table1_paper_values();
+
+// ---------------------------------------------------------------- Table II
+
+struct Table2Column {
+  std::string label;
+  std::string mode;
+  std::string process;
+  std::string supply;
+  double area_mm2 = 0.0;
+  std::string freq_mhz;
+  std::string throughput_tops;
+  std::string tops_per_w;
+  std::string tops_per_mm2;
+  std::string accuracy;
+  std::string encoder_fj;
+  std::string decoder_fj;
+};
+
+/// The proposed design's Table II column, measured: frequencies from
+/// best/worst event simulations, efficiencies from the calibrated model.
+Table2Column run_table2_proposed(double vdd);
+
+/// Prior-work columns with re-derived 22nm-normalized area efficiency.
+std::vector<Table2Column> table2_prior_work();
+
+/// Simulated flagship frequency anchor (event sim, Ndec=16): returns
+/// {best_mhz, worst_mhz}. `ns` trades fidelity for runtime (timing is
+/// NS-independent in steady state).
+std::pair<double, double> simulate_flagship_frequency(double vdd,
+                                                      int ns = 8,
+                                                      int tokens = 16);
+
+}  // namespace ssma::core

@@ -1,0 +1,38 @@
+#include "core/layer_mapping.hpp"
+
+namespace ssma::core {
+
+int TilePlan::input_tiles() const {
+  return (layer_codebooks + hw_ns - 1) / hw_ns;
+}
+
+int TilePlan::output_tiles() const {
+  return (layer_outputs + hw_ndec - 1) / hw_ndec;
+}
+
+TilePlan plan_tiles(int layer_codebooks, int layer_outputs, int hw_ns,
+                    int hw_ndec) {
+  SSMA_CHECK(layer_codebooks >= 1 && layer_outputs >= 1);
+  SSMA_CHECK(hw_ns >= 1 && hw_ndec >= 1);
+  TilePlan plan;
+  plan.hw_ns = hw_ns;
+  plan.hw_ndec = hw_ndec;
+  plan.layer_codebooks = layer_codebooks;
+  plan.layer_outputs = layer_outputs;
+
+  for (int lane_lo = 0; lane_lo < layer_outputs; lane_lo += hw_ndec) {
+    const int lane_n = std::min(hw_ndec, layer_outputs - lane_lo);
+    for (int block_lo = 0; block_lo < layer_codebooks; block_lo += hw_ns) {
+      Tile t;
+      t.block_lo = block_lo;
+      t.block_n = std::min(hw_ns, layer_codebooks - block_lo);
+      t.lane_lo = lane_lo;
+      t.lane_n = lane_n;
+      t.first_input_tile = (block_lo == 0);
+      plan.tiles.push_back(t);
+    }
+  }
+  return plan;
+}
+
+}  // namespace ssma::core

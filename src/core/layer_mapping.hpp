@@ -1,0 +1,38 @@
+// Maps a MADDNESS-converted layer onto fixed macro dimensions (Fig. 3):
+// input channels (codebooks) tile across NS pipeline blocks, weight
+// kernels (output columns) tile across Ndec decoder lanes. Input-channel
+// tiles chain through partial-sum re-injection; output tiles are
+// independent macro passes.
+#pragma once
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ssma::core {
+
+struct Tile {
+  int block_lo = 0;  ///< first codebook of this tile
+  int block_n = 0;   ///< codebooks in this tile (== occupied NS blocks)
+  int lane_lo = 0;   ///< first output column
+  int lane_n = 0;    ///< output columns (== occupied decoder lanes)
+  bool first_input_tile = false;  ///< receives the bias injection
+};
+
+struct TilePlan {
+  int hw_ns = 0;
+  int hw_ndec = 0;
+  int layer_codebooks = 0;
+  int layer_outputs = 0;
+  std::vector<Tile> tiles;  ///< ordered: output-major, input-minor
+
+  int input_tiles() const;
+  int output_tiles() const;
+};
+
+/// Plans the tiling of a (codebooks x outputs) layer on an (ns x ndec)
+/// macro. Partial tiles are allowed (unused blocks/lanes idle).
+TilePlan plan_tiles(int layer_codebooks, int layer_outputs, int hw_ns,
+                    int hw_ndec);
+
+}  // namespace ssma::core

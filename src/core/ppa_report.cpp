@@ -1,0 +1,115 @@
+#include "core/ppa_report.hpp"
+
+#include <sstream>
+
+#include "ppa/area_model.hpp"
+#include "ppa/corner.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace ssma::core {
+
+std::string PpaReport::render() const {
+  std::ostringstream oss;
+  TextTable t({"metric", "value"});
+  t.add_row({"config", "Ndec=" + std::to_string(ndec) +
+                            ", NS=" + std::to_string(ns)});
+  t.add_row({"operating point",
+             TextTable::num(vdd, 2) + " V, " + corner});
+  t.add_row({"frequency [MHz]", TextTable::num(freq_mhz, 1)});
+  t.add_row({"throughput [TOPS]", TextTable::num(throughput_tops, 3)});
+  t.add_row({"energy eff. [TOPS/W]", TextTable::num(tops_per_w, 1)});
+  t.add_row({"area eff. [TOPS/mm2]", TextTable::num(tops_per_mm2, 2)});
+  t.add_row({"energy/op [fJ]", TextTable::num(energy_per_op_fj, 2)});
+  t.add_row({"core area [mm2]", TextTable::num(core_mm2, 3)});
+  t.add_row({"SRAM [kb]", TextTable::num(
+                              static_cast<double>(sram_bits) / 1024.0, 0)});
+  t.add_row({"decoder energy share", TextTable::pct(energy_decoder_share)});
+  t.add_row({"encoder energy share",
+             TextTable::pct(energy_encoder_share, 2)});
+  t.add_row({"decoder area share", TextTable::pct(area_decoder_share)});
+  oss << t.render();
+  return oss.str();
+}
+
+PpaReport make_report(const sim::MacroConfig& cfg,
+                      const sim::MacroRunStats& stats, long long ntokens) {
+  SSMA_CHECK(ntokens >= 1);
+  PpaReport r;
+  r.ndec = cfg.ndec;
+  r.ns = cfg.ns;
+  r.vdd = cfg.op.vdd;
+  r.corner = ppa::corner_name(cfg.op.corner);
+
+  const long long ops_per_token =
+      static_cast<long long>(cfg.ns) * cfg.ndec * ppa::kOpsPerLookup;
+  r.total_ops = ops_per_token * ntokens;
+  r.duration_ns = stats.duration_ns;
+  r.events = stats.events;
+
+  if (stats.output_interval_ns.count() > 0) {
+    r.token_interval_ns = stats.output_interval_ns.mean();
+    r.freq_mhz = 1e3 / r.token_interval_ns;
+    r.throughput_tops =
+        static_cast<double>(ops_per_token) / r.token_interval_ns * 1e-3;
+  }
+  r.energy_per_op_fj =
+      stats.ledger.total_fj() / static_cast<double>(r.total_ops);
+  r.tops_per_w = 1e3 / r.energy_per_op_fj;
+
+  const ppa::AreaModel area;
+  r.core_mm2 = area.core_mm2(cfg.ndec, cfg.ns);
+  r.sram_bits = area.sram_bits(cfg.ndec, cfg.ns);
+  r.tops_per_mm2 = r.throughput_tops / r.core_mm2;
+  r.area_decoder_share = area.macro_area(cfg.ndec, cfg.ns).decoder_share();
+
+  const double total_fj = stats.ledger.total_fj();
+  if (total_fj > 0.0) {
+    r.energy_decoder_share = stats.ledger.decoder_fj() / total_fj;
+    r.energy_encoder_share = stats.ledger.encoder_fj() / total_fj;
+  }
+  return r;
+}
+
+PpaReport make_analytic_report(const ppa::MacroConfig& cfg,
+                               const ppa::OperatingPoint& op,
+                               int dlc_depth) {
+  PpaReport r;
+  r.ndec = cfg.ndec;
+  r.ns = cfg.ns;
+  r.vdd = op.vdd;
+  r.corner = ppa::corner_name(op.corner);
+
+  ppa::AnalyticPerf perf(cfg, op);
+  ppa::PerfPoint p;
+  if (dlc_depth == 0) {
+    const auto env = perf.envelope();
+    // Average envelope: paper's dashed-line convention.
+    p.tops_per_w = env.avg_tops_per_w;
+    p.tops_per_mm2 = env.avg_tops_per_mm2;
+    p.throughput_tops =
+        0.5 * (env.best.throughput_tops + env.worst.throughput_tops);
+    p.freq_mhz = 0.5 * (env.best.freq_mhz + env.worst.freq_mhz);
+    p.energy_per_op_fj = 1e3 / p.tops_per_w;
+  } else {
+    p = perf.perf_at_interval(perf.block_latency_ns(dlc_depth));
+  }
+  r.freq_mhz = p.freq_mhz;
+  r.throughput_tops = p.throughput_tops;
+  r.token_interval_ns = p.freq_mhz > 0 ? 1e3 / p.freq_mhz : 0.0;
+  r.tops_per_w = p.tops_per_w;
+  r.tops_per_mm2 = p.tops_per_mm2;
+  r.energy_per_op_fj = p.energy_per_op_fj;
+
+  const ppa::AreaModel area;
+  r.core_mm2 = area.core_mm2(cfg.ndec, cfg.ns);
+  r.sram_bits = area.sram_bits(cfg.ndec, cfg.ns);
+  r.area_decoder_share = area.macro_area(cfg.ndec, cfg.ns).decoder_share();
+
+  const auto breakdown = perf.energy_breakdown();
+  r.energy_decoder_share = breakdown.decoder_share();
+  r.energy_encoder_share = breakdown.encoder_share();
+  return r;
+}
+
+}  // namespace ssma::core

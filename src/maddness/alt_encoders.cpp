@@ -1,0 +1,130 @@
+#include "maddness/alt_encoders.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ssma::maddness {
+
+namespace {
+
+double distance(const float* a, const float* b, std::size_t d,
+                DistanceKind kind) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    acc += kind == DistanceKind::kManhattan ? std::abs(diff) : diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+int full_search_encode(const Matrix& prototypes, const float* subvec,
+                       DistanceKind kind) {
+  SSMA_CHECK(prototypes.rows() >= 1);
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < prototypes.rows(); ++k) {
+    const double d =
+        distance(prototypes.row(k), subvec, prototypes.cols(), kind);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint8_t> full_search_encode_all(const Matrix& prototypes,
+                                                 const Matrix& x,
+                                                 DistanceKind kind) {
+  SSMA_CHECK(prototypes.cols() == x.cols());
+  std::vector<std::uint8_t> codes(x.rows());
+  for (std::size_t n = 0; n < x.rows(); ++n)
+    codes[n] =
+        static_cast<std::uint8_t>(full_search_encode(prototypes, x.row(n), kind));
+  return codes;
+}
+
+Matrix kmeans(const Matrix& x, int k, int iters, Rng& rng) {
+  SSMA_CHECK(k >= 1);
+  SSMA_CHECK(x.rows() >= static_cast<std::size_t>(k));
+  const std::size_t n = x.rows(), d = x.cols();
+
+  // k-means++ seeding.
+  Matrix centroids(static_cast<std::size_t>(k), d);
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+  std::size_t first = static_cast<std::size_t>(rng.next_below(n));
+  for (std::size_t c = 0; c < d; ++c) centroids(0, c) = x(first, c);
+  for (int ki = 1; ki < k; ++ki) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dd = distance(x.row(i), centroids.row(ki - 1), d,
+                                 DistanceKind::kEuclidean);
+      dist2[i] = std::min(dist2[i], dd);
+      total += dist2[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.next_double() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= dist2[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<std::size_t>(rng.next_below(n));
+    }
+    for (std::size_t c = 0; c < d; ++c) centroids(ki, c) = x(chosen, c);
+  }
+
+  // Lloyd iterations.
+  std::vector<int> assign(n, 0);
+  for (int it = 0; it < iters; ++it) {
+    for (std::size_t i = 0; i < n; ++i)
+      assign[i] =
+          full_search_encode(centroids, x.row(i), DistanceKind::kEuclidean);
+    Matrix sums(static_cast<std::size_t>(k), d);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[assign[i]];
+      for (std::size_t c = 0; c < d; ++c) sums(assign[i], c) += x(i, c);
+    }
+    for (int ki = 0; ki < k; ++ki) {
+      if (counts[ki] == 0) {
+        // Re-seed empty cluster to the point farthest from its centroid.
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dd = distance(x.row(i), centroids.row(assign[i]), d,
+                                     DistanceKind::kEuclidean);
+          if (dd > far_d) {
+            far_d = dd;
+            far = i;
+          }
+        }
+        for (std::size_t c = 0; c < d; ++c) centroids(ki, c) = x(far, c);
+        continue;
+      }
+      for (std::size_t c = 0; c < d; ++c)
+        centroids(ki, c) = sums(ki, c) / static_cast<float>(counts[ki]);
+    }
+  }
+  return centroids;
+}
+
+double assignment_sse(const Matrix& prototypes, const Matrix& x,
+                      const std::vector<std::uint8_t>& codes) {
+  SSMA_CHECK(codes.size() == x.rows());
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    total += distance(x.row(i), prototypes.row(codes[i]), x.cols(),
+                      DistanceKind::kEuclidean);
+  return x.rows() ? total / static_cast<double>(x.rows()) : 0.0;
+}
+
+}  // namespace ssma::maddness

@@ -1,0 +1,44 @@
+// Alternative encoding functions from the MADDNESS-accelerator lineage
+// (Sec. II-B): PECAN uses Manhattan distance, LUT-NN Euclidean distance —
+// both full-search over the K prototypes instead of a decision tree. They
+// trade encoding cost for assignment quality; we implement them for the
+// related-work comparison and as an accuracy upper bound for PQ.
+//
+// Also provides a k-means (Lloyd) prototype learner, the centroid-learning
+// approach those works build on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "maddness/config.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ssma::maddness {
+
+enum class DistanceKind { kManhattan, kEuclidean };
+
+/// Full-search encoder over per-codebook prototype sets.
+/// `prototypes` is K x subvec_dim for one codebook (float, same domain as
+/// the data). Returns argmin-distance index; ties break to the lowest
+/// index (deterministic).
+int full_search_encode(const Matrix& prototypes, const float* subvec,
+                       DistanceKind kind);
+
+/// Encodes all rows of `x` (N x subvec_dim) against one codebook.
+std::vector<std::uint8_t> full_search_encode_all(const Matrix& prototypes,
+                                                 const Matrix& x,
+                                                 DistanceKind kind);
+
+/// Lloyd's k-means on the rows of `x`, k clusters, fixed iteration count.
+/// Initialization: k-means++ style seeding from `rng`. Returns k x D
+/// centroid matrix; empty clusters are re-seeded to the farthest point.
+Matrix kmeans(const Matrix& x, int k, int iters, Rng& rng);
+
+/// Mean per-vector quantization SSE for an assignment under `kind`'s
+/// reconstruction (always Euclidean SSE; `kind` only picks assignment).
+double assignment_sse(const Matrix& prototypes, const Matrix& x,
+                      const std::vector<std::uint8_t>& codes);
+
+}  // namespace ssma::maddness

@@ -1,0 +1,73 @@
+// Approximate matrix multiplication, end to end:
+//   train:  activations -> hash trees + prototypes + INT8 LUT bank
+//   apply:  encode (BDT) -> LUT lookup -> 16-bit accumulate -> dequantize
+//
+// The int16 accumulation path (`apply_int16`) reproduces the hardware's
+// CSA/RCA arithmetic bit-for-bit; the simulator tests assert exact
+// equality against it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "maddness/config.hpp"
+#include "maddness/hash_tree.hpp"
+#include "maddness/lut.hpp"
+#include "maddness/prototypes.hpp"
+#include "maddness/quantize.hpp"
+#include "util/matrix.hpp"
+
+namespace ssma::maddness {
+
+/// A trained AMM operator for a fixed weight matrix.
+class Amm {
+ public:
+  /// Trains trees + prototypes on `train_activations` (N x D, >= 0) and
+  /// builds the LUT bank for `weights` (D x nout).
+  static Amm train(const Config& cfg, const Matrix& train_activations,
+                   const Matrix& weights);
+
+  const Config& cfg() const { return cfg_; }
+  const std::vector<HashTree>& trees() const { return trees_; }
+  const LutBank& lut() const { return lut_; }
+  const Prototypes& prototypes() const { return protos_; }
+  float activation_scale() const { return act_scale_; }
+
+  /// Encodes a (pre-quantized) activation matrix: N x M leaf codes.
+  std::vector<std::uint8_t> encode(const QuantizedActivations& q) const;
+
+  /// Hardware-exact decode: int16 two's-complement accumulation of int8
+  /// LUT entries. Output is N x nout int16 (row-major).
+  std::vector<std::int16_t> apply_int16(const QuantizedActivations& q) const;
+
+  /// Full approximate product in float: quantize -> encode -> decode ->
+  /// dequantize. Shapes: x is N x D, result N x nout.
+  Matrix apply(const Matrix& x) const;
+
+  /// Dequantizes an int16 accumulator matrix produced by apply_int16 (or
+  /// by the circuit simulator).
+  Matrix dequantize_result(const std::vector<std::int16_t>& acc,
+                           std::size_t rows) const;
+
+  /// Serialization: a trained operator (trees, prototypes, LUTs, scales)
+  /// round-trips through a portable little-endian binary stream — what a
+  /// deployment flow ships to the accelerator's write driver.
+  void save(std::ostream& os) const;
+  static Amm load(std::istream& is);
+  void save_file(const std::string& path) const;
+  static Amm load_file(const std::string& path);
+
+ private:
+  Config cfg_;
+  std::vector<HashTree> trees_;
+  Prototypes protos_;
+  LutBank lut_;
+  float act_scale_ = 1.0f;
+};
+
+/// Relative Frobenius error ||approx - exact|| / ||exact||.
+double relative_error(const Matrix& approx, const Matrix& exact);
+
+}  // namespace ssma::maddness

@@ -1,0 +1,117 @@
+#include "maddness/bucket.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ssma::maddness {
+
+Bucket::Bucket(const Matrix& x, std::vector<std::size_t> rows)
+    : rows_(std::move(rows)) {
+  for (auto r : rows_) SSMA_CHECK(r < x.rows());
+}
+
+double Bucket::sse(const Matrix& x) const {
+  if (rows_.size() < 2) return 0.0;
+  const std::size_t d = x.cols();
+  std::vector<double> sum(d, 0.0), sumsq(d, 0.0);
+  for (auto r : rows_)
+    for (std::size_t c = 0; c < d; ++c) {
+      const double v = x(r, c);
+      sum[c] += v;
+      sumsq[c] += v * v;
+    }
+  const double n = static_cast<double>(rows_.size());
+  double sse = 0.0;
+  for (std::size_t c = 0; c < d; ++c) sse += sumsq[c] - sum[c] * sum[c] / n;
+  return std::max(sse, 0.0);
+}
+
+std::vector<double> Bucket::mean(const Matrix& x) const {
+  std::vector<double> m(x.cols(), 0.0);
+  if (rows_.empty()) return m;
+  for (auto r : rows_)
+    for (std::size_t c = 0; c < x.cols(); ++c) m[c] += x(r, c);
+  for (auto& v : m) v /= static_cast<double>(rows_.size());
+  return m;
+}
+
+SplitChoice best_split_on_dim(const Matrix& x, const Bucket& bucket,
+                              int dim) {
+  SSMA_CHECK(dim >= 0 && static_cast<std::size_t>(dim) < x.cols());
+  SplitChoice choice;
+  if (bucket.size() < 2) {
+    choice.loss = bucket.sse(x);
+    return choice;
+  }
+
+  const std::size_t d = x.cols();
+  std::vector<std::size_t> order = bucket.rows();
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return x(a, dim) < x(b, dim);
+  });
+  const std::size_t n = order.size();
+
+  // Prefix sums of x and x^2 per dim under this ordering; SSE of any
+  // head/tail segment is then O(D).
+  std::vector<double> psum((n + 1) * d, 0.0), psq((n + 1) * d, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t c = 0; c < d; ++c) {
+      const double v = x(order[i], c);
+      psum[(i + 1) * d + c] = psum[i * d + c] + v;
+      psq[(i + 1) * d + c] = psq[i * d + c] + v * v;
+    }
+  auto segment_sse = [&](std::size_t lo, std::size_t hi) {  // rows [lo, hi)
+    if (hi - lo < 2) return 0.0;
+    const double cnt = static_cast<double>(hi - lo);
+    double sse = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double s = psum[hi * d + c] - psum[lo * d + c];
+      const double sq = psq[hi * d + c] - psq[lo * d + c];
+      sse += sq - s * s / cnt;
+    }
+    return std::max(sse, 0.0);
+  };
+
+  double best_loss = std::numeric_limits<double>::infinity();
+  std::size_t best_k = 0;
+  for (std::size_t k = 1; k < n; ++k) {
+    // Candidate split between sorted position k-1 and k; skip ties (the
+    // predicate x[dim] >= t cannot separate equal values).
+    if (x(order[k - 1], dim) == x(order[k], dim)) continue;
+    const double loss = segment_sse(0, k) + segment_sse(k, n);
+    if (loss < best_loss) {
+      best_loss = loss;
+      best_k = k;
+    }
+  }
+
+  if (best_k == 0) {
+    // All values equal on this dim: no split possible.
+    choice.loss = bucket.sse(x);
+    choice.threshold = x(order[0], dim) + 1.0;  // everything goes left
+    choice.left_count = n;
+    return choice;
+  }
+
+  choice.loss = best_loss;
+  choice.threshold =
+      0.5 * (x(order[best_k - 1], dim) + x(order[best_k], dim));
+  choice.left_count = best_k;
+  return choice;
+}
+
+std::pair<Bucket, Bucket> split_bucket(const Matrix& x, const Bucket& bucket,
+                                       int dim, double threshold) {
+  std::vector<std::size_t> left, right;
+  for (auto r : bucket.rows()) {
+    if (static_cast<double>(x(r, dim)) >= threshold)
+      right.push_back(r);
+    else
+      left.push_back(r);
+  }
+  return {Bucket(x, std::move(left)), Bucket(x, std::move(right))};
+}
+
+}  // namespace ssma::maddness

@@ -1,0 +1,49 @@
+// Training-time bucket bookkeeping for the MADDNESS hash-tree learner.
+// A bucket is a set of training subvectors that share the same path prefix
+// in the decision tree; splitting quality is measured by the total
+// sum-of-squared-errors (SSE) to the bucket mean, over *all* dims of the
+// subvector (Blalock & Guttag's objective).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace ssma::maddness {
+
+/// Indices into the training matrix plus cached first/second moments.
+class Bucket {
+ public:
+  Bucket() = default;
+  Bucket(const Matrix& x, std::vector<std::size_t> rows);
+
+  std::size_t size() const { return rows_.size(); }
+  const std::vector<std::size_t>& rows() const { return rows_; }
+
+  /// SSE of the bucket around its own mean, summed over all dims.
+  double sse(const Matrix& x) const;
+
+  /// Mean vector of the bucket (zero vector if empty).
+  std::vector<double> mean(const Matrix& x) const;
+
+ private:
+  std::vector<std::size_t> rows_;
+};
+
+struct SplitChoice {
+  double threshold = 0.0;   ///< split value: right child iff x[dim] >= threshold
+  double loss = 0.0;        ///< SSE(left) + SSE(right)
+  std::size_t left_count = 0;
+};
+
+/// Finds the threshold on dimension `dim` minimizing the sum of child
+/// SSEs (computed over all dims). O(N log N + N*D). A bucket with < 2
+/// rows returns its own SSE as the loss with an arbitrary threshold.
+SplitChoice best_split_on_dim(const Matrix& x, const Bucket& bucket, int dim);
+
+/// Splits the bucket by (x[dim] >= threshold).
+std::pair<Bucket, Bucket> split_bucket(const Matrix& x, const Bucket& bucket,
+                                       int dim, double threshold);
+
+}  // namespace ssma::maddness

@@ -1,0 +1,51 @@
+// Configuration for MADDNESS approximate matrix multiplication as mapped
+// onto the proposed accelerator (Fig. 3): each codebook handles one input
+// channel's 3x3 patch (9 dims) and corresponds to one compute block.
+#pragma once
+
+#include "ppa/tech_constants.hpp"
+#include "util/check.hpp"
+
+namespace ssma::maddness {
+
+/// How prototypes are derived after the hash tree is learned.
+enum class PrototypeOpt {
+  kBucketMeans,  ///< per-leaf mean of assigned training vectors
+  kRidgeJoint,   ///< global ridge-regression refit (MADDNESS §4.2 style):
+                 ///< prototypes gain support over the full input dimension
+};
+
+struct Config {
+  int ncodebooks = 1;                      ///< M subspaces == NS blocks
+  int subvec_dim = ppa::kSubvectorDim;     ///< dims per subspace (9)
+  int nlevels = ppa::kTreeLevels;          ///< 4 -> K = 16 prototypes
+  PrototypeOpt proto_opt = PrototypeOpt::kBucketMeans;
+  double ridge_lambda = 1.0;
+  bool per_column_lut_scale = true;  ///< per-output-column INT8 scales
+  /// Activation-scale calibration: clip at this percentile of the
+  /// training activations (100 = plain max). Clipping spends the uint8
+  /// range on the bulk of the distribution instead of outliers.
+  double act_clip_percentile = 99.7;
+  /// LUT entry precision in bits (paper evaluates INT8; [21] adjusts
+  /// between INT4 and INT32 — Table II note 3). Values below 8 use the
+  /// same 8-bit SRAM columns with the upper bits as sign extension.
+  int lut_bits = 8;
+
+  int nprototypes() const { return 1 << nlevels; }
+  int total_dims() const { return ncodebooks * subvec_dim; }
+
+  void validate() const {
+    SSMA_CHECK(ncodebooks >= 1);
+    SSMA_CHECK(subvec_dim >= 1);
+    SSMA_CHECK(nlevels >= 1 && nlevels <= 8);
+    SSMA_CHECK(ridge_lambda >= 0.0);
+    SSMA_CHECK(act_clip_percentile > 0.0 && act_clip_percentile <= 100.0);
+    SSMA_CHECK_MSG(lut_bits >= 2 && lut_bits <= 8,
+                   "hardware LUT words are at most 8 bits");
+    // 16-bit accumulation must not overflow: ncodebooks * 127 < 2^15.
+    SSMA_CHECK_MSG(ncodebooks * 127 < 32768,
+                   "too many codebooks for 16-bit accumulation");
+  }
+};
+
+}  // namespace ssma::maddness

@@ -1,0 +1,70 @@
+#include "maddness/hash_tree.hpp"
+
+#include "util/check.hpp"
+
+namespace ssma::maddness {
+
+HashTree::HashTree() {
+  split_dims_.fill(0);
+  thresholds_.fill(128);
+}
+
+int HashTree::split_dim(int level) const {
+  SSMA_CHECK(level >= 0 && level < kLevels);
+  return split_dims_[level];
+}
+
+void HashTree::set_split_dim(int level, int dim) {
+  SSMA_CHECK(level >= 0 && level < kLevels);
+  SSMA_CHECK(dim >= 0);
+  split_dims_[level] = dim;
+}
+
+std::uint8_t HashTree::threshold(int level, int node) const {
+  SSMA_CHECK(level >= 0 && level < kLevels);
+  SSMA_CHECK(node >= 0 && node < (1 << level));
+  return thresholds_[(1 << level) - 1 + node];
+}
+
+void HashTree::set_threshold(int level, int node, std::uint8_t t) {
+  SSMA_CHECK(level >= 0 && level < kLevels);
+  SSMA_CHECK(node >= 0 && node < (1 << level));
+  thresholds_[(1 << level) - 1 + node] = t;
+}
+
+int HashTree::encode(const std::uint8_t* subvec) const {
+  int node = 0;
+  for (int level = 0; level < kLevels; ++level) {
+    const std::uint8_t x = subvec[split_dims_[level]];
+    const std::uint8_t t = thresholds_[(1 << level) - 1 + node];
+    node = 2 * node + (x >= t ? 1 : 0);
+  }
+  return node;
+}
+
+std::array<int, HashTree::kLevels> HashTree::encode_depths(
+    const std::uint8_t* subvec) const {
+  std::array<int, kLevels> depths{};
+  int node = 0;
+  for (int level = 0; level < kLevels; ++level) {
+    const std::uint8_t x = subvec[split_dims_[level]];
+    const std::uint8_t t = thresholds_[(1 << level) - 1 + node];
+    depths[level] = compare_depth(x, t);
+    node = 2 * node + (x >= t ? 1 : 0);
+  }
+  return depths;
+}
+
+int HashTree::compare_depth(std::uint8_t x, std::uint8_t t) {
+  // The dual-rail DLC resolves as soon as a bit differs, scanning from the
+  // MSB; each additional level of equal high bits lengthens the discharge
+  // path by one cell (Sec. III-B). Equal operands ripple the full depth.
+  for (int bit = 7; bit >= 0; --bit) {
+    const int xb = (x >> bit) & 1;
+    const int tb = (t >> bit) & 1;
+    if (xb != tb) return 8 - bit;
+  }
+  return 8;
+}
+
+}  // namespace ssma::maddness

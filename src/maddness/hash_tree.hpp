@@ -1,0 +1,59 @@
+// The learned MADDNESS hash function for one codebook: a balanced binary
+// decision tree with one split dimension per level and per-node uint8
+// thresholds — exactly the structure the hardware encoder implements with
+// its 15-DLC tournament (Fig. 4A).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ppa/tech_constants.hpp"
+
+namespace ssma::maddness {
+
+class HashTree {
+ public:
+  static constexpr int kLevels = ppa::kTreeLevels;   // 4
+  static constexpr int kLeaves = 1 << kLevels;       // 16
+  static constexpr int kNodes = kLeaves - 1;         // 15
+
+  HashTree();
+
+  /// Split dimension used at `level` (shared by all nodes of the level).
+  int split_dim(int level) const;
+  void set_split_dim(int level, int dim);
+
+  /// Threshold of node `node` (0-based within `level`, i.e. [0, 2^level)).
+  std::uint8_t threshold(int level, int node) const;
+  void set_threshold(int level, int node, std::uint8_t t);
+
+  /// Flat node numbering used by the hardware: node id = (1<<level)-1+node.
+  std::uint8_t threshold_flat(int flat_node) const {
+    return thresholds_[flat_node];
+  }
+  const std::array<std::uint8_t, kNodes>& thresholds_flat() const {
+    return thresholds_;
+  }
+  const std::array<int, kLevels>& split_dims() const { return split_dims_; }
+
+  /// Classifies a subvector (uint8, at least max(split_dims)+1 elements):
+  /// at each level the selected element is compared against the node
+  /// threshold; >= goes right. Returns the leaf index in [0, 16).
+  int encode(const std::uint8_t* subvec) const;
+
+  /// Per-level resolution depths of the four comparisons for this input —
+  /// the quantity that determines the hardware encoder's latency.
+  /// depth = 1 + length of the MSB-side run of equal bits (equality = 8).
+  std::array<int, kLevels> encode_depths(const std::uint8_t* subvec) const;
+
+  /// Resolution depth of a single 8-bit compare (exposed for tests and for
+  /// the DLC model, which must agree with it).
+  static int compare_depth(std::uint8_t x, std::uint8_t t);
+
+ private:
+  std::array<int, kLevels> split_dims_;
+  std::array<std::uint8_t, kNodes> thresholds_;
+};
+
+}  // namespace ssma::maddness

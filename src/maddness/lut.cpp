@@ -1,0 +1,95 @@
+#include "maddness/lut.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/fixed_point.hpp"
+
+namespace ssma::maddness {
+
+std::vector<std::int8_t> LutBank::table(int codebook, int out) const {
+  SSMA_CHECK(codebook >= 0 && codebook < cfg.ncodebooks);
+  SSMA_CHECK(out >= 0 && out < nout);
+  std::vector<std::int8_t> t(16);
+  for (int k = 0; k < 16; ++k) t[k] = at(codebook, k, out);
+  return t;
+}
+
+LutBank build_lut(const Prototypes& protos, const Matrix& weights) {
+  const Config& cfg = protos.cfg;
+  cfg.validate();
+  SSMA_CHECK_MSG(weights.rows() == static_cast<std::size_t>(cfg.total_dims()),
+                 "weight rows " << weights.rows() << " != total dims "
+                                << cfg.total_dims());
+  const int k = cfg.nprototypes();
+  LutBank lut;
+  lut.cfg = cfg;
+  lut.nout = static_cast<int>(weights.cols());
+  const std::size_t entries =
+      static_cast<std::size_t>(cfg.ncodebooks) * k * lut.nout;
+  lut.f.resize(entries, 0.0f);
+  lut.q.resize(entries, 0);
+
+  // Float LUT: dot(prototype, weight column). Prototypes may have support
+  // over the full D (ridge mode); dot over all dims handles both modes.
+  for (int c = 0; c < cfg.ncodebooks; ++c)
+    for (int p = 0; p < k; ++p) {
+      const float* proto = protos.p.row(static_cast<std::size_t>(c) * k + p);
+      for (int o = 0; o < lut.nout; ++o) {
+        double acc = 0.0;
+        for (std::size_t d = 0; d < weights.rows(); ++d)
+          acc += static_cast<double>(proto[d]) * weights(d, o);
+        lut.f[(static_cast<std::size_t>(c) * k + p) * lut.nout + o] =
+            static_cast<float>(acc);
+      }
+    }
+
+  // INT quantization at the configured precision (paper: INT8). The
+  // 16-bit accumulator sums M entries per output, so the scale is shared
+  // across codebooks for a given output column.
+  const long long qmax = (1LL << (cfg.lut_bits - 1)) - 1;
+  const int nscales = cfg.per_column_lut_scale ? lut.nout : 1;
+  lut.scales.assign(nscales, 1.0f);
+  for (int s = 0; s < nscales; ++s) {
+    float maxabs = 0.0f;
+    for (int c = 0; c < cfg.ncodebooks; ++c)
+      for (int p = 0; p < k; ++p) {
+        const int o_lo = cfg.per_column_lut_scale ? s : 0;
+        const int o_hi = cfg.per_column_lut_scale ? s + 1 : lut.nout;
+        for (int o = o_lo; o < o_hi; ++o)
+          maxabs = std::max(
+              maxabs,
+              std::abs(lut.f[(static_cast<std::size_t>(c) * k + p) * lut.nout +
+                             o]));
+      }
+    lut.scales[s] =
+        maxabs > 0.0f ? maxabs / static_cast<float>(qmax) : 1.0f;
+  }
+
+  for (int c = 0; c < cfg.ncodebooks; ++c)
+    for (int p = 0; p < k; ++p)
+      for (int o = 0; o < lut.nout; ++o) {
+        const std::size_t i =
+            (static_cast<std::size_t>(c) * k + p) * lut.nout + o;
+        const float s = lut.scale(o);
+        const long long v = std::clamp<long long>(
+            round_half_away(static_cast<double>(lut.f[i]) / s), -qmax, qmax);
+        lut.q[i] = static_cast<std::int8_t>(v);
+      }
+  return lut;
+}
+
+double lut_quantization_error(const LutBank& lut) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < lut.q.size(); ++i) {
+    const int o = static_cast<int>(i % static_cast<std::size_t>(lut.nout));
+    const double recon = static_cast<double>(lut.q[i]) * lut.scale(o);
+    const double ref = lut.f[i];
+    if (std::abs(ref) < 1e-9) continue;
+    worst = std::max(worst, std::abs(recon - ref) / std::abs(ref));
+  }
+  return worst;
+}
+
+}  // namespace ssma::maddness

@@ -1,0 +1,48 @@
+// LUT construction: the offline precomputation that replaces runtime
+// multiplication. For each codebook c, prototype k and output column o:
+//     lut_f[c][k][o] = dot(prototype_{c,k}, W[:, o])
+// quantized to INT8 (the paper's LUT precision) with per-output-column
+// scales. The hardware loads exactly these int8 words into its 16x8
+// 10T-SRAM arrays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "maddness/config.hpp"
+#include "maddness/prototypes.hpp"
+#include "util/matrix.hpp"
+
+namespace ssma::maddness {
+
+struct LutBank {
+  Config cfg;
+  int nout = 0;
+  /// int8 entry for (codebook c, prototype k, output o):
+  /// index = (c * 16 + k) * nout + o.
+  std::vector<std::int8_t> q;
+  /// Dequantization scale per output column (or a single broadcast scale
+  /// when cfg.per_column_lut_scale is false).
+  std::vector<float> scales;
+  /// Float (unquantized) reference entries, same layout — used to measure
+  /// quantization error.
+  std::vector<float> f;
+
+  std::int8_t at(int codebook, int proto, int out) const {
+    return q[(static_cast<std::size_t>(codebook) * 16 + proto) * nout + out];
+  }
+  float scale(int out) const {
+    return scales[cfg.per_column_lut_scale ? out : 0];
+  }
+  /// The 16 int8 entries of one (codebook, output) LUT — the contents of
+  /// one hardware SRAM array column group.
+  std::vector<std::int8_t> table(int codebook, int out) const;
+};
+
+/// Builds the LUT bank from prototypes and a weight matrix W (D x nout).
+LutBank build_lut(const Prototypes& protos, const Matrix& weights);
+
+/// Max relative INT8 quantization error over all non-zero entries.
+double lut_quantization_error(const LutBank& lut);
+
+}  // namespace ssma::maddness

@@ -1,0 +1,42 @@
+#include "maddness/quantize.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/fixed_point.hpp"
+
+namespace ssma::maddness {
+
+QuantizedActivations quantize_activations(const Matrix& x) {
+  float maxv = 0.0f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    SSMA_CHECK_MSG(x.data()[i] >= -1e-5f,
+                   "activation quantization expects non-negative inputs");
+    maxv = std::max(maxv, x.data()[i]);
+  }
+  const float scale = maxv > 0.0f ? maxv / 255.0f : 1.0f;
+  return quantize_activations(x, scale);
+}
+
+QuantizedActivations quantize_activations(const Matrix& x, float scale) {
+  SSMA_CHECK(scale > 0.0f);
+  QuantizedActivations q;
+  q.rows = x.rows();
+  q.cols = x.cols();
+  q.scale = scale;
+  q.codes.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double v = static_cast<double>(x.data()[i]) / scale;
+    q.codes[i] = saturate_uint8(round_half_away(v));
+  }
+  return q;
+}
+
+Matrix dequantize(const QuantizedActivations& q) {
+  Matrix x(q.rows, q.cols);
+  for (std::size_t i = 0; i < q.codes.size(); ++i)
+    x.data()[i] = static_cast<float>(q.codes[i]) * q.scale;
+  return x;
+}
+
+}  // namespace ssma::maddness

@@ -1,0 +1,41 @@
+// Activation quantization to uint8. The accelerator's DLC comparators and
+// the PQ thresholds operate on unsigned 8-bit activations (post-ReLU
+// activations are non-negative), so the software AMM path quantizes
+// through exactly this representation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace ssma::maddness {
+
+/// A quantized activation matrix: row-major uint8 with a single linear
+/// scale (value = code * scale).
+struct QuantizedActivations {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint8_t> codes;
+  float scale = 1.0f;
+
+  std::uint8_t at(std::size_t r, std::size_t c) const {
+    return codes[r * cols + c];
+  }
+  const std::uint8_t* row(std::size_t r) const {
+    return codes.data() + r * cols;
+  }
+};
+
+/// Chooses scale = max/255 over the matrix (activations must be >= 0)
+/// and quantizes with round-to-nearest.
+QuantizedActivations quantize_activations(const Matrix& x);
+
+/// Quantizes with a caller-provided scale (e.g. a calibration scale that
+/// must be shared between training and inference data).
+QuantizedActivations quantize_activations(const Matrix& x, float scale);
+
+/// Dequantizes back to float (for testing round trips).
+Matrix dequantize(const QuantizedActivations& q);
+
+}  // namespace ssma::maddness

@@ -1,0 +1,199 @@
+// Binary serialization of trained Amm operators. Explicit little-endian
+// encoding of fixed-width fields makes the format portable across hosts.
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "maddness/amm.hpp"
+#include "util/check.hpp"
+
+namespace ssma::maddness {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'S', 'M', 'A', 'A', 'M', 'M', '1'};
+
+void put_u8(std::ostream& os, std::uint8_t v) {
+  os.put(static_cast<char>(v));
+}
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) put_u8(os, (v >> (8 * i)) & 0xFF);
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) put_u8(os, (v >> (8 * i)) & 0xFF);
+}
+
+void put_f32(std::ostream& os, float v) {
+  static_assert(sizeof(float) == 4);
+  std::uint32_t bits;
+  __builtin_memcpy(&bits, &v, 4);
+  put_u32(os, bits);
+}
+
+void put_f64(std::ostream& os, double v) {
+  static_assert(sizeof(double) == 8);
+  std::uint64_t bits;
+  __builtin_memcpy(&bits, &v, 8);
+  put_u64(os, bits);
+}
+
+std::uint8_t get_u8(std::istream& is) {
+  const int c = is.get();
+  SSMA_CHECK_MSG(c != EOF, "unexpected end of AMM stream");
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(get_u8(is)) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(get_u8(is)) << (8 * i);
+  return v;
+}
+
+float get_f32(std::istream& is) {
+  const std::uint32_t bits = get_u32(is);
+  float v;
+  __builtin_memcpy(&v, &bits, 4);
+  return v;
+}
+
+double get_f64(std::istream& is) {
+  const std::uint64_t bits = get_u64(is);
+  double v;
+  __builtin_memcpy(&v, &bits, 8);
+  return v;
+}
+
+void put_matrix(std::ostream& os, const Matrix& m) {
+  put_u64(os, m.rows());
+  put_u64(os, m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) put_f32(os, m.data()[i]);
+}
+
+Matrix get_matrix(std::istream& is) {
+  const auto rows = static_cast<std::size_t>(get_u64(is));
+  const auto cols = static_cast<std::size_t>(get_u64(is));
+  SSMA_CHECK_MSG(rows < (1u << 24) && cols < (1u << 24),
+                 "implausible matrix dims in AMM stream");
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = get_f32(is);
+  return m;
+}
+
+}  // namespace
+
+void Amm::save(std::ostream& os) const {
+  os.write(kMagic, sizeof(kMagic));
+
+  // Config.
+  put_u32(os, static_cast<std::uint32_t>(cfg_.ncodebooks));
+  put_u32(os, static_cast<std::uint32_t>(cfg_.subvec_dim));
+  put_u32(os, static_cast<std::uint32_t>(cfg_.nlevels));
+  put_u8(os, cfg_.proto_opt == PrototypeOpt::kRidgeJoint ? 1 : 0);
+  put_f64(os, cfg_.ridge_lambda);
+  put_u8(os, cfg_.per_column_lut_scale ? 1 : 0);
+  put_f64(os, cfg_.act_clip_percentile);
+  put_u32(os, static_cast<std::uint32_t>(cfg_.lut_bits));
+
+  put_f32(os, act_scale_);
+
+  // Trees.
+  for (const auto& tree : trees_) {
+    for (int l = 0; l < HashTree::kLevels; ++l)
+      put_u32(os, static_cast<std::uint32_t>(tree.split_dim(l)));
+    for (int n = 0; n < HashTree::kNodes; ++n)
+      put_u8(os, tree.threshold_flat(n));
+  }
+
+  // Prototypes.
+  put_matrix(os, protos_.p);
+
+  // LUT bank.
+  put_u32(os, static_cast<std::uint32_t>(lut_.nout));
+  put_u64(os, lut_.scales.size());
+  for (float s : lut_.scales) put_f32(os, s);
+  put_u64(os, lut_.q.size());
+  for (std::int8_t v : lut_.q) put_u8(os, static_cast<std::uint8_t>(v));
+  put_u64(os, lut_.f.size());
+  for (float v : lut_.f) put_f32(os, v);
+
+  SSMA_CHECK_MSG(os.good(), "AMM serialization stream failure");
+}
+
+Amm Amm::load(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  SSMA_CHECK_MSG(is.good() && std::equal(magic, magic + 8, kMagic),
+                 "not an SSMA AMM stream");
+
+  Amm amm;
+  amm.cfg_.ncodebooks = static_cast<int>(get_u32(is));
+  amm.cfg_.subvec_dim = static_cast<int>(get_u32(is));
+  amm.cfg_.nlevels = static_cast<int>(get_u32(is));
+  amm.cfg_.proto_opt = get_u8(is) ? PrototypeOpt::kRidgeJoint
+                                  : PrototypeOpt::kBucketMeans;
+  amm.cfg_.ridge_lambda = get_f64(is);
+  amm.cfg_.per_column_lut_scale = get_u8(is) != 0;
+  amm.cfg_.act_clip_percentile = get_f64(is);
+  amm.cfg_.lut_bits = static_cast<int>(get_u32(is));
+  amm.cfg_.validate();
+
+  amm.act_scale_ = get_f32(is);
+  SSMA_CHECK(amm.act_scale_ > 0.0f);
+
+  amm.trees_.resize(amm.cfg_.ncodebooks);
+  for (auto& tree : amm.trees_) {
+    for (int l = 0; l < HashTree::kLevels; ++l)
+      tree.set_split_dim(l, static_cast<int>(get_u32(is)));
+    for (int l = 0; l < HashTree::kLevels; ++l)
+      for (int n = 0; n < (1 << l); ++n)
+        tree.set_threshold(l, n, 0);  // placeholder; set flat below
+    // Flat threshold order matches save().
+    for (int flat = 0; flat < HashTree::kNodes; ++flat) {
+      const int level = flat < 1 ? 0 : (flat < 3 ? 1 : (flat < 7 ? 2 : 3));
+      const int node = flat - ((1 << level) - 1);
+      tree.set_threshold(level, node, get_u8(is));
+    }
+  }
+
+  amm.protos_.p = get_matrix(is);
+  amm.protos_.cfg = amm.cfg_;
+
+  amm.lut_.cfg = amm.cfg_;
+  amm.lut_.nout = static_cast<int>(get_u32(is));
+  amm.lut_.scales.resize(get_u64(is));
+  for (auto& s : amm.lut_.scales) s = get_f32(is);
+  amm.lut_.q.resize(get_u64(is));
+  for (auto& v : amm.lut_.q) v = static_cast<std::int8_t>(get_u8(is));
+  amm.lut_.f.resize(get_u64(is));
+  for (auto& v : amm.lut_.f) v = get_f32(is);
+
+  SSMA_CHECK(amm.lut_.q.size() ==
+             static_cast<std::size_t>(amm.cfg_.ncodebooks) * 16 *
+                 amm.lut_.nout);
+  return amm;
+}
+
+void Amm::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  SSMA_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  save(os);
+}
+
+Amm Amm::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SSMA_CHECK_MSG(is.is_open(), "cannot open " << path);
+  return load(is);
+}
+
+}  // namespace ssma::maddness

@@ -1,0 +1,79 @@
+#include "maddness/tree_learner.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/fixed_point.hpp"
+
+namespace ssma::maddness {
+
+namespace {
+
+/// Quantizes a real-valued threshold into the uint8 comparison domain such
+/// that the hardware predicate (x >= t) reproduces the intended split for
+/// integer-valued data: use ceil, so values strictly below the real
+/// threshold stay on the left.
+std::uint8_t quantize_threshold(double t) {
+  return saturate_uint8(static_cast<long long>(std::ceil(t - 1e-9)));
+}
+
+}  // namespace
+
+HashTree learn_hash_tree(const Matrix& x, TreeLearnStats* stats) {
+  SSMA_CHECK(x.rows() >= 1);
+  const int d = static_cast<int>(x.cols());
+
+  HashTree tree;
+  std::vector<std::size_t> all(x.rows());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  std::vector<Bucket> buckets;
+  buckets.emplace_back(x, std::move(all));
+
+  if (stats) stats->initial_sse = buckets[0].sse(x);
+
+  for (int level = 0; level < HashTree::kLevels; ++level) {
+    // Choose the dimension minimizing total loss across current buckets.
+    double best_total = std::numeric_limits<double>::infinity();
+    int best_dim = 0;
+    std::vector<SplitChoice> best_choices;
+    for (int dim = 0; dim < d; ++dim) {
+      double total = 0.0;
+      std::vector<SplitChoice> choices;
+      choices.reserve(buckets.size());
+      for (const auto& b : buckets) {
+        choices.push_back(best_split_on_dim(x, b, dim));
+        total += choices.back().loss;
+      }
+      if (total < best_total) {
+        best_total = total;
+        best_dim = dim;
+        best_choices = std::move(choices);
+      }
+    }
+
+    tree.set_split_dim(level, best_dim);
+
+    // Split every bucket with its own (quantized) threshold.
+    std::vector<Bucket> next;
+    next.reserve(buckets.size() * 2);
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      const std::uint8_t tq = quantize_threshold(best_choices[b].threshold);
+      tree.set_threshold(level, static_cast<int>(b), tq);
+      auto [left, right] =
+          split_bucket(x, buckets[b], best_dim, static_cast<double>(tq));
+      next.push_back(std::move(left));
+      next.push_back(std::move(right));
+    }
+    buckets = std::move(next);
+  }
+
+  if (stats) {
+    stats->final_sse = 0.0;
+    for (const auto& b : buckets) stats->final_sse += b.sse(x);
+    stats->chosen_dims = tree.split_dims();
+  }
+  return tree;
+}
+
+}  // namespace ssma::maddness

@@ -1,0 +1,26 @@
+// MADDNESS hash-tree training (Blalock & Guttag Alg. 1/2 adapted to the
+// uint8 activation domain of the accelerator):
+//   * one split dimension per tree level, shared by all nodes of the level
+//     (chosen greedily to minimize the total post-split SSE);
+//   * per-node thresholds chosen optimally by a sorted sweep;
+//   * thresholds quantized to uint8 so the learned tree is exactly
+//     representable by the hardware's threshold flops.
+#pragma once
+
+#include "maddness/bucket.hpp"
+#include "maddness/hash_tree.hpp"
+#include "util/matrix.hpp"
+
+namespace ssma::maddness {
+
+struct TreeLearnStats {
+  double initial_sse = 0.0;
+  double final_sse = 0.0;
+  std::array<int, HashTree::kLevels> chosen_dims{};
+};
+
+/// Learns the tree for one codebook from training subvectors
+/// (rows of `x`, values expected in the quantized [0, 255] domain).
+HashTree learn_hash_tree(const Matrix& x, TreeLearnStats* stats = nullptr);
+
+}  // namespace ssma::maddness

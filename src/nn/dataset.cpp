@@ -1,0 +1,104 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ssma::nn {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Base intensity pattern for a class at pixel (y, x), in [0, 1].
+/// `phase`, `freq_jitter` randomize each sample within its class family.
+double class_pattern(int cls, double y, double x, double h, double w,
+                     double phase, double freq_jitter) {
+  const double cy = y / h - 0.5, cx = x / w - 0.5;  // centered coords
+  const double r = std::sqrt(cy * cy + cx * cx);
+  const double f = (2.0 + freq_jitter) * 2.0 * kPi;
+  switch (cls) {
+    case 0:  // horizontal stripes
+      return 0.5 + 0.5 * std::sin(f * (y / h) + phase);
+    case 1:  // vertical stripes
+      return 0.5 + 0.5 * std::sin(f * (x / w) + phase);
+    case 2:  // diagonal stripes
+      return 0.5 + 0.5 * std::sin(f * ((x + y) / (h + w)) * 2.0 + phase);
+    case 3:  // checkerboard
+      return 0.5 + 0.5 * std::sin(f * (y / h) + phase) *
+                       std::sin(f * (x / w) + phase);
+    case 4:  // centered blob
+      return std::exp(-r * r / 0.04);
+    case 5:  // four corner blobs
+      return std::exp(-((std::abs(cy) - 0.3) * (std::abs(cy) - 0.3) +
+                        (std::abs(cx) - 0.3) * (std::abs(cx) - 0.3)) /
+                      0.015);
+    case 6:  // ring
+      return std::exp(-(r - 0.3) * (r - 0.3) / 0.006);
+    case 7:  // horizontal gradient
+      return x / w;
+    case 8:  // radial sinusoid
+      return 0.5 + 0.5 * std::cos(f * r * 2.2 + phase);
+    case 9:  // grid of dots
+      return (0.5 + 0.5 * std::sin(f * 1.5 * (y / h) + phase)) *
+             (0.5 + 0.5 * std::sin(f * 1.5 * (x / w) + phase));
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+Dataset make_synthetic_dataset(Rng& rng, std::size_t n, std::size_t h,
+                               std::size_t w) {
+  SSMA_CHECK(n >= 1 && h >= 8 && w >= 8);
+  Dataset ds;
+  ds.images = Tensor(n, 3, h, w);
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % kNumClasses);
+    ds.labels[i] = cls;
+    const double phase = rng.next_double(0.0, 2.0 * kPi);
+    const double fj = rng.next_double(-0.4, 0.4);
+    const double brightness = rng.next_double(0.7, 1.0);
+    // Class-dependent colorization with per-sample jitter: channel c gets
+    // weight depending on (cls + c) so color carries class signal too.
+    double cw[3];
+    for (int c = 0; c < 3; ++c)
+      cw[c] = 0.45 + 0.55 * (((cls + c) % 3) / 2.0) +
+              rng.next_double(-0.08, 0.08);
+    for (std::size_t y = 0; y < h; ++y)
+      for (std::size_t x = 0; x < w; ++x) {
+        const double p = class_pattern(cls, static_cast<double>(y),
+                                       static_cast<double>(x),
+                                       static_cast<double>(h),
+                                       static_cast<double>(w), phase, fj);
+        for (int c = 0; c < 3; ++c) {
+          double v = brightness * cw[c] * p + rng.next_gaussian(0.0, 0.05);
+          ds.images.at(i, c, y, x) =
+              static_cast<float>(std::clamp(v, 0.0, 1.0));
+        }
+      }
+  }
+  return ds;
+}
+
+std::pair<Tensor, std::vector<int>> take_batch(
+    const Dataset& ds, const std::vector<std::size_t>& idx) {
+  SSMA_CHECK(!idx.empty());
+  const std::size_t c = ds.images.c(), h = ds.images.h(), w = ds.images.w();
+  Tensor batch(idx.size(), c, h, w);
+  std::vector<int> labels(idx.size());
+  for (std::size_t bi = 0; bi < idx.size(); ++bi) {
+    SSMA_CHECK(idx[bi] < ds.size());
+    labels[bi] = ds.labels[idx[bi]];
+    for (std::size_t ci = 0; ci < c; ++ci)
+      for (std::size_t y = 0; y < h; ++y)
+        for (std::size_t x = 0; x < w; ++x)
+          batch.at(bi, ci, y, x) = ds.images.at(idx[bi], ci, y, x);
+  }
+  return {std::move(batch), std::move(labels)};
+}
+
+}  // namespace ssma::nn

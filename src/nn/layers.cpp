@@ -1,0 +1,366 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ssma::nn {
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(std::size_t in_ch, std::size_t out_ch, int k, int stride,
+               int pad, Rng& rng)
+    : in_ch_(in_ch), out_ch_(out_ch), k_(k), stride_(stride), pad_(pad) {
+  SSMA_CHECK(in_ch >= 1 && out_ch >= 1 && k >= 1 && stride >= 1 && pad >= 0);
+  w_.value = Tensor(out_ch, in_ch, k, k);
+  w_.grad = Tensor(out_ch, in_ch, k, k);
+  b_.value = Tensor(out_ch, 1, 1, 1);
+  b_.grad = Tensor(out_ch, 1, 1, 1);
+  b_.decay = false;
+  // He initialization for ReLU networks.
+  const double std =
+      std::sqrt(2.0 / (static_cast<double>(in_ch) * k * k));
+  for (std::size_t i = 0; i < w_.value.size(); ++i)
+    w_.value[i] = static_cast<float>(rng.next_gaussian(0.0, std));
+}
+
+Matrix Conv2d::weight_matrix() const {
+  const std::size_t rows = in_ch_ * static_cast<std::size_t>(k_) * k_;
+  Matrix w(rows, out_ch_);
+  for (std::size_t o = 0; o < out_ch_; ++o) {
+    std::size_t r = 0;
+    for (std::size_t c = 0; c < in_ch_; ++c)
+      for (int ky = 0; ky < k_; ++ky)
+        for (int kx = 0; kx < k_; ++kx, ++r)
+          w(r, o) = w_.value.at(o, c, ky, kx);
+  }
+  return w;
+}
+
+void Conv2d::set_weight_matrix(const Matrix& w) {
+  SSMA_CHECK(w.rows() == in_ch_ * static_cast<std::size_t>(k_) * k_);
+  SSMA_CHECK(w.cols() == out_ch_);
+  for (std::size_t o = 0; o < out_ch_; ++o) {
+    std::size_t r = 0;
+    for (std::size_t c = 0; c < in_ch_; ++c)
+      for (int ky = 0; ky < k_; ++ky)
+        for (int kx = 0; kx < k_; ++kx, ++r)
+          w_.value.at(o, c, ky, kx) = w(r, o);
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+  SSMA_CHECK_MSG(x.c() == in_ch_, "conv2d channel mismatch");
+  in_n_ = x.n();
+  in_h_ = x.h();
+  in_w_ = x.w();
+  const std::size_t oh = conv_out_dim(x.h(), k_, stride_, pad_);
+  const std::size_t ow = conv_out_dim(x.w(), k_, stride_, pad_);
+  cols_ = im2col(x, k_, stride_, pad_);
+
+  Matrix w = weight_matrix();  // (C*k*k) x out_ch
+  Matrix y;                    // rows x out_ch
+  gemm(cols_, w, y);
+
+  Tensor out(x.n(), out_ch_, oh, ow);
+  std::size_t row = 0;
+  for (std::size_t n = 0; n < x.n(); ++n)
+    for (std::size_t oy = 0; oy < oh; ++oy)
+      for (std::size_t ox = 0; ox < ow; ++ox, ++row)
+        for (std::size_t o = 0; o < out_ch_; ++o)
+          out.at(n, o, oy, ox) = y(row, o) + b_.value[o];
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const std::size_t oh = grad_out.h(), ow = grad_out.w();
+  const std::size_t rows = grad_out.n() * oh * ow;
+  SSMA_CHECK(rows == cols_.rows());
+
+  // Reshape grad to rows x out_ch.
+  Matrix g(rows, out_ch_);
+  std::size_t row = 0;
+  for (std::size_t n = 0; n < grad_out.n(); ++n)
+    for (std::size_t oy = 0; oy < oh; ++oy)
+      for (std::size_t ox = 0; ox < ow; ++ox, ++row)
+        for (std::size_t o = 0; o < out_ch_; ++o)
+          g(row, o) = grad_out.at(n, o, oy, ox);
+
+  // dW = cols^T g ; db = sum rows of g.
+  Matrix dw;
+  gemm_at(cols_, g, dw);  // (C*k*k) x out_ch
+  for (std::size_t o = 0; o < out_ch_; ++o) {
+    std::size_t r = 0;
+    for (std::size_t c = 0; c < in_ch_; ++c)
+      for (int ky = 0; ky < k_; ++ky)
+        for (int kx = 0; kx < k_; ++kx, ++r)
+          w_.grad.at(o, c, ky, kx) += dw(r, o);
+    double db = 0.0;
+    for (std::size_t rr = 0; rr < rows; ++rr) db += g(rr, o);
+    b_.grad[o] += static_cast<float>(db);
+  }
+
+  // dX = col2im(g W^T).
+  Matrix w = weight_matrix();
+  Matrix dcols;
+  gemm_bt(g, w, dcols);  // rows x (C*k*k)
+  return col2im(dcols, in_n_, in_ch_, in_h_, in_w_, k_, stride_, pad_);
+}
+
+// ------------------------------------------------------------- BatchNorm
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, double momentum, double eps)
+    : channels_(channels), momentum_(momentum), eps_(eps) {
+  SSMA_CHECK(channels >= 1);
+  gamma_.value = Tensor(channels, 1, 1, 1, 1.0f);
+  gamma_.grad = Tensor(channels, 1, 1, 1);
+  gamma_.decay = false;
+  beta_.value = Tensor(channels, 1, 1, 1, 0.0f);
+  beta_.grad = Tensor(channels, 1, 1, 1);
+  beta_.decay = false;
+  run_mean_.assign(channels, 0.0);
+  run_var_.assign(channels, 1.0);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  SSMA_CHECK(x.c() == channels_);
+  const std::size_t per_ch = x.n() * x.h() * x.w();
+  SSMA_CHECK(per_ch >= 1);
+  Tensor out(x.n(), x.c(), x.h(), x.w());
+  xhat_ = Tensor(x.n(), x.c(), x.h(), x.w());
+  batch_mean_.assign(channels_, 0.0);
+  batch_inv_std_.assign(channels_, 0.0);
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double mean, var;
+    if (train) {
+      double s = 0.0, sq = 0.0;
+      for (std::size_t n = 0; n < x.n(); ++n)
+        for (std::size_t h = 0; h < x.h(); ++h)
+          for (std::size_t w = 0; w < x.w(); ++w) {
+            const double v = x.at(n, c, h, w);
+            s += v;
+            sq += v * v;
+          }
+      mean = s / static_cast<double>(per_ch);
+      var = std::max(sq / static_cast<double>(per_ch) - mean * mean, 0.0);
+      run_mean_[c] = (1.0 - momentum_) * run_mean_[c] + momentum_ * mean;
+      run_var_[c] = (1.0 - momentum_) * run_var_[c] + momentum_ * var;
+    } else {
+      mean = run_mean_[c];
+      var = run_var_[c];
+    }
+    const double inv_std = 1.0 / std::sqrt(var + eps_);
+    batch_mean_[c] = mean;
+    batch_inv_std_[c] = inv_std;
+    const float g = gamma_.value[c], b = beta_.value[c];
+    for (std::size_t n = 0; n < x.n(); ++n)
+      for (std::size_t h = 0; h < x.h(); ++h)
+        for (std::size_t w = 0; w < x.w(); ++w) {
+          const float xh =
+              static_cast<float>((x.at(n, c, h, w) - mean) * inv_std);
+          xhat_.at(n, c, h, w) = xh;
+          out.at(n, c, h, w) = g * xh + b;
+        }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  SSMA_CHECK(grad_out.same_shape(xhat_));
+  const std::size_t per_ch = grad_out.n() * grad_out.h() * grad_out.w();
+  Tensor dx(grad_out.n(), grad_out.c(), grad_out.h(), grad_out.w());
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double dgamma = 0.0, dbeta = 0.0;
+    for (std::size_t n = 0; n < grad_out.n(); ++n)
+      for (std::size_t h = 0; h < grad_out.h(); ++h)
+        for (std::size_t w = 0; w < grad_out.w(); ++w) {
+          const double go = grad_out.at(n, c, h, w);
+          dgamma += go * xhat_.at(n, c, h, w);
+          dbeta += go;
+        }
+    gamma_.grad[c] += static_cast<float>(dgamma);
+    beta_.grad[c] += static_cast<float>(dbeta);
+
+    const double g = gamma_.value[c];
+    const double inv_std = batch_inv_std_[c];
+    const double m = static_cast<double>(per_ch);
+    for (std::size_t n = 0; n < grad_out.n(); ++n)
+      for (std::size_t h = 0; h < grad_out.h(); ++h)
+        for (std::size_t w = 0; w < grad_out.w(); ++w) {
+          const double go = grad_out.at(n, c, h, w);
+          const double xh = xhat_.at(n, c, h, w);
+          dx.at(n, c, h, w) = static_cast<float>(
+              g * inv_std * (go - dbeta / m - xh * dgamma / m));
+        }
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------------ ReLU
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
+  mask_ = Tensor(x.n(), x.c(), x.h(), x.w());
+  Tensor out(x.n(), x.c(), x.h(), x.w());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool pos = x[i] > 0.0f;
+    mask_[i] = pos ? 1.0f : 0.0f;
+    out[i] = pos ? x[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  SSMA_CHECK(grad_out.same_shape(mask_));
+  Tensor dx(grad_out.n(), grad_out.c(), grad_out.h(), grad_out.w());
+  for (std::size_t i = 0; i < dx.size(); ++i) dx[i] = grad_out[i] * mask_[i];
+  return dx;
+}
+
+// ------------------------------------------------------------- MaxPool2d
+
+MaxPool2d::MaxPool2d(int k, int stride)
+    : k_(k), stride_(stride < 0 ? k : stride) {
+  SSMA_CHECK(k >= 1 && stride_ >= 1);
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
+  in_n_ = x.n();
+  in_c_ = x.c();
+  in_h_ = x.h();
+  in_w_ = x.w();
+  const std::size_t oh = conv_out_dim(x.h(), k_, stride_, 0);
+  const std::size_t ow = conv_out_dim(x.w(), k_, stride_, 0);
+  Tensor out(x.n(), x.c(), oh, ow);
+  argmax_.assign(out.size(), 0);
+  std::size_t idx = 0;
+  for (std::size_t n = 0; n < x.n(); ++n)
+    for (std::size_t c = 0; c < x.c(); ++c)
+      for (std::size_t oy = 0; oy < oh; ++oy)
+        for (std::size_t ox = 0; ox < ow; ++ox, ++idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_flat = 0;
+          for (int ky = 0; ky < k_; ++ky)
+            for (int kx = 0; kx < k_; ++kx) {
+              const std::size_t iy = oy * stride_ + ky;
+              const std::size_t ix = ox * stride_ + kx;
+              if (iy >= x.h() || ix >= x.w()) continue;
+              const float v = x.at(n, c, iy, ix);
+              if (v > best) {
+                best = v;
+                best_flat = ((n * x.c() + c) * x.h() + iy) * x.w() + ix;
+              }
+            }
+          out[idx] = best;
+          argmax_[idx] = best_flat;
+        }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  SSMA_CHECK(grad_out.size() == argmax_.size());
+  Tensor dx(in_n_, in_c_, in_h_, in_w_, 0.0f);
+  for (std::size_t i = 0; i < grad_out.size(); ++i)
+    dx[argmax_[i]] += grad_out[i];
+  return dx;
+}
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_f_(in_features), out_f_(out_features) {
+  SSMA_CHECK(in_features >= 1 && out_features >= 1);
+  w_.value = Tensor(out_features, in_features, 1, 1);
+  w_.grad = Tensor(out_features, in_features, 1, 1);
+  b_.value = Tensor(out_features, 1, 1, 1);
+  b_.grad = Tensor(out_features, 1, 1, 1);
+  b_.decay = false;
+  const double std = std::sqrt(2.0 / static_cast<double>(in_features));
+  for (std::size_t i = 0; i < w_.value.size(); ++i)
+    w_.value[i] = static_cast<float>(rng.next_gaussian(0.0, std));
+}
+
+Tensor Linear::forward(const Tensor& x, bool /*train*/) {
+  SSMA_CHECK_MSG(x.c() * x.h() * x.w() == in_f_, "linear feature mismatch");
+  saved_x_ = x;
+  Tensor out(x.n(), out_f_, 1, 1);
+  for (std::size_t n = 0; n < x.n(); ++n) {
+    const float* xi = x.data() + n * in_f_;
+    for (std::size_t o = 0; o < out_f_; ++o) {
+      const float* wr = w_.value.data() + o * in_f_;
+      double acc = b_.value[o];
+      for (std::size_t i = 0; i < in_f_; ++i) acc += wr[i] * xi[i];
+      out.at(n, o, 0, 0) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  SSMA_CHECK(grad_out.c() == out_f_);
+  Tensor dx(saved_x_.n(), saved_x_.c(), saved_x_.h(), saved_x_.w());
+  for (std::size_t n = 0; n < saved_x_.n(); ++n) {
+    const float* xi = saved_x_.data() + n * in_f_;
+    float* dxi = dx.data() + n * in_f_;
+    for (std::size_t o = 0; o < out_f_; ++o) {
+      const float go = grad_out.at(n, o, 0, 0);
+      b_.grad[o] += go;
+      float* wg = w_.grad.data() + o * in_f_;
+      const float* wr = w_.value.data() + o * in_f_;
+      for (std::size_t i = 0; i < in_f_; ++i) {
+        wg[i] += go * xi[i];
+        dxi[i] += go * wr[i];
+      }
+    }
+  }
+  return dx;
+}
+
+// --------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  c_ = x.c();
+  h_ = x.h();
+  w_ = x.w();
+  Tensor out(x.n(), x.c() * x.h() * x.w(), 1, 1);
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i];
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  Tensor dx(grad_out.n(), c_, h_, w_);
+  for (std::size_t i = 0; i < grad_out.size(); ++i) dx[i] = grad_out[i];
+  return dx;
+}
+
+// -------------------------------------------------------------- Residual
+
+Residual::Residual(std::vector<std::unique_ptr<Layer>> body)
+    : body_(std::move(body)) {
+  SSMA_CHECK(!body_.empty());
+}
+
+Tensor Residual::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  for (auto& l : body_) y = l->forward(y, train);
+  SSMA_CHECK_MSG(y.same_shape(x), "residual body must preserve shape");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += x[i];
+  return y;
+}
+
+Tensor Residual::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = body_.rbegin(); it != body_.rend(); ++it)
+    g = (*it)->backward(g);
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] += grad_out[i];
+  return g;
+}
+
+std::vector<Param*> Residual::params() {
+  std::vector<Param*> ps;
+  for (auto& l : body_)
+    for (Param* p : l->params()) ps.push_back(p);
+  return ps;
+}
+
+}  // namespace ssma::nn

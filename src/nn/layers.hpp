@@ -1,0 +1,178 @@
+// Neural-network layers with forward and backward passes. Enough to train
+// the ResNet-style CNN used for the Table II accuracy experiment from
+// scratch: Conv2d (im2col), BatchNorm2d (with inference-time folding),
+// ReLU, MaxPool2d, Linear, Flatten, and a Residual wrapper.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ssma::nn {
+
+/// A trainable parameter and its gradient accumulator.
+struct Param {
+  Tensor value;
+  Tensor grad;
+  bool decay = true;  ///< participates in weight decay
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual std::string name() const = 0;
+  /// `train` toggles training behaviour (BN batch stats).
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+  /// Consumes dL/dout, returns dL/din; accumulates parameter grads.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+  virtual std::vector<Param*> params() { return {}; }
+};
+
+// ---------------------------------------------------------------- Conv2d
+
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::size_t in_ch, std::size_t out_ch, int k, int stride, int pad,
+         Rng& rng);
+
+  std::string name() const override { return "conv2d"; }
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+
+  std::size_t in_ch() const { return in_ch_; }
+  std::size_t out_ch() const { return out_ch_; }
+  int kernel() const { return k_; }
+  int stride() const { return stride_; }
+  int pad() const { return pad_; }
+
+  /// Weights as a (C*k*k) x out_ch matrix — the layout the MADDNESS LUT
+  /// builder consumes directly.
+  Matrix weight_matrix() const;
+  void set_weight_matrix(const Matrix& w);
+  Param& weight() { return w_; }
+  Param& bias() { return b_; }
+
+ private:
+  std::size_t in_ch_, out_ch_;
+  int k_, stride_, pad_;
+  Param w_;  ///< (out_ch, in_ch, k, k)
+  Param b_;  ///< (out_ch, 1, 1, 1)
+  // Saved for backward.
+  Matrix cols_;
+  std::size_t in_h_ = 0, in_w_ = 0, in_n_ = 0;
+};
+
+// ------------------------------------------------------------- BatchNorm
+
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, double momentum = 0.1,
+                       double eps = 1e-5);
+
+  std::string name() const override { return "batchnorm2d"; }
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+
+  const std::vector<double>& running_mean() const { return run_mean_; }
+  const std::vector<double>& running_var() const { return run_var_; }
+  float gamma(std::size_t c) const { return gamma_.value[c]; }
+  float beta(std::size_t c) const { return beta_.value[c]; }
+  double eps() const { return eps_; }
+
+ private:
+  std::size_t channels_;
+  double momentum_, eps_;
+  Param gamma_, beta_;
+  std::vector<double> run_mean_, run_var_;
+  // Saved for backward.
+  Tensor xhat_;
+  std::vector<double> batch_mean_, batch_inv_std_;
+};
+
+// ------------------------------------------------------------------ ReLU
+
+class ReLU : public Layer {
+ public:
+  std::string name() const override { return "relu"; }
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor mask_;
+};
+
+// ------------------------------------------------------------- MaxPool2d
+
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(int k, int stride = -1);  // stride defaults to k
+
+  std::string name() const override { return "maxpool2d"; }
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  int k_, stride_;
+  std::vector<std::size_t> argmax_;
+  std::size_t in_n_ = 0, in_c_ = 0, in_h_ = 0, in_w_ = 0;
+};
+
+// ---------------------------------------------------------------- Linear
+
+class Linear : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  std::string name() const override { return "linear"; }
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+
+  std::size_t in_features() const { return in_f_; }
+  std::size_t out_features() const { return out_f_; }
+  Param& weight() { return w_; }
+  Param& bias() { return b_; }
+
+ private:
+  std::size_t in_f_, out_f_;
+  Param w_;  ///< (out_f, in_f, 1, 1)
+  Param b_;
+  Tensor saved_x_;
+};
+
+// --------------------------------------------------------------- Flatten
+
+class Flatten : public Layer {
+ public:
+  std::string name() const override { return "flatten"; }
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::size_t c_ = 0, h_ = 0, w_ = 0;
+};
+
+// -------------------------------------------------------------- Residual
+
+/// y = x + body(x). Shapes must match (identity shortcut).
+class Residual : public Layer {
+ public:
+  explicit Residual(std::vector<std::unique_ptr<Layer>> body);
+
+  std::string name() const override { return "residual"; }
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+  const std::vector<std::unique_ptr<Layer>>& body() const { return body_; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> body_;
+};
+
+}  // namespace ssma::nn

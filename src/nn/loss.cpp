@@ -1,0 +1,59 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ssma::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  SSMA_CHECK(logits.n() == labels.size());
+  SSMA_CHECK(logits.h() == 1 && logits.w() == 1);
+  const std::size_t n = logits.n(), k = logits.c();
+  LossResult res;
+  res.grad = Tensor(n, k, 1, 1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    SSMA_CHECK(labels[i] >= 0 && static_cast<std::size_t>(labels[i]) < k);
+    const float* row = logits.data() + i * k;
+    float maxv = row[0];
+    std::size_t arg = 0;
+    for (std::size_t c = 1; c < k; ++c)
+      if (row[c] > maxv) {
+        maxv = row[c];
+        arg = c;
+      }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < k; ++c)
+      denom += std::exp(static_cast<double>(row[c]) - maxv);
+    const double logp_label =
+        static_cast<double>(row[labels[i]]) - maxv - std::log(denom);
+    total -= logp_label;
+    if (arg == static_cast<std::size_t>(labels[i])) ++res.correct;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double p =
+          std::exp(static_cast<double>(row[c]) - maxv) / denom;
+      const double target = (c == static_cast<std::size_t>(labels[i])) ? 1.0 : 0.0;
+      res.grad.at(i, c, 0, 0) =
+          static_cast<float>((p - target) / static_cast<double>(n));
+    }
+  }
+  res.loss = total / static_cast<double>(n);
+  return res;
+}
+
+std::vector<int> predict(const Tensor& logits) {
+  std::vector<int> out(logits.n());
+  const std::size_t k = logits.c();
+  for (std::size_t i = 0; i < logits.n(); ++i) {
+    const float* row = logits.data() + i * k;
+    std::size_t arg = 0;
+    for (std::size_t c = 1; c < k; ++c)
+      if (row[c] > row[arg]) arg = c;
+    out[i] = static_cast<int>(arg);
+  }
+  return out;
+}
+
+}  // namespace ssma::nn

@@ -1,0 +1,23 @@
+// Softmax cross-entropy loss over logits.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace ssma::nn {
+
+struct LossResult {
+  double loss = 0.0;     ///< mean cross-entropy over the batch
+  Tensor grad;           ///< dL/dlogits (already divided by batch size)
+  std::size_t correct = 0;  ///< argmax == label count
+};
+
+/// logits: (N, classes, 1, 1); labels: N class indices.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+/// Argmax prediction per row.
+std::vector<int> predict(const Tensor& logits);
+
+}  // namespace ssma::nn

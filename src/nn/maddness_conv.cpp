@@ -1,0 +1,81 @@
+#include "nn/maddness_conv.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ssma::nn {
+
+MaddnessConv2d::MaddnessConv2d(Conv2d& conv, const Tensor& calibration,
+                               const maddness::Config& base_cfg,
+                               std::size_t max_calib_rows,
+                               std::uint64_t seed)
+    : in_ch_(conv.in_ch()),
+      out_ch_(conv.out_ch()),
+      stride_(conv.stride()),
+      pad_(conv.pad()) {
+  SSMA_CHECK_MSG(conv.kernel() == 3,
+                 "MADDNESS mapping targets 3x3 kernels (9-dim subvectors)");
+  SSMA_CHECK(calibration.c() == in_ch_);
+
+  weights_ = conv.weight_matrix();
+  bias_.resize(out_ch_);
+  for (std::size_t o = 0; o < out_ch_; ++o)
+    bias_[o] = conv.bias().value[o];
+
+  // Calibration rows: im2col of the layer input, subsampled.
+  Matrix cols = im2col(calibration, 3, stride_, pad_);
+  Matrix sample;
+  if (cols.rows() > max_calib_rows) {
+    Rng rng(seed);
+    const auto perm = rng.permutation(cols.rows());
+    sample = Matrix(max_calib_rows, cols.cols());
+    for (std::size_t i = 0; i < max_calib_rows; ++i)
+      for (std::size_t j = 0; j < cols.cols(); ++j)
+        sample(i, j) = cols(perm[i], j);
+  } else {
+    sample = std::move(cols);
+  }
+
+  maddness::Config cfg = base_cfg;
+  cfg.ncodebooks = static_cast<int>(in_ch_);
+  cfg.subvec_dim = 9;
+  amm_ = std::make_unique<maddness::Amm>(
+      maddness::Amm::train(cfg, sample, weights_));
+}
+
+Tensor MaddnessConv2d::forward(const Tensor& x) const {
+  SSMA_CHECK(x.c() == in_ch_);
+  const std::size_t oh = conv_out_dim(x.h(), 3, stride_, pad_);
+  const std::size_t ow = conv_out_dim(x.w(), 3, stride_, pad_);
+  const Matrix cols = im2col(x, 3, stride_, pad_);
+  const Matrix y = amm_->apply(cols);  // rows x out_ch
+
+  Tensor out(x.n(), out_ch_, oh, ow);
+  std::size_t row = 0;
+  for (std::size_t n = 0; n < x.n(); ++n)
+    for (std::size_t oy = 0; oy < oh; ++oy)
+      for (std::size_t ox = 0; ox < ow; ++ox, ++row)
+        for (std::size_t o = 0; o < out_ch_; ++o)
+          out.at(n, o, oy, ox) = y(row, o) + bias_[o];
+  return out;
+}
+
+Tensor MaddnessConv2d::forward_exact(const Tensor& x) const {
+  SSMA_CHECK(x.c() == in_ch_);
+  const std::size_t oh = conv_out_dim(x.h(), 3, stride_, pad_);
+  const std::size_t ow = conv_out_dim(x.w(), 3, stride_, pad_);
+  const Matrix cols = im2col(x, 3, stride_, pad_);
+  Matrix y;
+  gemm(cols, weights_, y);
+
+  Tensor out(x.n(), out_ch_, oh, ow);
+  std::size_t row = 0;
+  for (std::size_t n = 0; n < x.n(); ++n)
+    for (std::size_t oy = 0; oy < oh; ++oy)
+      for (std::size_t ox = 0; ox < ow; ++ox, ++row)
+        for (std::size_t o = 0; o < out_ch_; ++o)
+          out.at(n, o, oy, ox) = y(row, o) + bias_[o];
+  return out;
+}
+
+}  // namespace ssma::nn

@@ -1,0 +1,48 @@
+// MADDNESS-substituted 3x3 convolution: the deployment path of Fig. 3.
+// A trained (BN-folded) Conv2d is converted offline — each input channel
+// becomes one codebook/compute block, each output channel one decoder
+// lane — and inference replaces the conv GEMM with encode + LUT lookups
+// through exactly the INT8/int16 arithmetic the macro implements.
+#pragma once
+
+#include <memory>
+
+#include "maddness/amm.hpp"
+#include "nn/layers.hpp"
+
+namespace ssma::nn {
+
+class MaddnessConv2d {
+ public:
+  /// Trains the substitution from a conv layer (must be 3x3) and a
+  /// calibration activation tensor (the layer's *input* distribution,
+  /// non-negative). `max_calib_rows` caps the im2col rows used for
+  /// training the hash trees/prototypes.
+  MaddnessConv2d(Conv2d& conv, const Tensor& calibration,
+                 const maddness::Config& base_cfg = {},
+                 std::size_t max_calib_rows = 4096,
+                 std::uint64_t seed = 1);
+
+  std::size_t in_ch() const { return in_ch_; }
+  std::size_t out_ch() const { return out_ch_; }
+  const maddness::Amm& amm() const { return *amm_; }
+  int stride() const { return stride_; }
+  int pad() const { return pad_; }
+
+  /// Approximate forward pass (encode -> lookup -> int16 accumulate ->
+  /// dequantize -> +bias).
+  Tensor forward(const Tensor& x) const;
+
+  /// Exact float forward with the same (folded) weights, for accuracy
+  /// comparisons.
+  Tensor forward_exact(const Tensor& x) const;
+
+ private:
+  std::size_t in_ch_, out_ch_;
+  int stride_, pad_;
+  Matrix weights_;             ///< (C*9) x out_ch, folded
+  std::vector<float> bias_;
+  std::unique_ptr<maddness::Amm> amm_;
+};
+
+}  // namespace ssma::nn

@@ -1,0 +1,169 @@
+#include "nn/maddness_network.hpp"
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ssma::nn {
+
+namespace {
+
+/// Flattens a Network into raw layer pointers (top level only; residual
+/// bodies are handled recursively by build_stages).
+std::vector<Layer*> layer_pointers(Network& net) {
+  std::vector<Layer*> ls;
+  for (std::size_t i = 0; i < net.num_layers(); ++i)
+    ls.push_back(&net.layer(i));
+  return ls;
+}
+
+std::vector<Layer*> body_pointers(const Residual& res) {
+  std::vector<Layer*> ls;
+  for (const auto& l : res.body()) ls.push_back(l.get());
+  return ls;
+}
+
+}  // namespace
+
+std::vector<MaddnessNetwork::Stage> MaddnessNetwork::build_stages(
+    const std::vector<Layer*>& layers, Tensor& calib, const Options& opts,
+    std::size_t& nconvs, std::vector<const MaddnessConv2d*>& registry) {
+  std::vector<Stage> stages;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (auto* conv = dynamic_cast<Conv2d*>(layers[i])) {
+      // Fold a directly following BatchNorm2d into a copy of the conv.
+      Conv2d folded = *conv;
+      bool skip_bn = false;
+      if (i + 1 < layers.size()) {
+        if (auto* bn = dynamic_cast<BatchNorm2d*>(layers[i + 1])) {
+          fold_batchnorm(folded, *bn);
+          skip_bn = true;
+        }
+      }
+      Stage s;
+      maddness::Config cfg = opts.base_cfg;
+      if (opts.ridge_prototypes)
+        cfg.proto_opt = maddness::PrototypeOpt::kRidgeJoint;
+      s.mconv = std::make_unique<MaddnessConv2d>(
+          folded, calib, cfg, opts.max_calib_rows, opts.seed + nconvs);
+      ++nconvs;
+      registry.push_back(s.mconv.get());
+      // Error-aware calibration: downstream layers see the approximate
+      // activations they will get at inference.
+      calib = opts.error_aware_calibration ? s.mconv->forward(calib)
+                                           : s.mconv->forward_exact(calib);
+      stages.push_back(std::move(s));
+      if (skip_bn) ++i;
+      continue;
+    }
+    if (auto* res = dynamic_cast<Residual*>(layers[i])) {
+      Stage s;
+      s.is_residual = true;
+      Tensor body_calib = calib;
+      s.residual_body = build_stages(body_pointers(*res), body_calib, opts,
+                                     nconvs, registry);
+      SSMA_CHECK_MSG(body_calib.same_shape(calib),
+                     "residual body must preserve shape");
+      for (std::size_t j = 0; j < calib.size(); ++j)
+        calib[j] += body_calib[j];
+      stages.push_back(std::move(s));
+      continue;
+    }
+    // Any other layer is borrowed and run in eval mode.
+    Stage s;
+    s.borrowed = layers[i];
+    calib = layers[i]->forward(calib, /*train=*/false);
+    stages.push_back(std::move(s));
+  }
+  return stages;
+}
+
+MaddnessNetwork::MaddnessNetwork(Network& trained, const Tensor& calibration)
+    : MaddnessNetwork(trained, calibration, Options{}) {}
+
+MaddnessNetwork::MaddnessNetwork(Network& trained, const Tensor& calibration,
+                                 const Options& opts) {
+  Tensor calib = calibration;
+  stages_ =
+      build_stages(layer_pointers(trained), calib, opts, nconvs_, registry_);
+  SSMA_CHECK_MSG(nconvs_ >= 1, "network contains no 3x3 convolutions");
+}
+
+Tensor MaddnessNetwork::run_stages(const std::vector<Stage>& stages,
+                                   const Tensor& x, bool use_amm) {
+  Tensor y = x;
+  for (const auto& s : stages) {
+    if (s.mconv) {
+      y = use_amm ? s.mconv->forward(y) : s.mconv->forward_exact(y);
+    } else if (s.is_residual) {
+      Tensor body = run_stages(s.residual_body, y, use_amm);
+      SSMA_CHECK(body.same_shape(y));
+      for (std::size_t i = 0; i < y.size(); ++i) y[i] += body[i];
+    } else {
+      y = s.borrowed->forward(y, /*train=*/false);
+    }
+  }
+  return y;
+}
+
+Tensor MaddnessNetwork::forward(const Tensor& x, bool use_amm) const {
+  return run_stages(stages_, x, use_amm);
+}
+
+const MaddnessConv2d& MaddnessNetwork::substituted_conv(
+    std::size_t i) const {
+  SSMA_CHECK(i < registry_.size());
+  return *registry_[i];
+}
+
+void MaddnessNetwork::fine_tune_classifier(const Tensor& images,
+                                           const std::vector<int>& labels,
+                                           std::size_t epochs, double lr,
+                                           std::size_t batch,
+                                           std::uint64_t seed) {
+  SSMA_CHECK(images.n() == labels.size());
+  SSMA_CHECK(!stages_.empty());
+  auto* linear = dynamic_cast<Linear*>(stages_.back().borrowed);
+  SSMA_CHECK_MSG(linear != nullptr,
+                 "fine_tune_classifier requires a final Linear layer");
+
+  // Features: substituted path up to (excluding) the final Linear.
+  Tensor feats = images;
+  for (std::size_t i = 0; i + 1 < stages_.size(); ++i) {
+    const Stage& s = stages_[i];
+    if (s.mconv) {
+      feats = s.mconv->forward(feats);
+    } else if (s.is_residual) {
+      Tensor body = run_stages(s.residual_body, feats, /*use_amm=*/true);
+      for (std::size_t j = 0; j < feats.size(); ++j) feats[j] += body[j];
+    } else {
+      feats = s.borrowed->forward(feats, /*train=*/false);
+    }
+  }
+
+  SgdOptimizer opt({&linear->weight(), &linear->bias()}, lr, 0.9, 1e-4);
+  Rng rng(seed);
+  const std::size_t n = feats.n();
+  const std::size_t steps = std::max<std::size_t>(1, n / batch);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const auto perm = rng.permutation(n);
+    for (std::size_t s = 0; s < steps; ++s) {
+      const std::size_t lo = s * batch;
+      const std::size_t hi = std::min(n, lo + batch);
+      Tensor xb(hi - lo, feats.c(), 1, 1);
+      std::vector<int> yb(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        yb[i - lo] = labels[perm[i]];
+        for (std::size_t c = 0; c < feats.c(); ++c)
+          xb.at(i - lo, c, 0, 0) = feats.at(perm[i], c, 0, 0);
+      }
+      const Tensor logits = linear->forward(xb, true);
+      const LossResult lres = softmax_cross_entropy(logits, yb);
+      linear->backward(lres.grad);
+      opt.step();
+    }
+  }
+}
+
+}  // namespace ssma::nn

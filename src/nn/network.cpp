@@ -1,0 +1,62 @@
+#include "nn/network.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ssma::nn {
+
+Network& Network::add(std::unique_ptr<Layer> layer) {
+  SSMA_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Network::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  for (auto& l : layers_) y = l->forward(y, train);
+  return y;
+}
+
+Tensor Network::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param*> Network::params() {
+  std::vector<Param*> ps;
+  for (auto& l : layers_)
+    for (Param* p : l->params()) ps.push_back(p);
+  return ps;
+}
+
+void Network::zero_grads() {
+  for (Param* p : params()) p->grad.fill(0.0f);
+}
+
+std::size_t Network::num_parameters() {
+  std::size_t n = 0;
+  for (Param* p : params()) n += p->value.size();
+  return n;
+}
+
+void fold_batchnorm(Conv2d& conv, const BatchNorm2d& bn) {
+  const std::size_t out_ch = conv.out_ch();
+  SSMA_CHECK_MSG(bn.running_mean().size() == out_ch,
+                 "batchnorm/conv channel mismatch");
+  for (std::size_t o = 0; o < out_ch; ++o) {
+    const double scale =
+        bn.gamma(o) / std::sqrt(bn.running_var()[o] + bn.eps());
+    for (std::size_t c = 0; c < conv.in_ch(); ++c)
+      for (int ky = 0; ky < conv.kernel(); ++ky)
+        for (int kx = 0; kx < conv.kernel(); ++kx)
+          conv.weight().value.at(o, c, ky, kx) = static_cast<float>(
+              conv.weight().value.at(o, c, ky, kx) * scale);
+    conv.bias().value[o] = static_cast<float>(
+        (conv.bias().value[o] - bn.running_mean()[o]) * scale + bn.beta(o));
+  }
+}
+
+}  // namespace ssma::nn

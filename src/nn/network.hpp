@@ -1,0 +1,45 @@
+// Sequential network container plus batch-norm folding for inference
+// (the form the MADDNESS substitution consumes).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace ssma::nn {
+
+class Network {
+ public:
+  Network() = default;
+
+  Network& add(std::unique_ptr<Layer> layer);
+  template <typename L, typename... Args>
+  Network& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& x, bool train = false);
+  /// Backward through all layers; returns dL/dinput.
+  Tensor backward(const Tensor& grad_out);
+
+  std::vector<Param*> params();
+  void zero_grads();
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  /// Total trainable scalar count.
+  std::size_t num_parameters();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Folds a BatchNorm2d (inference statistics) into the preceding Conv2d:
+/// w' = w * gamma/sqrt(var+eps), b' = (b - mean) * gamma/sqrt(var+eps) + beta.
+/// After folding, conv(x) == bn(conv(x)) in eval mode.
+void fold_batchnorm(Conv2d& conv, const BatchNorm2d& bn);
+
+}  // namespace ssma::nn

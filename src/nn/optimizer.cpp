@@ -1,0 +1,46 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ssma::nn {
+
+SgdOptimizer::SgdOptimizer(std::vector<Param*> params, double lr,
+                           double momentum, double weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  SSMA_CHECK(lr > 0.0 && momentum >= 0.0 && weight_decay >= 0.0);
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) {
+    SSMA_CHECK(p != nullptr);
+    velocity_.emplace_back(p->value.n(), p->value.c(), p->value.h(),
+                           p->value.w());
+  }
+}
+
+void SgdOptimizer::step() {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Param& p = *params_[pi];
+    Tensor& v = velocity_[pi];
+    const float wd = p.decay ? static_cast<float>(weight_decay_) : 0.0f;
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      const float g = p.grad[i] + wd * p.value[i];
+      v[i] = static_cast<float>(momentum_) * v[i] + g;
+      p.value[i] -= static_cast<float>(lr_) * v[i];
+      p.grad[i] = 0.0f;
+    }
+  }
+}
+
+double cosine_lr(double lr_max, double lr_min, std::size_t step,
+                 std::size_t total_steps) {
+  SSMA_CHECK(total_steps >= 1);
+  const double t =
+      std::min(1.0, static_cast<double>(step) / static_cast<double>(total_steps));
+  return lr_min + 0.5 * (lr_max - lr_min) * (1.0 + std::cos(3.14159265358979 * t));
+}
+
+}  // namespace ssma::nn

@@ -1,0 +1,32 @@
+// SGD with momentum and decoupled weight decay, plus a cosine learning
+// rate schedule — the standard recipe for small CNNs.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace ssma::nn {
+
+class SgdOptimizer {
+ public:
+  SgdOptimizer(std::vector<Param*> params, double lr, double momentum = 0.9,
+               double weight_decay = 5e-4);
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void step();
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  double lr_, momentum_, weight_decay_;
+};
+
+/// Cosine schedule from lr_max to lr_min over total_steps.
+double cosine_lr(double lr_max, double lr_min, std::size_t step,
+                 std::size_t total_steps);
+
+}  // namespace ssma::nn

@@ -1,0 +1,55 @@
+#include "nn/resnet.hpp"
+
+#include "util/check.hpp"
+
+namespace ssma::nn {
+
+namespace {
+
+std::vector<std::unique_ptr<Layer>> conv_bn_relu(std::size_t in,
+                                                 std::size_t out, Rng& rng) {
+  std::vector<std::unique_ptr<Layer>> ls;
+  ls.push_back(std::make_unique<Conv2d>(in, out, 3, 1, 1, rng));
+  ls.push_back(std::make_unique<BatchNorm2d>(out));
+  ls.push_back(std::make_unique<ReLU>());
+  return ls;
+}
+
+}  // namespace
+
+Network make_resnet9(const ResnetConfig& cfg, Rng& rng) {
+  SSMA_CHECK(cfg.width >= 1 && cfg.classes >= 2);
+  SSMA_CHECK_MSG(cfg.img_h % 8 == 0 && cfg.img_w % 8 == 0,
+                 "image dims must be divisible by 8");
+  const std::size_t b = cfg.width;
+  Network net;
+
+  for (auto& l : conv_bn_relu(3, b, rng)) net.add(std::move(l));
+  for (auto& l : conv_bn_relu(b, 2 * b, rng)) net.add(std::move(l));
+  net.emplace<MaxPool2d>(2);
+
+  {
+    std::vector<std::unique_ptr<Layer>> body;
+    for (auto& l : conv_bn_relu(2 * b, 2 * b, rng)) body.push_back(std::move(l));
+    for (auto& l : conv_bn_relu(2 * b, 2 * b, rng)) body.push_back(std::move(l));
+    net.emplace<Residual>(std::move(body));
+  }
+
+  for (auto& l : conv_bn_relu(2 * b, 4 * b, rng)) net.add(std::move(l));
+  net.emplace<MaxPool2d>(2);
+
+  {
+    std::vector<std::unique_ptr<Layer>> body;
+    for (auto& l : conv_bn_relu(4 * b, 4 * b, rng)) body.push_back(std::move(l));
+    for (auto& l : conv_bn_relu(4 * b, 4 * b, rng)) body.push_back(std::move(l));
+    net.emplace<Residual>(std::move(body));
+  }
+
+  net.emplace<MaxPool2d>(2);
+  net.emplace<Flatten>();
+  net.emplace<Linear>(4 * b * (cfg.img_h / 8) * (cfg.img_w / 8),
+                      cfg.classes, rng);
+  return net;
+}
+
+}  // namespace ssma::nn

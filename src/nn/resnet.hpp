@@ -1,0 +1,28 @@
+// ResNet-9-style CNN builder (the paper evaluates ResNet9 on CIFAR-10).
+// The width parameter scales channel counts so tests can train tiny
+// variants quickly while examples/benches use a wider one.
+//
+// Architecture (width b, input 3 x H x W, H/W divisible by 8):
+//   conv3x3(3,b)   - bn - relu
+//   conv3x3(b,2b)  - bn - relu - maxpool2
+//   residual{ conv3x3(2b,2b)-bn-relu, conv3x3(2b,2b)-bn-relu }
+//   conv3x3(2b,4b) - bn - relu - maxpool2
+//   residual{ conv3x3(4b,4b)-bn-relu, conv3x3(4b,4b)-bn-relu }
+//   maxpool2 - flatten - linear(4b*(H/8)*(W/8), classes)
+#pragma once
+
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+
+namespace ssma::nn {
+
+struct ResnetConfig {
+  std::size_t width = 16;     ///< base channel count b
+  std::size_t classes = 10;
+  std::size_t img_h = 16;
+  std::size_t img_w = 16;
+};
+
+Network make_resnet9(const ResnetConfig& cfg, Rng& rng);
+
+}  // namespace ssma::nn

@@ -1,0 +1,102 @@
+#include "nn/tensor.hpp"
+
+#include "util/check.hpp"
+
+namespace ssma::nn {
+
+Tensor::Tensor(std::size_t n, std::size_t c, std::size_t h, std::size_t w,
+               float fill)
+    : n_(n), c_(c), h_(h), w_(w), data_(n * c * h * w, fill) {}
+
+float& Tensor::at(std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w) {
+  SSMA_CHECK_MSG(n < n_ && c < c_ && h < h_ && w < w_, "tensor index OOB");
+  return data_[((n * c_ + c) * h_ + h) * w_ + w];
+}
+
+float Tensor::at(std::size_t n, std::size_t c, std::size_t h,
+                 std::size_t w) const {
+  SSMA_CHECK_MSG(n < n_ && c < c_ && h < h_ && w < w_, "tensor index OOB");
+  return data_[((n * c_ + c) * h_ + h) * w_ + w];
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+std::size_t conv_out_dim(std::size_t in, int k, int stride, int pad) {
+  SSMA_CHECK(k >= 1 && stride >= 1 && pad >= 0);
+  const long long out =
+      (static_cast<long long>(in) + 2LL * pad - k) / stride + 1;
+  SSMA_CHECK_MSG(out >= 1, "conv output dimension collapsed");
+  return static_cast<std::size_t>(out);
+}
+
+Matrix im2col(const Tensor& x, int k, int stride, int pad) {
+  const std::size_t oh = conv_out_dim(x.h(), k, stride, pad);
+  const std::size_t ow = conv_out_dim(x.w(), k, stride, pad);
+  Matrix cols(x.n() * oh * ow,
+              x.c() * static_cast<std::size_t>(k) * k);
+  std::size_t row = 0;
+  for (std::size_t n = 0; n < x.n(); ++n)
+    for (std::size_t oy = 0; oy < oh; ++oy)
+      for (std::size_t ox = 0; ox < ow; ++ox, ++row) {
+        float* dst = cols.row(row);
+        std::size_t col = 0;
+        for (std::size_t c = 0; c < x.c(); ++c)
+          for (int ky = 0; ky < k; ++ky)
+            for (int kx = 0; kx < k; ++kx, ++col) {
+              const long long iy =
+                  static_cast<long long>(oy) * stride + ky - pad;
+              const long long ix =
+                  static_cast<long long>(ox) * stride + kx - pad;
+              if (iy < 0 || ix < 0 ||
+                  iy >= static_cast<long long>(x.h()) ||
+                  ix >= static_cast<long long>(x.w())) {
+                dst[col] = 0.0f;
+              } else {
+                dst[col] = x.at(n, c, static_cast<std::size_t>(iy),
+                                static_cast<std::size_t>(ix));
+              }
+            }
+      }
+  return cols;
+}
+
+Tensor col2im(const Matrix& cols, std::size_t n, std::size_t c,
+              std::size_t h, std::size_t w, int k, int stride, int pad) {
+  const std::size_t oh = conv_out_dim(h, k, stride, pad);
+  const std::size_t ow = conv_out_dim(w, k, stride, pad);
+  SSMA_CHECK(cols.rows() == n * oh * ow);
+  SSMA_CHECK(cols.cols() == c * static_cast<std::size_t>(k) * k);
+  Tensor x(n, c, h, w, 0.0f);
+  std::size_t row = 0;
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t oy = 0; oy < oh; ++oy)
+      for (std::size_t ox = 0; ox < ow; ++ox, ++row) {
+        const float* src = cols.row(row);
+        std::size_t col = 0;
+        for (std::size_t ci = 0; ci < c; ++ci)
+          for (int ky = 0; ky < k; ++ky)
+            for (int kx = 0; kx < k; ++kx, ++col) {
+              const long long iy =
+                  static_cast<long long>(oy) * stride + ky - pad;
+              const long long ix =
+                  static_cast<long long>(ox) * stride + kx - pad;
+              if (iy < 0 || ix < 0 || iy >= static_cast<long long>(h) ||
+                  ix >= static_cast<long long>(w))
+                continue;
+              x.at(ni, ci, static_cast<std::size_t>(iy),
+                   static_cast<std::size_t>(ix)) += src[col];
+            }
+      }
+  return x;
+}
+
+}  // namespace ssma::nn

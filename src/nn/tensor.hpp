@@ -1,0 +1,60 @@
+// Minimal 4-D tensor (N, C, H, W) in float, the data currency of the NN
+// substrate. Row-major, dense, value semantics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace ssma::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t n, std::size_t c, std::size_t h, std::size_t w,
+         float fill = 0.0f);
+
+  std::size_t n() const { return n_; }
+  std::size_t c() const { return c_; }
+  std::size_t h() const { return h_; }
+  std::size_t w() const { return w_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  float at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  bool same_shape(const Tensor& o) const {
+    return n_ == o.n_ && c_ == o.c_ && h_ == o.h_ && w_ == o.w_;
+  }
+
+  void fill(float v);
+  double sum() const;
+
+ private:
+  std::size_t n_ = 0, c_ = 0, h_ = 0, w_ = 0;
+  std::vector<float> data_;
+};
+
+/// im2col for a (N,C,H,W) input with kernel k, stride s, padding p.
+/// Output: (N * out_h * out_w) x (C * k * k), with the column ordering
+/// (c, ky, kx) — i.e. each input channel contributes a contiguous k*k
+/// patch, which is exactly the per-codebook subvector layout the
+/// accelerator's compute blocks consume (Fig. 3).
+Matrix im2col(const Tensor& x, int k, int stride, int pad);
+
+/// Adjoint of im2col: scatters gradient columns back onto the input.
+Tensor col2im(const Matrix& cols, std::size_t n, std::size_t c,
+              std::size_t h, std::size_t w, int k, int stride, int pad);
+
+/// Output spatial size for a conv/pool dimension.
+std::size_t conv_out_dim(std::size_t in, int k, int stride, int pad);
+
+}  // namespace ssma::nn

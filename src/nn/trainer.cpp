@@ -1,0 +1,69 @@
+#include "nn/trainer.hpp"
+
+#include <cstdio>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/check.hpp"
+
+namespace ssma::nn {
+
+TrainHistory train(Network& net, const Dataset& data, const TrainConfig& cfg,
+                   Rng& rng) {
+  SSMA_CHECK(data.size() >= cfg.batch_size);
+  TrainHistory hist;
+  SgdOptimizer opt(net.params(), cfg.lr_max, cfg.momentum,
+                   cfg.weight_decay);
+  const std::size_t steps_per_epoch = data.size() / cfg.batch_size;
+  const std::size_t total_steps = steps_per_epoch * cfg.epochs;
+  std::size_t step = 0;
+
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const auto perm = rng.permutation(data.size());
+    double loss_sum = 0.0;
+    std::size_t correct = 0, seen = 0;
+    for (std::size_t s = 0; s < steps_per_epoch; ++s) {
+      std::vector<std::size_t> idx(
+          perm.begin() + s * cfg.batch_size,
+          perm.begin() + (s + 1) * cfg.batch_size);
+      auto [batch, labels] = take_batch(data, idx);
+
+      opt.set_lr(cosine_lr(cfg.lr_max, cfg.lr_min, step++, total_steps));
+      const Tensor logits = net.forward(batch, /*train=*/true);
+      const LossResult lr = softmax_cross_entropy(logits, labels);
+      net.backward(lr.grad);
+      opt.step();
+
+      loss_sum += lr.loss;
+      correct += lr.correct;
+      seen += labels.size();
+    }
+    hist.epoch_loss.push_back(loss_sum / static_cast<double>(steps_per_epoch));
+    hist.epoch_train_acc.push_back(static_cast<double>(correct) /
+                                   static_cast<double>(seen));
+    if (cfg.verbose) {
+      std::printf("epoch %zu: loss %.4f train-acc %.3f\n", epoch + 1,
+                  hist.epoch_loss.back(), hist.epoch_train_acc.back());
+      std::fflush(stdout);
+    }
+  }
+  return hist;
+}
+
+double evaluate(Network& net, const Dataset& data, std::size_t batch_size) {
+  SSMA_CHECK(data.size() >= 1);
+  std::size_t correct = 0;
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t end = std::min(data.size(), start + batch_size);
+    std::vector<std::size_t> idx;
+    for (std::size_t i = start; i < end; ++i) idx.push_back(i);
+    auto [batch, labels] = take_batch(data, idx);
+    const Tensor logits = net.forward(batch, /*train=*/false);
+    const auto preds = predict(logits);
+    for (std::size_t i = 0; i < preds.size(); ++i)
+      correct += (preds[i] == labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace ssma::nn

@@ -1,0 +1,33 @@
+// Minibatch SGD training loop and evaluation helpers.
+#pragma once
+
+#include "nn/dataset.hpp"
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+
+namespace ssma::nn {
+
+struct TrainConfig {
+  std::size_t epochs = 8;
+  std::size_t batch_size = 32;
+  double lr_max = 0.02;
+  double lr_min = 0.002;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+  bool verbose = false;
+};
+
+struct TrainHistory {
+  std::vector<double> epoch_loss;
+  std::vector<double> epoch_train_acc;
+};
+
+/// Trains in place; deterministic given `rng`.
+TrainHistory train(Network& net, const Dataset& data, const TrainConfig& cfg,
+                   Rng& rng);
+
+/// Top-1 accuracy in eval mode (batched).
+double evaluate(Network& net, const Dataset& data,
+                std::size_t batch_size = 64);
+
+}  // namespace ssma::nn

@@ -1,0 +1,32 @@
+#include "ppa/area_model.hpp"
+
+#include "ppa/tech_constants.hpp"
+#include "util/check.hpp"
+
+namespace ssma::ppa {
+
+AreaBreakdown AreaModel::macro_area(int ndec, int ns) const {
+  SSMA_CHECK(ndec >= 1 && ns >= 1);
+  AreaBreakdown a;
+  a.decoder_um2 = static_cast<double>(ns) * ndec * kAreaDecoderUm2;
+  a.encoder_um2 = static_cast<double>(ns) * kAreaEncoderUm2;
+  a.control_um2 = static_cast<double>(ns) * kAreaCtrlUm2;
+  a.lane_um2 = static_cast<double>(ndec) * kAreaLaneUm2;
+  a.global_um2 = kAreaGlobalUm2;
+  return a;
+}
+
+double AreaModel::core_mm2(int ndec, int ns) const {
+  return macro_area(ndec, ns).core_mm2();
+}
+
+double AreaModel::chip_mm2(int ndec, int ns) const {
+  return core_mm2(ndec, ns) * kChipAreaOverheadFactor;
+}
+
+long long AreaModel::sram_bits(int ndec, int ns) const {
+  SSMA_CHECK(ndec >= 1 && ns >= 1);
+  return static_cast<long long>(ndec) * ns * kLutRows * kLutBits;
+}
+
+}  // namespace ssma::ppa

@@ -1,0 +1,33 @@
+// Macro area model:
+//   core(Ndec, NS) = NS*(A_enc + A_ctrl + Ndec*A_dec) + Ndec*A_lane + A_glob
+// Reproduces the paper's 0.20 mm^2 core @ (Ndec=16, NS=32) and the Fig. 7C
+// decoder-area shares (56.9% @Ndec=4, 82.9% @Ndec=16).
+#pragma once
+
+namespace ssma::ppa {
+
+struct AreaBreakdown {
+  double decoder_um2 = 0.0;   ///< all SRAM LUTs + CSAs + latches + col RCD
+  double encoder_um2 = 0.0;   ///< all BDT encoders (DLC trees + buffers)
+  double control_um2 = 0.0;   ///< handshake ctrl, drivers, block RCD trees
+  double lane_um2 = 0.0;      ///< output RCAs + output registers
+  double global_um2 = 0.0;    ///< global write driver
+
+  double core_um2() const {
+    return decoder_um2 + encoder_um2 + control_um2 + lane_um2 + global_um2;
+  }
+  double core_mm2() const { return core_um2() * 1e-6; }
+  double decoder_share() const { return decoder_um2 / core_um2(); }
+};
+
+class AreaModel {
+ public:
+  AreaBreakdown macro_area(int ndec, int ns) const;
+  double core_mm2(int ndec, int ns) const;
+  /// Total chip area incl. pad ring / routing overhead.
+  double chip_mm2(int ndec, int ns) const;
+  /// SRAM capacity in bits.
+  long long sram_bits(int ndec, int ns) const;
+};
+
+}  // namespace ssma::ppa

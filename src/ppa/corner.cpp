@@ -1,0 +1,56 @@
+#include "ppa/corner.hpp"
+
+#include <cmath>
+
+#include "ppa/tech_constants.hpp"
+#include "util/check.hpp"
+
+namespace ssma::ppa {
+
+const char* corner_name(Corner c) {
+  switch (c) {
+    case Corner::TTG: return "TTG";
+    case Corner::FFG: return "FFG";
+    case Corner::SSG: return "SSG";
+    case Corner::SFG: return "SFG";
+    case Corner::FSG: return "FSG";
+  }
+  return "?";
+}
+
+Corner corner_from_name(const std::string& name) {
+  if (name == "TTG") return Corner::TTG;
+  if (name == "FFG") return Corner::FFG;
+  if (name == "SSG") return Corner::SSG;
+  if (name == "SFG") return Corner::SFG;
+  if (name == "FSG") return Corner::FSG;
+  SSMA_CHECK_MSG(false, "unknown corner name: " << name);
+  return Corner::TTG;
+}
+
+CornerParams corner_params(Corner c) {
+  // First letter = NMOS, second = PMOS. "Fast" = lower Vth.
+  switch (c) {
+    case Corner::TTG: return {0.0, 0.0, 1.0};
+    case Corner::FFG: return {-kCornerVthShift, -kCornerVthShift, kLeakMultFFG};
+    case Corner::SSG: return {+kCornerVthShift, +kCornerVthShift, kLeakMultSSG};
+    case Corner::SFG: return {+kCornerVthShift, -kCornerVthShift, kLeakMultSFG};
+    case Corner::FSG: return {-kCornerVthShift, +kCornerVthShift, kLeakMultFSG};
+  }
+  return {};
+}
+
+double effective_vth_shift(Corner c, double nmos_weight) {
+  SSMA_CHECK(nmos_weight >= 0.0 && nmos_weight <= 1.0);
+  const CornerParams p = corner_params(c);
+  return nmos_weight * p.dvth_n + (1.0 - nmos_weight) * p.dvth_p;
+}
+
+double leakage_multiplier(const OperatingPoint& op) {
+  const CornerParams p = corner_params(op.corner);
+  const double temp_factor =
+      std::pow(2.0, (op.temp_c - 25.0) / kLeakTempDoublingK);
+  return p.leak_mult * temp_factor;
+}
+
+}  // namespace ssma::ppa

@@ -1,0 +1,26 @@
+// Process-corner parameterization: each corner maps to NMOS/PMOS threshold
+// shifts and a leakage multiplier. Component classes weight the N/P shifts
+// according to which device type dominates their critical path.
+#pragma once
+
+#include "ppa/operating_point.hpp"
+
+namespace ssma::ppa {
+
+struct CornerParams {
+  double dvth_n = 0.0;  ///< NMOS threshold shift [V]; negative = faster
+  double dvth_p = 0.0;  ///< PMOS threshold shift [V]
+  double leak_mult = 1.0;
+};
+
+CornerParams corner_params(Corner c);
+
+/// Effective threshold shift for a path with the given NMOS weight
+/// (0 = all-PMOS path, 1 = all-NMOS path).
+double effective_vth_shift(Corner c, double nmos_weight);
+
+/// Leakage multiplier including temperature dependence (doubles every
+/// kLeakTempDoublingK above 25 degC).
+double leakage_multiplier(const OperatingPoint& op);
+
+}  // namespace ssma::ppa

@@ -1,0 +1,137 @@
+#include "ppa/delay_model.hpp"
+
+#include <cmath>
+
+#include "ppa/corner.hpp"
+#include "util/check.hpp"
+
+namespace ssma::ppa {
+
+namespace {
+
+// NMOS weight of each class's critical path: the DLC evaluates through
+// NMOS footer stacks; the decoder path mixes NMOS bitline discharge with
+// static CMOS gates.
+constexpr double kEncoderNmosWeight = 0.85;
+constexpr double kDecoderNmosWeight = 0.60;
+
+// Below this gate overdrive the device leaves the alpha-power regime; the
+// model switches to an exponential subthreshold extension (continuous at
+// the boundary) so that near/sub-threshold operation — reachable under
+// local Vth variation at 0.5 V — yields very slow but finite delays, as
+// the self-timed circuit does in silicon.
+constexpr double kMinOverdriveV = 0.030;
+constexpr double kSubthresholdSlopeV = 0.028;  // n*kT/q at room temperature
+
+double alpha_power_scale(const AlphaPowerParams& law, const OperatingPoint& op,
+                         double nmos_weight, double vth_offset_v) {
+  SSMA_CHECK_MSG(op.vdd > 0.05, "VDD " << op.vdd << " V is not physical");
+  const double vth =
+      law.vth + effective_vth_shift(op.corner, nmos_weight) + vth_offset_v;
+  auto delay = [&](double v) {
+    const double overdrive = v - vth;
+    if (overdrive >= kMinOverdriveV)
+      return v / std::pow(overdrive, law.alpha);
+    const double at_floor = v / std::pow(kMinOverdriveV, law.alpha);
+    return at_floor *
+           std::exp((kMinOverdriveV - overdrive) / kSubthresholdSlopeV);
+  };
+  // Reference uses the *nominal* law threshold (TTG, no offset) at 0.5 V.
+  const double ref = kRefVdd / std::pow(kRefVdd - law.vth, law.alpha);
+  const double temp = 1.0 + kDelayTempCoeffPerK * (op.temp_c - 25.0);
+  return delay(op.vdd) / ref * temp;
+}
+
+}  // namespace
+
+double delay_scale(DelayClass cls, const OperatingPoint& op) {
+  switch (cls) {
+    case DelayClass::kEncoder:
+      return alpha_power_scale(kEncoderDelayLaw, op, kEncoderNmosWeight, 0.0);
+    case DelayClass::kDecoder:
+      return alpha_power_scale(kDecoderDelayLaw, op, kDecoderNmosWeight, 0.0);
+  }
+  return 1.0;
+}
+
+double DelayModel::enc_scale(double vth_offset_v) const {
+  return alpha_power_scale(kEncoderDelayLaw, op_, kEncoderNmosWeight,
+                           vth_offset_v);
+}
+
+double DelayModel::dec_scale(double vth_offset_v) const {
+  return alpha_power_scale(kDecoderDelayLaw, op_, kDecoderNmosWeight,
+                           vth_offset_v);
+}
+
+double DelayModel::dlc_eval_ns(int depth, double vth_offset_v) const {
+  SSMA_CHECK(depth >= 1 && depth <= kDlcBits);
+  return (kDlcBaseNs + kDlcPerBitNs * depth) * enc_scale(vth_offset_v);
+}
+
+double DelayModel::encoder_ns(const int depths[kTreeLevels]) const {
+  double total = 0.0;
+  for (int l = 0; l < kTreeLevels; ++l) total += dlc_eval_ns(depths[l]);
+  return total;
+}
+
+double DelayModel::encoder_best_ns() const {
+  const int depths[kTreeLevels] = {1, 1, 1, 1};
+  return encoder_ns(depths);
+}
+
+double DelayModel::encoder_worst_ns() const {
+  const int depths[kTreeLevels] = {kDlcBits, kDlcBits, kDlcBits, kDlcBits};
+  return encoder_ns(depths);
+}
+
+double DelayModel::rwl_ns(int ndec, double vth_offset_v) const {
+  SSMA_CHECK(ndec >= 1);
+  return (kRwlDriverNs + kRwlWirePerDecNs * ndec) * dec_scale(vth_offset_v);
+}
+
+double DelayModel::rbl_discharge_ns(double vth_offset_v) const {
+  return kRblDischargeNs * dec_scale(vth_offset_v);
+}
+
+double DelayModel::csa_ns(double vth_offset_v) const {
+  return kCsaSettleNs * dec_scale(vth_offset_v);
+}
+
+double DelayModel::latch_ns() const { return kLatchPulseNs * dec_scale(); }
+
+double DelayModel::rcd_col_ns() const { return kRcdColNs * dec_scale(); }
+
+double DelayModel::rcd_lut_ns() const {
+  return kRcdLutStageNs * kRcdLutStages * dec_scale();
+}
+
+double DelayModel::rcd_block_ns(int ndec) const {
+  SSMA_CHECK(ndec >= 1);
+  const double levels = ndec > 1 ? std::log2(static_cast<double>(ndec)) : 0.0;
+  return kRcdBlockStageNs * levels * dec_scale();
+}
+
+double DelayModel::handshake_ns() const { return kHandshakeNs * dec_scale(); }
+
+double DelayModel::precharge_ns() const { return kPrechargeNs * dec_scale(); }
+
+double DelayModel::rca_ns(int carry_chain_bits) const {
+  SSMA_CHECK(carry_chain_bits >= 0 && carry_chain_bits <= 16);
+  return (kRcaBaseNs + kRcaPerBitNs * carry_chain_bits) * dec_scale();
+}
+
+double DelayModel::decoder_path_ns(int ndec) const {
+  return rwl_ns(ndec) + rbl_discharge_ns() + csa_ns() + latch_ns() +
+         rcd_col_ns() + rcd_lut_ns() + rcd_block_ns(ndec) + handshake_ns();
+}
+
+double DelayModel::block_latency_best_ns(int ndec) const {
+  return encoder_best_ns() + decoder_path_ns(ndec);
+}
+
+double DelayModel::block_latency_worst_ns(int ndec) const {
+  return encoder_worst_ns() + decoder_path_ns(ndec);
+}
+
+}  // namespace ssma::ppa

@@ -1,0 +1,88 @@
+#include "ppa/energy_model.hpp"
+
+#include "ppa/corner.hpp"
+#include "util/check.hpp"
+
+namespace ssma::ppa {
+
+EnergyModel::EnergyModel(const OperatingPoint& op) : op_(op) {
+  SSMA_CHECK(op.vdd > 0.0);
+  dyn_scale_ = (op.vdd / kRefVdd) * (op.vdd / kRefVdd);
+  leak_mult_ = leakage_multiplier(op);
+}
+
+double EnergyModel::column_read_fj() const {
+  return kEnergyColumnReadFj * dyn_scale_;
+}
+
+double EnergyModel::csa_fj(int toggled_bits) const {
+  SSMA_CHECK(toggled_bits >= 0 && toggled_bits <= 32);
+  // Half the energy is clock/internal-node overhead, half scales with the
+  // number of toggled output bits; random data toggles ~16 of 32 bits, so
+  // the average lands on kEnergyCsaFj.
+  const double data_frac = static_cast<double>(toggled_bits) / 16.0;
+  return kEnergyCsaFj * (0.5 + 0.5 * data_frac) * dyn_scale_;
+}
+
+double EnergyModel::latch_fj() const { return kEnergyLatchFj * dyn_scale_; }
+
+double EnergyModel::rcd_lut_fj() const {
+  return kEnergyRcdLutFj * dyn_scale_;
+}
+
+double EnergyModel::dlc_precharge_fj() const {
+  return kEnergyDlcPrechargeFj * dyn_scale_;
+}
+
+double EnergyModel::dlc_eval_fj(int depth) const {
+  SSMA_CHECK(depth >= 1 && depth <= kDlcBits);
+  return (kEnergyDlcEvalBaseFj + kEnergyDlcEvalPerBitFj * depth) * dyn_scale_;
+}
+
+double EnergyModel::input_buffer_fj() const {
+  return kEnergyInputBufFj * dyn_scale_;
+}
+
+double EnergyModel::ctrl_pass_fj(int ndec) const {
+  SSMA_CHECK(ndec >= 1);
+  return (kCtrlBaseFj + kCtrlPerDecFj * ndec) * dyn_scale_;
+}
+
+double EnergyModel::rca_fj() const { return kEnergyRcaFj * dyn_scale_; }
+
+double EnergyModel::out_reg_fj() const {
+  return kEnergyOutRegFj * dyn_scale_;
+}
+
+double EnergyModel::write_bit_fj() const {
+  return kEnergyWriteBitFj * dyn_scale_;
+}
+
+double EnergyModel::encoder_pass_fj(const int depths[kTreeLevels]) const {
+  double e = 15.0 * dlc_precharge_fj() + input_buffer_fj();
+  for (int l = 0; l < kTreeLevels; ++l) e += dlc_eval_fj(depths[l]);
+  return e;
+}
+
+double EnergyModel::decoder_lookup_avg_fj() const {
+  return 8.0 * column_read_fj() + csa_fj(16) + latch_fj() + rcd_lut_fj();
+}
+
+double EnergyModel::block_leakage_uw(int ndec) const {
+  SSMA_CHECK(ndec >= 1);
+  return (kLeakBlockBaseUwPerV + kLeakPerDecoderUwPerV * ndec) * op_.vdd *
+         leak_mult_;
+}
+
+double EnergyModel::macro_leakage_uw(int ndec, int ns) const {
+  SSMA_CHECK(ns >= 1);
+  return block_leakage_uw(ndec) * ns;
+}
+
+double EnergyModel::decoder_leak_fraction(int ndec) const {
+  SSMA_CHECK(ndec >= 1);
+  return kLeakPerDecoderUwPerV * ndec /
+         (kLeakBlockBaseUwPerV + kLeakPerDecoderUwPerV * ndec);
+}
+
+}  // namespace ssma::ppa

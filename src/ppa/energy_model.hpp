@@ -1,0 +1,64 @@
+// Per-event dynamic energies and the leakage-power model. The simulator's
+// EnergyLedger charges these amounts as events execute; the analytic model
+// integrates them in closed form.
+//
+// Dynamic energy scales as (V/Vref)^2 (CV^2 switching). Leakage power
+// scales linearly with V (channel leakage at fixed Vth dominates) and is
+// corner/temperature dependent — at 0.5 V the macro is slow enough that
+// leakage contributes visibly, which is exactly why the paper's Fig. 6
+// energy curve falls slower than V^2.
+#pragma once
+
+#include "ppa/operating_point.hpp"
+#include "ppa/tech_constants.hpp"
+
+namespace ssma::ppa {
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(const OperatingPoint& op);
+
+  const OperatingPoint& op() const { return op_; }
+
+  /// Dimensionless dynamic-energy multiplier vs the 0.5 V reference.
+  double dyn_scale() const { return dyn_scale_; }
+
+  // --- per-event dynamic energies [fJ] at this operating point ---
+  double column_read_fj() const;
+  /// 16-bit CSA; `toggled_bits` out of 32 output bits switched (S and C
+  /// vectors). Calibrated so that random data averages kEnergyCsaFj.
+  double csa_fj(int toggled_bits) const;
+  double latch_fj() const;
+  double rcd_lut_fj() const;
+  double dlc_precharge_fj() const;
+  double dlc_eval_fj(int depth) const;
+  double input_buffer_fj() const;
+  double ctrl_pass_fj(int ndec) const;
+  double rca_fj() const;
+  double out_reg_fj() const;
+  double write_bit_fj() const;
+
+  /// Aggregate dynamic energy of one encoder pass (all 15 DLCs precharged,
+  /// 4 evaluated at the given depths, input buffer).
+  double encoder_pass_fj(const int depths[kTreeLevels]) const;
+
+  /// Average-data dynamic energy of one decoder lookup (8 column reads +
+  /// CSA + latch + RCD). 90 fJ at the reference point.
+  double decoder_lookup_avg_fj() const;
+
+  // --- leakage ---
+  /// Leakage power of one compute block [uW == fJ/ns].
+  double block_leakage_uw(int ndec) const;
+  /// Leakage power of the whole macro [uW].
+  double macro_leakage_uw(int ndec, int ns) const;
+  /// Fraction of leakage attributable to the decoders (SRAM arrays +
+  /// CSAs dominate device count) — used for Fig. 7A-style attribution.
+  double decoder_leak_fraction(int ndec) const;
+
+ private:
+  OperatingPoint op_;
+  double dyn_scale_;
+  double leak_mult_;
+};
+
+}  // namespace ssma::ppa

@@ -1,0 +1,26 @@
+// Operating conditions of the macro: supply voltage, process corner and
+// temperature. All delay/energy queries are made against an
+// OperatingPoint, mirroring how the paper sweeps Fig. 6.
+#pragma once
+
+#include <string>
+
+namespace ssma::ppa {
+
+/// Process corners evaluated in the paper (Fig. 6). First letter is the
+/// NMOS corner, second the PMOS corner; G = "global" extraction.
+enum class Corner { TTG, FFG, SSG, SFG, FSG };
+
+const char* corner_name(Corner c);
+Corner corner_from_name(const std::string& name);
+
+struct OperatingPoint {
+  double vdd = 0.5;            ///< supply voltage [V]
+  Corner corner = Corner::TTG;
+  double temp_c = 25.0;        ///< junction temperature [deg C]
+};
+
+inline OperatingPoint nominal_05v() { return {0.5, Corner::TTG, 25.0}; }
+inline OperatingPoint nominal_08v() { return {0.8, Corner::TTG, 25.0}; }
+
+}  // namespace ssma::ppa

@@ -1,0 +1,49 @@
+#include "sim/adders.hpp"
+
+#include "util/fixed_point.hpp"
+
+namespace ssma::sim {
+
+CarrySave csa_step(CarrySave in, std::int8_t lut_word) {
+  const auto l = static_cast<std::uint16_t>(
+      static_cast<std::int16_t>(lut_word));  // sign-extend to 16 bits
+  CarrySave out;
+  out.s = in.s ^ in.c ^ l;
+  const std::uint16_t maj =
+      static_cast<std::uint16_t>((in.s & in.c) | (in.s & l) | (in.c & l));
+  out.c = static_cast<std::uint16_t>(maj << 1);  // carry into next bit
+  return out;
+}
+
+int csa_toggled_bits(CarrySave prev, CarrySave next) {
+  return popcount16(static_cast<std::uint16_t>(prev.s ^ next.s)) +
+         popcount16(static_cast<std::uint16_t>(prev.c ^ next.c));
+}
+
+int rca_carry_chain(CarrySave in) {
+  // Propagate p_i = s_i XOR c_i, generate g_i = s_i AND c_i. A carry
+  // born at bit i ripples while successive bits propagate; the RCA's
+  // settling time follows the longest such run.
+  int longest = 0;
+  int run = 0;
+  bool carry_alive = false;
+  for (int bit = 0; bit < 16; ++bit) {
+    const int s = (in.s >> bit) & 1;
+    const int c = (in.c >> bit) & 1;
+    const bool generate = s & c;
+    const bool propagate = s ^ c;
+    if (carry_alive && propagate) {
+      ++run;
+    } else if (generate) {
+      carry_alive = true;
+      run = 1;
+    } else {
+      carry_alive = generate;
+      run = generate ? 1 : 0;
+    }
+    if (run > longest) longest = run;
+  }
+  return longest;
+}
+
+}  // namespace ssma::sim

@@ -1,0 +1,36 @@
+// Arithmetic datapath elements: the 16-bit carry-save adder (3:2
+// compressor) inside each decoder and the 16-bit ripple-carry adder of
+// the output stage. Functional semantics are exact 16-bit
+// two's-complement wraparound; timing/energy are data-dependent
+// (toggled bits for CSA energy, longest carry-propagate run for RCA
+// delay).
+#pragma once
+
+#include <cstdint>
+
+namespace ssma::sim {
+
+/// Carry-save state flowing between pipeline blocks: value = S + C mod 2^16.
+struct CarrySave {
+  std::uint16_t s = 0;
+  std::uint16_t c = 0;
+
+  std::int16_t resolve() const {
+    return static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(s + c));
+  }
+};
+
+/// One 3:2 compression step: (S, C, L) -> (S', C') with
+/// S' + C' == S + C + L (mod 2^16). L is the sign-extended LUT word.
+CarrySave csa_step(CarrySave in, std::int8_t lut_word);
+
+/// Number of output bits (S' and C' concatenated, 32 bits) that differ
+/// from the previous CSA output state — drives switching energy.
+int csa_toggled_bits(CarrySave prev, CarrySave next);
+
+/// Longest carry-propagate chain (in bits) when resolving S + C with a
+/// ripple-carry adder; determines the RCA delay.
+int rca_carry_chain(CarrySave in);
+
+}  // namespace ssma::sim

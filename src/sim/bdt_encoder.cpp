@@ -1,0 +1,61 @@
+#include "sim/bdt_encoder.hpp"
+
+#include "util/check.hpp"
+
+namespace ssma::sim {
+
+void BdtEncoder::program(const maddness::HashTree& tree) {
+  tree_ = tree;
+  for (int n = 0; n < kNodes; ++n)
+    dlcs_[n].set_threshold(tree.threshold_flat(n));
+}
+
+void BdtEncoder::write_threshold(SimContext& ctx, int flat_node,
+                                 std::uint8_t t) {
+  SSMA_CHECK(flat_node >= 0 && flat_node < kNodes);
+  dlcs_[flat_node].set_threshold(t);
+  const int level = flat_node < 1 ? 0 : (flat_node < 3 ? 1 : (flat_node < 7 ? 2 : 3));
+  const int node = flat_node - ((1 << level) - 1);
+  tree_.set_threshold(level, node, t);
+  ctx.ledger.charge(EnergyCat::kWrite, 8.0 * ctx.energy.write_bit_fj());
+}
+
+void BdtEncoder::encode(SimContext& ctx, const std::uint8_t* subvec,
+                        std::function<void(Result)> done) {
+  // Apply per-node variation offsets lazily (the map may be installed
+  // after construction).
+  if (!ctx.variation.empty()) {
+    for (int n = 0; n < kNodes; ++n)
+      dlcs_[n].set_vth_offset(ctx.variation.dlc_vth(block_, n));
+  }
+
+  ctx.ledger.charge(EnergyCat::kEncoderBuffer, ctx.energy.input_buffer_fj());
+
+  // The four evaluations are sequential (each level's result selects the
+  // next DLC); functionally we can resolve the whole path now and let the
+  // scheduler realize the total delay.
+  Result r;
+  int node = 0;
+  double total_ns = 0.0;
+  for (int level = 0; level < kLevels; ++level) {
+    const int flat = (1 << level) - 1 + node;
+    const std::uint8_t x = subvec[tree_.split_dim(level)];
+    const DlcResult dr = dlcs_[flat].evaluate(ctx, x);
+    r.depths[level] = dr.depth;
+    total_ns += dr.delay_ns;
+    node = 2 * node + (dr.x_ge_t ? 1 : 0);
+  }
+  r.leaf = node;
+  r.total_delay_ns = total_ns;
+  ctx.sched.after_ns(total_ns,
+                     [done = std::move(done), r]() mutable { done(r); });
+}
+
+void BdtEncoder::precharge(SimContext& ctx) {
+  for (int n = 0; n < kNodes; ++n) {
+    (void)n;
+    Dlc::charge_precharge(ctx);
+  }
+}
+
+}  // namespace ssma::sim

@@ -1,0 +1,54 @@
+// The compute block's PQ encoder: 15 DLCs in a 4-level tournament
+// (Fig. 4A). Only the DLC on the active path evaluates at each level
+// (dynamic logic auto-gates the rest), so exactly 4 of 15 comparators
+// discharge per encoding.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "maddness/hash_tree.hpp"
+#include "sim/dlc.hpp"
+
+namespace ssma::sim {
+
+class BdtEncoder {
+ public:
+  static constexpr int kLevels = maddness::HashTree::kLevels;
+  static constexpr int kNodes = maddness::HashTree::kNodes;
+
+  /// `block_index` selects this encoder's variation-map slice.
+  explicit BdtEncoder(int block_index = 0) : block_(block_index) {}
+
+  /// Programs thresholds and per-level split dims from a learned tree.
+  void program(const maddness::HashTree& tree);
+
+  /// Writes one threshold flop directly (write-path model); charges write
+  /// energy.
+  void write_threshold(SimContext& ctx, int flat_node, std::uint8_t t);
+
+  const maddness::HashTree& tree() const { return tree_; }
+
+  struct Result {
+    int leaf = 0;                       ///< prototype index [0, 16)
+    double total_delay_ns = 0.0;        ///< sum of the 4 DLC evaluations
+    std::array<int, kLevels> depths{};  ///< per-level resolution depths
+  };
+
+  /// Runs the 4-level evaluation on the subvector, charging DLC energy.
+  /// `done` fires on the scheduler after the accumulated encoder delay.
+  void encode(SimContext& ctx, const std::uint8_t* subvec,
+              std::function<void(Result)> done);
+
+  /// Precharges all 15 DLCs (energy only; timing handled by the block's
+  /// precharge phase).
+  void precharge(SimContext& ctx);
+
+ private:
+  int block_;
+  maddness::HashTree tree_;
+  std::array<Dlc, kNodes> dlcs_;
+};
+
+}  // namespace ssma::sim

@@ -1,0 +1,63 @@
+// Clock-synchronous baseline of the same datapath: every pipeline stage
+// advances on a global clock whose period must cover the *worst-case*
+// block latency across all PVT/data conditions plus a timing margin.
+// This is the design point the paper argues against (Sec. III-A): the
+// self-synchronous pipeline runs at average-case speed, the clocked one
+// at guard-banded worst-case speed.
+//
+// Functionally identical to Macro (bit-exact outputs); only the schedule
+// differs — so the comparison isolates the architectural choice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "maddness/hash_tree.hpp"
+#include "ppa/operating_point.hpp"
+#include "sim/macro.hpp"
+
+namespace ssma::sim {
+
+struct ClockedConfig {
+  int ndec = 16;
+  int ns = 32;
+  ppa::OperatingPoint op = ppa::nominal_05v();
+  /// Clock guard band on top of the worst-case block latency. Synchronous
+  /// sign-off additionally margins for the worst PVT corner; the margin
+  /// here is on top of the *current* operating point's worst case.
+  double clock_margin = 0.10;
+};
+
+struct ClockedRunResult {
+  std::vector<std::vector<std::int16_t>> outputs;
+  double clock_period_ns = 0.0;
+  double duration_ns = 0.0;
+  double total_energy_fj = 0.0;
+  double throughput_tops = 0.0;
+  double tops_per_w = 0.0;
+};
+
+class ClockedMacro {
+ public:
+  explicit ClockedMacro(const ClockedConfig& cfg);
+
+  void program(const std::vector<maddness::HashTree>& trees,
+               const std::vector<std::vector<std::array<std::int8_t, 16>>>& luts,
+               const std::vector<std::int16_t>& bias);
+
+  /// Cycle-accurate run at the fixed clock period. Each stage processes
+  /// one token per clock; energy adds the clock-tree/register overhead a
+  /// synchronous implementation pays (the paper's [22] comparison point).
+  ClockedRunResult run(const std::vector<std::vector<Subvec>>& inputs);
+
+  double clock_period_ns() const;
+
+ private:
+  ClockedConfig cfg_;
+  std::vector<maddness::HashTree> trees_;
+  std::vector<std::vector<std::array<std::int8_t, 16>>> luts_;
+  std::vector<std::int16_t> bias_;
+  bool programmed_ = false;
+};
+
+}  // namespace ssma::sim

@@ -1,0 +1,168 @@
+#include "sim/compute_block.hpp"
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace ssma::sim {
+
+ComputeBlock::ComputeBlock(SimContext& ctx, int index, int ndec,
+                           bool speculative_encode)
+    : ctx_(ctx),
+      index_(index),
+      ndec_(ndec),
+      speculative_(speculative_encode),
+      encoder_(index),
+      block_rcd_(ndec, ctx.delay.rcd_block_ns(ndec)) {
+  SSMA_CHECK(ndec >= 1);
+  decoders_.reserve(ndec);
+  for (int d = 0; d < ndec; ++d)
+    decoders_.push_back(std::make_unique<DecoderUnit>(ctx, index, d));
+}
+
+void ComputeBlock::program_tree(SimContext& ctx,
+                                const maddness::HashTree& tree) {
+  encoder_.program(tree);
+  // Threshold flops are written through the local write port.
+  ctx.ledger.charge(EnergyCat::kWrite,
+                    BdtEncoder::kNodes * 8.0 * ctx.energy.write_bit_fj());
+}
+
+void ComputeBlock::program_lut(SimContext& ctx, int dec,
+                               const std::array<std::int8_t, 16>& table) {
+  SSMA_CHECK(dec >= 0 && dec < ndec_);
+  decoders_[dec]->program(ctx, table);
+}
+
+void ComputeBlock::connect(FourPhaseLink* up, FourPhaseLink* down) {
+  up_ = up;
+  down_ = down;
+  up_->set_consumer([this](const Token& t) { return on_offer(t); });
+  down_->set_producer([this] { on_downstream_rtz(); });
+}
+
+bool ComputeBlock::on_offer(const Token& t) {
+  if (state_ != State::kReady) return false;
+  SSMA_CHECK_MSG(static_cast<int>(t.lanes.size()) == ndec_,
+                 "token lane count mismatch");
+  state_ = State::kComputing;
+  current_ = t;
+  accept_time_ = ctx_.sched.now();
+  ctx_.trace_signal("block" + std::to_string(index_) + ".state", "compute");
+  // Handshake controller + input latching energy for this pass.
+  ctx_.ledger.charge(EnergyCat::kControl, ctx_.energy.ctrl_pass_fj(ndec_));
+  ctx_.sched.after(0, [this] { start_compute(); });
+  return true;
+}
+
+void ComputeBlock::start_compute() {
+  SSMA_CHECK(fetch_);
+  if (speculative_ && spec_index_ == current_.index) {
+    if (spec_valid_) {
+      // The encoder raced ahead and already classified this token.
+      spec_valid_ = false;
+      proceed_with_leaf(spec_result_);
+    } else {
+      SSMA_CHECK(spec_running_);
+      waiting_for_spec_ = true;  // on_spec_encoded will continue
+    }
+    return;
+  }
+  const Subvec* sv = fetch_(current_.index);
+  SSMA_CHECK_MSG(sv != nullptr, "no input for token");
+  encoder_.encode(ctx_, sv->data(),
+                  [this](BdtEncoder::Result r) { on_encoded(r); });
+}
+
+void ComputeBlock::on_encoded(const BdtEncoder::Result& r) {
+  encoder_latency_ns_.add(r.total_delay_ns);
+  // Encoder rails precharge now, hidden under the decode phase.
+  encoder_.precharge(ctx_);
+  encoder_free_at_ =
+      ctx_.sched.now() + ps_from_ns(ctx_.delay.precharge_ns());
+  proceed_with_leaf(r);
+}
+
+void ComputeBlock::proceed_with_leaf(const BdtEncoder::Result& r) {
+  ctx_.trace_signal("block" + std::to_string(index_) + ".leaf",
+                    std::to_string(r.leaf));
+  block_rcd_.reset();
+  result_ = Token{current_.index, std::vector<CarrySave>(ndec_)};
+
+  maybe_start_speculative(current_.index + 1);
+
+  // RWL driver broadcasts the one-hot row select across all Ndec LUTs.
+  ctx_.sched.after_ns(ctx_.delay.rwl_ns(ndec_), [this, leaf = r.leaf] {
+    for (int d = 0; d < ndec_; ++d) {
+      decoders_[d]->decode(
+          ctx_, leaf, current_.lanes[d], [this, d](DecoderUnit::Done done) {
+            result_.lanes[d] = done.out;
+            bitline_precharged_ =
+                std::max(bitline_precharged_,
+                         done.latch_time_ps +
+                             ps_from_ns(ctx_.delay.precharge_ns()));
+            block_rcd_.leaf_done(ctx_, [this] { on_block_rcd_done(); });
+          });
+    }
+  });
+}
+
+void ComputeBlock::maybe_start_speculative(long long idx) {
+  if (!speculative_ || spec_running_ || spec_valid_) return;
+  const Subvec* sv = fetch_(idx);
+  if (sv == nullptr) return;
+  spec_running_ = true;
+  spec_index_ = idx;
+  // The encoder may still be precharging from its previous evaluation.
+  const SimTime start = std::max(ctx_.sched.now(), encoder_free_at_);
+  ctx_.sched.at(start, [this, sv] {
+    encoder_.encode(ctx_, sv->data(),
+                    [this](BdtEncoder::Result r) { on_spec_encoded(r); });
+  });
+}
+
+void ComputeBlock::on_spec_encoded(const BdtEncoder::Result& r) {
+  encoder_latency_ns_.add(r.total_delay_ns);
+  encoder_.precharge(ctx_);
+  encoder_free_at_ =
+      ctx_.sched.now() + ps_from_ns(ctx_.delay.precharge_ns());
+  spec_running_ = false;
+  spec_result_ = r;
+  if (waiting_for_spec_) {
+    SSMA_CHECK(current_.index == spec_index_);
+    waiting_for_spec_ = false;
+    proceed_with_leaf(r);
+  } else {
+    spec_valid_ = true;
+  }
+}
+
+void ComputeBlock::on_block_rcd_done() {
+  // Completion detected; the controller raises REQ to the next stage
+  // after its four-phase control delay.
+  ctx_.sched.after_ns(ctx_.delay.handshake_ns(), [this] {
+    latency_ns_.add(ns_from_ps(ctx_.sched.now() - accept_time_));
+    state_ = State::kWaitDownstream;
+    down_->offer(ctx_, result_);
+  });
+}
+
+void ComputeBlock::on_downstream_rtz() {
+  SSMA_CHECK(state_ == State::kWaitDownstream);
+  // Bitlines precharge in the shadow of the RCD/handshake tail; only if
+  // that window was shorter than the precharge time do we wait here.
+  const SimTime now = ctx_.sched.now();
+  if (now >= bitline_precharged_) {
+    become_ready();
+  } else {
+    ctx_.sched.at(bitline_precharged_, [this] { become_ready(); });
+  }
+}
+
+void ComputeBlock::become_ready() {
+  state_ = State::kReady;
+  ctx_.trace_signal("block" + std::to_string(index_) + ".state", "ready");
+  up_->consumer_ready(ctx_);
+}
+
+}  // namespace ssma::sim

@@ -1,0 +1,103 @@
+// One pipeline stage (Fig. 2): BDT encoder + Ndec decoders + RWL driver +
+// block-level RCD tree + four-phase handshake controller. Accepts a token
+// from upstream, encodes its own subvector, looks up all Ndec LUTs,
+// compresses onto the incoming partial sums and forwards the token
+// downstream. Precharge overlaps the same token's decode phase, so the
+// steady-state pipeline interval equals the block's compute latency.
+//
+// Speculative-encode extension (not in the paper's serial schedule): the
+// encoder's operand is the block's *own* subvector, independent of the
+// upstream partial sums — so encoding of token k+1 can start while the
+// block waits for token k+1's partials, hiding most of the
+// encoder-dominated latency (see bench/ablation_speculative).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "maddness/hash_tree.hpp"
+#include "sim/bdt_encoder.hpp"
+#include "sim/decoder_unit.hpp"
+#include "sim/handshake.hpp"
+#include "sim/rcd_tree.hpp"
+#include "util/stats.hpp"
+
+namespace ssma::sim {
+
+class ComputeBlock {
+ public:
+  /// Fetches the block's subvector for a token index from its input
+  /// buffer (owned by the macro); nullptr when no such token exists.
+  using FetchSubvec = std::function<const Subvec*(long long)>;
+
+  ComputeBlock(SimContext& ctx, int index, int ndec,
+               bool speculative_encode = false);
+
+  int index() const { return index_; }
+  int ndec() const { return ndec_; }
+
+  void program_tree(SimContext& ctx, const maddness::HashTree& tree);
+  void program_lut(SimContext& ctx, int dec,
+                   const std::array<std::int8_t, 16>& table);
+  const BdtEncoder& encoder() const { return encoder_; }
+  const DecoderUnit& decoder(int dec) const { return *decoders_[dec]; }
+
+  void set_fetch(FetchSubvec fetch) { fetch_ = std::move(fetch); }
+
+  /// Wires the block between its upstream and downstream links.
+  void connect(FourPhaseLink* up, FourPhaseLink* down);
+
+  /// Per-token compute latency (accept -> REQ_out), for Fig. 7B style
+  /// measurements.
+  const SampleSet& latency_ns() const { return latency_ns_; }
+
+  /// Distribution of encoder resolution latencies seen.
+  const SampleSet& encoder_latency_ns() const { return encoder_latency_ns_; }
+
+ private:
+  enum class State { kReady, kComputing, kWaitDownstream };
+
+  bool on_offer(const Token& t);
+  void start_compute();
+  void on_encoded(const BdtEncoder::Result& r);
+  /// Common tail after the leaf index is known: RWL + decoders + RCD.
+  void proceed_with_leaf(const BdtEncoder::Result& r);
+  void maybe_start_speculative(long long idx);
+  void on_spec_encoded(const BdtEncoder::Result& r);
+  void on_block_rcd_done();
+  void on_downstream_rtz();
+  void become_ready();
+
+  SimContext& ctx_;
+  int index_;
+  int ndec_;
+  bool speculative_;
+  State state_ = State::kReady;
+
+  BdtEncoder encoder_;
+  std::vector<std::unique_ptr<DecoderUnit>> decoders_;
+  RcdTree block_rcd_;
+  FetchSubvec fetch_;
+
+  FourPhaseLink* up_ = nullptr;
+  FourPhaseLink* down_ = nullptr;
+
+  Token current_;
+  Token result_;
+  SimTime accept_time_ = 0;
+  SimTime bitline_precharged_ = 0;  ///< absolute time precharge completes
+  SimTime encoder_free_at_ = 0;     ///< encoder rails precharged again
+
+  // Speculative-encode state.
+  bool spec_valid_ = false;
+  bool spec_running_ = false;
+  bool waiting_for_spec_ = false;
+  long long spec_index_ = -1;
+  BdtEncoder::Result spec_result_{};
+
+  SampleSet latency_ns_;
+  SampleSet encoder_latency_ns_;
+};
+
+}  // namespace ssma::sim

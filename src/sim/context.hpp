@@ -1,0 +1,35 @@
+// Shared simulation context: the event scheduler, energy ledger, the
+// calibrated delay/energy models at the chosen operating point, and the
+// (optional) local-variation map. Components hold a reference to this.
+#pragma once
+
+#include "ppa/delay_model.hpp"
+#include "ppa/energy_model.hpp"
+#include "ppa/operating_point.hpp"
+#include "sim/energy_ledger.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "sim/variation.hpp"
+
+namespace ssma::sim {
+
+struct SimContext {
+  explicit SimContext(const ppa::OperatingPoint& op)
+      : delay(op), energy(op) {}
+
+  Scheduler sched;
+  EnergyLedger ledger;
+  ppa::DelayModel delay;
+  ppa::EnergyModel energy;
+  VariationMap variation;     ///< empty = nominal devices
+  TraceSink* trace = nullptr;  ///< optional signal tracing
+
+  void trace_signal(const char* signal, const char* value) {
+    if (trace) trace->record(sched.now(), signal, value);
+  }
+  void trace_signal(const std::string& signal, const std::string& value) {
+    if (trace) trace->record(sched.now(), signal, value);
+  }
+};
+
+}  // namespace ssma::sim

@@ -1,0 +1,60 @@
+#include "sim/decoder_unit.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace ssma::sim {
+
+DecoderUnit::DecoderUnit(SimContext& ctx, int block, int dec)
+    : sram_(block, dec),
+      lut_rcd_(8, ctx.delay.rcd_lut_ns()),
+      rcd_lut_prop_ns_(ctx.delay.rcd_lut_ns()) {}
+
+void DecoderUnit::program(SimContext& ctx,
+                          const std::array<std::int8_t, 16>& table) {
+  for (int row = 0; row < 16; ++row) sram_.write_row(ctx, row, table[row]);
+}
+
+void DecoderUnit::decode(SimContext& ctx, int row, CarrySave in,
+                         std::function<void(Done)> done) {
+  SSMA_CHECK(row >= 0 && row < 16);
+  lut_rcd_.reset();
+
+  // Functional result is fully determined now; events realize the timing.
+  const std::int8_t word = sram_.read_word(row);
+  const CarrySave out = csa_step(in, word);
+  const int toggles = csa_toggled_bits(latched_, out);
+
+  // Per-column path: RBL/RBLB discharge -> FA settle -> RCD_col -> GE
+  // pulse + latch. Each column signals the RCD_LUT tournament
+  // independently (column-level completion detection, Sec. III-C).
+  const double tail_ns = ctx.delay.csa_ns() + ctx.delay.rcd_col_ns() +
+                         ctx.delay.latch_ns();
+  SimTime last_latch = ctx.sched.now();
+  auto shared_done =
+      std::make_shared<std::function<void(Done)>>(std::move(done));
+  for (int col = 0; col < 8; ++col) {
+    const SramArray::ColumnRead r = sram_.read_column(ctx, row, col);
+    const SimTime t_latch =
+        ctx.sched.now() + ps_from_ns(r.delay_ns + tail_ns);
+    last_latch = std::max(last_latch, t_latch);
+    ctx.sched.at(t_latch, [this, &ctx, col, out, toggles, t_latch,
+                           shared_done] {
+      (void)col;
+      lut_rcd_.leaf_done(ctx, [this, &ctx, out, toggles, t_latch,
+                               shared_done] {
+        // All columns latched; RCD_LUT has propagated.
+        latched_ = out;
+        ctx.ledger.charge(EnergyCat::kCsa, ctx.energy.csa_fj(toggles));
+        ctx.ledger.charge(EnergyCat::kLatch, ctx.energy.latch_fj());
+        ctx.ledger.charge(EnergyCat::kRcd, ctx.energy.rcd_lut_fj());
+        (*shared_done)(Done{out, t_latch});
+      });
+    });
+  }
+}
+
+}  // namespace ssma::sim

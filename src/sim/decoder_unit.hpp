@@ -1,0 +1,49 @@
+// One decoder (Fig. 5): 16x8 10T-SRAM LUT + 16-bit CSA + output latch +
+// per-column RCD aggregated by the RCD_LUT tournament. A decode reads the
+// selected row, compresses it onto the incoming carry-save partial sums
+// and reports completion through its RCD — the per-column self-timing
+// that replaces a sense-amp replica path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "sim/adders.hpp"
+#include "sim/context.hpp"
+#include "sim/rcd_tree.hpp"
+#include "sim/sram.hpp"
+
+namespace ssma::sim {
+
+class DecoderUnit {
+ public:
+  DecoderUnit(SimContext& ctx, int block, int dec);
+
+  /// Programs the 16-entry LUT via the write port.
+  void program(SimContext& ctx, const std::array<std::int8_t, 16>& table);
+
+  std::int8_t lut_entry(int row) const { return sram_.read_word(row); }
+
+  struct Done {
+    CarrySave out;
+    SimTime latch_time_ps = 0;  ///< when the output latches closed
+  };
+
+  /// Starts a decode at the current simulation time (RWL already
+  /// asserted): reads row `row`, compresses onto `in`. `done` fires when
+  /// this decoder's RCD_LUT output rises.
+  void decode(SimContext& ctx, int row, CarrySave in,
+              std::function<void(Done)> done);
+
+  /// Latched output of the previous decode (drives downstream CSA).
+  CarrySave latched() const { return latched_; }
+
+ private:
+  SramArray sram_;
+  RcdTree lut_rcd_;
+  CarrySave latched_{};
+  double rcd_lut_prop_ns_;
+};
+
+}  // namespace ssma::sim

@@ -1,0 +1,25 @@
+#include "sim/dlc.hpp"
+
+namespace ssma::sim {
+
+int Dlc::compare_depth(std::uint8_t x, std::uint8_t t) {
+  for (int bit = 7; bit >= 0; --bit) {
+    if (((x >> bit) & 1) != ((t >> bit) & 1)) return 8 - bit;
+  }
+  return 8;
+}
+
+DlcResult Dlc::evaluate(SimContext& ctx, std::uint8_t x) const {
+  DlcResult r;
+  r.x_ge_t = x >= threshold_;
+  r.depth = compare_depth(x, threshold_);
+  r.delay_ns = ctx.delay.dlc_eval_ns(r.depth, vth_offset_);
+  ctx.ledger.charge(EnergyCat::kEncoderDlc, ctx.energy.dlc_eval_fj(r.depth));
+  return r;
+}
+
+void Dlc::charge_precharge(SimContext& ctx) {
+  ctx.ledger.charge(EnergyCat::kEncoderDlc, ctx.energy.dlc_precharge_fj());
+}
+
+}  // namespace ssma::sim

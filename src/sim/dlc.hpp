@@ -1,0 +1,48 @@
+// Dual-rail dynamic-logic comparator (Fig. 4B/C). Functional model plus
+// the data-dependent timing/energy behaviour of the dynamic circuit:
+//   * precharge phase charges both rails (energy per DLC per cycle);
+//   * evaluation discharges one rail; the discharge path length — and
+//     hence the delay — grows with the number of equal high-order bits
+//     (comparisons "determined by the higher digits alone" finish first).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/context.hpp"
+
+namespace ssma::sim {
+
+struct DlcResult {
+  bool x_ge_t = false;  ///< comparison outcome (x >= t goes right)
+  int depth = 0;        ///< resolution depth in [1, 8]
+  double delay_ns = 0.0;
+};
+
+class Dlc {
+ public:
+  Dlc() = default;
+  Dlc(std::uint8_t threshold, double vth_offset_v)
+      : threshold_(threshold), vth_offset_(vth_offset_v) {}
+
+  std::uint8_t threshold() const { return threshold_; }
+  void set_threshold(std::uint8_t t) { threshold_ = t; }
+  void set_vth_offset(double v) { vth_offset_ = v; }
+
+  /// Resolution depth shared with maddness::HashTree::compare_depth —
+  /// asserted equal in tests.
+  static int compare_depth(std::uint8_t x, std::uint8_t t);
+
+  /// Evaluates against input x at the given operating point. Charges the
+  /// evaluation energy; precharge energy is charged by the encoder during
+  /// the precharge phase.
+  DlcResult evaluate(SimContext& ctx, std::uint8_t x) const;
+
+  /// Precharge energy for one DLC (both rails restored).
+  static void charge_precharge(SimContext& ctx);
+
+ private:
+  std::uint8_t threshold_ = 128;
+  double vth_offset_ = 0.0;
+};
+
+}  // namespace ssma::sim

@@ -1,0 +1,62 @@
+#include "sim/handshake.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace ssma::sim {
+
+void FourPhaseLink::set_consumer(OfferHook on_offer) {
+  on_offer_ = std::move(on_offer);
+}
+
+void FourPhaseLink::set_producer(RtzHook on_rtz_complete) {
+  on_rtz_ = std::move(on_rtz_complete);
+}
+
+void FourPhaseLink::offer(SimContext& ctx, Token t) {
+  SSMA_CHECK_MSG(state_ == State::kIdle,
+                 "four-phase violation: REQ raised while link in state "
+                     << static_cast<int>(state_));
+  SSMA_CHECK_MSG(!pending_, "four-phase violation: double offer");
+  pending_ = std::move(t);
+  state_ = State::kReqHigh;
+  if (!trace_id_.empty()) ctx.trace_signal(trace_id_ + ".req", "1");
+  deliver(ctx);
+}
+
+void FourPhaseLink::consumer_ready(SimContext& ctx) {
+  if (state_ == State::kReqHigh && pending_) deliver(ctx);
+}
+
+void FourPhaseLink::deliver(SimContext& ctx) {
+  SSMA_CHECK(state_ == State::kReqHigh);
+  SSMA_CHECK(static_cast<bool>(on_offer_));
+  if (on_offer_(*pending_)) accept_sequence(ctx);
+}
+
+void FourPhaseLink::accept_sequence(SimContext& ctx) {
+  // ACK rises; REQ falls; ACK falls. The signal round trip is lumped into
+  // the calibrated handshake delay charged by the producing block, so the
+  // return-to-zero transitions execute back-to-back as zero-delay events
+  // (kept as separate events so the ordering is observable and checked).
+  state_ = State::kAckHigh;
+  pending_.reset();
+  if (!trace_id_.empty()) ctx.trace_signal(trace_id_ + ".ack", "1");
+  ctx.sched.after(0, [this, &ctx] {
+    SSMA_CHECK_MSG(state_ == State::kAckHigh,
+                   "four-phase violation: REQ fall out of order");
+    state_ = State::kReqLow;
+    if (!trace_id_.empty()) ctx.trace_signal(trace_id_ + ".req", "0");
+    ctx.sched.after(0, [this, &ctx] {
+      SSMA_CHECK_MSG(state_ == State::kReqLow,
+                     "four-phase violation: ACK fall out of order");
+      state_ = State::kIdle;
+      if (!trace_id_.empty()) ctx.trace_signal(trace_id_ + ".ack", "0");
+      ++cycles_;
+      if (on_rtz_) on_rtz_();
+    });
+  });
+}
+
+}  // namespace ssma::sim

@@ -1,0 +1,61 @@
+// Four-phase handshake link between adjacent pipeline stages
+// (REQ up, ACK up, REQ down, ACK down — return-to-zero signalling, as in
+// Sit et al. [26]). The link carries one token; a producer whose consumer
+// is busy stalls with REQ held high, which is what makes the pipeline
+// elastic. An embedded protocol checker turns any out-of-order transition
+// into a CheckError.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "sim/context.hpp"
+#include "sim/token.hpp"
+
+namespace ssma::sim {
+
+class FourPhaseLink {
+ public:
+  enum class State { kIdle, kReqHigh, kAckHigh, kReqLow };
+
+  /// Consumer hook: called when a token is offered (REQ rises or the
+  /// consumer declares readiness with a token pending). Return true to
+  /// accept now — the consumer must then latch the payload and the link
+  /// runs the ACK/return-to-zero sequence; return false to leave the
+  /// token pending with REQ held high.
+  using OfferHook = std::function<bool(const Token&)>;
+  /// Producer hook: called when the return-to-zero completes (ACK fell) —
+  /// the producer may then start its precharge/next cycle.
+  using RtzHook = std::function<void()>;
+
+  void set_consumer(OfferHook on_offer);
+  void set_producer(RtzHook on_rtz_complete);
+
+  /// Names this link's REQ/ACK signals in traces (e.g. "link3").
+  void set_trace_id(std::string id) { trace_id_ = std::move(id); }
+
+  State state() const { return state_; }
+  bool idle() const { return state_ == State::kIdle; }
+  bool has_pending() const { return pending_.has_value(); }
+  long long completed_cycles() const { return cycles_; }
+
+  /// Producer: raises REQ with the token. Protocol error if a previous
+  /// cycle has not completed.
+  void offer(SimContext& ctx, Token t);
+
+  /// Consumer: signals it can accept again; re-delivers a pending token.
+  void consumer_ready(SimContext& ctx);
+
+ private:
+  void deliver(SimContext& ctx);
+  void accept_sequence(SimContext& ctx);
+
+  State state_ = State::kIdle;
+  std::optional<Token> pending_;
+  OfferHook on_offer_;
+  RtzHook on_rtz_;
+  long long cycles_ = 0;
+  std::string trace_id_;
+};
+
+}  // namespace ssma::sim

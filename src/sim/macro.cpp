@@ -1,0 +1,232 @@
+#include "sim/macro.hpp"
+
+#include "util/check.hpp"
+#include "util/fixed_point.hpp"
+
+namespace ssma::sim {
+
+namespace {
+// Write-path timing at the 0.5 V reference: one 10T-SRAM row write
+// (WBL/WBLB drive + cell flip) per cycle, 16 rows per block.
+constexpr double kRowWriteBaseNs = 1.8;
+constexpr double kLutRowsPerBlock = 16.0;
+}  // namespace
+
+double MacroRunStats::throughput_tops(long long ops_per_token) const {
+  if (output_interval_ns.count() == 0) return 0.0;
+  return static_cast<double>(ops_per_token) / output_interval_ns.mean() *
+         1e-3;
+}
+
+double MacroRunStats::tops_per_w(long long total_ops) const {
+  const double fj = ledger.total_fj();
+  if (fj <= 0.0) return 0.0;
+  return static_cast<double>(total_ops) / fj * 1e3;  // ops/fJ -> TOPS/W
+}
+
+Macro::Macro(const MacroConfig& cfg)
+    : cfg_(cfg), ctx_(std::make_unique<SimContext>(cfg.op)) {
+  SSMA_CHECK(cfg.ndec >= 1 && cfg.ns >= 1);
+  // ns+1 links: [0] source->block0, [i] block(i-1)->block(i), [ns] ->output.
+  links_.reserve(cfg.ns + 1);
+  for (int i = 0; i <= cfg.ns; ++i)
+    links_.push_back(std::make_unique<FourPhaseLink>());
+  blocks_.reserve(cfg.ns);
+  for (int b = 0; b < cfg.ns; ++b) {
+    blocks_.push_back(std::make_unique<ComputeBlock>(
+        *ctx_, b, cfg.ndec, cfg.speculative_encode));
+    blocks_[b]->connect(links_[b].get(), links_[b + 1].get());
+  }
+}
+
+void Macro::set_variation(VariationMap map) {
+  ctx_->variation = std::move(map);
+}
+
+void Macro::set_trace(TraceSink* sink) {
+  ctx_->trace = sink;
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    links_[i]->set_trace_id("link" + std::to_string(i));
+}
+
+void Macro::program(
+    const std::vector<maddness::HashTree>& trees,
+    const std::vector<std::vector<std::array<std::int8_t, 16>>>& luts,
+    const std::vector<std::int16_t>& bias) {
+  SSMA_CHECK_MSG(static_cast<int>(trees.size()) == cfg_.ns,
+                 "need one hash tree per compute block");
+  SSMA_CHECK_MSG(static_cast<int>(luts.size()) == cfg_.ns,
+                 "need one LUT set per compute block");
+  SSMA_CHECK_MSG(static_cast<int>(bias.size()) == cfg_.ndec,
+                 "need one bias per lane");
+  for (int b = 0; b < cfg_.ns; ++b) {
+    SSMA_CHECK(static_cast<int>(luts[b].size()) == cfg_.ndec);
+    blocks_[b]->program_tree(*ctx_, trees[b]);
+    for (int d = 0; d < cfg_.ndec; ++d)
+      blocks_[b]->program_lut(*ctx_, d, luts[b][d]);
+  }
+  trees_ = trees;
+  luts_ = luts;
+  bias_ = bias;
+  programmed_ = true;
+}
+
+double Macro::program_timed(
+    const std::vector<maddness::HashTree>& trees,
+    const std::vector<std::vector<std::array<std::int8_t, 16>>>& luts,
+    const std::vector<std::int16_t>& bias) {
+  // Per-row write cycle: global write driver setup + WWL decode/drive +
+  // local bitcell write. The WWL spans the block's Ndec arrays, so its
+  // RC tracks the RWL model; cell write time follows the decoder-path
+  // voltage law.
+  const double wwl_ns = ctx_->delay.rwl_ns(cfg_.ndec);
+  const double cell_write_ns =
+      kRowWriteBaseNs * ppa::delay_scale(ppa::DelayClass::kDecoder, cfg_.op);
+  const double row_cycle_ns = wwl_ns + cell_write_ns;
+
+  // All Ndec arrays of a block share the WWL and are written in the same
+  // row cycle (one 8-bit word each from the global write data bus);
+  // blocks are programmed serially by the global driver.
+  const double lut_time =
+      static_cast<double>(cfg_.ns) * kLutRowsPerBlock * row_cycle_ns;
+  // Threshold flops: 15 per block through the local write control.
+  const double thr_time =
+      static_cast<double>(cfg_.ns) * 15.0 * cell_write_ns;
+
+  program(trees, luts, bias);  // contents + write energy
+  const double total = lut_time + thr_time;
+  ctx_->sched.after_ns(total, [] {});
+  ctx_->sched.run();
+  return total;
+}
+
+MacroRunResult Macro::run(
+    const std::vector<std::vector<Subvec>>& inputs,
+    const std::vector<std::vector<std::int16_t>>* initial_lanes) {
+  SSMA_CHECK_MSG(programmed_, "Macro::program must be called before run");
+  const long long ntokens = static_cast<long long>(inputs.size());
+  for (const auto& tok : inputs)
+    SSMA_CHECK_MSG(static_cast<int>(tok.size()) == cfg_.ns,
+                   "each token needs one subvector per block");
+  if (initial_lanes) {
+    SSMA_CHECK_MSG(initial_lanes->size() == inputs.size(),
+                   "initial_lanes must match token count");
+    for (const auto& lanes : *initial_lanes)
+      SSMA_CHECK(static_cast<int>(lanes.size()) == cfg_.ndec);
+  }
+
+  MacroRunResult res;
+  res.outputs.assign(inputs.size(),
+                     std::vector<std::int16_t>(cfg_.ndec, 0));
+  long long completed = 0;
+
+  // Input buffers: blocks fetch their subvector by token index (null
+  // past the end of the stream, which stops speculative encoding).
+  for (int b = 0; b < cfg_.ns; ++b) {
+    blocks_[b]->set_fetch(
+        [&inputs, b, ntokens](long long idx) -> const Subvec* {
+          if (idx < 0 || idx >= ntokens) return nullptr;
+          return &inputs[static_cast<std::size_t>(idx)][b];
+        });
+  }
+
+  // --- Source: offers tokens whenever link 0 completes a cycle. ---
+  FourPhaseLink& in_link = *links_[0];
+  std::vector<SimTime> offer_time(inputs.size(), 0);
+  long long next_token = 0;
+  auto offer_next = [&] {
+    if (next_token >= ntokens) return;
+    Token t;
+    t.index = next_token;
+    t.lanes.assign(cfg_.ndec, CarrySave{});
+    for (int d = 0; d < cfg_.ndec; ++d) {
+      const std::int16_t init =
+          initial_lanes
+              ? (*initial_lanes)[static_cast<std::size_t>(next_token)][d]
+              : bias_[d];
+      t.lanes[d].s = static_cast<std::uint16_t>(init);
+    }
+    offer_time[static_cast<std::size_t>(next_token)] = ctx_->sched.now();
+    ++next_token;
+    in_link.offer(*ctx_, std::move(t));
+  };
+  in_link.set_producer([&] { offer_next(); });
+
+  // --- Output stage: Ndec RCAs + output register. ---
+  FourPhaseLink& out_link = *links_[cfg_.ns];
+  bool out_busy = false;
+  SimTime last_completion = -1;
+  auto& stats = res.stats;
+  out_link.set_consumer([&](const Token& t) -> bool {
+    if (out_busy) return false;
+    out_busy = true;
+    // The RCA bank settles after the longest carry chain among lanes.
+    int chain = 0;
+    std::vector<std::int16_t> outs(cfg_.ndec);
+    for (int d = 0; d < cfg_.ndec; ++d) {
+      chain = std::max(chain, rca_carry_chain(t.lanes[d]));
+      outs[d] = t.lanes[d].resolve();
+      ctx_->ledger.charge(EnergyCat::kOutputStage,
+                          ctx_->energy.rca_fj() + ctx_->energy.out_reg_fj());
+    }
+    const long long idx = t.index;
+    ctx_->sched.after_ns(ctx_->delay.rca_ns(chain), [&, idx,
+                                                     outs = std::move(outs)] {
+      res.outputs[static_cast<std::size_t>(idx)] = outs;
+      ++completed;
+      const SimTime now = ctx_->sched.now();
+      stats.token_latency_ns.add(
+          ns_from_ps(now - offer_time[static_cast<std::size_t>(idx)]));
+      if (last_completion >= 0)
+        stats.output_interval_ns.add(ns_from_ps(now - last_completion));
+      last_completion = now;
+      out_busy = false;
+      out_link.consumer_ready(*ctx_);
+    });
+    return true;
+  });
+
+  const std::uint64_t events_before = ctx_->sched.events_executed();
+  const EnergyLedger ledger_before = ctx_->ledger;
+  const SimTime start = ctx_->sched.now();
+  if (ntokens > 0) offer_next();
+  ctx_->sched.run();
+
+  // Integrate leakage over the simulated interval, attributing the
+  // decoder arrays' (device-count-dominant) share explicitly.
+  const double duration_ns = ns_from_ps(ctx_->sched.now() - start);
+  const double leak_fj =
+      ctx_->energy.macro_leakage_uw(cfg_.ndec, cfg_.ns) * duration_ns;
+  const double dec_frac = ctx_->energy.decoder_leak_fraction(cfg_.ndec);
+  ctx_->ledger.charge(EnergyCat::kLeakageDecoder, leak_fj * dec_frac);
+  ctx_->ledger.charge(EnergyCat::kLeakage, leak_fj * (1.0 - dec_frac));
+
+  res.stats.duration_ns = duration_ns;
+  res.stats.events = ctx_->sched.events_executed() - events_before;
+  res.stats.ledger = EnergyLedger::delta(ctx_->ledger, ledger_before);
+
+  SSMA_CHECK_MSG(completed == ntokens,
+                 "pipeline deadlock: " << completed << " of " << ntokens
+                                       << " tokens completed");
+  return res;
+}
+
+std::vector<std::vector<std::int16_t>> Macro::reference_outputs(
+    const std::vector<std::vector<Subvec>>& inputs) const {
+  SSMA_CHECK(programmed_);
+  std::vector<std::vector<std::int16_t>> out(
+      inputs.size(), std::vector<std::int16_t>(cfg_.ndec, 0));
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    for (int d = 0; d < cfg_.ndec; ++d) {
+      std::int16_t acc = bias_[d];
+      for (int b = 0; b < cfg_.ns; ++b) {
+        const int leaf = trees_[b].encode(inputs[k][b].data());
+        acc = add_wrap16(acc, sext8to16(luts_[b][d][leaf]));
+      }
+      out[k][d] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace ssma::sim

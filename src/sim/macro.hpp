@@ -1,0 +1,111 @@
+// The full accelerator macro (Fig. 2): NS serially connected compute
+// blocks, a source that streams tokens into block 0 (injecting per-lane
+// bias as the initial carry-save state), and the output stage — Ndec
+// 16-bit ripple-carry adders resolving (S, C) into the output register.
+//
+// Macro::run() is the event-driven ground truth: outputs are bit-exact
+// against maddness::Amm::apply_int16 and the timing/energy statistics
+// feed every PPA experiment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "maddness/hash_tree.hpp"
+#include "ppa/operating_point.hpp"
+#include "sim/compute_block.hpp"
+#include "sim/context.hpp"
+#include "util/stats.hpp"
+
+namespace ssma::sim {
+
+struct MacroConfig {
+  int ndec = 16;
+  int ns = 32;
+  ppa::OperatingPoint op = ppa::nominal_05v();
+  /// Extension (bench/ablation_speculative): start encoding token k+1
+  /// while waiting for its upstream partial sums, hiding the
+  /// encoder-dominated latency. Off by default (paper's serial schedule).
+  bool speculative_encode = false;
+};
+
+struct MacroRunStats {
+  SampleSet token_latency_ns;   ///< source offer -> output register
+  SampleSet output_interval_ns; ///< spacing of consecutive completions
+  double duration_ns = 0.0;     ///< total simulated time
+  std::uint64_t events = 0;
+  EnergyLedger ledger;          ///< includes integrated leakage
+
+  double throughput_tops(long long ops_per_token) const;
+  double tops_per_w(long long total_ops) const;
+};
+
+struct MacroRunResult {
+  /// outputs[token][lane], bit-exact vs the software int16 decode.
+  std::vector<std::vector<std::int16_t>> outputs;
+  MacroRunStats stats;
+};
+
+class Macro {
+ public:
+  explicit Macro(const MacroConfig& cfg);
+
+  const MacroConfig& cfg() const { return cfg_; }
+  SimContext& ctx() { return *ctx_; }
+
+  /// Installs a local-variation map (must match ns/ndec dimensions).
+  void set_variation(VariationMap map);
+
+  /// Attaches a trace sink: REQ/ACK edges of every link, block states
+  /// and encoder decisions are recorded (render_vcd() for waveforms).
+  void set_trace(TraceSink* sink);
+
+  /// Programs all blocks: `trees[b]` is block b's encoder;
+  /// `luts[b][d]` the 16-entry LUT of decoder d; `bias[d]` is injected as
+  /// the initial per-lane partial sum. Write energy is charged; timing is
+  /// not simulated (programming happens "prior to the inference").
+  void program(const std::vector<maddness::HashTree>& trees,
+               const std::vector<std::vector<std::array<std::int8_t, 16>>>& luts,
+               const std::vector<std::int16_t>& bias);
+
+  /// Timed variant: simulates the write path of Fig. 2 — the global
+  /// write driver streams rows block by block (WWL decode + local write
+  /// per row, LWE-gated), then the threshold flops. Returns the total
+  /// programming time [ns]; contents and energy identical to program().
+  double program_timed(
+      const std::vector<maddness::HashTree>& trees,
+      const std::vector<std::vector<std::array<std::int8_t, 16>>>& luts,
+      const std::vector<std::int16_t>& bias);
+
+  /// Streams `inputs[token][block]` subvectors through the pipeline and
+  /// returns per-token lane outputs plus run statistics. Resets timing
+  /// statistics but accumulates onto the energy ledger of this context.
+  ///
+  /// `initial_lanes` (optional, one int16 vector per token) overrides the
+  /// programmed bias as the injected initial partial sums — the mechanism
+  /// used to chain passes when an input-channel dimension is tiled across
+  /// multiple macro invocations.
+  MacroRunResult run(const std::vector<std::vector<Subvec>>& inputs,
+                     const std::vector<std::vector<std::int16_t>>*
+                         initial_lanes = nullptr);
+
+  /// Reference (event-free) functional model: what the hardware must
+  /// produce. Used by tests for bit-exact comparison.
+  std::vector<std::vector<std::int16_t>> reference_outputs(
+      const std::vector<std::vector<Subvec>>& inputs) const;
+
+  const ComputeBlock& block(int b) const { return *blocks_[b]; }
+
+ private:
+  MacroConfig cfg_;
+  std::unique_ptr<SimContext> ctx_;
+  std::vector<std::unique_ptr<ComputeBlock>> blocks_;
+  std::vector<std::unique_ptr<FourPhaseLink>> links_;  // ns + 1 links
+  std::vector<std::int16_t> bias_;
+  std::vector<maddness::HashTree> trees_;
+  std::vector<std::vector<std::array<std::int8_t, 16>>> luts_;
+  bool programmed_ = false;
+};
+
+}  // namespace ssma::sim

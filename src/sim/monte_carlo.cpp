@@ -1,0 +1,25 @@
+#include "sim/monte_carlo.hpp"
+
+#include "ppa/tech_constants.hpp"
+
+namespace ssma::sim {
+
+VariationConfig::VariationConfig()
+    : dlc_vth_sigma_v(ppa::kLocalVthSigma),
+      column_vth_sigma_v(ppa::kLocalVthSigma) {}
+
+VariationMap sample_variation(int ns, int ndec, const VariationConfig& cfg,
+                              Rng& rng) {
+  VariationMap map(ns, ndec);
+  for (int b = 0; b < ns; ++b)
+    for (int n = 0; n < 15; ++n)
+      map.dlc_vth_mut(b, n) = rng.next_gaussian(0.0, cfg.dlc_vth_sigma_v);
+  for (int b = 0; b < ns; ++b)
+    for (int d = 0; d < ndec; ++d)
+      for (int c = 0; c < 8; ++c)
+        map.column_vth_mut(b, d, c) =
+            rng.next_gaussian(0.0, cfg.column_vth_sigma_v);
+  return map;
+}
+
+}  // namespace ssma::sim

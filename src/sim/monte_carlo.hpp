@@ -1,0 +1,23 @@
+// Monte-Carlo local-variation sampling: draws one within-die variation
+// map (per-DLC and per-SRAM-column Vth offsets) per simulated die. Used
+// by the variation ablation bench to reproduce the paper's observation
+// that large Ndec makes the macro vulnerable to local variation
+// (Sec. IV), motivating the Ndec=16 recommendation.
+#pragma once
+
+#include "sim/variation.hpp"
+#include "util/rng.hpp"
+
+namespace ssma::sim {
+
+struct VariationConfig {
+  double dlc_vth_sigma_v;     ///< per-DLC threshold mismatch sigma [V]
+  double column_vth_sigma_v;  ///< per-column read-path mismatch sigma [V]
+  VariationConfig();
+};
+
+/// Samples one die's variation map.
+VariationMap sample_variation(int ns, int ndec, const VariationConfig& cfg,
+                              Rng& rng);
+
+}  // namespace ssma::sim

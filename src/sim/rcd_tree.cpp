@@ -1,0 +1,29 @@
+#include "sim/rcd_tree.hpp"
+
+#include "util/check.hpp"
+
+namespace ssma::sim {
+
+RcdTree::RcdTree(int leaves, double prop_delay_ns)
+    : leaves_(leaves), prop_delay_ns_(prop_delay_ns) {
+  SSMA_CHECK(leaves >= 1);
+  SSMA_CHECK(prop_delay_ns >= 0.0);
+  reset();
+}
+
+void RcdTree::reset() {
+  arrived_ = 0;
+  fired_ = false;
+}
+
+void RcdTree::leaf_done(SimContext& ctx, std::function<void()> done) {
+  SSMA_CHECK_MSG(!fired_, "RCD tree fired twice without reset");
+  SSMA_CHECK_MSG(arrived_ < leaves_, "more RCD arrivals than leaves");
+  ++arrived_;
+  if (arrived_ == leaves_) {
+    fired_ = true;
+    ctx.sched.after_ns(prop_delay_ns_, std::move(done));
+  }
+}
+
+}  // namespace ssma::sim

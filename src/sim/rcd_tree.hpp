@@ -1,0 +1,41 @@
+// Read-completion-detection aggregation (Fig. 5C and Fig. 2): per-column
+// RCD signals combine through a NAND-NOR tournament into RCD_LUT, and the
+// per-decoder RCD_LUT signals combine into the block-level RCD used by
+// the handshake controller. The tree fires only after *all* leaves have
+// fired — the self-timing property that makes the design PVT-robust.
+#pragma once
+
+#include <functional>
+
+#include "sim/context.hpp"
+
+namespace ssma::sim {
+
+class RcdTree {
+ public:
+  /// `leaves` inputs; `prop_delay_ns` is the full tournament propagation
+  /// delay from last-leaf arrival to output (already voltage-scaled by
+  /// the caller via DelayModel).
+  RcdTree(int leaves, double prop_delay_ns);
+
+  int leaves() const { return leaves_; }
+
+  /// Re-arms the tree for a new cycle (all leaves low).
+  void reset();
+
+  /// Marks one leaf complete at the current simulation time. When the
+  /// last leaf arrives, `done` fires after the tournament propagation
+  /// delay. Overrunning the leaf count without reset() is a protocol
+  /// error.
+  void leaf_done(SimContext& ctx, std::function<void()> done);
+
+  bool fired() const { return fired_; }
+
+ private:
+  int leaves_;
+  double prop_delay_ns_;
+  int arrived_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace ssma::sim

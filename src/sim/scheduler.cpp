@@ -1,0 +1,41 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace ssma::sim {
+
+void Scheduler::at(SimTime t, Action fn) {
+  SSMA_CHECK_MSG(t >= now_, "event scheduled in the past: " << t << " < "
+                                                            << now_);
+  queue_.push(Ev{t, next_seq_++, std::move(fn)});
+}
+
+void Scheduler::after(SimTime delay_ps, Action fn) {
+  SSMA_CHECK(delay_ps >= 0);
+  at(now_ + delay_ps, std::move(fn));
+}
+
+void Scheduler::after_ns(double delay_ns, Action fn) {
+  after(ps_from_ns(delay_ns), std::move(fn));
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // Move the action out before popping so the event may schedule others.
+  Ev ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Scheduler::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+}  // namespace ssma::sim

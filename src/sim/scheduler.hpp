@@ -1,0 +1,56 @@
+// Discrete-event simulation kernel. Events at equal timestamps execute in
+// insertion order (monotonic sequence number), which makes runs fully
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ssma::sim {
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must not be in the past).
+  void at(SimTime t, Action fn);
+
+  /// Schedules `fn` after `delay_ps` from now.
+  void after(SimTime delay_ps, Action fn);
+  void after_ns(double delay_ns, Action fn);
+
+  /// Runs until the event queue drains. Returns number of events executed.
+  std::uint64_t run();
+
+  /// Executes a single event; returns false if the queue is empty.
+  bool step();
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Ev {
+    SimTime t;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ssma::sim

@@ -1,0 +1,31 @@
+#include "sim/sram.hpp"
+
+#include "util/check.hpp"
+
+namespace ssma::sim {
+
+void SramArray::write_row(SimContext& ctx, int row, std::int8_t word) {
+  SSMA_CHECK(row >= 0 && row < 16);
+  rows_[row] = static_cast<std::uint8_t>(word);
+  ctx.ledger.charge(EnergyCat::kWrite, 8.0 * ctx.energy.write_bit_fj());
+}
+
+std::int8_t SramArray::read_word(int row) const {
+  SSMA_CHECK(row >= 0 && row < 16);
+  return static_cast<std::int8_t>(rows_[row]);
+}
+
+SramArray::ColumnRead SramArray::read_column(SimContext& ctx, int row,
+                                             int col) const {
+  SSMA_CHECK(row >= 0 && row < 16);
+  SSMA_CHECK(col >= 0 && col < 8);
+  ColumnRead r;
+  r.bit = (rows_[row] >> col) & 1;
+  const double vth_off =
+      ctx.variation.empty() ? 0.0 : ctx.variation.column_vth(block_, dec_, col);
+  r.delay_ns = ctx.delay.rbl_discharge_ns(vth_off);
+  ctx.ledger.charge(EnergyCat::kSramRead, ctx.energy.column_read_fj());
+  return r;
+}
+
+}  // namespace ssma::sim

@@ -1,0 +1,40 @@
+// Two-port 10T-SRAM LUT array of one decoder: 16 rows x 8 columns
+// (Fig. 5A). Reads are full-swing (no sense amplifier): the selected cell
+// discharges RBL or RBLB; per-column completion is detected by the RCD
+// NAND. The write port (WWL / WBL) programs LUT contents.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/context.hpp"
+
+namespace ssma::sim {
+
+class SramArray {
+ public:
+  /// `block`/`dec` select this array's variation-map slice.
+  SramArray(int block = 0, int dec = 0) : block_(block), dec_(dec) {}
+
+  /// Writes one row (8 bits = one int8 LUT word) via the write port.
+  void write_row(SimContext& ctx, int row, std::int8_t word);
+
+  std::int8_t read_word(int row) const;
+
+  struct ColumnRead {
+    int bit = 0;            ///< the value read (0/1)
+    double delay_ns = 0.0;  ///< RBL/RBLB discharge time for this column
+  };
+
+  /// Reads column `col` of `row`, charging read energy. One of RBL/RBLB
+  /// always swings fully, so energy is data-independent; delay varies with
+  /// the column's local Vth offset.
+  ColumnRead read_column(SimContext& ctx, int row, int col) const;
+
+ private:
+  int block_;
+  int dec_;
+  std::array<std::uint8_t, 16> rows_{};  ///< bit-packed storage
+};
+
+}  // namespace ssma::sim

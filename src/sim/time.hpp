@@ -1,0 +1,20 @@
+// Simulation time base: integer picoseconds. Integer time keeps event
+// ordering exact and runs bit-reproducible across platforms.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace ssma::sim {
+
+using SimTime = std::int64_t;  // picoseconds
+
+inline SimTime ps_from_ns(double ns) {
+  return static_cast<SimTime>(std::llround(ns * 1000.0));
+}
+
+inline double ns_from_ps(SimTime ps) {
+  return static_cast<double>(ps) * 1e-3;
+}
+
+}  // namespace ssma::sim

@@ -1,0 +1,23 @@
+// Data flowing through the self-synchronous pipeline: a token carries the
+// per-lane carry-save partial sums from block to block (Fig. 2). Each
+// block also consumes its own 9-element activation subvector from its
+// input buffer, addressed by the token index.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ppa/tech_constants.hpp"
+#include "sim/adders.hpp"
+
+namespace ssma::sim {
+
+using Subvec = std::array<std::uint8_t, ppa::kSubvectorDim>;
+
+struct Token {
+  long long index = -1;
+  std::vector<CarrySave> lanes;  ///< one (S, C) pair per decoder lane
+};
+
+}  // namespace ssma::sim

@@ -1,0 +1,71 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ssma::sim {
+
+void TraceSink::record(SimTime t, std::string signal, std::string value) {
+  SSMA_CHECK(!signal.empty());
+  records_.push_back(Record{t, std::move(signal), std::move(value)});
+}
+
+std::vector<TraceSink::Record> TraceSink::for_signal(
+    const std::string& signal) const {
+  std::vector<Record> out;
+  for (const auto& r : records_)
+    if (r.signal == signal) out.push_back(r);
+  return out;
+}
+
+std::string TraceSink::render_text() const {
+  std::ostringstream oss;
+  for (const auto& r : records_) {
+    oss.setf(std::ios::fixed);
+    oss.precision(3);
+    oss << ns_from_ps(r.t) << " ns  " << r.signal << " = " << r.value
+        << "\n";
+  }
+  return oss.str();
+}
+
+std::string TraceSink::render_vcd(const std::string& module) const {
+  // Assign a short identifier per distinct signal.
+  std::map<std::string, std::string> ids;
+  auto make_id = [](std::size_t n) {
+    std::string id;
+    do {
+      id.push_back(static_cast<char>('!' + n % 94));
+      n /= 94;
+    } while (n);
+    return id;
+  };
+  for (const auto& r : records_)
+    if (!ids.count(r.signal)) ids[r.signal] = make_id(ids.size());
+
+  std::ostringstream oss;
+  oss << "$timescale 1ps $end\n";
+  oss << "$scope module " << module << " $end\n";
+  for (const auto& [sig, id] : ids) {
+    // VCD identifiers cannot contain whitespace; signal names are
+    // dot-separated already.
+    oss << "$var string 1 " << id << " " << sig << " $end\n";
+  }
+  oss << "$upscope $end\n$enddefinitions $end\n";
+
+  // Records are appended in execution order, which is time order.
+  SimTime last = -1;
+  for (const auto& r : records_) {
+    if (r.t != last) {
+      oss << "#" << r.t << "\n";
+      last = r.t;
+    }
+    oss << "s" << r.value << " " << ids[r.signal] << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace ssma::sim

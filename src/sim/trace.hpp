@@ -1,0 +1,42 @@
+// Signal tracing for the event-driven simulator: components record
+// named signal transitions (handshake edges, encoder decisions, block
+// states) into a TraceSink, which can render a human-readable timeline
+// or a VCD file loadable in GTKWave — the debugging workflow a real
+// asynchronous-design team would use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ssma::sim {
+
+class TraceSink {
+ public:
+  struct Record {
+    SimTime t = 0;
+    std::string signal;
+    std::string value;
+  };
+
+  void record(SimTime t, std::string signal, std::string value);
+  void clear() { records_.clear(); }
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// All records of one signal, in time order.
+  std::vector<Record> for_signal(const std::string& signal) const;
+
+  /// Plain-text timeline (one line per record).
+  std::string render_text() const;
+
+  /// Value-change-dump rendering (timescale 1 ps, string-valued vars).
+  std::string render_vcd(const std::string& module = "ssma") const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace ssma::sim

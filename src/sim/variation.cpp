@@ -1,0 +1,37 @@
+#include "sim/variation.hpp"
+
+#include "util/check.hpp"
+
+namespace ssma::sim {
+
+VariationMap::VariationMap(int ns, int ndec) : ns_(ns), ndec_(ndec) {
+  SSMA_CHECK(ns >= 1 && ndec >= 1);
+  dlc_offsets_.assign(static_cast<std::size_t>(ns) * 15, 0.0);
+  column_offsets_.assign(static_cast<std::size_t>(ns) * ndec * 8, 0.0);
+}
+
+double VariationMap::dlc_vth(int block, int node) const {
+  SSMA_CHECK(block >= 0 && block < ns_ && node >= 0 && node < 15);
+  return dlc_offsets_[static_cast<std::size_t>(block) * 15 + node];
+}
+
+double& VariationMap::dlc_vth_mut(int block, int node) {
+  SSMA_CHECK(block >= 0 && block < ns_ && node >= 0 && node < 15);
+  return dlc_offsets_[static_cast<std::size_t>(block) * 15 + node];
+}
+
+double VariationMap::column_vth(int block, int dec, int col) const {
+  SSMA_CHECK(block >= 0 && block < ns_ && dec >= 0 && dec < ndec_ &&
+             col >= 0 && col < 8);
+  return column_offsets_[(static_cast<std::size_t>(block) * ndec_ + dec) * 8 +
+                         col];
+}
+
+double& VariationMap::column_vth_mut(int block, int dec, int col) {
+  SSMA_CHECK(block >= 0 && block < ns_ && dec >= 0 && dec < ndec_ &&
+             col >= 0 && col < 8);
+  return column_offsets_[(static_cast<std::size_t>(block) * ndec_ + dec) * 8 +
+                         col];
+}
+
+}  // namespace ssma::sim

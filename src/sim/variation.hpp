@@ -1,0 +1,36 @@
+// Local (within-die) variation map: per-instance threshold-voltage
+// offsets applied to timing-critical devices. A nominal simulation uses an
+// empty map (all offsets zero); Monte-Carlo runs sample one map per die.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ssma::sim {
+
+class VariationMap {
+ public:
+  VariationMap() = default;
+
+  /// Sized map: ns blocks, ndec decoders per block, 8 columns per decoder,
+  /// 15 DLCs per encoder.
+  VariationMap(int ns, int ndec);
+
+  bool empty() const { return dlc_offsets_.empty(); }
+
+  /// Vth offset [V] for DLC `node` (0..14) of block `block`.
+  double dlc_vth(int block, int node) const;
+  double& dlc_vth_mut(int block, int node);
+
+  /// Vth offset [V] for SRAM read path of (block, decoder, column).
+  double column_vth(int block, int dec, int col) const;
+  double& column_vth_mut(int block, int dec, int col);
+
+ private:
+  int ns_ = 0;
+  int ndec_ = 0;
+  std::vector<double> dlc_offsets_;     // ns * 15
+  std::vector<double> column_offsets_;  // ns * ndec * 8
+};
+
+}  // namespace ssma::sim

@@ -1,0 +1,47 @@
+// Error-handling primitives used across the library.
+//
+// SSMA_CHECK is an always-on precondition/invariant check: it throws
+// ssma::CheckError so callers (and tests) can observe contract violations
+// deterministically instead of hitting undefined behaviour.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ssma {
+
+/// Thrown when a runtime contract (precondition, invariant, protocol rule)
+/// is violated. Simulator protocol checkers also raise this.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "SSMA_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw CheckError(oss.str());
+}
+
+}  // namespace detail
+}  // namespace ssma
+
+#define SSMA_CHECK(expr)                                               \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::ssma::detail::check_fail(#expr, __FILE__, __LINE__, "");       \
+  } while (0)
+
+#define SSMA_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream oss_;                                         \
+      oss_ << msg;                                                     \
+      ::ssma::detail::check_fail(#expr, __FILE__, __LINE__, oss_.str()); \
+    }                                                                  \
+  } while (0)

@@ -1,0 +1,54 @@
+// Small fixed-point / integer-arithmetic helpers shared by the MADDNESS
+// quantizer and the hardware functional model. The hardware accumulates in
+// 16-bit two's-complement (CSA + RCA), so helpers here define the exact
+// wraparound semantics the simulator must match bit-for-bit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ssma {
+
+/// Saturating cast of a wide integer to int8 (symmetric [-127, 127] by
+/// default so that negation is always representable, matching common
+/// INT8 inference practice).
+inline std::int8_t saturate_int8(long long v, bool symmetric = true) {
+  const long long lo = symmetric ? -127 : -128;
+  return static_cast<std::int8_t>(std::clamp<long long>(v, lo, 127));
+}
+
+/// Saturating cast to uint8.
+inline std::uint8_t saturate_uint8(long long v) {
+  return static_cast<std::uint8_t>(std::clamp<long long>(v, 0, 255));
+}
+
+/// Round-half-away-from-zero to the nearest integer (what hardware
+/// quantizers typically implement).
+inline long long round_half_away(double x) {
+  return static_cast<long long>(x >= 0.0 ? x + 0.5 : x - 0.5);
+}
+
+/// 16-bit two's-complement wraparound addition — the semantics of the
+/// macro's CSA/RCA accumulation chain.
+inline std::int16_t add_wrap16(std::int16_t a, std::int16_t b) {
+  return static_cast<std::int16_t>(
+      static_cast<std::uint16_t>(a) + static_cast<std::uint16_t>(b));
+}
+
+/// Sign extension of an 8-bit LUT word onto the 16-bit accumulation rail.
+inline std::int16_t sext8to16(std::int8_t v) {
+  return static_cast<std::int16_t>(v);
+}
+
+/// Population count of a 16-bit word (used for data-dependent switching
+/// energy estimates).
+inline int popcount16(std::uint16_t v) {
+  int c = 0;
+  while (v) {
+    v &= static_cast<std::uint16_t>(v - 1);
+    ++c;
+  }
+  return c;
+}
+
+}  // namespace ssma

@@ -1,0 +1,72 @@
+#include "util/linalg.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ssma {
+
+bool cholesky_lower(Matrix& a) {
+  SSMA_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= static_cast<double>(a(j, k)) * a(j, k);
+    if (d <= 0.0) return false;
+    const double ljj = std::sqrt(d);
+    a(j, j) = static_cast<float>(ljj);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k)
+        s -= static_cast<double>(a(i, k)) * a(j, k);
+      a(i, j) = static_cast<float>(s / ljj);
+    }
+    // Zero the upper triangle so the factor is clean.
+    for (std::size_t c = j + 1; c < n; ++c) a(j, c) = 0.0f;
+  }
+  return true;
+}
+
+Matrix spd_solve(const Matrix& a, const Matrix& b) {
+  SSMA_CHECK(a.rows() == a.cols());
+  SSMA_CHECK(a.rows() == b.rows());
+  Matrix l = a;
+  SSMA_CHECK_MSG(cholesky_lower(l), "matrix is not positive definite");
+  const std::size_t n = a.rows(), m = b.cols();
+  // Forward substitution: L y = b.
+  Matrix y(n, m);
+  for (std::size_t c = 0; c < m; ++c)
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = b(i, c);
+      for (std::size_t k = 0; k < i; ++k)
+        s -= static_cast<double>(l(i, k)) * y(k, c);
+      y(i, c) = static_cast<float>(s / l(i, i));
+    }
+  // Back substitution: L^T x = y.
+  Matrix x(n, m);
+  for (std::size_t c = 0; c < m; ++c)
+    for (std::size_t ii = n; ii > 0; --ii) {
+      const std::size_t i = ii - 1;
+      double s = y(i, c);
+      for (std::size_t k = i + 1; k < n; ++k)
+        s -= static_cast<double>(l(k, i)) * x(k, c);
+      x(i, c) = static_cast<float>(s / l(i, i));
+    }
+  return x;
+}
+
+Matrix ridge_regression(const Matrix& g, const Matrix& x, double lambda) {
+  SSMA_CHECK(g.rows() == x.rows());
+  SSMA_CHECK(lambda >= 0.0);
+  const std::size_t k = g.cols();
+  // Normal equations: (G^T G + lambda I) P = G^T X.
+  Matrix gtg(k, k);
+  gemm_at(g, g, gtg);
+  for (std::size_t i = 0; i < k; ++i)
+    gtg(i, i) += static_cast<float>(lambda) + 1e-6f;  // jitter for stability
+  Matrix gtx(k, x.cols());
+  gemm_at(g, x, gtx);
+  return spd_solve(gtg, gtx);
+}
+
+}  // namespace ssma

@@ -1,0 +1,23 @@
+// Small dense linear-algebra kernels: Cholesky factorization and
+// symmetric-positive-definite solves. Used by the MADDNESS prototype
+// ridge-regression refit (argmin ||X - G P||^2 + lambda ||P||^2).
+#pragma once
+
+#include "util/matrix.hpp"
+
+namespace ssma {
+
+/// In-place lower Cholesky factorization of a symmetric positive-definite
+/// matrix (only the lower triangle of `a` is read). Returns false if the
+/// matrix is not positive definite (within tolerance).
+bool cholesky_lower(Matrix& a);
+
+/// Solves (A) X = B for X where A is SPD, via Cholesky. A is n x n,
+/// B is n x m. Throws CheckError if A is not SPD.
+Matrix spd_solve(const Matrix& a, const Matrix& b);
+
+/// Ridge regression: solves (G^T G + lambda I) P = G^T X.
+/// g: n x k design matrix, x: n x d targets -> returns k x d coefficients.
+Matrix ridge_regression(const Matrix& g, const Matrix& x, double lambda);
+
+}  // namespace ssma

@@ -1,0 +1,127 @@
+#include "util/matrix.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ssma {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+  SSMA_CHECK_MSG(r < rows_ && c < cols_,
+                 "index (" << r << "," << c << ") out of " << rows_ << "x"
+                           << cols_);
+  return data_[r * cols_ + c];
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+  SSMA_CHECK_MSG(r < rows_ && c < cols_,
+                 "index (" << r << "," << c << ") out of " << rows_ << "x"
+                           << cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+void Matrix::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  SSMA_CHECK_MSG(a.cols() == b.rows(), "gemm shape mismatch");
+  if (c.rows() != a.rows() || c.cols() != b.cols())
+    c = Matrix(a.rows(), b.cols());
+  c.fill(0.0f);
+
+  const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
+  constexpr std::size_t BK = 64, BN = 256;
+  for (std::size_t k0 = 0; k0 < K; k0 += BK) {
+    const std::size_t k1 = std::min(K, k0 + BK);
+    for (std::size_t n0 = 0; n0 < N; n0 += BN) {
+      const std::size_t n1 = std::min(N, n0 + BN);
+      for (std::size_t m = 0; m < M; ++m) {
+        float* crow = c.row(m);
+        for (std::size_t k = k0; k < k1; ++k) {
+          const float av = a(m, k);
+          if (av == 0.0f) continue;
+          const float* brow = b.row(k);
+          for (std::size_t n = n0; n < n1; ++n) crow[n] += av * brow[n];
+        }
+      }
+    }
+  }
+}
+
+void gemm_bt(const Matrix& a, const Matrix& b_t, Matrix& c) {
+  SSMA_CHECK_MSG(a.cols() == b_t.cols(), "gemm_bt shape mismatch");
+  if (c.rows() != a.rows() || c.cols() != b_t.rows())
+    c = Matrix(a.rows(), b_t.rows());
+  const std::size_t M = a.rows(), K = a.cols(), N = b_t.rows();
+  for (std::size_t m = 0; m < M; ++m) {
+    const float* arow = a.row(m);
+    float* crow = c.row(m);
+    for (std::size_t n = 0; n < N; ++n) {
+      const float* brow = b_t.row(n);
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
+      crow[n] = acc;
+    }
+  }
+}
+
+void gemm_at(const Matrix& a_t, const Matrix& b, Matrix& c) {
+  SSMA_CHECK_MSG(a_t.rows() == b.rows(), "gemm_at shape mismatch");
+  if (c.rows() != a_t.cols() || c.cols() != b.cols())
+    c = Matrix(a_t.cols(), b.cols());
+  c.fill(0.0f);
+  const std::size_t M = a_t.cols(), K = a_t.rows(), N = b.cols();
+  for (std::size_t k = 0; k < K; ++k) {
+    const float* arow = a_t.row(k);
+    const float* brow = b.row(k);
+    for (std::size_t m = 0; m < M; ++m) {
+      const float av = arow[m];
+      if (av == 0.0f) continue;
+      float* crow = c.row(m);
+      for (std::size_t n = 0; n < N; ++n) crow[n] += av * brow[n];
+    }
+  }
+}
+
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c) {
+  SSMA_CHECK(a.cols() == b.rows());
+  c = Matrix(a.rows(), b.cols());
+  for (std::size_t m = 0; m < a.rows(); ++m)
+    for (std::size_t n = 0; n < b.cols(); ++n) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(m, k) * b(k, n);
+      c(m, n) = acc;
+    }
+}
+
+double frobenius_diff(const Matrix& a, const Matrix& b) {
+  SSMA_CHECK(a.same_shape(b));
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - b.data()[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double frobenius(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a.data()[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace ssma

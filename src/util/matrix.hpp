@@ -1,0 +1,66 @@
+// Dense row-major matrices (float) with a blocked GEMM. This is the
+// numeric substrate for the NN layers (im2col convolution) and for
+// MADDNESS training (prototype/LUT construction, ridge refit).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ssma {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  Matrix transposed() const;
+  void fill(float v);
+
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B (shapes checked). Blocked with an unrolled inner kernel; good
+/// enough to train the example CNN in seconds without external BLAS.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A * B^T.
+void gemm_bt(const Matrix& a, const Matrix& b_t, Matrix& c);
+
+/// C = A^T * B.
+void gemm_at(const Matrix& a_t, const Matrix& b, Matrix& c);
+
+/// Reference triple-loop GEMM for correctness tests.
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Frobenius norm of (A - B); matrices must be the same shape.
+double frobenius_diff(const Matrix& a, const Matrix& b);
+
+/// Frobenius norm.
+double frobenius(const Matrix& a);
+
+}  // namespace ssma

@@ -1,0 +1,102 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ssma {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  SSMA_CHECK(bound > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::next_int(int lo, int hi) {
+  SSMA_CHECK(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(static_cast<long long>(hi) - lo) + 1;
+  return lo + static_cast<int>(next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::next_gaussian() {
+  if (has_cached_gauss_) {
+    has_cached_gauss_ = false;
+    return cached_gauss_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 1e-300);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_gauss_ = r * std::sin(theta);
+  has_cached_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::next_gaussian(double mean, double stddev) {
+  return mean + stddev * next_gaussian();
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(next_below(i));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ull); }
+
+}  // namespace ssma

@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ssma {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SSMA_CHECK(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SSMA_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, expected "
+                            << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << (fraction * 100.0)
+      << "%";
+  return oss.str();
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream oss;
+  auto rule = [&] {
+    oss << '+';
+    for (auto w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) oss << '-';
+      oss << '+';
+    }
+    oss << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    oss << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      oss << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+          << cells[c] << " |";
+    }
+    oss << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return oss.str();
+}
+
+}  // namespace ssma

@@ -1,0 +1,30 @@
+// ASCII table renderer used by the benchmark harness to print
+// paper-style tables (Table I, Table II, figure series) with aligned
+// columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ssma {
+
+class TextTable {
+ public:
+  /// Column headers define the column count; subsequent rows must match.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Formats as "x.y%" with the given precision.
+  static std::string pct(double fraction, int precision = 1);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ssma

@@ -1,0 +1,570 @@
+// Tests for the MADDNESS algorithm substrate: quantization round trips,
+// bucket/split math, tree learning (SSE reduction, hardware
+// representability), prototype optimization, LUT quantization, and
+// end-to-end AMM error bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "maddness/alt_encoders.hpp"
+#include "maddness/amm.hpp"
+#include "maddness/bucket.hpp"
+#include "maddness/hash_tree.hpp"
+#include "maddness/lut.hpp"
+#include "maddness/prototypes.hpp"
+#include "maddness/quantize.hpp"
+#include "maddness/tree_learner.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ssma::maddness {
+namespace {
+
+/// Clustered synthetic activations: `nclusters` centers per subspace, so
+/// PQ should approximate well.
+Matrix clustered_data(Rng& rng, std::size_t n, int ncodebooks, int dim,
+                      int nclusters, double noise = 4.0) {
+  Matrix centers(static_cast<std::size_t>(nclusters) * ncodebooks, dim);
+  for (std::size_t i = 0; i < centers.size(); ++i)
+    centers.data()[i] = static_cast<float>(rng.next_double(20, 235));
+  Matrix x(n, static_cast<std::size_t>(ncodebooks) * dim);
+  for (std::size_t i = 0; i < n; ++i)
+    for (int c = 0; c < ncodebooks; ++c) {
+      const int k = rng.next_int(0, nclusters - 1);
+      for (int j = 0; j < dim; ++j) {
+        const double v =
+            centers(static_cast<std::size_t>(c) * nclusters + k, j) +
+            rng.next_gaussian(0.0, noise);
+        x(i, static_cast<std::size_t>(c) * dim + j) =
+            static_cast<float>(std::clamp(v, 0.0, 255.0));
+      }
+    }
+  return x;
+}
+
+Matrix random_weights(Rng& rng, std::size_t rows, std::size_t cols) {
+  Matrix w(rows, cols);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w.data()[i] = static_cast<float>(rng.next_gaussian(0.0, 0.05));
+  return w;
+}
+
+// ------------------------------------------------------------- quantize
+
+TEST(Quantize, RoundTripError) {
+  Rng rng(1);
+  Matrix x(50, 9);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.data()[i] = static_cast<float>(rng.next_double(0, 10));
+  const auto q = quantize_activations(x);
+  const Matrix back = dequantize(q);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(back.data()[i], x.data()[i], q.scale * 0.5 + 1e-6);
+}
+
+TEST(Quantize, RejectsNegative) {
+  Matrix x(1, 2);
+  x(0, 0) = -1.0f;
+  EXPECT_THROW(quantize_activations(x), CheckError);
+}
+
+TEST(Quantize, SaturatesAboveScaleRange) {
+  Matrix x(1, 2);
+  x(0, 0) = 100.0f;
+  x(0, 1) = 50.0f;
+  const auto q = quantize_activations(x, /*scale=*/0.1f);
+  EXPECT_EQ(q.at(0, 0), 255);  // 1000 saturates
+}
+
+TEST(Quantize, ZeroMatrixUsesUnitScale) {
+  Matrix x(3, 3, 0.0f);
+  const auto q = quantize_activations(x);
+  EXPECT_EQ(q.scale, 1.0f);
+  for (auto c : q.codes) EXPECT_EQ(c, 0);
+}
+
+// --------------------------------------------------------------- buckets
+
+TEST(Bucket, SseOfConstantBucketIsZero)
+{
+  Matrix x(4, 3, 2.5f);
+  Bucket b(x, {0, 1, 2, 3});
+  EXPECT_NEAR(b.sse(x), 0.0, 1e-9);
+}
+
+TEST(Bucket, SseMatchesDirectComputation) {
+  Rng rng(3);
+  Matrix x(20, 4);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.data()[i] = static_cast<float>(rng.next_double(0, 100));
+  std::vector<std::size_t> rows = {1, 4, 7, 9, 13, 19};
+  Bucket b(x, rows);
+  const auto mean = b.mean(x);
+  double direct = 0.0;
+  for (auto r : rows)
+    for (std::size_t c = 0; c < 4; ++c) {
+      const double d = x(r, c) - mean[c];
+      direct += d * d;
+    }
+  EXPECT_NEAR(b.sse(x), direct, 1e-6 * direct + 1e-9);
+}
+
+TEST(Bucket, BestSplitSeparatesBimodalData) {
+  // Dim 0 bimodal at 10 and 200; dim 1 constant. Split must pick a
+  // threshold between the modes.
+  Matrix x(40, 2);
+  for (int i = 0; i < 40; ++i) {
+    x(i, 0) = i < 20 ? 10.0f : 200.0f;
+    x(i, 1) = 50.0f;
+  }
+  std::vector<std::size_t> rows(40);
+  for (std::size_t i = 0; i < 40; ++i) rows[i] = i;
+  Bucket b(x, rows);
+  const SplitChoice s0 = best_split_on_dim(x, b, 0);
+  EXPECT_GT(s0.threshold, 10.0);
+  EXPECT_LE(s0.threshold, 200.0);
+  EXPECT_NEAR(s0.loss, 0.0, 1e-9);
+  EXPECT_EQ(s0.left_count, 20u);
+  // Splitting on the constant dim cannot reduce SSE.
+  const SplitChoice s1 = best_split_on_dim(x, b, 1);
+  EXPECT_NEAR(s1.loss, b.sse(x), 1e-6);
+}
+
+TEST(Bucket, SplitRespectsGePredicate) {
+  Matrix x(4, 1);
+  x(0, 0) = 5;
+  x(1, 0) = 10;
+  x(2, 0) = 10;
+  x(3, 0) = 20;
+  Bucket b(x, {0, 1, 2, 3});
+  auto [left, right] = split_bucket(x, b, 0, 10.0);
+  EXPECT_EQ(left.size(), 1u);   // only 5 < 10
+  EXPECT_EQ(right.size(), 3u);  // 10, 10, 20 >= 10
+}
+
+// ----------------------------------------------------------- hash tree
+
+TEST(HashTree, EncodeWalksCorrectPath) {
+  HashTree t;
+  t.set_split_dim(0, 0);
+  t.set_split_dim(1, 1);
+  t.set_split_dim(2, 2);
+  t.set_split_dim(3, 3);
+  // All thresholds 128: leaf bits = (x_i >= 128).
+  std::uint8_t v1[4] = {200, 10, 130, 127};
+  EXPECT_EQ(t.encode(v1), 0b1010);
+  std::uint8_t v2[4] = {0, 0, 0, 0};
+  EXPECT_EQ(t.encode(v2), 0);
+  std::uint8_t v3[4] = {255, 255, 255, 255};
+  EXPECT_EQ(t.encode(v3), 15);
+}
+
+TEST(HashTree, ThresholdLayoutFlatVsLevelNode) {
+  HashTree t;
+  t.set_threshold(2, 3, 77);
+  EXPECT_EQ(t.threshold_flat((1 << 2) - 1 + 3), 77);
+  EXPECT_THROW(t.set_threshold(2, 4, 0), CheckError);
+  EXPECT_THROW(t.set_threshold(4, 0, 0), CheckError);
+}
+
+TEST(HashTree, CompareDepthSemantics) {
+  EXPECT_EQ(HashTree::compare_depth(0x80, 0x00), 1);  // MSB differs
+  EXPECT_EQ(HashTree::compare_depth(0x40, 0x00), 2);
+  EXPECT_EQ(HashTree::compare_depth(0x01, 0x00), 8);  // only LSB differs
+  EXPECT_EQ(HashTree::compare_depth(0xAB, 0xAB), 8);  // equality: full ripple
+  EXPECT_EQ(HashTree::compare_depth(0xFF, 0x7F), 1);
+}
+
+TEST(HashTree, EncodeDepthsConsistentWithEncode) {
+  Rng rng(5);
+  HashTree t;
+  for (int l = 0; l < 4; ++l) t.set_split_dim(l, l);
+  for (int l = 0; l < 4; ++l)
+    for (int n = 0; n < (1 << l); ++n)
+      t.set_threshold(l, n, static_cast<std::uint8_t>(rng.next_int(0, 255)));
+  for (int i = 0; i < 200; ++i) {
+    std::uint8_t v[4];
+    for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_int(0, 255));
+    const auto depths = t.encode_depths(v);
+    for (int d : depths) {
+      EXPECT_GE(d, 1);
+      EXPECT_LE(d, 8);
+    }
+  }
+}
+
+// --------------------------------------------------------- tree learner
+
+TEST(TreeLearner, ReducesSseOnClusteredData) {
+  Rng rng(7);
+  Matrix x = clustered_data(rng, 600, 1, 9, 16, 2.0);
+  TreeLearnStats stats;
+  learn_hash_tree(x, &stats);
+  EXPECT_LT(stats.final_sse, 0.35 * stats.initial_sse);
+}
+
+TEST(TreeLearner, PerfectlySeparableDataReachesZeroSse) {
+  // 16 well-separated values on dim 2, constant elsewhere: the learner
+  // should isolate every cluster (SSE -> 0).
+  Matrix x(160, 9, 100.0f);
+  for (int i = 0; i < 160; ++i)
+    x(i, 2) = static_cast<float>(10 + (i % 16) * 15);
+  TreeLearnStats stats;
+  const HashTree t = learn_hash_tree(x, &stats);
+  EXPECT_NEAR(stats.final_sse, 0.0, 1e-6);
+  for (int l = 0; l < 4; ++l) EXPECT_EQ(t.split_dim(l), 2);
+}
+
+TEST(TreeLearner, ProducesBalancedLeafUsage) {
+  Rng rng(9);
+  Matrix x = clustered_data(rng, 1000, 1, 9, 16, 3.0);
+  const HashTree t = learn_hash_tree(x);
+  std::set<int> leaves;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    std::uint8_t v[9];
+    for (int j = 0; j < 9; ++j)
+      v[j] = static_cast<std::uint8_t>(std::lround(x(i, j)));
+    leaves.insert(t.encode(v));
+  }
+  EXPECT_GE(leaves.size(), 12u);  // most of the 16 leaves in use
+}
+
+TEST(TreeLearner, SingleRowDegenerateInput) {
+  Matrix x(1, 9, 42.0f);
+  const HashTree t = learn_hash_tree(x);
+  std::uint8_t v[9];
+  for (auto& b : v) b = 42;
+  EXPECT_GE(t.encode(v), 0);
+  EXPECT_LT(t.encode(v), 16);
+}
+
+// ----------------------------------------------------------- prototypes
+
+TEST(Prototypes, BucketMeansMatchManualAverages) {
+  Config cfg;
+  cfg.ncodebooks = 1;
+  Rng rng(11);
+  Matrix x = clustered_data(rng, 400, 1, 9, 8, 1.0);
+  const auto q = quantize_activations(x);
+  std::vector<HashTree> trees;
+  {
+    Matrix sub(q.rows, 9);
+    for (std::size_t i = 0; i < q.rows; ++i)
+      for (int j = 0; j < 9; ++j)
+        sub(i, j) = static_cast<float>(q.at(i, j));
+    trees.push_back(learn_hash_tree(sub));
+  }
+  const Prototypes protos = learn_prototypes(cfg, trees, q);
+  const auto codes = encode_all(cfg, trees, q);
+
+  // Check leaf 'codes[0]': its prototype equals the mean of its members.
+  const int leaf = codes[0];
+  std::vector<double> mean(9, 0.0);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < q.rows; ++i) {
+    if (codes[i] != leaf) continue;
+    ++count;
+    for (int j = 0; j < 9; ++j)
+      mean[j] += static_cast<double>(q.at(i, j)) * q.scale;
+  }
+  ASSERT_GT(count, 0u);
+  for (int j = 0; j < 9; ++j)
+    EXPECT_NEAR(protos.row(0, leaf)[j], mean[j] / count, 1e-3);
+}
+
+TEST(Prototypes, RidgeRefitLowersReconstructionError) {
+  Config cfg;
+  cfg.ncodebooks = 2;
+  cfg.ridge_lambda = 1.0;
+  Rng rng(13);
+  Matrix x = clustered_data(rng, 500, 2, 9, 16, 6.0);
+  const auto q = quantize_activations(x);
+  std::vector<HashTree> trees;
+  for (int c = 0; c < 2; ++c) {
+    Matrix sub(q.rows, 9);
+    for (std::size_t i = 0; i < q.rows; ++i)
+      for (int j = 0; j < 9; ++j)
+        sub(i, j) = static_cast<float>(q.at(i, 9 * c + j));
+    trees.push_back(learn_hash_tree(sub));
+  }
+  const auto codes = encode_all(cfg, trees, q);
+
+  auto recon_err = [&](const Prototypes& p) {
+    double err = 0.0;
+    for (std::size_t i = 0; i < q.rows; ++i)
+      for (int d = 0; d < 18; ++d) {
+        double approx = 0.0;
+        for (int c = 0; c < 2; ++c)
+          approx += p.row(c, codes[i * 2 + c])[d];
+        const double truth = static_cast<double>(q.at(i, d)) * q.scale;
+        err += (approx - truth) * (approx - truth);
+      }
+    return err;
+  };
+
+  // With a (near-)zero penalty the joint refit is the unrestricted least
+  // squares optimum, which lower-bounds the bucket-means reconstruction.
+  cfg.proto_opt = PrototypeOpt::kBucketMeans;
+  const double err_means = recon_err(learn_prototypes(cfg, trees, q));
+  cfg.proto_opt = PrototypeOpt::kRidgeJoint;
+  cfg.ridge_lambda = 1e-4;
+  const double err_ridge = recon_err(learn_prototypes(cfg, trees, q));
+  EXPECT_LE(err_ridge, err_means * 1.001);
+}
+
+// ------------------------------------------------------------------ LUT
+
+TEST(Lut, EntriesAreQuantizedDotProducts) {
+  Config cfg;
+  cfg.ncodebooks = 2;
+  Rng rng(17);
+  Matrix x = clustered_data(rng, 300, 2, 9, 8);
+  Matrix w = random_weights(rng, 18, 3);
+  const Amm amm = Amm::train(cfg, x, w);
+  const LutBank& lut = amm.lut();
+  EXPECT_EQ(lut.nout, 3);
+  EXPECT_EQ(lut.q.size(), 2u * 16 * 3);
+  // Reconstruction within half an LSB of the float entry.
+  for (int c = 0; c < 2; ++c)
+    for (int p = 0; p < 16; ++p)
+      for (int o = 0; o < 3; ++o) {
+        const std::size_t i = (static_cast<std::size_t>(c) * 16 + p) * 3 + o;
+        EXPECT_NEAR(static_cast<double>(lut.q[i]) * lut.scale(o), lut.f[i],
+                    lut.scale(o) * 0.5 + 1e-9);
+      }
+  EXPECT_LT(lut_quantization_error(lut), 0.5);
+}
+
+TEST(Lut, TableExtractionMatchesEntries) {
+  Config cfg;
+  cfg.ncodebooks = 1;
+  Rng rng(19);
+  Matrix x = clustered_data(rng, 200, 1, 9, 8);
+  Matrix w = random_weights(rng, 9, 4);
+  const Amm amm = Amm::train(cfg, x, w);
+  const auto table = amm.lut().table(0, 2);
+  ASSERT_EQ(table.size(), 16u);
+  for (int k = 0; k < 16; ++k) EXPECT_EQ(table[k], amm.lut().at(0, k, 2));
+}
+
+// ------------------------------------------------------------------ AMM
+
+TEST(Amm, ApproximatesClusteredMatmul) {
+  Config cfg;
+  cfg.ncodebooks = 4;
+  Rng rng(23);
+  Matrix x = clustered_data(rng, 800, 4, 9, 16, 3.0);
+  Matrix w = random_weights(rng, 36, 8);
+  const Amm amm = Amm::train(cfg, x, w);
+
+  Matrix exact;
+  gemm(x, w, exact);
+  const Matrix approx = amm.apply(x);
+  // MADDNESS's shared-split-dim tree cannot always isolate arbitrary
+  // 16-cluster structure; ~0.2 relative error on this workload matches
+  // what the original paper reports for comparable K/D.
+  EXPECT_LT(relative_error(approx, exact), 0.20);
+}
+
+TEST(Amm, ExactOnSeparablePrototypeInputs) {
+  // Clusters with distinct dim-0 values and zero noise: the shared-dim
+  // tree isolates every cluster, every input sits exactly on its
+  // prototype, and the only residual is INT8 LUT quantization.
+  Config cfg;
+  cfg.ncodebooks = 2;
+  Rng rng(29);
+  // All dims strictly increasing in the cluster index, so any split dim
+  // produces contiguous cluster groups and 4 levels isolate all 16.
+  Matrix centers(16, 9);
+  for (int k = 0; k < 16; ++k)
+    for (int j = 0; j < 9; ++j)
+      centers(k, j) = static_cast<float>(10 + 14 * k + 3 * j);
+  Matrix x(400, 18);
+  for (int i = 0; i < 400; ++i)
+    for (int c = 0; c < 2; ++c) {
+      const int k = rng.next_int(0, 15);
+      for (int j = 0; j < 9; ++j) x(i, 9 * c + j) = centers(k, j);
+    }
+  Matrix w = random_weights(rng, 18, 4);
+  const Amm amm = Amm::train(cfg, x, w);
+  Matrix exact;
+  gemm(x, w, exact);
+  const Matrix approx = amm.apply(x);
+  EXPECT_LT(relative_error(approx, exact), 0.02);
+}
+
+TEST(Amm, Int16PathMatchesDequantizedFloat) {
+  Config cfg;
+  cfg.ncodebooks = 3;
+  Rng rng(31);
+  Matrix x = clustered_data(rng, 100, 3, 9, 8);
+  Matrix w = random_weights(rng, 27, 5);
+  const Amm amm = Amm::train(cfg, x, w);
+  const auto q = quantize_activations(x, amm.activation_scale());
+  const auto acc = amm.apply_int16(q);
+  const Matrix y = amm.dequantize_result(acc, q.rows);
+  const Matrix y2 = amm.apply(x);
+  EXPECT_LT(frobenius_diff(y, y2), 1e-6);
+}
+
+TEST(Amm, EncodeRangeAndDeterminism) {
+  Config cfg;
+  cfg.ncodebooks = 2;
+  Rng rng(37);
+  Matrix x = clustered_data(rng, 150, 2, 9, 8);
+  const Amm amm = Amm::train(cfg, x, random_weights(rng, 18, 2));
+  const auto q = quantize_activations(x, amm.activation_scale());
+  const auto codes1 = amm.encode(q);
+  const auto codes2 = amm.encode(q);
+  EXPECT_EQ(codes1, codes2);
+  for (auto c : codes1) EXPECT_LT(c, 16);
+}
+
+TEST(Amm, MoreCodebooksReduceError) {
+  // Property: finer subspace partitioning (more codebooks over the same
+  // total dims) must not increase approximation error on smooth data.
+  Rng rng(41);
+  Matrix x = clustered_data(rng, 600, 4, 9, 4, 8.0);
+  Matrix w = random_weights(rng, 36, 6);
+  Matrix exact;
+  gemm(x, w, exact);
+
+  Config c2;
+  c2.ncodebooks = 2;
+  c2.subvec_dim = 18;
+  const double e2 = relative_error(Amm::train(c2, x, w).apply(x), exact);
+  Config c4;
+  c4.ncodebooks = 4;
+  c4.subvec_dim = 9;
+  const double e4 = relative_error(Amm::train(c4, x, w).apply(x), exact);
+  EXPECT_LT(e4, e2 * 1.1);
+}
+
+TEST(Amm, ConfigValidation) {
+  Config bad;
+  bad.ncodebooks = 0;
+  EXPECT_THROW(bad.validate(), CheckError);
+  Config overflow;
+  overflow.ncodebooks = 300;  // 300*127 >= 2^15
+  EXPECT_THROW(overflow.validate(), CheckError);
+  Config wide;
+  wide.lut_bits = 9;  // hardware columns are 8 bits
+  EXPECT_THROW(wide.validate(), CheckError);
+}
+
+class LutPrecisionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LutPrecisionTest, EntriesRespectPrecisionAndWork) {
+  // Adjustable LUT precision (Table II note 3 context): entries must fit
+  // the signed range of the configured bit width, and lower precision
+  // must still produce a working (merely coarser) operator.
+  const int bits = GetParam();
+  Config cfg;
+  cfg.ncodebooks = 2;
+  cfg.lut_bits = bits;
+  Rng rng(57 + static_cast<std::uint64_t>(bits));
+  Matrix x = clustered_data(rng, 400, 2, 9, 8, 2.0);
+  Matrix w = random_weights(rng, 18, 4);
+  const Amm amm = Amm::train(cfg, x, w);
+
+  const int qmax = (1 << (bits - 1)) - 1;
+  for (std::int8_t v : amm.lut().q) {
+    EXPECT_LE(v, qmax);
+    EXPECT_GE(v, -qmax);
+  }
+  Matrix exact;
+  gemm(x, w, exact);
+  EXPECT_LT(relative_error(amm.apply(x), exact), bits >= 6 ? 0.25 : 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, LutPrecisionTest,
+                         ::testing::Values(3, 4, 5, 6, 8));
+
+TEST(Amm, LutErrorShrinksWithPrecision) {
+  Rng rng(61);
+  Matrix x = clustered_data(rng, 500, 2, 9, 8, 2.0);
+  Matrix w = random_weights(rng, 18, 4);
+  Matrix exact;
+  gemm(x, w, exact);
+  double prev = 1e9;
+  for (int bits : {3, 5, 8}) {
+    Config cfg;
+    cfg.ncodebooks = 2;
+    cfg.lut_bits = bits;
+    const double err =
+        relative_error(Amm::train(cfg, x, w).apply(x), exact);
+    EXPECT_LE(err, prev * 1.05) << "bits=" << bits;
+    prev = err;
+  }
+}
+
+// ---------------------------------------------------------- alt encoders
+
+TEST(AltEncoders, FullSearchFindsNearestPrototype) {
+  Matrix protos(3, 2);
+  protos(0, 0) = 0;
+  protos(0, 1) = 0;
+  protos(1, 0) = 10;
+  protos(1, 1) = 0;
+  protos(2, 0) = 0;
+  protos(2, 1) = 10;
+  const float v[2] = {9.0f, 1.0f};
+  EXPECT_EQ(full_search_encode(protos, v, DistanceKind::kEuclidean), 1);
+  const float v2[2] = {1.0f, 9.0f};
+  EXPECT_EQ(full_search_encode(protos, v2, DistanceKind::kManhattan), 2);
+}
+
+TEST(AltEncoders, EuclideanAssignmentBeatsTreeOnSse) {
+  // Full-search Euclidean assignment is the SSE-optimal assignment for
+  // fixed prototypes, so it lower-bounds the BDT's assignment SSE.
+  Config cfg;
+  cfg.ncodebooks = 1;
+  Rng rng(43);
+  Matrix x = clustered_data(rng, 500, 1, 9, 16, 8.0);
+  const auto q = quantize_activations(x);
+  Matrix sub(q.rows, 9);
+  for (std::size_t i = 0; i < q.rows; ++i)
+    for (int j = 0; j < 9; ++j) sub(i, j) = static_cast<float>(q.at(i, j));
+  std::vector<HashTree> trees{learn_hash_tree(sub)};
+  const Prototypes protos = learn_prototypes(cfg, trees, q);
+
+  // Prototype matrix in the quantized domain for codebook 0.
+  Matrix p(16, 9);
+  for (int k = 0; k < 16; ++k)
+    for (int j = 0; j < 9; ++j)
+      p(k, j) = protos.row(0, k)[j] / q.scale;
+
+  const auto tree_codes = encode_all(cfg, trees, q);
+  std::vector<std::uint8_t> tc(q.rows);
+  for (std::size_t i = 0; i < q.rows; ++i) tc[i] = tree_codes[i];
+  const auto full_codes =
+      full_search_encode_all(p, sub, DistanceKind::kEuclidean);
+  EXPECT_LE(assignment_sse(p, sub, full_codes),
+            assignment_sse(p, sub, tc) + 1e-6);
+}
+
+TEST(AltEncoders, KmeansReducesSseVsRandomAssignment) {
+  Rng rng(47);
+  Matrix x = clustered_data(rng, 400, 1, 9, 8, 2.0);
+  Rng krng(48);
+  const Matrix centroids = kmeans(x, 8, 10, krng);
+  const auto codes =
+      full_search_encode_all(centroids, x, DistanceKind::kEuclidean);
+  const double sse = assignment_sse(centroids, x, codes);
+  // Compare against assigning everything to centroid 0.
+  std::vector<std::uint8_t> all_zero(x.rows(), 0);
+  EXPECT_LT(sse, 0.25 * assignment_sse(centroids, x, all_zero));
+}
+
+TEST(AltEncoders, KmeansDeterministicGivenSeed) {
+  Rng rng(53);
+  Matrix x = clustered_data(rng, 200, 1, 9, 4);
+  Rng k1(99), k2(99);
+  const Matrix c1 = kmeans(x, 4, 5, k1);
+  const Matrix c2 = kmeans(x, 4, 5, k2);
+  EXPECT_LT(frobenius_diff(c1, c2), 1e-9);
+}
+
+}  // namespace
+}  // namespace ssma::maddness

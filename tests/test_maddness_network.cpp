@@ -1,0 +1,171 @@
+// Tests for whole-network MADDNESS substitution: stage construction
+// (conv+BN folding, residual recursion), exact-path equivalence with the
+// source network, error-aware calibration, classifier fine-tuning, and
+// the accuracy-preservation property on a trained model.
+#include <gtest/gtest.h>
+
+#include "nn/dataset.hpp"
+#include "nn/loss.hpp"
+#include "nn/maddness_network.hpp"
+#include "nn/resnet.hpp"
+#include "nn/trainer.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ssma::nn {
+namespace {
+
+/// A small conv net with BN and a residual block, trained a little so BN
+/// running stats are meaningful.
+Network make_trained_net(Rng& rng, const Dataset& data) {
+  Network net;
+  net.emplace<Conv2d>(3, 8, 3, 1, 1, rng);
+  net.emplace<BatchNorm2d>(8);
+  net.emplace<ReLU>();
+  {
+    std::vector<std::unique_ptr<Layer>> body;
+    body.push_back(std::make_unique<Conv2d>(8, 8, 3, 1, 1, rng));
+    body.push_back(std::make_unique<BatchNorm2d>(8));
+    body.push_back(std::make_unique<ReLU>());
+    net.add(std::make_unique<Residual>(std::move(body)));
+  }
+  net.emplace<MaxPool2d>(2);
+  net.emplace<Flatten>();
+  net.emplace<Linear>(8 * 4 * 4, 10, rng);
+
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 20;
+  tc.lr_max = 0.03;
+  Rng trng(55);
+  train(net, data, tc, trng);
+  return net;
+}
+
+Tensor calibration_batch(const Dataset& data, std::size_t n) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < n; ++i) idx.push_back(i);
+  return take_batch(data, idx).first;
+}
+
+TEST(MaddnessNetwork, ExactPathMatchesSourceNetwork) {
+  Rng rng(1);
+  Dataset data = make_synthetic_dataset(rng, 120, 8, 8);
+  Network net = make_trained_net(rng, data);
+  MaddnessNetwork mnet(net, calibration_batch(data, 40));
+
+  auto [x, labels] = take_batch(data, {0, 1, 2, 3, 4});
+  (void)labels;
+  const Tensor ref = net.forward(x, /*train=*/false);
+  const Tensor exact = mnet.forward(x, /*use_amm=*/false);
+  ASSERT_TRUE(exact.same_shape(ref));
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_NEAR(exact[i], ref[i], 5e-3) << "logit " << i;
+}
+
+TEST(MaddnessNetwork, SubstitutesAllConvsIncludingResidualBody) {
+  Rng rng(3);
+  Dataset data = make_synthetic_dataset(rng, 80, 8, 8);
+  Network net = make_trained_net(rng, data);
+  MaddnessNetwork mnet(net, calibration_batch(data, 30));
+  EXPECT_EQ(mnet.num_substituted_convs(), 2u);  // stem + residual body
+  EXPECT_EQ(mnet.substituted_conv(0).in_ch(), 3u);
+  EXPECT_EQ(mnet.substituted_conv(1).in_ch(), 8u);
+}
+
+TEST(MaddnessNetwork, AmmPathPreservesMostAccuracy) {
+  Rng rng(5);
+  Dataset train_set = make_synthetic_dataset(rng, 300, 8, 8);
+  Dataset test_set = make_synthetic_dataset(rng, 100, 8, 8);
+  Network net = make_trained_net(rng, train_set);
+
+  MaddnessNetwork mnet(net, calibration_batch(train_set, 60));
+  mnet.fine_tune_classifier(train_set.images, train_set.labels, 25, 0.05);
+
+  std::size_t correct = 0;
+  for (std::size_t start = 0; start < test_set.size(); start += 25) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = start; i < std::min(test_set.size(), start + 25);
+         ++i)
+      idx.push_back(i);
+    auto [x, labels] = take_batch(test_set, idx);
+    const auto preds = predict(mnet.forward(x, /*use_amm=*/true));
+    for (std::size_t i = 0; i < preds.size(); ++i)
+      correct += (preds[i] == labels[i]);
+  }
+  const double acc =
+      static_cast<double>(correct) / static_cast<double>(test_set.size());
+  EXPECT_GT(acc, 0.6);  // far above 0.1 chance; small net, small data
+}
+
+TEST(MaddnessNetwork, ErrorAwareCalibrationOptionChangesCodebooks) {
+  Rng rng(7);
+  Dataset data = make_synthetic_dataset(rng, 100, 8, 8);
+  Network net = make_trained_net(rng, data);
+  const Tensor calib = calibration_batch(data, 30);
+
+  MaddnessNetwork::Options aware;
+  aware.error_aware_calibration = true;
+  MaddnessNetwork::Options exact;
+  exact.error_aware_calibration = false;
+  MaddnessNetwork m1(net, calib, aware);
+  MaddnessNetwork m2(net, calib, exact);
+
+  // First-layer codebooks see identical inputs, deeper layers differ:
+  // compare the *second* conv's LUT contents.
+  const auto& l1 = m1.substituted_conv(1).amm().lut().q;
+  const auto& l2 = m2.substituted_conv(1).amm().lut().q;
+  EXPECT_NE(l1, l2);
+}
+
+TEST(MaddnessNetwork, FineTuneRequiresFinalLinear) {
+  Rng rng(9);
+  Network net;
+  net.emplace<Conv2d>(3, 4, 3, 1, 1, rng);
+  net.emplace<ReLU>();
+  Dataset data = make_synthetic_dataset(rng, 20, 8, 8);
+  MaddnessNetwork mnet(net, calibration_batch(data, 10));
+  EXPECT_THROW(
+      mnet.fine_tune_classifier(data.images, data.labels, 1, 0.01),
+      CheckError);
+}
+
+TEST(MaddnessNetwork, RejectsNetworksWithoutConvs) {
+  Rng rng(11);
+  Network net;
+  net.emplace<Flatten>();
+  net.emplace<Linear>(3 * 8 * 8, 10, rng);
+  Dataset data = make_synthetic_dataset(rng, 10, 8, 8);
+  EXPECT_THROW(MaddnessNetwork(net, calibration_batch(data, 5)),
+               CheckError);
+}
+
+TEST(MaddnessNetwork, FineTuneImprovesOrMaintainsTrainAccuracy) {
+  Rng rng(13);
+  Dataset data = make_synthetic_dataset(rng, 200, 8, 8);
+  Network net = make_trained_net(rng, data);
+  MaddnessNetwork mnet(net, calibration_batch(data, 50));
+
+  auto acc_on_train = [&] {
+    std::size_t correct = 0;
+    for (std::size_t start = 0; start < data.size(); start += 50) {
+      std::vector<std::size_t> idx;
+      for (std::size_t i = start; i < std::min(data.size(), start + 50); ++i)
+        idx.push_back(i);
+      auto [x, labels] = take_batch(data, idx);
+      const auto preds = predict(mnet.forward(x, true));
+      for (std::size_t i = 0; i < preds.size(); ++i)
+        correct += (preds[i] == labels[i]);
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.size());
+  };
+
+  const double before = acc_on_train();
+  mnet.fine_tune_classifier(data.images, data.labels, 25, 0.05);
+  const double after = acc_on_train();
+  EXPECT_GE(after, before - 0.02);
+  EXPECT_GT(after, 0.6);
+}
+
+}  // namespace
+}  // namespace ssma::nn

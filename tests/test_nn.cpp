@@ -1,0 +1,498 @@
+// Tests for the DNN substrate: im2col round trips, conv correctness vs a
+// direct loop, numerical gradient checks for every layer, BN folding
+// equivalence, training convergence on a tiny task, and the MADDNESS
+// conv substitution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "maddness/amm.hpp"
+#include "nn/dataset.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/maddness_conv.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/resnet.hpp"
+#include "nn/tensor.hpp"
+#include "nn/trainer.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ssma::nn {
+namespace {
+
+Tensor random_tensor(Rng& rng, std::size_t n, std::size_t c, std::size_t h,
+                     std::size_t w, double lo = -1.0, double hi = 1.0) {
+  Tensor t(n, c, h, w);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.next_double(lo, hi));
+  return t;
+}
+
+/// Central-difference gradient check of dL/dx for an arbitrary layer,
+/// where L = sum(forward(x) * seed) for a fixed random seed tensor.
+void check_input_gradient(Layer& layer, const Tensor& x, Rng& rng,
+                          double tol = 2e-2) {
+  Tensor base = layer.forward(x, /*train=*/true);
+  Tensor seed(base.n(), base.c(), base.h(), base.w());
+  for (std::size_t i = 0; i < seed.size(); ++i)
+    seed[i] = static_cast<float>(rng.next_double(-1, 1));
+
+  // Analytic gradient.
+  layer.forward(x, true);
+  const Tensor dx = layer.backward(seed);
+
+  // Numerical gradient on a sample of coordinates.
+  const double eps = 1e-2;
+  const std::size_t stride = std::max<std::size_t>(1, x.size() / 24);
+  for (std::size_t i = 0; i < x.size(); i += stride) {
+    Tensor xp = x, xm = x;
+    xp[i] += static_cast<float>(eps);
+    xm[i] -= static_cast<float>(eps);
+    const Tensor yp = layer.forward(xp, true);
+    const Tensor ym = layer.forward(xm, true);
+    double lp = 0.0, lm = 0.0;
+    for (std::size_t j = 0; j < yp.size(); ++j) {
+      lp += static_cast<double>(yp[j]) * seed[j];
+      lm += static_cast<double>(ym[j]) * seed[j];
+    }
+    const double num = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(dx[i], num, tol * std::max(1.0, std::abs(num)))
+        << "input coord " << i;
+  }
+}
+
+/// Central-difference check of a parameter gradient.
+void check_param_gradient(Layer& layer, Param& p, const Tensor& x, Rng& rng,
+                          double tol = 2e-2) {
+  Tensor base = layer.forward(x, true);
+  Tensor seed(base.n(), base.c(), base.h(), base.w());
+  for (std::size_t i = 0; i < seed.size(); ++i)
+    seed[i] = static_cast<float>(rng.next_double(-1, 1));
+
+  p.grad.fill(0.0f);
+  layer.forward(x, true);
+  layer.backward(seed);
+  const Tensor analytic = p.grad;
+
+  const double eps = 1e-2;
+  const std::size_t stride = std::max<std::size_t>(1, p.value.size() / 16);
+  for (std::size_t i = 0; i < p.value.size(); i += stride) {
+    const float save = p.value[i];
+    p.value[i] = save + static_cast<float>(eps);
+    const Tensor yp = layer.forward(x, true);
+    p.value[i] = save - static_cast<float>(eps);
+    const Tensor ym = layer.forward(x, true);
+    p.value[i] = save;
+    double lp = 0.0, lm = 0.0;
+    for (std::size_t j = 0; j < yp.size(); ++j) {
+      lp += static_cast<double>(yp[j]) * seed[j];
+      lm += static_cast<double>(ym[j]) * seed[j];
+    }
+    const double num = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(analytic[i], num, tol * std::max(1.0, std::abs(num)))
+        << "param coord " << i;
+  }
+}
+
+// ----------------------------------------------------------------- tensor
+
+TEST(Tensor, IndexingAndBounds) {
+  Tensor t(2, 3, 4, 5);
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t.at(1, 2, 3, 4), 7.0f);
+  EXPECT_EQ(t.size(), 2u * 3 * 4 * 5);
+  EXPECT_THROW(t.at(2, 0, 0, 0), CheckError);
+}
+
+TEST(Tensor, Im2colKnownValues) {
+  // 1x1x3x3 input, k=3, pad=1: center row of im2col equals the image.
+  Tensor x(1, 1, 3, 3);
+  for (int i = 0; i < 9; ++i) x[i] = static_cast<float>(i + 1);
+  const Matrix cols = im2col(x, 3, 1, 1);
+  EXPECT_EQ(cols.rows(), 9u);
+  EXPECT_EQ(cols.cols(), 9u);
+  // Output position (1,1) sees the full image.
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(cols(4, i), x[i]);
+  // Corner (0,0): top-left patch has zeros from padding.
+  EXPECT_EQ(cols(0, 0), 0.0f);
+  EXPECT_EQ(cols(0, 4), 1.0f);  // center of patch = pixel (0,0)
+}
+
+TEST(Tensor, Im2colChannelBlocksAreContiguous) {
+  // The accelerator mapping needs channel c's 3x3 patch at columns
+  // [9c, 9c+9).
+  Rng rng(3);
+  Tensor x = random_tensor(rng, 1, 2, 4, 4);
+  const Matrix cols = im2col(x, 3, 1, 1);
+  EXPECT_EQ(cols.cols(), 18u);
+  // Row for output (1,1): channel 1 patch center = x(0,1,1,1).
+  const std::size_t row = 1 * 4 + 1;
+  EXPECT_EQ(cols(row, 9 + 4), x.at(0, 1, 1, 1));
+}
+
+TEST(Tensor, Col2imIsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property,
+  // which is exactly what conv backward relies on.
+  Rng rng(5);
+  Tensor x = random_tensor(rng, 2, 3, 5, 5);
+  const Matrix cols = im2col(x, 3, 1, 1);
+  Matrix y(cols.rows(), cols.cols());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y.data()[i] = static_cast<float>(rng.next_double(-1, 1));
+  const Tensor xback = col2im(y, 2, 3, 5, 5, 3, 1, 1);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols.size(); ++i)
+    lhs += static_cast<double>(cols.data()[i]) * y.data()[i];
+  for (std::size_t i = 0; i < x.size(); ++i)
+    rhs += static_cast<double>(x[i]) * xback[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+// ------------------------------------------------------------------ conv
+
+TEST(Conv2d, MatchesDirectConvolution) {
+  Rng rng(7);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  Tensor x = random_tensor(rng, 2, 2, 6, 6);
+  const Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.c(), 3u);
+  ASSERT_EQ(y.h(), 6u);
+
+  for (std::size_t n = 0; n < 2; ++n)
+    for (std::size_t o = 0; o < 3; ++o)
+      for (std::size_t oy = 0; oy < 6; ++oy)
+        for (std::size_t ox = 0; ox < 6; ++ox) {
+          double acc = conv.bias().value[o];
+          for (std::size_t c = 0; c < 2; ++c)
+            for (int ky = 0; ky < 3; ++ky)
+              for (int kx = 0; kx < 3; ++kx) {
+                const long long iy = static_cast<long long>(oy) + ky - 1;
+                const long long ix = static_cast<long long>(ox) + kx - 1;
+                if (iy < 0 || ix < 0 || iy >= 6 || ix >= 6) continue;
+                acc += static_cast<double>(conv.weight().value.at(o, c, ky, kx)) *
+                       x.at(n, c, static_cast<std::size_t>(iy),
+                            static_cast<std::size_t>(ix));
+              }
+          EXPECT_NEAR(y.at(n, o, oy, ox), acc, 1e-3);
+        }
+}
+
+TEST(Conv2d, StrideTwoShapes) {
+  Rng rng(9);
+  Conv2d conv(1, 2, 3, 2, 1, rng);
+  Tensor x = random_tensor(rng, 1, 1, 8, 8);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.h(), 4u);
+  EXPECT_EQ(y.w(), 4u);
+}
+
+TEST(Conv2d, InputGradient) {
+  Rng rng(11);
+  Conv2d conv(2, 2, 3, 1, 1, rng);
+  Tensor x = random_tensor(rng, 1, 2, 4, 4);
+  check_input_gradient(conv, x, rng);
+}
+
+TEST(Conv2d, WeightAndBiasGradient) {
+  Rng rng(13);
+  Conv2d conv(2, 2, 3, 1, 1, rng);
+  Tensor x = random_tensor(rng, 2, 2, 4, 4);
+  check_param_gradient(conv, conv.weight(), x, rng);
+  check_param_gradient(conv, conv.bias(), x, rng);
+}
+
+TEST(Conv2d, WeightMatrixRoundTrip) {
+  Rng rng(15);
+  Conv2d conv(3, 4, 3, 1, 1, rng);
+  const Matrix w = conv.weight_matrix();
+  Conv2d conv2(3, 4, 3, 1, 1, rng);
+  conv2.set_weight_matrix(w);
+  EXPECT_LT(frobenius_diff(conv2.weight_matrix(), w), 1e-9);
+}
+
+// --------------------------------------------------------------------- BN
+
+TEST(BatchNorm2d, NormalizesBatchStatistics) {
+  Rng rng(17);
+  BatchNorm2d bn(3);
+  Tensor x = random_tensor(rng, 4, 3, 5, 5, -3.0, 9.0);
+  const Tensor y = bn.forward(x, true);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double s = 0.0, sq = 0.0;
+    const std::size_t cnt = 4 * 5 * 5;
+    for (std::size_t n = 0; n < 4; ++n)
+      for (std::size_t h = 0; h < 5; ++h)
+        for (std::size_t w = 0; w < 5; ++w) {
+          s += y.at(n, c, h, w);
+          sq += static_cast<double>(y.at(n, c, h, w)) * y.at(n, c, h, w);
+        }
+    EXPECT_NEAR(s / cnt, 0.0, 1e-4);
+    EXPECT_NEAR(sq / cnt, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, InputGradient) {
+  Rng rng(19);
+  BatchNorm2d bn(2);
+  Tensor x = random_tensor(rng, 2, 2, 3, 3);
+  check_input_gradient(bn, x, rng, 5e-2);
+}
+
+TEST(BatchNorm2d, GammaBetaGradient) {
+  Rng rng(21);
+  BatchNorm2d bn(2);
+  Tensor x = random_tensor(rng, 2, 2, 3, 3);
+  auto params = bn.params();
+  check_param_gradient(bn, *params[0], x, rng, 5e-2);
+  check_param_gradient(bn, *params[1], x, rng, 5e-2);
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  Rng rng(23);
+  BatchNorm2d bn(1);
+  for (int i = 0; i < 50; ++i)
+    bn.forward(random_tensor(rng, 8, 1, 4, 4, 2.0, 4.0), true);
+  // Eval mode on fresh data must use running stats, not batch stats.
+  Tensor probe(1, 1, 1, 1);
+  probe[0] = 3.0f;  // near the running mean
+  const Tensor y = bn.forward(probe, false);
+  EXPECT_NEAR(y[0], 0.0, 0.5);
+}
+
+// ----------------------------------------------------------- other layers
+
+TEST(ReLU, ForwardAndGradient) {
+  Rng rng(25);
+  ReLU relu;
+  Tensor x = random_tensor(rng, 2, 2, 3, 3);
+  const Tensor y = relu.forward(x, true);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(y[i], std::max(0.0f, x[i]));
+  check_input_gradient(relu, x, rng);
+}
+
+TEST(MaxPool2d, ForwardKnownValues) {
+  Tensor x(1, 1, 4, 4);
+  for (int i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  MaxPool2d pool(2);
+  const Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.h(), 2u);
+  EXPECT_EQ(y.at(0, 0, 0, 0), 5.0f);
+  EXPECT_EQ(y.at(0, 0, 1, 1), 15.0f);
+}
+
+TEST(MaxPool2d, InputGradient) {
+  Rng rng(27);
+  MaxPool2d pool(2);
+  Tensor x = random_tensor(rng, 1, 2, 4, 4);
+  check_input_gradient(pool, x, rng);
+}
+
+TEST(Linear, ForwardAndGradients) {
+  Rng rng(29);
+  Linear lin(12, 5, rng);
+  Tensor x = random_tensor(rng, 3, 12, 1, 1);
+  check_input_gradient(lin, x, rng);
+  check_param_gradient(lin, lin.weight(), x, rng);
+  check_param_gradient(lin, lin.bias(), x, rng);
+}
+
+TEST(Residual, AddsIdentityAndBackpropagates) {
+  Rng rng(31);
+  std::vector<std::unique_ptr<Layer>> body;
+  body.push_back(std::make_unique<Conv2d>(2, 2, 3, 1, 1, rng));
+  body.push_back(std::make_unique<ReLU>());
+  Residual res(std::move(body));
+  Tensor x = random_tensor(rng, 1, 2, 4, 4);
+  const Tensor y = res.forward(x, true);
+  EXPECT_TRUE(y.same_shape(x));
+  check_input_gradient(res, x, rng);
+}
+
+// ------------------------------------------------------------------- loss
+
+TEST(Loss, UniformLogitsGiveLogK) {
+  Tensor logits(2, 10, 1, 1, 0.0f);
+  const LossResult r = softmax_cross_entropy(logits, {3, 7});
+  EXPECT_NEAR(r.loss, std::log(10.0), 1e-6);
+}
+
+TEST(Loss, GradientMatchesNumerical) {
+  Rng rng(33);
+  Tensor logits = random_tensor(rng, 2, 5, 1, 1);
+  std::vector<int> labels = {1, 4};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += static_cast<float>(eps);
+    lm[i] -= static_cast<float>(eps);
+    const double num = (softmax_cross_entropy(lp, labels).loss -
+                        softmax_cross_entropy(lm, labels).loss) /
+                       (2 * eps);
+    EXPECT_NEAR(r.grad[i], num, 1e-3);
+  }
+}
+
+TEST(Loss, PredictsArgmax) {
+  Tensor logits(1, 4, 1, 1);
+  logits[2] = 5.0f;
+  EXPECT_EQ(predict(logits), std::vector<int>{2});
+}
+
+// -------------------------------------------------------------- BN folding
+
+TEST(Network, BatchNormFoldingPreservesOutputs) {
+  Rng rng(35);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  BatchNorm2d bn(3);
+  // Give BN nontrivial running stats via training passes.
+  for (int i = 0; i < 30; ++i)
+    bn.forward(conv.forward(random_tensor(rng, 4, 2, 6, 6, 0.0, 1.0), true),
+               true);
+
+  Tensor x = random_tensor(rng, 2, 2, 6, 6, 0.0, 1.0);
+  const Tensor ref = bn.forward(conv.forward(x, false), false);
+  fold_batchnorm(conv, bn);
+  const Tensor folded = conv.forward(x, false);
+  ASSERT_TRUE(folded.same_shape(ref));
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_NEAR(folded[i], ref[i], 2e-3);
+}
+
+// ---------------------------------------------------------------- training
+
+TEST(Training, OverfitsTinyDataset) {
+  Rng rng(37);
+  Dataset data = make_synthetic_dataset(rng, 80, 8, 8);
+  Network net;
+  net.emplace<Conv2d>(3, 8, 3, 1, 1, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>(2);
+  net.emplace<Flatten>();
+  net.emplace<Linear>(8 * 4 * 4, 10, rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 14;
+  cfg.batch_size = 16;
+  cfg.lr_max = 0.05;
+  Rng trng(38);
+  const TrainHistory hist = train(net, data, cfg, trng);
+  EXPECT_LT(hist.epoch_loss.back(), hist.epoch_loss.front());
+  EXPECT_GT(evaluate(net, data), 0.8);
+}
+
+TEST(Training, Resnet9BuildsAndLearns) {
+  Rng rng(39);
+  ResnetConfig rc;
+  rc.width = 4;
+  rc.img_h = 8;
+  rc.img_w = 8;
+  Network net = make_resnet9(rc, rng);
+  EXPECT_GT(net.num_parameters(), 1000u);
+
+  Dataset data = make_synthetic_dataset(rng, 120, 8, 8);
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_size = 20;
+  cfg.lr_max = 0.03;
+  Rng trng(40);
+  train(net, data, cfg, trng);
+  EXPECT_GT(evaluate(net, data), 0.5);  // well above the 0.1 chance level
+}
+
+TEST(Dataset, BalancedAndBounded) {
+  Rng rng(41);
+  Dataset data = make_synthetic_dataset(rng, 100, 8, 8);
+  std::vector<int> counts(10, 0);
+  for (int l : data.labels) ++counts[l];
+  for (int c : counts) EXPECT_EQ(c, 10);
+  for (std::size_t i = 0; i < data.images.size(); ++i) {
+    EXPECT_GE(data.images[i], 0.0f);
+    EXPECT_LE(data.images[i], 1.0f);
+  }
+}
+
+TEST(Optimizer, CosineScheduleEndpoints) {
+  EXPECT_NEAR(cosine_lr(0.1, 0.01, 0, 100), 0.1, 1e-12);
+  EXPECT_NEAR(cosine_lr(0.1, 0.01, 100, 100), 0.01, 1e-12);
+  EXPECT_NEAR(cosine_lr(0.1, 0.01, 50, 100), 0.055, 1e-12);
+}
+
+TEST(Optimizer, StepReducesLossOnQuadratic) {
+  // Single linear layer fitting y = 2x: a few SGD steps reduce loss.
+  Rng rng(43);
+  Linear lin(1, 1, rng);
+  SgdOptimizer opt({&lin.weight(), &lin.bias()}, 0.3, 0.0, 0.0);
+  double first_loss = -1.0, last_loss = -1.0;
+  for (int it = 0; it < 300; ++it) {
+    Tensor x(4, 1, 1, 1);
+    for (int i = 0; i < 4; ++i) x[i] = static_cast<float>(i) / 4.0f;
+    const Tensor y = lin.forward(x, true);
+    Tensor grad(4, 1, 1, 1);
+    double loss = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      const double target = 2.0 * x[i];
+      loss += (y[i] - target) * (y[i] - target);
+      grad[i] = static_cast<float>(2.0 * (y[i] - target) / 4.0);
+    }
+    lin.backward(grad);
+    opt.step();
+    if (it == 0) first_loss = loss;
+    last_loss = loss;
+  }
+  EXPECT_LT(last_loss, 0.01 * first_loss);
+}
+
+// ----------------------------------------------------------- maddness conv
+
+TEST(MaddnessConv, ApproximatesFoldedConv) {
+  Rng rng(45);
+  Conv2d conv(4, 6, 3, 1, 1, rng);
+  // Calibration = realistic non-negative activations.
+  Tensor calib = random_tensor(rng, 6, 4, 8, 8, 0.0, 1.0);
+  MaddnessConv2d mconv(conv, calib);
+
+  Tensor x = random_tensor(rng, 2, 4, 8, 8, 0.0, 1.0);
+  const Tensor exact = mconv.forward_exact(x);
+  const Tensor approx = mconv.forward(x);
+  ASSERT_TRUE(approx.same_shape(exact));
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    num += (approx[i] - exact[i]) * (approx[i] - exact[i]);
+    den += exact[i] * exact[i];
+  }
+  EXPECT_LT(std::sqrt(num / den), 0.6);  // coarse but informative
+}
+
+TEST(MaddnessConv, ExactPathMatchesConvLayer) {
+  Rng rng(47);
+  Conv2d conv(3, 5, 3, 1, 1, rng);
+  Tensor calib = random_tensor(rng, 4, 3, 8, 8, 0.0, 1.0);
+  MaddnessConv2d mconv(conv, calib);
+  Tensor x = random_tensor(rng, 2, 3, 8, 8, 0.0, 1.0);
+  const Tensor a = conv.forward(x, false);
+  const Tensor b = mconv.forward_exact(x);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-3);
+}
+
+TEST(MaddnessConv, RejectsNon3x3) {
+  Rng rng(49);
+  Conv2d conv(2, 2, 5, 1, 2, rng);
+  Tensor calib = random_tensor(rng, 1, 2, 8, 8, 0.0, 1.0);
+  EXPECT_THROW(MaddnessConv2d(conv, calib), CheckError);
+}
+
+TEST(MaddnessConv, CodebookCountEqualsInputChannels) {
+  Rng rng(51);
+  Conv2d conv(5, 4, 3, 1, 1, rng);
+  Tensor calib = random_tensor(rng, 2, 5, 8, 8, 0.0, 1.0);
+  MaddnessConv2d mconv(conv, calib);
+  EXPECT_EQ(mconv.amm().cfg().ncodebooks, 5);
+  EXPECT_EQ(mconv.amm().lut().nout, 4);
+}
+
+}  // namespace
+}  // namespace ssma::nn

@@ -1,0 +1,341 @@
+// Tests for the calibrated technology/PPA models, including golden-number
+// checks against the paper's published results (Table I, Table II, Fig. 6,
+// Fig. 7). Tolerances are stated per anchor; see DESIGN.md §5.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppa/analytic_perf.hpp"
+#include "ppa/area_model.hpp"
+#include "ppa/corner.hpp"
+#include "ppa/delay_model.hpp"
+#include "ppa/energy_model.hpp"
+#include "util/check.hpp"
+
+namespace ssma::ppa {
+namespace {
+
+double rel_err(double measured, double expected) {
+  return std::abs(measured - expected) / std::abs(expected);
+}
+
+// ---------------------------------------------------------------- corners
+
+TEST(Corner, NamesRoundTrip) {
+  for (Corner c : {Corner::TTG, Corner::FFG, Corner::SSG, Corner::SFG,
+                   Corner::FSG}) {
+    EXPECT_EQ(corner_from_name(corner_name(c)), c);
+  }
+  EXPECT_THROW(corner_from_name("XXX"), CheckError);
+}
+
+TEST(Corner, FastCornersLowerVth) {
+  EXPECT_LT(corner_params(Corner::FFG).dvth_n, 0.0);
+  EXPECT_GT(corner_params(Corner::SSG).dvth_n, 0.0);
+  // SFG: slow NMOS, fast PMOS.
+  EXPECT_GT(corner_params(Corner::SFG).dvth_n, 0.0);
+  EXPECT_LT(corner_params(Corner::SFG).dvth_p, 0.0);
+}
+
+TEST(Corner, LeakageOrderingAndTemperature) {
+  OperatingPoint ff{0.5, Corner::FFG, 25.0};
+  OperatingPoint tt{0.5, Corner::TTG, 25.0};
+  OperatingPoint ss{0.5, Corner::SSG, 25.0};
+  EXPECT_GT(leakage_multiplier(ff), leakage_multiplier(tt));
+  EXPECT_LT(leakage_multiplier(ss), leakage_multiplier(tt));
+  OperatingPoint hot{0.5, Corner::TTG, 45.0};
+  EXPECT_NEAR(leakage_multiplier(hot), 2.0, 1e-9);  // doubles per 20K
+}
+
+// ------------------------------------------------------------ delay model
+
+TEST(DelayModel, ScaleIsOneAtReference) {
+  OperatingPoint ref = nominal_05v();
+  EXPECT_NEAR(delay_scale(DelayClass::kEncoder, ref), 1.0, 1e-12);
+  EXPECT_NEAR(delay_scale(DelayClass::kDecoder, ref), 1.0, 1e-12);
+}
+
+TEST(DelayModel, DelayDecreasesMonotonicallyWithVdd) {
+  double prev_e = 1e9, prev_d = 1e9;
+  for (double v = 0.5; v <= 1.01; v += 0.05) {
+    OperatingPoint op{v, Corner::TTG, 25.0};
+    const double e = delay_scale(DelayClass::kEncoder, op);
+    const double d = delay_scale(DelayClass::kDecoder, op);
+    EXPECT_LT(e, prev_e);
+    EXPECT_LT(d, prev_d);
+    prev_e = e;
+    prev_d = d;
+  }
+}
+
+TEST(DelayModel, CornerOrderingFFGFasterSSGSlower) {
+  OperatingPoint ff{0.6, Corner::FFG, 25.0};
+  OperatingPoint tt{0.6, Corner::TTG, 25.0};
+  OperatingPoint ss{0.6, Corner::SSG, 25.0};
+  for (auto cls : {DelayClass::kEncoder, DelayClass::kDecoder}) {
+    EXPECT_LT(delay_scale(cls, ff), delay_scale(cls, tt));
+    EXPECT_GT(delay_scale(cls, ss), delay_scale(cls, tt));
+  }
+}
+
+TEST(DelayModel, TemperatureSlowsDelay) {
+  OperatingPoint cold{0.6, Corner::TTG, 25.0};
+  OperatingPoint hot{0.6, Corner::TTG, 85.0};
+  EXPECT_GT(delay_scale(DelayClass::kDecoder, hot),
+            delay_scale(DelayClass::kDecoder, cold));
+}
+
+TEST(DelayModel, SubthresholdRegimeExplodesButStaysFinite) {
+  // Below the effective threshold the exponential extension takes over:
+  // delays blow up (the circuit still functions, self-timed) but remain
+  // finite and monotone.
+  OperatingPoint op{0.30, Corner::TTG, 25.0};
+  const double sub = delay_scale(DelayClass::kDecoder, op);
+  EXPECT_TRUE(std::isfinite(sub));
+  EXPECT_GT(sub, 50.0);  // vs 1.0 at the 0.5 V reference
+  OperatingPoint deeper{0.25, Corner::TTG, 25.0};
+  EXPECT_GT(delay_scale(DelayClass::kDecoder, deeper), sub);
+  OperatingPoint absurd{0.01, Corner::TTG, 25.0};
+  EXPECT_THROW(delay_scale(DelayClass::kDecoder, absurd), CheckError);
+}
+
+TEST(DelayModel, DlcDepthMonotone) {
+  DelayModel m(nominal_05v());
+  double prev = 0.0;
+  for (int depth = 1; depth <= 8; ++depth) {
+    const double d = m.dlc_eval_ns(depth);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+  EXPECT_THROW(m.dlc_eval_ns(0), CheckError);
+  EXPECT_THROW(m.dlc_eval_ns(9), CheckError);
+}
+
+TEST(DelayModel, EncoderBoundsMatchPaper) {
+  // DESIGN.md §5: encoder best 7.4 ns / worst 21.7 ns at 0.5 V TTG.
+  DelayModel m(nominal_05v());
+  EXPECT_NEAR(m.encoder_best_ns(), 7.4, 0.01);
+  EXPECT_NEAR(m.encoder_worst_ns(), 21.7, 0.01);
+}
+
+TEST(DelayModel, DecoderPathMatchesCalibration) {
+  DelayModel m(nominal_05v());
+  EXPECT_NEAR(m.decoder_path_ns(4), 8.70, 0.01);
+  EXPECT_NEAR(m.decoder_path_ns(16), 10.40, 0.01);
+}
+
+TEST(DelayModel, Fig7bBlockLatencies) {
+  // Fig. 7B: Ndec=4: 16.1/30.4 ns; Ndec=16: 17.8/32.1 ns (0.5 V TTG).
+  DelayModel m(nominal_05v());
+  EXPECT_NEAR(m.block_latency_best_ns(4), 16.1, 0.05);
+  EXPECT_NEAR(m.block_latency_worst_ns(4), 30.4, 0.05);
+  EXPECT_NEAR(m.block_latency_best_ns(16), 17.8, 0.05);
+  EXPECT_NEAR(m.block_latency_worst_ns(16), 32.1, 0.05);
+}
+
+TEST(DelayModel, Table2FrequenciesBothVoltages) {
+  // Table II: 31.2-56.2 MHz @0.5 V and 144-353 MHz @0.8 V (Ndec=16).
+  DelayModel m05(nominal_05v());
+  EXPECT_LT(rel_err(1e3 / m05.block_latency_worst_ns(16), 31.2), 0.02);
+  EXPECT_LT(rel_err(1e3 / m05.block_latency_best_ns(16), 56.2), 0.02);
+  DelayModel m08(nominal_08v());
+  EXPECT_LT(rel_err(1e3 / m08.block_latency_worst_ns(16), 144.0), 0.03);
+  EXPECT_LT(rel_err(1e3 / m08.block_latency_best_ns(16), 353.0), 0.03);
+}
+
+TEST(DelayModel, RcaChainBounds) {
+  DelayModel m(nominal_05v());
+  EXPECT_GT(m.rca_ns(16), m.rca_ns(0));
+  EXPECT_THROW(m.rca_ns(17), CheckError);
+}
+
+// ------------------------------------------------------------ energy model
+
+TEST(EnergyModel, DynamicScalesQuadratically) {
+  EnergyModel e05(nominal_05v());
+  EnergyModel e10({1.0, Corner::TTG, 25.0});
+  EXPECT_NEAR(e10.column_read_fj() / e05.column_read_fj(), 4.0, 1e-9);
+  EXPECT_NEAR(e10.latch_fj() / e05.latch_fj(), 4.0, 1e-9);
+}
+
+TEST(EnergyModel, DecoderLookupIs90fJAtReference) {
+  EnergyModel e(nominal_05v());
+  EXPECT_NEAR(e.decoder_lookup_avg_fj(), 90.0, 0.5);
+}
+
+TEST(EnergyModel, CsaEnergyDataDependent) {
+  EnergyModel e(nominal_05v());
+  EXPECT_LT(e.csa_fj(0), e.csa_fj(16));
+  EXPECT_LT(e.csa_fj(16), e.csa_fj(32));
+  EXPECT_NEAR(e.csa_fj(16), 16.0, 1e-9);  // random-data average
+  EXPECT_THROW(e.csa_fj(33), CheckError);
+}
+
+TEST(EnergyModel, LeakageScalesWithNdecAndCorner) {
+  EnergyModel e(nominal_05v());
+  EXPECT_GT(e.block_leakage_uw(16), e.block_leakage_uw(4));
+  EnergyModel eff({0.5, Corner::FFG, 25.0});
+  EXPECT_GT(eff.block_leakage_uw(16), e.block_leakage_uw(16));
+  EXPECT_NEAR(e.macro_leakage_uw(16, 32), 32.0 * e.block_leakage_uw(16),
+              1e-9);
+}
+
+// -------------------------------------------------------------- area model
+
+TEST(AreaModel, FlagshipCoreAreaMatchesPaper) {
+  AreaModel a;
+  // Paper: 0.20 mm^2 core, 64 kb SRAM @ (Ndec=16, NS=32).
+  EXPECT_NEAR(a.core_mm2(16, 32), 0.20, 0.002);
+  EXPECT_EQ(a.sram_bits(16, 32), 64 * 1024);
+  // Total chip 0.66 mm^2.
+  EXPECT_NEAR(a.chip_mm2(16, 32), 0.66, 0.02);
+}
+
+TEST(AreaModel, Fig7cDecoderShares) {
+  AreaModel a;
+  // Fig. 7C: decoder area share 56.9% @Ndec=4 -> 82.9% @Ndec=16 (NS=32).
+  EXPECT_NEAR(a.macro_area(4, 32).decoder_share(), 0.569, 0.01);
+  EXPECT_NEAR(a.macro_area(16, 32).decoder_share(), 0.829, 0.005);
+}
+
+TEST(AreaModel, AreaMonotoneInParameters) {
+  AreaModel a;
+  EXPECT_GT(a.core_mm2(8, 32), a.core_mm2(4, 32));
+  EXPECT_GT(a.core_mm2(4, 64), a.core_mm2(4, 32));
+}
+
+// ------------------------------------------------------- analytic envelope
+
+struct Table1Golden {
+  int ndec;
+  double vdd;
+  double tops_per_w;   // paper Table I
+  double tops_per_mm2; // paper Table I
+};
+
+class Table1Test : public ::testing::TestWithParam<Table1Golden> {};
+
+TEST_P(Table1Test, EnergyAndAreaEfficiencyMatchPaper) {
+  const auto g = GetParam();
+  AnalyticPerf perf({g.ndec, 32}, {g.vdd, Corner::TTG, 25.0});
+  const PerfEnvelope env = perf.envelope();
+  // Energy efficiency reproduces to <= 1.5%; area efficiency to <= 8%
+  // (the paper's Table I/Fig. 7 latency data are not perfectly mutually
+  // consistent at Ndec=4/32 — see EXPERIMENTS.md).
+  EXPECT_LT(rel_err(env.avg_tops_per_w, g.tops_per_w), 0.015)
+      << "TOPS/W: got " << env.avg_tops_per_w << " want " << g.tops_per_w;
+  EXPECT_LT(rel_err(env.avg_tops_per_mm2, g.tops_per_mm2), 0.08)
+      << "TOPS/mm2: got " << env.avg_tops_per_mm2 << " want "
+      << g.tops_per_mm2;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable1, Table1Test,
+    ::testing::Values(Table1Golden{4, 0.5, 167.5, 1.4},
+                      Table1Golden{8, 0.5, 171.8, 1.8},
+                      Table1Golden{16, 0.5, 174.0, 2.0},
+                      Table1Golden{32, 0.5, 174.9, 2.0},
+                      Table1Golden{4, 0.8, 73.0, 8.7},
+                      Table1Golden{8, 0.8, 74.4, 10.8},
+                      Table1Golden{16, 0.8, 75.1, 11.3},
+                      Table1Golden{32, 0.8, 75.4, 11.5}));
+
+struct Fig6Golden {
+  double vdd;
+  double tops_per_w;
+  double tops_per_mm2;
+};
+
+class Fig6Test : public ::testing::TestWithParam<Fig6Golden> {};
+
+TEST_P(Fig6Test, VoltageSweepEfficiency) {
+  const auto g = GetParam();
+  // Fig. 6 uses Ndec=4, NS=4 at TTG.
+  AnalyticPerf perf({4, 4}, {g.vdd, Corner::TTG, 25.0});
+  const PerfEnvelope env = perf.envelope();
+  EXPECT_LT(rel_err(env.avg_tops_per_w, g.tops_per_w), 0.04)
+      << "TOPS/W: got " << env.avg_tops_per_w << " want " << g.tops_per_w;
+  // Area efficiency (throughput-driven) holds within 20% across the
+  // sweep; the paper's own best/worst frequency pairs constrain the model
+  // tightly only at 0.5/0.8 V, and its 0.9/1.0 V points deviate from any
+  // single alpha-power law through those anchors (see EXPERIMENTS.md).
+  EXPECT_LT(rel_err(env.avg_tops_per_mm2, g.tops_per_mm2), 0.20)
+      << "TOPS/mm2: got " << env.avg_tops_per_mm2 << " want "
+      << g.tops_per_mm2;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperFig6, Fig6Test,
+                         ::testing::Values(Fig6Golden{0.5, 164.0, 1.45},
+                                           Fig6Golden{0.6, 123.0, 3.46},
+                                           Fig6Golden{0.7, 92.8, 5.94},
+                                           Fig6Golden{0.8, 72.2, 8.55},
+                                           Fig6Golden{0.9, 57.5, 11.03},
+                                           Fig6Golden{1.0, 46.6, 13.25}));
+
+TEST(AnalyticPerf, Table2FlagshipNumbers) {
+  // Proposed column of Table II @ (Ndec=16, NS=32).
+  AnalyticPerf p05({16, 32}, nominal_05v());
+  const auto e05 = p05.envelope();
+  EXPECT_LT(rel_err(e05.worst.throughput_tops, 0.28), 0.04);
+  EXPECT_LT(rel_err(e05.best.throughput_tops, 0.51), 0.04);
+  EXPECT_LT(rel_err(e05.avg_tops_per_w, 174.0), 0.01);
+  EXPECT_LT(rel_err(e05.avg_tops_per_mm2, 2.01), 0.02);
+
+  AnalyticPerf p08({16, 32}, nominal_08v());
+  const auto e08 = p08.envelope();
+  EXPECT_LT(rel_err(e08.worst.throughput_tops, 1.33), 0.03);
+  EXPECT_LT(rel_err(e08.best.throughput_tops, 3.26), 0.03);
+  EXPECT_LT(rel_err(e08.avg_tops_per_w, 75.1), 0.01);
+  EXPECT_LT(rel_err(e08.avg_tops_per_mm2, 11.34), 0.03);
+}
+
+TEST(AnalyticPerf, Fig7aEnergyBreakdownDecoderDominates) {
+  // Fig. 7A: decoder >= 94% of energy at 0.5 V, NS=32; share grows with
+  // Ndec (94.2% @4 -> 97.7% @16).
+  AnalyticPerf p4({4, 32}, nominal_05v());
+  AnalyticPerf p16({16, 32}, nominal_05v());
+  const auto b4 = p4.energy_breakdown();
+  const auto b16 = p16.energy_breakdown();
+  EXPECT_GT(b4.decoder_share(), 0.90);
+  EXPECT_GT(b16.decoder_share(), b4.decoder_share());
+  EXPECT_GT(b16.decoder_share(), 0.95);
+  // Encoder energy/op: Table II reports 0.054 fJ @0.5 V (Ndec=16).
+  EXPECT_NEAR(b16.encoder_fj, 0.054, 0.02);
+}
+
+TEST(AnalyticPerf, EnergyPerOpMatchesTable2DecoderRow) {
+  // Table II: decoder 5.6 fJ/op @0.5 V, 14.7 fJ/op @0.8 V (Ndec=16).
+  AnalyticPerf p05({16, 32}, nominal_05v());
+  EXPECT_LT(rel_err(p05.energy_breakdown().decoder_fj, 5.6), 0.03);
+  AnalyticPerf p08({16, 32}, nominal_08v());
+  EXPECT_LT(rel_err(p08.energy_breakdown().decoder_fj, 14.7), 0.14);
+}
+
+TEST(AnalyticPerf, OpsAccounting) {
+  AnalyticPerf p({16, 32}, nominal_05v());
+  EXPECT_EQ(p.ops_per_token(), 32LL * 16 * 18);
+}
+
+TEST(AnalyticPerf, EnergyEfficiencyNearlyCornerInvariant) {
+  // Fig. 6's observation: TOPS/W depends mainly on VDD, not corner.
+  for (double v : {0.5, 0.8}) {
+    AnalyticPerf tt({4, 4}, {v, Corner::TTG, 25.0});
+    AnalyticPerf ff({4, 4}, {v, Corner::FFG, 25.0});
+    AnalyticPerf ss({4, 4}, {v, Corner::SSG, 25.0});
+    const double t = tt.envelope().avg_tops_per_w;
+    EXPECT_LT(rel_err(ff.envelope().avg_tops_per_w, t), 0.08);
+    EXPECT_LT(rel_err(ss.envelope().avg_tops_per_w, t), 0.08);
+  }
+}
+
+TEST(AnalyticPerf, CornerSpreadsAreaEfficiency) {
+  // Latency (hence TOPS/mm^2) is corner sensitive: FFG fastest.
+  AnalyticPerf tt({4, 4}, {0.5, Corner::TTG, 25.0});
+  AnalyticPerf ff({4, 4}, {0.5, Corner::FFG, 25.0});
+  AnalyticPerf ss({4, 4}, {0.5, Corner::SSG, 25.0});
+  EXPECT_GT(ff.envelope().avg_tops_per_mm2, tt.envelope().avg_tops_per_mm2);
+  EXPECT_LT(ss.envelope().avg_tops_per_mm2, tt.envelope().avg_tops_per_mm2);
+}
+
+}  // namespace
+}  // namespace ssma::ppa

@@ -1,0 +1,334 @@
+// Property-based and exhaustive/fuzz tests across module boundaries:
+// exhaustive DLC truth table (all 65536 operand pairs), CSA/RCA
+// arithmetic closure, tree-learner invariants, quantizer properties,
+// scheduler stress, randomized macro shapes with all feature
+// combinations (speculation x variation), and the timed write path.
+#include <gtest/gtest.h>
+
+#include "maddness/amm.hpp"
+#include "maddness/tree_learner.hpp"
+#include "ppa/delay_model.hpp"
+#include "sim/adders.hpp"
+#include "sim/dlc.hpp"
+#include "sim/macro.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ssma {
+namespace {
+
+// ------------------------------------------------------ exhaustive DLC
+
+TEST(PropertyDlc, ExhaustiveTruthTableAndDepth) {
+  // All 256 x 256 operand pairs: functional result is (x >= t) and the
+  // resolution depth equals 8 minus the highest differing bit.
+  sim::SimContext ctx(ppa::nominal_05v());
+  for (int t = 0; t < 256; ++t) {
+    sim::Dlc dlc(static_cast<std::uint8_t>(t), 0.0);
+    for (int x = 0; x < 256; ++x) {
+      const auto r = dlc.evaluate(ctx, static_cast<std::uint8_t>(x));
+      ASSERT_EQ(r.x_ge_t, x >= t) << "x=" << x << " t=" << t;
+      int expect_depth = 8;
+      for (int bit = 7; bit >= 0; --bit) {
+        if (((x >> bit) & 1) != ((t >> bit) & 1)) {
+          expect_depth = 8 - bit;
+          break;
+        }
+      }
+      ASSERT_EQ(r.depth, expect_depth) << "x=" << x << " t=" << t;
+    }
+  }
+}
+
+TEST(PropertyDlc, DelayMonotoneInDepthForAllVoltages) {
+  for (double vdd : {0.5, 0.7, 1.0}) {
+    ppa::DelayModel m({vdd, ppa::Corner::TTG, 25.0});
+    for (int d = 1; d < 8; ++d)
+      EXPECT_LT(m.dlc_eval_ns(d), m.dlc_eval_ns(d + 1));
+  }
+}
+
+// ---------------------------------------------------- arithmetic closure
+
+TEST(PropertyAdders, CsaClosureOverRandomChains) {
+  // For arbitrary chain lengths and values, carry-save accumulation
+  // resolves to the wrapped int16 sum (the pipeline's arithmetic
+  // contract at any NS).
+  Rng rng(1);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int chain = rng.next_int(1, 300);
+    sim::CarrySave acc;
+    std::int32_t ref = 0;
+    for (int i = 0; i < chain; ++i) {
+      const auto w = static_cast<std::int8_t>(rng.next_int(-128, 127));
+      acc = sim::csa_step(acc, w);
+      ref += w;
+    }
+    ASSERT_EQ(acc.resolve(), static_cast<std::int16_t>(ref))
+        << "chain=" << chain;
+  }
+}
+
+TEST(PropertyAdders, RcaChainEqualsGeneratePlusPropagateRun) {
+  // Settling-relevant ripple: a generate produces its carry locally
+  // (one cell delay) and the ripple extends through the following
+  // propagate bits; another generate mid-stream *restarts* the chain
+  // because the downstream carry no longer waits for the upstream one.
+  // The model must equal the longest (generate + trailing propagates)
+  // block.
+  Rng rng(2);
+  for (int trial = 0; trial < 2000; ++trial) {
+    sim::CarrySave cs{static_cast<std::uint16_t>(rng.next_u64()),
+                      static_cast<std::uint16_t>(rng.next_u64())};
+    const int model = sim::rca_carry_chain(cs);
+    int longest = 0;
+    for (int i = 0; i < 16; ++i) {
+      const int si = (cs.s >> i) & 1, ci = (cs.c >> i) & 1;
+      if (!(si & ci)) continue;  // needs a generate to start
+      int chain = 1;
+      for (int j = i + 1; j < 16; ++j) {
+        const int sj = (cs.s >> j) & 1, cj = (cs.c >> j) & 1;
+        if ((sj ^ cj) == 0) break;  // propagate ends (kill or generate)
+        ++chain;
+      }
+      longest = std::max(longest, chain);
+    }
+    ASSERT_EQ(model, longest) << "s=" << cs.s << " c=" << cs.c;
+  }
+}
+
+// ------------------------------------------------------ learner invariants
+
+TEST(PropertyLearner, LearnedTreeIsHardwareRepresentable) {
+  // All thresholds uint8, all split dims within the subvector — i.e.
+  // directly loadable into DLC flops and input-buffer muxes.
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix x(rng.next_int(20, 300), 9);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x.data()[i] = static_cast<float>(rng.next_int(0, 255));
+    const maddness::HashTree t = maddness::learn_hash_tree(x);
+    for (int l = 0; l < 4; ++l) {
+      EXPECT_GE(t.split_dim(l), 0);
+      EXPECT_LT(t.split_dim(l), 9);
+    }
+    // Every training row lands in a valid leaf.
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      std::uint8_t v[9];
+      for (int j = 0; j < 9; ++j)
+        v[j] = static_cast<std::uint8_t>(x(r, j));
+      const int leaf = t.encode(v);
+      EXPECT_GE(leaf, 0);
+      EXPECT_LT(leaf, 16);
+    }
+  }
+}
+
+TEST(PropertyLearner, SplitNeverIncreasesTotalSse) {
+  Rng rng(4);
+  Matrix x(150, 9);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.data()[i] = static_cast<float>(rng.next_double(0, 255));
+  std::vector<std::size_t> rows(x.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  maddness::Bucket b(x, rows);
+  const double parent_sse = b.sse(x);
+  for (int dim = 0; dim < 9; ++dim) {
+    const auto choice = maddness::best_split_on_dim(x, b, dim);
+    EXPECT_LE(choice.loss, parent_sse + 1e-6) << "dim " << dim;
+  }
+}
+
+// ---------------------------------------------------- quantizer properties
+
+TEST(PropertyQuantize, MonotoneAndBounded) {
+  // Quantization preserves order (monotone) and bounds the error by
+  // half a step inside the clip range.
+  Rng rng(5);
+  const float scale = 0.37f;
+  float prev_val = -1.0f;
+  std::uint8_t prev_code = 0;
+  for (int i = 0; i < 500; ++i) {
+    const float v = static_cast<float>(i) * 0.18f;
+    Matrix m(1, 1);
+    m(0, 0) = v;
+    const auto q = maddness::quantize_activations(m, scale);
+    if (i > 0 && v > prev_val) {
+      EXPECT_GE(q.codes[0], prev_code);
+    }
+    if (v <= 255.0f * scale) {
+      EXPECT_NEAR(static_cast<float>(q.codes[0]) * scale, v,
+                  scale * 0.5f + 1e-6f);
+    }
+    prev_val = v;
+    prev_code = q.codes[0];
+  }
+}
+
+// ------------------------------------------------------- scheduler stress
+
+TEST(PropertyScheduler, ThousandsOfInterleavedEventsStayOrdered) {
+  sim::Scheduler s;
+  Rng rng(6);
+  std::vector<sim::SimTime> fired;
+  for (int i = 0; i < 5000; ++i) {
+    const auto t = static_cast<sim::SimTime>(rng.next_below(100000));
+    s.at(t, [&fired, &s] { fired.push_back(s.now()); });
+  }
+  s.run();
+  ASSERT_EQ(fired.size(), 5000u);
+  for (std::size_t i = 1; i < fired.size(); ++i)
+    ASSERT_GE(fired[i], fired[i - 1]);
+}
+
+// ----------------------------------------------------------- macro fuzzing
+
+struct FuzzCase {
+  int ndec;
+  int ns;
+  bool speculative;
+  bool variation;
+  double vdd;
+};
+
+class MacroFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(MacroFuzz, RandomWorkloadMatchesReference) {
+  const auto p = GetParam();
+  Rng rng(1000 + p.ndec * 7 + p.ns * 31 + (p.speculative ? 3 : 0) +
+          (p.variation ? 11 : 0));
+
+  sim::MacroConfig cfg;
+  cfg.ndec = p.ndec;
+  cfg.ns = p.ns;
+  cfg.op = {p.vdd, ppa::Corner::TTG, 25.0};
+  cfg.speculative_encode = p.speculative;
+  sim::Macro macro(cfg);
+  if (p.variation) {
+    Rng vr(rng.next_u64());
+    macro.set_variation(
+        sim::sample_variation(p.ns, p.ndec, sim::VariationConfig{}, vr));
+  }
+
+  std::vector<maddness::HashTree> trees(p.ns);
+  for (auto& t : trees) {
+    for (int l = 0; l < 4; ++l) t.set_split_dim(l, rng.next_int(0, 8));
+    for (int l = 0; l < 4; ++l)
+      for (int n = 0; n < (1 << l); ++n)
+        t.set_threshold(l, n, static_cast<std::uint8_t>(rng.next_int(0, 255)));
+  }
+  std::vector<std::vector<std::array<std::int8_t, 16>>> luts(
+      p.ns, std::vector<std::array<std::int8_t, 16>>(p.ndec));
+  for (auto& b : luts)
+    for (auto& tb : b)
+      for (auto& e : tb)
+        e = static_cast<std::int8_t>(rng.next_int(-128, 127));
+  std::vector<std::int16_t> bias(p.ndec);
+  for (auto& v : bias)
+    v = static_cast<std::int16_t>(rng.next_int(-1000, 1000));
+  macro.program(trees, luts, bias);
+
+  const int ntok = rng.next_int(3, 15);
+  std::vector<std::vector<sim::Subvec>> inputs(
+      ntok, std::vector<sim::Subvec>(p.ns));
+  for (auto& tok : inputs)
+    for (auto& sv : tok)
+      for (auto& v : sv) v = static_cast<std::uint8_t>(rng.next_int(0, 255));
+
+  const auto res = macro.run(inputs);
+  EXPECT_EQ(res.outputs, macro.reference_outputs(inputs));
+  // Timing sanity: intervals within the analytic envelope (loosened for
+  // variation runs, which may exceed the nominal worst case).
+  if (!p.variation && res.stats.output_interval_ns.count() > 0) {
+    ppa::DelayModel delay(cfg.op);
+    const double lo = p.speculative
+                          ? delay.decoder_path_ns(p.ndec) - 0.1
+                          : delay.block_latency_best_ns(p.ndec) - 0.1;
+    EXPECT_GE(res.stats.output_interval_ns.min(), lo);
+    EXPECT_LE(res.stats.output_interval_ns.max(),
+              delay.block_latency_worst_ns(p.ndec) + 0.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, MacroFuzz,
+    ::testing::Values(FuzzCase{1, 1, false, false, 0.5},
+                      FuzzCase{2, 5, false, false, 0.5},
+                      FuzzCase{5, 2, true, false, 0.5},
+                      FuzzCase{3, 3, false, true, 0.5},
+                      FuzzCase{4, 4, true, true, 0.5},
+                      FuzzCase{7, 3, false, false, 0.8},
+                      FuzzCase{6, 2, true, false, 0.8},
+                      FuzzCase{2, 6, true, true, 0.7},
+                      FuzzCase{16, 2, false, false, 1.0},
+                      FuzzCase{8, 8, true, false, 0.6}));
+
+// --------------------------------------------------------- timed write path
+
+TEST(WritePath, TimedProgrammingMatchesFunctionalAndScales) {
+  Rng rng(7);
+  auto make_trees = [&](int ns) {
+    std::vector<maddness::HashTree> trees(ns);
+    for (auto& t : trees)
+      for (int l = 0; l < 4; ++l) t.set_split_dim(l, l);
+    return trees;
+  };
+  auto make_luts = [&](int ns, int ndec) {
+    std::vector<std::vector<std::array<std::int8_t, 16>>> luts(
+        ns, std::vector<std::array<std::int8_t, 16>>(ndec));
+    for (auto& b : luts)
+      for (auto& tb : b)
+        for (auto& e : tb)
+          e = static_cast<std::int8_t>(rng.next_int(-127, 127));
+    return luts;
+  };
+
+  sim::MacroConfig small;
+  small.ndec = 2;
+  small.ns = 2;
+  sim::Macro m_small(small);
+  const auto luts_small = make_luts(2, 2);
+  const double t_small =
+      m_small.program_timed(make_trees(2), luts_small, {0, 0});
+  EXPECT_GT(t_small, 0.0);
+
+  // Contents identical to functional programming.
+  for (int b = 0; b < 2; ++b)
+    for (int d = 0; d < 2; ++d)
+      for (int row = 0; row < 16; ++row)
+        EXPECT_EQ(m_small.block(b).decoder(d).lut_entry(row),
+                  luts_small[b][d][row]);
+
+  // Programming time scales with NS (serial blocks).
+  sim::MacroConfig big = small;
+  big.ns = 8;
+  sim::Macro m_big(big);
+  const double t_big =
+      m_big.program_timed(make_trees(8), make_luts(8, 2), {0, 0});
+  EXPECT_GT(t_big, 3.0 * t_small);
+
+  // And inference still works after timed programming.
+  std::vector<std::vector<sim::Subvec>> inputs(
+      3, std::vector<sim::Subvec>(2, sim::Subvec{}));
+  const auto res = m_small.run(inputs);
+  EXPECT_EQ(res.outputs, m_small.reference_outputs(inputs));
+}
+
+TEST(WritePath, SlowerAtLowVoltage) {
+  auto time_at = [&](double vdd) {
+    sim::MacroConfig cfg;
+    cfg.ndec = 2;
+    cfg.ns = 2;
+    cfg.op = {vdd, ppa::Corner::TTG, 25.0};
+    sim::Macro m(cfg);
+    std::vector<maddness::HashTree> trees(2);
+    std::vector<std::vector<std::array<std::int8_t, 16>>> luts(
+        2, std::vector<std::array<std::int8_t, 16>>(2));
+    return m.program_timed(trees, luts, {0, 0});
+  };
+  EXPECT_GT(time_at(0.5), 2.0 * time_at(0.8));
+}
+
+}  // namespace
+}  // namespace ssma

@@ -1,0 +1,350 @@
+// Tests for the discrete-event kernel and the leaf circuit models:
+// scheduler ordering/determinism, energy ledger, CSA/RCA arithmetic
+// invariants, RCD trees, DLC truth table + data-dependent delay, SRAM
+// read/write, and the four-phase handshake protocol checker.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "maddness/hash_tree.hpp"
+#include "sim/adders.hpp"
+#include "sim/bdt_encoder.hpp"
+#include "sim/context.hpp"
+#include "sim/dlc.hpp"
+#include "sim/handshake.hpp"
+#include "sim/rcd_tree.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sram.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ssma::sim {
+namespace {
+
+ppa::OperatingPoint ref() { return ppa::nominal_05v(); }
+
+// ------------------------------------------------------------- scheduler
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(300, [&] { order.push_back(3); });
+  s.at(100, [&] { order.push_back(1); });
+  s.at(200, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 300);
+}
+
+TEST(Scheduler, EqualTimesKeepInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.at(50, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, EventsMaySpawnEvents) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> spawn = [&] {
+    if (++count < 5) s.after(10, spawn);
+  };
+  s.at(0, spawn);
+  s.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), 40);
+}
+
+TEST(Scheduler, RejectsPastEvents) {
+  Scheduler s;
+  s.at(100, [] {});
+  s.run();
+  EXPECT_THROW(s.at(50, [] {}), CheckError);
+  EXPECT_THROW(s.after(-1, [] {}), CheckError);
+}
+
+TEST(Scheduler, NsConversionRounds) {
+  EXPECT_EQ(ps_from_ns(1.2345), 1235);  // rounds to nearest ps
+  EXPECT_DOUBLE_EQ(ns_from_ps(1235), 1.235);
+}
+
+// ---------------------------------------------------------------- ledger
+
+TEST(EnergyLedger, ChargesAndGroups) {
+  EnergyLedger l;
+  l.charge(EnergyCat::kSramRead, 10.0);
+  l.charge(EnergyCat::kCsa, 5.0);
+  l.charge(EnergyCat::kEncoderDlc, 2.0);
+  l.charge(EnergyCat::kControl, 1.0);
+  EXPECT_DOUBLE_EQ(l.total_fj(), 18.0);
+  EXPECT_DOUBLE_EQ(l.decoder_fj(), 15.0);
+  EXPECT_DOUBLE_EQ(l.encoder_fj(), 2.0);
+  EXPECT_DOUBLE_EQ(l.other_fj(), 1.0);
+  EXPECT_THROW(l.charge(EnergyCat::kCsa, -1.0), CheckError);
+}
+
+TEST(EnergyLedger, DeltaIsolatesRun) {
+  EnergyLedger before;
+  before.charge(EnergyCat::kWrite, 100.0);
+  EnergyLedger after = before;
+  after.charge(EnergyCat::kSramRead, 50.0);
+  const EnergyLedger d = EnergyLedger::delta(after, before);
+  EXPECT_DOUBLE_EQ(d.total_fj(), 50.0);
+  EXPECT_DOUBLE_EQ(d.fj(EnergyCat::kWrite), 0.0);
+}
+
+// ---------------------------------------------------------------- adders
+
+TEST(Adders, CsaPreservesSumInvariant) {
+  // Property: S' + C' == S + C + L (mod 2^16), exhaustive over LUT word,
+  // randomized over carry-save state.
+  Rng rng(1);
+  for (int w = -128; w <= 127; ++w) {
+    CarrySave in;
+    in.s = static_cast<std::uint16_t>(rng.next_u64());
+    in.c = static_cast<std::uint16_t>(rng.next_u64());
+    const CarrySave out = csa_step(in, static_cast<std::int8_t>(w));
+    const std::uint16_t expect = static_cast<std::uint16_t>(
+        in.s + in.c + static_cast<std::uint16_t>(static_cast<std::int16_t>(
+                          static_cast<std::int8_t>(w))));
+    EXPECT_EQ(static_cast<std::uint16_t>(out.s + out.c), expect)
+        << "w=" << w << " s=" << in.s << " c=" << in.c;
+  }
+}
+
+TEST(Adders, CsaChainEqualsPlainSum) {
+  // A chain of 32 csa_steps followed by resolve() equals the wrapped
+  // int16 sum — the arithmetic contract of the whole pipeline.
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    CarrySave acc;
+    acc.s = static_cast<std::uint16_t>(rng.next_int(-2000, 2000));
+    std::int32_t ref = static_cast<std::int16_t>(acc.s);
+    for (int i = 0; i < 32; ++i) {
+      const auto w = static_cast<std::int8_t>(rng.next_int(-128, 127));
+      acc = csa_step(acc, w);
+      ref += w;
+    }
+    EXPECT_EQ(acc.resolve(), static_cast<std::int16_t>(ref));
+  }
+}
+
+TEST(Adders, ToggleCountBounds) {
+  CarrySave a{0x0000, 0x0000}, b{0xFFFF, 0xFFFF};
+  EXPECT_EQ(csa_toggled_bits(a, a), 0);
+  EXPECT_EQ(csa_toggled_bits(a, b), 32);
+}
+
+TEST(Adders, RcaCarryChainCases) {
+  EXPECT_EQ(rca_carry_chain({0x0000, 0x0000}), 0);  // no generate
+  // s=1, c=1 at bit0 generates; s^c=1 at bits 1..14 propagates.
+  CarrySave long_chain{0x7FFF, 0x0001};
+  EXPECT_EQ(rca_carry_chain(long_chain), 15);
+  // Generate at bit 0, no propagation above.
+  EXPECT_EQ(rca_carry_chain({0x0001, 0x0001}), 1);
+}
+
+TEST(Adders, RcaChainNeverExceeds16) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    CarrySave cs{static_cast<std::uint16_t>(rng.next_u64()),
+                 static_cast<std::uint16_t>(rng.next_u64())};
+    const int chain = rca_carry_chain(cs);
+    EXPECT_GE(chain, 0);
+    EXPECT_LE(chain, 16);
+  }
+}
+
+// -------------------------------------------------------------- RCD tree
+
+TEST(RcdTree, FiresOnlyAfterAllLeaves) {
+  SimContext ctx(ref());
+  RcdTree tree(4, 1.0);
+  bool fired = false;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(tree.fired());
+    tree.leaf_done(ctx, [&] { fired = true; });
+  }
+  EXPECT_TRUE(tree.fired());
+  EXPECT_FALSE(fired);  // propagation delay pending
+  ctx.sched.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(ctx.sched.now(), ps_from_ns(1.0));
+}
+
+TEST(RcdTree, OverrunIsProtocolError) {
+  SimContext ctx(ref());
+  RcdTree tree(2, 0.5);
+  tree.leaf_done(ctx, [] {});
+  tree.leaf_done(ctx, [] {});
+  EXPECT_THROW(tree.leaf_done(ctx, [] {}), CheckError);
+  tree.reset();
+  tree.leaf_done(ctx, [] {});  // fine after reset
+}
+
+// -------------------------------------------------------------------- DLC
+
+TEST(Dlc, TruthTableExhaustive) {
+  // Functional contract over the full 8-bit operand space (sampled rows,
+  // exhaustive columns): output must equal (x >= t).
+  SimContext ctx(ref());
+  for (int t = 0; t < 256; t += 5) {
+    Dlc dlc(static_cast<std::uint8_t>(t), 0.0);
+    for (int x = 0; x < 256; ++x) {
+      const DlcResult r = dlc.evaluate(ctx, static_cast<std::uint8_t>(x));
+      EXPECT_EQ(r.x_ge_t, x >= t);
+    }
+  }
+}
+
+TEST(Dlc, DepthAgreesWithHashTreeModel) {
+  // The circuit model and the software hash tree must agree on the
+  // resolution depth for every operand pair (sampled).
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = static_cast<std::uint8_t>(rng.next_int(0, 255));
+    const auto t = static_cast<std::uint8_t>(rng.next_int(0, 255));
+    EXPECT_EQ(Dlc::compare_depth(x, t),
+              maddness::HashTree::compare_depth(x, t));
+  }
+}
+
+TEST(Dlc, DelayGrowsWithEqualHighBits) {
+  SimContext ctx(ref());
+  Dlc dlc(0b10000000, 0.0);
+  const DlcResult fast = dlc.evaluate(ctx, 0b00000000);  // MSB differs
+  const DlcResult slow = dlc.evaluate(ctx, 0b10000001);  // depth 8
+  EXPECT_LT(fast.delay_ns, slow.delay_ns);
+  EXPECT_EQ(fast.depth, 1);
+  EXPECT_EQ(slow.depth, 8);
+}
+
+TEST(Dlc, VariationShiftsDelay) {
+  SimContext ctx(ref());
+  Dlc nominal(100, 0.0);
+  Dlc slow(100, +0.015);
+  Dlc fast(100, -0.015);
+  const double d0 = nominal.evaluate(ctx, 30).delay_ns;
+  EXPECT_GT(slow.evaluate(ctx, 30).delay_ns, d0);
+  EXPECT_LT(fast.evaluate(ctx, 30).delay_ns, d0);
+}
+
+TEST(Dlc, EvaluationChargesEnergy) {
+  SimContext ctx(ref());
+  const double before = ctx.ledger.fj(EnergyCat::kEncoderDlc);
+  Dlc dlc(50, 0.0);
+  dlc.evaluate(ctx, 200);
+  EXPECT_GT(ctx.ledger.fj(EnergyCat::kEncoderDlc), before);
+}
+
+// ------------------------------------------------------------------ SRAM
+
+TEST(Sram, WriteReadRoundTrip) {
+  SimContext ctx(ref());
+  SramArray sram;
+  for (int row = 0; row < 16; ++row)
+    sram.write_row(ctx, row, static_cast<std::int8_t>(row * 17 - 128));
+  for (int row = 0; row < 16; ++row)
+    EXPECT_EQ(sram.read_word(row), static_cast<std::int8_t>(row * 17 - 128));
+  EXPECT_THROW(sram.write_row(ctx, 16, 0), CheckError);
+}
+
+TEST(Sram, ColumnBitsComposeWord) {
+  SimContext ctx(ref());
+  SramArray sram;
+  sram.write_row(ctx, 3, static_cast<std::int8_t>(0b10110101 - 256));
+  int word = 0;
+  for (int col = 0; col < 8; ++col)
+    word |= sram.read_column(ctx, 3, col).bit << col;
+  EXPECT_EQ(static_cast<std::int8_t>(word), sram.read_word(3));
+}
+
+TEST(Sram, ReadChargesEnergyAndHasDelay) {
+  SimContext ctx(ref());
+  SramArray sram;
+  sram.write_row(ctx, 0, 77);
+  const double e0 = ctx.ledger.fj(EnergyCat::kSramRead);
+  const auto r = sram.read_column(ctx, 0, 0);
+  EXPECT_GT(ctx.ledger.fj(EnergyCat::kSramRead), e0);
+  EXPECT_NEAR(r.delay_ns, 2.5, 1e-9);  // reference RBL discharge
+}
+
+// ------------------------------------------------------------- handshake
+
+TEST(Handshake, FourPhaseCycleCompletes) {
+  SimContext ctx(ref());
+  FourPhaseLink link;
+  int delivered = -1;
+  bool rtz = false;
+  link.set_consumer([&](const Token& t) {
+    delivered = static_cast<int>(t.index);
+    return true;
+  });
+  link.set_producer([&] { rtz = true; });
+  Token t;
+  t.index = 7;
+  link.offer(ctx, std::move(t));
+  EXPECT_EQ(delivered, 7);
+  EXPECT_FALSE(rtz);  // return-to-zero still in flight
+  ctx.sched.run();
+  EXPECT_TRUE(rtz);
+  EXPECT_TRUE(link.idle());
+  EXPECT_EQ(link.completed_cycles(), 1);
+}
+
+TEST(Handshake, BusyConsumerStallsProducer) {
+  SimContext ctx(ref());
+  FourPhaseLink link;
+  bool accept = false;
+  int deliveries = 0;
+  link.set_consumer([&](const Token&) {
+    ++deliveries;
+    return accept;
+  });
+  link.set_producer([] {});
+  Token t;
+  t.index = 1;
+  link.offer(ctx, std::move(t));
+  ctx.sched.run();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_TRUE(link.has_pending());
+  EXPECT_EQ(link.state(), FourPhaseLink::State::kReqHigh);
+  // Consumer becomes ready: token re-offered and the cycle completes.
+  accept = true;
+  link.consumer_ready(ctx);
+  ctx.sched.run();
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_TRUE(link.idle());
+}
+
+TEST(Handshake, DoubleOfferIsProtocolError) {
+  SimContext ctx(ref());
+  FourPhaseLink link;
+  link.set_consumer([](const Token&) { return false; });
+  link.set_producer([] {});
+  Token a, b;
+  link.offer(ctx, std::move(a));
+  EXPECT_THROW(link.offer(ctx, std::move(b)), CheckError);
+}
+
+TEST(Handshake, OfferDuringRtzIsProtocolError) {
+  SimContext ctx(ref());
+  FourPhaseLink link;
+  link.set_consumer([](const Token&) { return true; });
+  link.set_producer([] {});
+  Token a;
+  link.offer(ctx, std::move(a));
+  // ACK is high; REQ has not fallen yet — offering now violates 4-phase.
+  EXPECT_EQ(link.state(), FourPhaseLink::State::kAckHigh);
+  Token b;
+  EXPECT_THROW(link.offer(ctx, std::move(b)), CheckError);
+  ctx.sched.run();
+  Token c;
+  link.offer(ctx, std::move(c));  // legal again after return-to-zero
+  ctx.sched.run();
+  EXPECT_EQ(link.completed_cycles(), 2);
+}
+
+}  // namespace
+}  // namespace ssma::sim

@@ -1,0 +1,470 @@
+// Pipeline-level simulator tests: bit-exact functional equivalence
+// against the software MADDNESS decode, steady-state timing against the
+// calibrated analytic model, best/worst-case latency envelopes, energy
+// agreement, self-timed robustness under local variation, and the
+// clocked baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "maddness/amm.hpp"
+#include "ppa/analytic_perf.hpp"
+#include "sim/clocked_macro.hpp"
+#include "sim/macro.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ssma::sim {
+namespace {
+
+// ---------------------------------------------------------------- helpers
+
+/// Random trees with thresholds spread over the operand space.
+std::vector<maddness::HashTree> random_trees(Rng& rng, int ns) {
+  std::vector<maddness::HashTree> trees(ns);
+  for (auto& t : trees) {
+    for (int l = 0; l < 4; ++l) t.set_split_dim(l, rng.next_int(0, 8));
+    for (int l = 0; l < 4; ++l)
+      for (int n = 0; n < (1 << l); ++n)
+        t.set_threshold(l, n,
+                        static_cast<std::uint8_t>(rng.next_int(1, 254)));
+  }
+  return trees;
+}
+
+std::vector<std::vector<std::array<std::int8_t, 16>>> random_luts(Rng& rng,
+                                                                  int ns,
+                                                                  int ndec) {
+  std::vector<std::vector<std::array<std::int8_t, 16>>> luts(
+      ns, std::vector<std::array<std::int8_t, 16>>(ndec));
+  for (auto& block : luts)
+    for (auto& table : block)
+      for (auto& e : table)
+        e = static_cast<std::int8_t>(rng.next_int(-127, 127));
+  return luts;
+}
+
+std::vector<std::vector<Subvec>> random_inputs(Rng& rng, int ntokens,
+                                               int ns) {
+  std::vector<std::vector<Subvec>> in(ntokens, std::vector<Subvec>(ns));
+  for (auto& tok : in)
+    for (auto& sv : tok)
+      for (auto& v : sv) v = static_cast<std::uint8_t>(rng.next_int(0, 255));
+  return in;
+}
+
+/// Trees/inputs forcing every DLC to resolve at depth 1 (best case) or
+/// depth 8 (worst case): thresholds 0x80 everywhere; x=0x00 differs at the
+/// MSB, x=0x80 is equal (full ripple).
+std::vector<maddness::HashTree> uniform_trees(int ns) {
+  std::vector<maddness::HashTree> trees(ns);
+  for (auto& t : trees) {
+    for (int l = 0; l < 4; ++l) t.set_split_dim(l, l);
+    for (int l = 0; l < 4; ++l)
+      for (int n = 0; n < (1 << l); ++n) t.set_threshold(l, n, 0x80);
+  }
+  return trees;
+}
+
+std::vector<std::vector<Subvec>> constant_inputs(int ntokens, int ns,
+                                                 std::uint8_t value) {
+  Subvec sv;
+  sv.fill(value);
+  return std::vector<std::vector<Subvec>>(ntokens,
+                                          std::vector<Subvec>(ns, sv));
+}
+
+MacroConfig small_cfg(int ndec = 4, int ns = 4) {
+  MacroConfig cfg;
+  cfg.ndec = ndec;
+  cfg.ns = ns;
+  cfg.op = ppa::nominal_05v();
+  return cfg;
+}
+
+// ------------------------------------------------------- functional tests
+
+struct ShapeParam {
+  int ndec;
+  int ns;
+};
+
+class MacroShapes : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(MacroShapes, BitExactAgainstReferenceModel) {
+  const auto p = GetParam();
+  Rng rng(100 + p.ndec * 37 + p.ns);
+  Macro macro(small_cfg(p.ndec, p.ns));
+  const auto trees = random_trees(rng, p.ns);
+  const auto luts = random_luts(rng, p.ns, p.ndec);
+  std::vector<std::int16_t> bias(p.ndec);
+  for (auto& b : bias) b = static_cast<std::int16_t>(rng.next_int(-500, 500));
+  macro.program(trees, luts, bias);
+
+  const auto inputs = random_inputs(rng, 12, p.ns);
+  const auto ref = macro.reference_outputs(inputs);
+  const auto res = macro.run(inputs);
+  ASSERT_EQ(res.outputs.size(), ref.size());
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    for (int d = 0; d < p.ndec; ++d)
+      EXPECT_EQ(res.outputs[k][d], ref[k][d])
+          << "token " << k << " lane " << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MacroShapes,
+                         ::testing::Values(ShapeParam{1, 1}, ShapeParam{1, 4},
+                                           ShapeParam{4, 1}, ShapeParam{2, 3},
+                                           ShapeParam{4, 4}, ShapeParam{8, 2},
+                                           ShapeParam{16, 8},
+                                           ShapeParam{3, 5}));
+
+TEST(Macro, MatchesSoftwareAmmBitExact) {
+  // The full contract: the simulated circuit reproduces
+  // maddness::Amm::apply_int16 exactly (same trees, LUTs, inputs).
+  Rng rng(7);
+  const int ns = 4, ndec = 6;
+  maddness::Config cfg;
+  cfg.ncodebooks = ns;
+
+  Matrix x(300, 36);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.data()[i] = static_cast<float>(rng.next_double(0, 200));
+  Matrix w(36, ndec);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w.data()[i] = static_cast<float>(rng.next_gaussian(0, 0.05));
+  const maddness::Amm amm = maddness::Amm::train(cfg, x, w);
+
+  // Program the macro from the trained operator.
+  Macro macro(small_cfg(ndec, ns));
+  std::vector<std::vector<std::array<std::int8_t, 16>>> luts(
+      ns, std::vector<std::array<std::int8_t, 16>>(ndec));
+  for (int b = 0; b < ns; ++b)
+    for (int d = 0; d < ndec; ++d) {
+      const auto table = amm.lut().table(b, d);
+      for (int k = 0; k < 16; ++k) luts[b][d][k] = table[k];
+    }
+  macro.program(amm.trees(), luts, std::vector<std::int16_t>(ndec, 0));
+
+  // Quantized activations -> per-block subvectors.
+  const auto q =
+      maddness::quantize_activations(x, amm.activation_scale());
+  const int ntok = 20;
+  std::vector<std::vector<Subvec>> inputs(ntok, std::vector<Subvec>(ns));
+  for (int k = 0; k < ntok; ++k)
+    for (int b = 0; b < ns; ++b)
+      for (int j = 0; j < 9; ++j)
+        inputs[k][b][j] = q.at(k, static_cast<std::size_t>(b) * 9 + j);
+
+  const auto sw = amm.apply_int16(q);
+  const auto hw = macro.run(inputs);
+  for (int k = 0; k < ntok; ++k)
+    for (int d = 0; d < ndec; ++d)
+      EXPECT_EQ(hw.outputs[k][d], sw[static_cast<std::size_t>(k) * ndec + d]);
+}
+
+TEST(Macro, BiasInjectionAddsToAllLanes) {
+  Rng rng(17);
+  Macro m0(small_cfg(2, 2));
+  Macro m1(small_cfg(2, 2));
+  const auto trees = random_trees(rng, 2);
+  const auto luts = random_luts(rng, 2, 2);
+  m0.program(trees, luts, {0, 0});
+  m1.program(trees, luts, {100, -200});
+  const auto inputs = random_inputs(rng, 5, 2);
+  const auto r0 = m0.run(inputs);
+  const auto r1 = m1.run(inputs);
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(r1.outputs[k][0],
+              static_cast<std::int16_t>(r0.outputs[k][0] + 100));
+    EXPECT_EQ(r1.outputs[k][1],
+              static_cast<std::int16_t>(r0.outputs[k][1] - 200));
+  }
+}
+
+TEST(Macro, DeterministicAcrossRuns) {
+  Rng rng(23);
+  const auto trees = random_trees(rng, 3);
+  const auto luts = random_luts(rng, 3, 4);
+  const auto inputs = random_inputs(rng, 10, 3);
+
+  auto run_once = [&] {
+    Macro m(small_cfg(4, 3));
+    m.program(trees, luts, {0, 0, 0, 0});
+    return m.run(inputs);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_DOUBLE_EQ(a.stats.duration_ns, b.stats.duration_ns);
+  EXPECT_EQ(a.stats.events, b.stats.events);
+  EXPECT_NEAR(a.stats.ledger.total_fj(), b.stats.ledger.total_fj(), 1e-9);
+}
+
+TEST(Macro, ProgramValidatesShapes) {
+  Macro macro(small_cfg(2, 2));
+  Rng rng(29);
+  EXPECT_THROW(macro.program(random_trees(rng, 3), random_luts(rng, 2, 2),
+                             {0, 0}),
+               CheckError);
+  EXPECT_THROW(macro.program(random_trees(rng, 2), random_luts(rng, 2, 2),
+                             {0}),
+               CheckError);
+  EXPECT_THROW(macro.run({}), CheckError);  // must program first
+}
+
+// ----------------------------------------------------------- timing tests
+
+TEST(Macro, BestCaseIntervalMatchesAnalytic) {
+  const int ndec = 16, ns = 4;
+  Macro macro(small_cfg(ndec, ns));
+  macro.program(uniform_trees(ns), [&] {
+    Rng rng(31);
+    return random_luts(rng, ns, ndec);
+  }(), std::vector<std::int16_t>(ndec, 0));
+  const auto res = macro.run(constant_inputs(24, ns, 0x00));  // depth 1
+
+  ppa::AnalyticPerf perf({ndec, ns}, ppa::nominal_05v());
+  const double expect = perf.block_latency_ns(1);  // 17.8 ns
+  EXPECT_NEAR(res.stats.output_interval_ns.mean(), expect, 0.05);
+  EXPECT_NEAR(res.stats.output_interval_ns.max(), expect, 0.05);
+}
+
+TEST(Macro, WorstCaseIntervalMatchesAnalytic) {
+  const int ndec = 16, ns = 4;
+  Macro macro(small_cfg(ndec, ns));
+  macro.program(uniform_trees(ns), [&] {
+    Rng rng(37);
+    return random_luts(rng, ns, ndec);
+  }(), std::vector<std::int16_t>(ndec, 0));
+  const auto res = macro.run(constant_inputs(24, ns, 0x80));  // equality
+
+  ppa::AnalyticPerf perf({ndec, ns}, ppa::nominal_05v());
+  const double expect = perf.block_latency_ns(8);  // 32.1 ns
+  EXPECT_NEAR(res.stats.output_interval_ns.mean(), expect, 0.05);
+}
+
+TEST(Macro, Table2FrequenciesFromSimulation) {
+  // The flagship config's best/worst token rates straight from the event
+  // simulator: 56.2 / 31.2 MHz at 0.5 V (Table II).
+  const int ndec = 16, ns = 32;
+  for (const bool best : {true, false}) {
+    Macro macro(small_cfg(ndec, ns));
+    Rng rng(41);
+    macro.program(uniform_trees(ns), random_luts(rng, ns, ndec),
+                  std::vector<std::int16_t>(ndec, 0));
+    const auto res =
+        macro.run(constant_inputs(40, ns, best ? 0x00 : 0x80));
+    const double freq_mhz = 1e3 / res.stats.output_interval_ns.mean();
+    EXPECT_NEAR(freq_mhz, best ? 56.2 : 31.2, best ? 0.6 : 0.4);
+  }
+}
+
+TEST(Macro, RandomDataIntervalBetweenEnvelopes) {
+  const int ndec = 4, ns = 8;
+  Macro macro(small_cfg(ndec, ns));
+  Rng rng(43);
+  macro.program(random_trees(rng, ns), random_luts(rng, ns, ndec),
+                std::vector<std::int16_t>(ndec, 0));
+  const auto res = macro.run(random_inputs(rng, 30, ns));
+  ppa::AnalyticPerf perf({ndec, ns}, ppa::nominal_05v());
+  EXPECT_GE(res.stats.output_interval_ns.min(),
+            perf.block_latency_ns(1) - 0.05);
+  EXPECT_LE(res.stats.output_interval_ns.max(),
+            perf.block_latency_ns(8) + 0.05);
+  // Random operands resolve high bits quickly on average: the mean sits
+  // well below the worst case.
+  EXPECT_LT(res.stats.output_interval_ns.mean(),
+            0.8 * perf.block_latency_ns(8));
+}
+
+TEST(Macro, TokenLatencyScalesWithPipelineDepth) {
+  Rng rng(47);
+  auto latency = [&](int ns) {
+    Macro m(small_cfg(2, ns));
+    m.program(uniform_trees(ns), random_luts(rng, ns, 2), {0, 0});
+    const auto res = m.run(constant_inputs(6, ns, 0x00));
+    return res.stats.token_latency_ns.min();
+  };
+  const double l2 = latency(2);
+  const double l6 = latency(6);
+  // First-token latency grows ~linearly with NS.
+  EXPECT_GT(l6, 2.5 * l2 / 2.0);
+}
+
+TEST(Macro, BlockLatencySamplesMatchFig7b) {
+  const int ndec = 4, ns = 2;
+  Macro macro(small_cfg(ndec, ns));
+  Rng rng(53);
+  macro.program(uniform_trees(ns), random_luts(rng, ns, ndec), {0, 0, 0, 0});
+  macro.run(constant_inputs(8, ns, 0x00));
+  // Per-block accept->REQ_out latency: Fig. 7B best @Ndec=4 = 16.1 ns.
+  EXPECT_NEAR(macro.block(0).latency_ns().mean(), 16.1, 0.05);
+}
+
+// ----------------------------------------------------------- energy tests
+
+TEST(Macro, EnergyPerOpMatchesAnalyticModel) {
+  const int ndec = 8, ns = 8;
+  Macro macro(small_cfg(ndec, ns));
+  Rng rng(59);
+  macro.program(random_trees(rng, ns), random_luts(rng, ns, ndec),
+                std::vector<std::int16_t>(ndec, 0));
+  const int ntok = 60;
+  const auto res = macro.run(random_inputs(rng, ntok, ns));
+
+  const long long ops =
+      static_cast<long long>(ntok) * ns * ndec * ppa::kOpsPerLookup;
+  const double sim_fj_per_op = res.stats.ledger.total_fj() / ops;
+
+  ppa::AnalyticPerf perf({ndec, ns}, ppa::nominal_05v());
+  const double interval =
+      0.5 * (perf.block_latency_ns(1) + perf.block_latency_ns(8));
+  const double ana_fj_per_op =
+      perf.perf_at_interval(interval).energy_per_op_fj;
+  // Event-driven accounting vs closed form within 6% (pipeline fill and
+  // data-dependent terms explain the residual).
+  EXPECT_NEAR(sim_fj_per_op, ana_fj_per_op, 0.06 * ana_fj_per_op);
+}
+
+TEST(Macro, DecoderDominatesEnergyAsInFig7a) {
+  const int ndec = 16, ns = 8;
+  Macro macro(small_cfg(ndec, ns));
+  Rng rng(61);
+  macro.program(random_trees(rng, ns), random_luts(rng, ns, ndec),
+                std::vector<std::int16_t>(ndec, 0));
+  const auto res = macro.run(random_inputs(rng, 40, ns));
+  const auto& l = res.stats.ledger;
+  const double dec_share = l.decoder_fj() / l.total_fj();
+  EXPECT_GT(dec_share, 0.90);
+  EXPECT_LT(l.encoder_fj() / l.total_fj(), 0.02);
+}
+
+TEST(Macro, HigherVddCostsMoreEnergyPerOp) {
+  Rng rng(67);
+  const auto trees = random_trees(rng, 4);
+  const auto luts = random_luts(rng, 4, 4);
+  const auto inputs = random_inputs(rng, 30, 4);
+  auto fj_per_op = [&](double vdd) {
+    MacroConfig cfg = small_cfg(4, 4);
+    cfg.op.vdd = vdd;
+    Macro m(cfg);
+    m.program(trees, luts, {0, 0, 0, 0});
+    const auto res = m.run(inputs);
+    return res.stats.ledger.total_fj();
+  };
+  EXPECT_GT(fj_per_op(0.8), 1.8 * fj_per_op(0.5));
+}
+
+TEST(Macro, LeakageGrowsWithDuration) {
+  // Worst-case (slow) data accumulates more leakage than best-case.
+  Rng rng(71);
+  const auto luts = random_luts(rng, 2, 2);
+  auto leak = [&](std::uint8_t v) {
+    Macro m(small_cfg(2, 2));
+    m.program(uniform_trees(2), luts, {0, 0});
+    const auto res = m.run(constant_inputs(20, 2, v));
+    return res.stats.ledger.fj(EnergyCat::kLeakage);
+  };
+  EXPECT_GT(leak(0x80), 1.5 * leak(0x00));
+}
+
+// ------------------------------------------------- variation / self-timing
+
+TEST(Macro, FunctionalUnderLocalVariation) {
+  // The self-timed design's core claim: local variation shifts timing but
+  // never corrupts results.
+  Rng rng(73);
+  const int ndec = 4, ns = 4;
+  const auto trees = random_trees(rng, ns);
+  const auto luts = random_luts(rng, ns, ndec);
+  const auto inputs = random_inputs(rng, 15, ns);
+
+  Macro nominal(small_cfg(ndec, ns));
+  nominal.program(trees, luts, std::vector<std::int16_t>(ndec, 0));
+  const auto ref = nominal.run(inputs);
+
+  for (std::uint64_t die = 0; die < 5; ++die) {
+    Rng vr(1000 + die);
+    Macro m(small_cfg(ndec, ns));
+    m.set_variation(sample_variation(ns, ndec, VariationConfig{}, vr));
+    m.program(trees, luts, std::vector<std::int16_t>(ndec, 0));
+    const auto res = m.run(inputs);
+    EXPECT_EQ(res.outputs, ref.outputs) << "die " << die;
+    EXPECT_NE(res.stats.duration_ns, ref.stats.duration_ns);
+  }
+}
+
+TEST(Macro, VariationWidensLatencySpread) {
+  Rng rng(79);
+  const int ndec = 8, ns = 2;
+  const auto trees = uniform_trees(ns);
+  const auto luts = random_luts(rng, ns, ndec);
+  const auto inputs = constant_inputs(20, ns, 0x00);
+
+  Macro nominal(small_cfg(ndec, ns));
+  nominal.program(trees, luts, std::vector<std::int16_t>(ndec, 0));
+  const auto base = nominal.run(inputs);
+
+  RunningStats spread;
+  for (std::uint64_t die = 0; die < 8; ++die) {
+    Rng vr(2000 + die);
+    Macro m(small_cfg(ndec, ns));
+    m.set_variation(sample_variation(ns, ndec, VariationConfig{}, vr));
+    m.program(trees, luts, std::vector<std::int16_t>(ndec, 0));
+    spread.add(m.run(inputs).stats.output_interval_ns.mean());
+  }
+  EXPECT_GT(spread.stddev(), 0.0);
+  EXPECT_GT(spread.max(), base.stats.output_interval_ns.mean());
+}
+
+// --------------------------------------------------------- clocked baseline
+
+TEST(ClockedMacro, BitExactWithAsyncMacro) {
+  Rng rng(83);
+  const int ndec = 4, ns = 4;
+  const auto trees = random_trees(rng, ns);
+  const auto luts = random_luts(rng, ns, ndec);
+  const auto inputs = random_inputs(rng, 10, ns);
+  std::vector<std::int16_t> bias = {5, -5, 17, 0};
+
+  Macro async_macro(small_cfg(ndec, ns));
+  async_macro.program(trees, luts, bias);
+  const auto async_res = async_macro.run(inputs);
+
+  ClockedMacro clocked({ndec, ns, ppa::nominal_05v(), 0.10});
+  clocked.program(trees, luts, bias);
+  const auto clk_res = clocked.run(inputs);
+  EXPECT_EQ(clk_res.outputs, async_res.outputs);
+}
+
+TEST(ClockedMacro, AsyncBeatsClockedOnAverageData) {
+  // The motivating claim of Sec. III-A: a clocked design pays the
+  // worst-case period every cycle; the self-synchronous pipeline runs at
+  // data speed.
+  Rng rng(89);
+  const int ndec = 8, ns = 8;
+  const auto trees = random_trees(rng, ns);
+  const auto luts = random_luts(rng, ns, ndec);
+  const auto inputs = random_inputs(rng, 40, ns);
+
+  Macro async_macro(small_cfg(ndec, ns));
+  async_macro.program(trees, luts, std::vector<std::int16_t>(ndec, 0));
+  const auto ares = async_macro.run(inputs);
+  const double async_interval = ares.stats.output_interval_ns.mean();
+
+  ClockedMacro clocked({ndec, ns, ppa::nominal_05v(), 0.10});
+  clocked.program(trees, luts, std::vector<std::int16_t>(ndec, 0));
+  EXPECT_GT(clocked.clock_period_ns(), async_interval);
+}
+
+TEST(ClockedMacro, PeriodCoversWorstCasePlusMargin) {
+  ClockedMacro clocked({16, 32, ppa::nominal_05v(), 0.10});
+  ppa::DelayModel delay(ppa::nominal_05v());
+  const double floor_ns =
+      delay.block_latency_worst_ns(16) + delay.precharge_ns();
+  EXPECT_NEAR(clocked.clock_period_ns(), floor_ns * 1.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace ssma::sim
