@@ -1,5 +1,6 @@
 #include "core/ppa_report.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "ppa/area_model.hpp"
@@ -110,6 +111,120 @@ PpaReport make_analytic_report(const ppa::MacroConfig& cfg,
   r.energy_decoder_share = breakdown.decoder_share();
   r.energy_encoder_share = breakdown.encoder_share();
   return r;
+}
+
+namespace {
+
+/// Shared pooling math of the two report merges. Energy totals are
+/// ops-weighted; the token interval is the ops-weighted mean (the only
+/// per-token rate that averages linearly), and frequency is re-derived
+/// from it so the freq == 1e3/interval invariant of make_report holds
+/// on merged reports too.
+struct MergeAccum {
+  double total_energy_fj = 0.0;
+  double decoder_fj = 0.0, encoder_fj = 0.0;
+  double interval_weighted = 0.0;
+  /// throughput * interval is config-constant (ops per token / 1e3);
+  /// pooled it re-derives aggregate throughput from the merged interval.
+  double tput_x_interval_weighted = 0.0;
+  double ops_with_rate = 0.0;
+
+  void add(const PpaReport& p) {
+    const auto ops = static_cast<double>(p.total_ops);
+    const double energy = p.energy_per_op_fj * ops;
+    total_energy_fj += energy;
+    decoder_fj += p.energy_decoder_share * energy;
+    encoder_fj += p.energy_encoder_share * energy;
+    if (p.token_interval_ns > 0.0) {
+      interval_weighted += p.token_interval_ns * ops;
+      tput_x_interval_weighted +=
+          p.throughput_tops * p.token_interval_ns * ops;
+      ops_with_rate += ops;
+    }
+  }
+
+  /// `derive_throughput`: recompute m->throughput_tops from the merged
+  /// interval (sequential runs of one macro); parallel merges keep the
+  /// sum of shard throughputs instead.
+  void finalize(PpaReport* m, bool derive_throughput) const {
+    if (ops_with_rate > 0.0) {
+      m->token_interval_ns = interval_weighted / ops_with_rate;
+      m->freq_mhz = 1e3 / m->token_interval_ns;
+      if (derive_throughput)
+        m->throughput_tops = (tput_x_interval_weighted / ops_with_rate) /
+                             m->token_interval_ns;
+    }
+    if (m->total_ops > 0) {
+      m->energy_per_op_fj =
+          total_energy_fj / static_cast<double>(m->total_ops);
+      if (m->energy_per_op_fj > 0.0)
+        m->tops_per_w = 1e3 / m->energy_per_op_fj;
+    }
+    if (m->core_mm2 > 0.0)
+      m->tops_per_mm2 = m->throughput_tops / m->core_mm2;
+    if (total_energy_fj > 0.0) {
+      m->energy_decoder_share = decoder_fj / total_energy_fj;
+      m->energy_encoder_share = encoder_fj / total_energy_fj;
+    }
+  }
+};
+
+}  // namespace
+
+PpaReport merge_reports(const std::vector<PpaReport>& parts) {
+  PpaReport m;
+  if (parts.empty()) return m;
+  // Config echo from the first shard that has one (a default-empty
+  // part must not blank the merged echo).
+  const PpaReport* echo = &parts.front();
+  for (const PpaReport& p : parts)
+    if (p.ndec != 0) {
+      echo = &p;
+      break;
+    }
+  m.ndec = echo->ndec;
+  m.ns = echo->ns;
+  m.vdd = echo->vdd;
+  m.corner = echo->corner;
+
+  MergeAccum acc;
+  double area_decoder_weighted = 0.0;
+  for (const PpaReport& p : parts) {
+    m.total_ops += p.total_ops;
+    m.events += p.events;
+    m.duration_ns = std::max(m.duration_ns, p.duration_ns);
+    m.core_mm2 += p.core_mm2;
+    m.sram_bits += p.sram_bits;
+    m.throughput_tops += p.throughput_tops;
+    area_decoder_weighted += p.area_decoder_share * p.core_mm2;
+    acc.add(p);
+  }
+  acc.finalize(&m, /*derive_throughput=*/false);
+  if (m.core_mm2 > 0.0)
+    m.area_decoder_share = area_decoder_weighted / m.core_mm2;
+  return m;
+}
+
+PpaReport merge_sequential_reports(const std::vector<PpaReport>& parts) {
+  PpaReport m;
+  if (parts.empty()) return m;
+  m.ndec = parts.front().ndec;
+  m.ns = parts.front().ns;
+  m.vdd = parts.front().vdd;
+  m.corner = parts.front().corner;
+  m.core_mm2 = parts.front().core_mm2;
+  m.sram_bits = parts.front().sram_bits;
+  m.area_decoder_share = parts.front().area_decoder_share;
+
+  MergeAccum acc;
+  for (const PpaReport& p : parts) {
+    m.total_ops += p.total_ops;
+    m.events += p.events;
+    m.duration_ns += p.duration_ns;
+    acc.add(p);
+  }
+  acc.finalize(&m, /*derive_throughput=*/true);
+  return m;
 }
 
 }  // namespace ssma::core

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "ppa/analytic_perf.hpp"
 #include "sim/macro.hpp"
@@ -52,5 +53,20 @@ PpaReport make_report(const sim::MacroConfig& cfg,
 /// assumption (1 = best, 8 = worst, or the average envelope if depth==0).
 PpaReport make_analytic_report(const ppa::MacroConfig& cfg,
                                const ppa::OperatingPoint& op, int dlc_depth);
+
+/// Merges per-shard reports from a pool of macros running in parallel
+/// (serve::InferenceServer workers): ops/events/area/SRAM add, aggregate
+/// throughput is the sum of shard throughputs, per-op energy and the
+/// breakdown shares are recomputed from pooled totals, and duration is
+/// the longest shard (wall-clock view of a parallel run). Shards with no
+/// completed work contribute only their silicon. Empty input -> default
+/// report.
+PpaReport merge_reports(const std::vector<PpaReport>& parts);
+
+/// Merges reports of consecutive runs on the SAME macro (a serving
+/// shard's batch history): ops/events add, durations add, silicon stays
+/// that of one macro, rates combine ops-weighted, per-op energy and
+/// shares recompute from pooled totals. Empty input -> default report.
+PpaReport merge_sequential_reports(const std::vector<PpaReport>& parts);
 
 }  // namespace ssma::core

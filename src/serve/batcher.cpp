@@ -1,0 +1,36 @@
+#include "serve/batcher.hpp"
+
+#include "util/check.hpp"
+
+namespace ssma::serve {
+
+Batcher::Batcher(const BatcherOptions& opts) : opts_(opts) {
+  SSMA_CHECK(opts.max_batch_tokens >= 1);
+  SSMA_CHECK(opts.align_tokens >= 1);
+  SSMA_CHECK(opts.max_wait.count() >= 0);
+  budget_ = opts.max_batch_tokens / opts.align_tokens * opts.align_tokens;
+  if (budget_ == 0) budget_ = opts.align_tokens;
+}
+
+Batch Batcher::next_batch(RequestQueue& queue) const {
+  Batch batch;
+
+  // First request: wait indefinitely (an idle worker parks here).
+  InferenceRequest first;
+  if (queue.pop_wait(&first) == PopStatus::kClosed) return batch;
+  batch.tokens = first.rows;
+  batch.requests.push_back(std::move(first));
+
+  const Clock::time_point deadline = Clock::now() + opts_.max_wait;
+  while (batch.tokens < budget_) {
+    InferenceRequest next;
+    const PopStatus st =
+        queue.pop_compatible(budget_ - batch.tokens, deadline, &next);
+    if (st != PopStatus::kOk) break;  // full / timeout / closed / too big
+    batch.tokens += next.rows;
+    batch.requests.push_back(std::move(next));
+  }
+  return batch;
+}
+
+}  // namespace ssma::serve

@@ -1,0 +1,51 @@
+// Dynamic batcher: coalesces queued requests into token batches. A batch
+// closes when it reaches `max_batch_tokens` (rounded down to the tile
+// alignment) or when `max_wait` has elapsed since its first request —
+// the classic throughput/latency dial of serving runtimes. FIFO order is
+// never violated: an oversized head request simply closes the batch.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace ssma::serve {
+
+struct BatcherOptions {
+  /// Token (activation-row) budget per batch. Requests larger than the
+  /// budget still get served — alone, as a batch of one.
+  std::size_t max_batch_tokens = 64;
+  /// How long a non-full batch waits for more requests before dispatch.
+  std::chrono::microseconds max_wait{200};
+  /// Rounds the token budget down to a multiple of this (e.g. the number
+  /// of tokens the macro's tile plan pipelines per pass); 1 = no rounding.
+  std::size_t align_tokens = 1;
+};
+
+struct Batch {
+  std::vector<InferenceRequest> requests;
+  std::size_t tokens = 0;
+  bool empty() const { return requests.empty(); }
+};
+
+class Batcher {
+ public:
+  explicit Batcher(const BatcherOptions& opts);
+
+  const BatcherOptions& options() const { return opts_; }
+  /// Effective per-batch token budget after alignment.
+  std::size_t budget_tokens() const { return budget_; }
+
+  /// Blocks for the first request, then drains compatible requests until
+  /// the budget or the wait deadline is hit. An empty batch means the
+  /// queue is closed and fully drained — the worker should exit.
+  Batch next_batch(RequestQueue& queue) const;
+
+ private:
+  BatcherOptions opts_;
+  std::size_t budget_;
+};
+
+}  // namespace ssma::serve

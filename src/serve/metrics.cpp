@@ -1,0 +1,159 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace ssma::serve {
+
+namespace {
+
+// 100 ns base, ratio 1.12 per bucket, 192 buckets -> ~88 s ceiling.
+constexpr double kBaseNs = 100.0;
+constexpr double kRatio = 1.12;
+constexpr std::size_t kBuckets = 192;
+const double kLogRatio = std::log(kRatio);
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_of(double ns) const {
+  if (ns <= kBaseNs) return 0;
+  const auto b =
+      static_cast<std::size_t>(std::log(ns / kBaseNs) / kLogRatio) + 1;
+  return std::min(b, kBuckets - 1);
+}
+
+void LatencyHistogram::add(double ns) {
+  ns = std::max(ns, 0.0);
+  buckets_[bucket_of(ns)]++;
+  count_++;
+  sum_ns_ += ns;
+  max_ns_ = std::max(max_ns_, ns);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+  max_ns_ = std::max(max_ns_, other.max_ns_);
+}
+
+double LatencyHistogram::mean_ns() const {
+  return count_ ? sum_ns_ / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::percentile_ns(double p) const {
+  SSMA_CHECK(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0.0;
+  // Nearest-rank: smallest bucket whose cumulative count reaches rank.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i];
+    if (cum >= std::max<std::uint64_t>(rank, 1)) {
+      if (i == 0) return kBaseNs;
+      // Geometric midpoint of the bucket [base*r^(i-1), base*r^i).
+      return kBaseNs * std::pow(kRatio, static_cast<double>(i) - 0.5);
+    }
+  }
+  return max_ns_;
+}
+
+void Metrics::mark_start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  start_ = Clock::now();
+  started_ = true;
+  stopped_ = false;
+}
+
+void Metrics::mark_stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ && !stopped_) {
+    stop_ = Clock::now();
+    stopped_ = true;
+  }
+}
+
+void Metrics::record_batch(std::size_t tokens,
+                           const std::vector<double>& queue_ns,
+                           const std::vector<double>& total_ns) {
+  SSMA_CHECK(queue_ns.size() == total_ns.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  batches_++;
+  tokens_ += tokens;
+  requests_ += queue_ns.size();
+  for (double q : queue_ns) queue_latency_.add(q);
+  for (double t : total_ns) total_latency_.add(t);
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.requests = requests_;
+  s.tokens = tokens_;
+  s.batches = batches_;
+  if (started_) {
+    const auto end = stopped_ ? stop_ : Clock::now();
+    s.wall_seconds =
+        std::chrono::duration<double>(end - start_).count();
+  }
+  if (s.wall_seconds > 0.0) {
+    s.requests_per_sec = static_cast<double>(requests_) / s.wall_seconds;
+    s.tokens_per_sec = static_cast<double>(tokens_) / s.wall_seconds;
+  }
+  if (batches_ > 0)
+    s.mean_batch_tokens =
+        static_cast<double>(tokens_) / static_cast<double>(batches_);
+  s.p50_us = total_latency_.percentile_ns(50) * 1e-3;
+  s.p95_us = total_latency_.percentile_ns(95) * 1e-3;
+  s.p99_us = total_latency_.percentile_ns(99) * 1e-3;
+  s.mean_us = total_latency_.mean_ns() * 1e-3;
+  s.max_us = total_latency_.max_ns() * 1e-3;
+  s.queue_p50_us = queue_latency_.percentile_ns(50) * 1e-3;
+  s.queue_p99_us = queue_latency_.percentile_ns(99) * 1e-3;
+  return s;
+}
+
+std::string MetricsSnapshot::render() const {
+  TextTable t({"metric", "value"});
+  t.add_row({"requests", std::to_string(requests)});
+  t.add_row({"tokens", std::to_string(tokens)});
+  t.add_row({"batches", std::to_string(batches)});
+  t.add_row({"wall [s]", TextTable::num(wall_seconds, 3)});
+  t.add_row({"requests/s", TextTable::num(requests_per_sec, 1)});
+  t.add_row({"tokens/s", TextTable::num(tokens_per_sec, 1)});
+  t.add_row({"mean batch [tokens]", TextTable::num(mean_batch_tokens, 2)});
+  t.add_row({"latency p50 [us]", TextTable::num(p50_us, 1)});
+  t.add_row({"latency p95 [us]", TextTable::num(p95_us, 1)});
+  t.add_row({"latency p99 [us]", TextTable::num(p99_us, 1)});
+  t.add_row({"latency mean [us]", TextTable::num(mean_us, 1)});
+  t.add_row({"latency max [us]", TextTable::num(max_us, 1)});
+  t.add_row({"queue p50 [us]", TextTable::num(queue_p50_us, 1)});
+  t.add_row({"queue p99 [us]", TextTable::num(queue_p99_us, 1)});
+  return t.render();
+}
+
+std::string MetricsSnapshot::json() const {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(3);
+  oss << "{\"requests\":" << requests << ",\"tokens\":" << tokens
+      << ",\"batches\":" << batches << ",\"wall_seconds\":" << wall_seconds
+      << ",\"requests_per_sec\":" << requests_per_sec
+      << ",\"tokens_per_sec\":" << tokens_per_sec
+      << ",\"mean_batch_tokens\":" << mean_batch_tokens
+      << ",\"p50_us\":" << p50_us << ",\"p95_us\":" << p95_us
+      << ",\"p99_us\":" << p99_us << ",\"mean_us\":" << mean_us
+      << ",\"max_us\":" << max_us << ",\"queue_p50_us\":" << queue_p50_us
+      << ",\"queue_p99_us\":" << queue_p99_us << "}";
+  return oss.str();
+}
+
+}  // namespace ssma::serve

@@ -1,0 +1,96 @@
+// Serving-side observability: thread-safe counters plus log-bucketed
+// latency histograms with percentile queries (p50/p95/p99), snapshotted
+// into a plain struct that renders as a text table or machine-readable
+// JSON for the bench sweeps.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace ssma::serve {
+
+/// Geometric-bucket latency histogram: buckets grow by a fixed ratio from
+/// 100 ns, so percentile error is bounded by the ratio (~6%) across nine
+/// decades without storing samples. Not thread-safe on its own; Metrics
+/// serializes access.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void add(double ns);
+  void merge(const LatencyHistogram& other);
+
+  std::size_t count() const { return count_; }
+  double mean_ns() const;
+  double max_ns() const { return count_ ? max_ns_ : 0.0; }
+  /// Nearest-rank percentile (p in [0,100]), geometric bucket midpoint.
+  double percentile_ns(double p) const;
+
+ private:
+  std::size_t bucket_of(double ns) const;
+
+  std::vector<std::uint64_t> buckets_;
+  std::size_t count_ = 0;
+  double sum_ns_ = 0.0;
+  double max_ns_ = 0.0;
+};
+
+/// Point-in-time view of the server's counters and distributions.
+struct MetricsSnapshot {
+  std::size_t requests = 0;
+  std::size_t tokens = 0;
+  std::size_t batches = 0;
+  double wall_seconds = 0.0;
+
+  double requests_per_sec = 0.0;
+  double tokens_per_sec = 0.0;
+  double mean_batch_tokens = 0.0;
+
+  // End-to-end (enqueue -> fulfilled) latency.
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+  // Time spent waiting in the queue before a worker picked the batch up.
+  double queue_p50_us = 0.0;
+  double queue_p99_us = 0.0;
+
+  std::string render() const;
+  std::string json() const;
+};
+
+/// Shared metrics sink. Workers record whole batches at a time, so the
+/// mutex is taken at batch granularity, not per token.
+class Metrics {
+ public:
+  /// (Re)starts the wall clock; snapshot throughput is measured from here.
+  void mark_start();
+  /// Freezes the wall clock (e.g. at shutdown); idempotent.
+  void mark_stop();
+
+  /// One drained batch: per-request queue/total latencies in ns.
+  void record_batch(std::size_t tokens,
+                    const std::vector<double>& queue_ns,
+                    const std::vector<double>& total_ns);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t requests_ = 0;
+  std::size_t tokens_ = 0;
+  std::size_t batches_ = 0;
+  LatencyHistogram total_latency_;
+  LatencyHistogram queue_latency_;
+  Clock::time_point start_{};
+  Clock::time_point stop_{};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace ssma::serve

@@ -1,0 +1,81 @@
+#include "serve/request_queue.hpp"
+
+#include "util/check.hpp"
+
+namespace ssma::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  SSMA_CHECK(capacity >= 1);
+}
+
+bool RequestQueue::push(InferenceRequest&& req) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [&] { return closed_ || items_.size() < capacity_; });
+  if (closed_) return false;
+  items_.push_back(std::move(req));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::try_push(InferenceRequest&& req) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(req));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+PopStatus RequestQueue::pop_compatible(std::size_t max_rows,
+                                       Clock::time_point deadline,
+                                       InferenceRequest* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!items_.empty()) {
+      if (items_.front().rows > max_rows) return PopStatus::kWouldExceed;
+      *out = std::move(items_.front());
+      items_.pop_front();
+      lock.unlock();
+      not_full_.notify_one();
+      return PopStatus::kOk;
+    }
+    if (closed_) return PopStatus::kClosed;
+    if (Clock::now() >= deadline) return PopStatus::kTimeout;
+    not_empty_.wait_until(lock, deadline);
+  }
+}
+
+PopStatus RequestQueue::pop_wait(InferenceRequest* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return PopStatus::kClosed;
+  *out = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return PopStatus::kOk;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+}  // namespace ssma::serve

@@ -1,0 +1,85 @@
+// Bounded MPMC queue of inference requests — the admission point of the
+// serving runtime. Producers (client threads) block when the queue is
+// full (backpressure instead of unbounded memory growth); consumers
+// (worker threads) drain requests singly or under a token budget so the
+// batcher can coalesce without reordering.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace ssma::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// What a fulfilled request resolves to.
+struct InferenceResult {
+  std::uint64_t request_id = 0;
+  std::size_t rows = 0;
+  /// rows x nout int16 accumulators, bit-exact vs Amm::apply_int16.
+  std::vector<std::int16_t> outputs;
+  int worker_id = -1;           ///< which shard served it
+  Clock::time_point completed_at{};  ///< set by the worker at fulfillment
+};
+
+/// One queued unit of work: `rows` quantized activation rows plus the
+/// promise the serving worker fulfills. Move-only (owns the promise).
+struct InferenceRequest {
+  std::uint64_t id = 0;
+  std::size_t rows = 0;
+  std::vector<std::uint8_t> codes;  ///< rows x cols, row-major uint8
+  Clock::time_point enqueued_at{};
+  std::promise<InferenceResult> result;
+};
+
+/// Outcome of a budgeted pop (see RequestQueue::pop_compatible).
+enum class PopStatus {
+  kOk,           ///< *out holds a request
+  kWouldExceed,  ///< head request is larger than the remaining budget
+  kTimeout,      ///< deadline passed with no compatible request
+  kClosed,       ///< queue closed and fully drained
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Blocks while the queue is full (backpressure). Returns false — and
+  /// leaves `req` untouched — if the queue was closed.
+  bool push(InferenceRequest&& req);
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(InferenceRequest&& req);
+
+  /// Waits until the head request fits within `max_rows`, the deadline
+  /// passes, or the queue is closed and drained. FIFO order is preserved:
+  /// an oversized head is reported (kWouldExceed), never skipped.
+  PopStatus pop_compatible(std::size_t max_rows, Clock::time_point deadline,
+                           InferenceRequest* out);
+
+  /// Blocking pop with no budget or deadline; kOk or kClosed.
+  PopStatus pop_wait(InferenceRequest* out);
+
+  /// After close(), pushes fail and consumers drain the remainder.
+  void close();
+  bool closed() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<InferenceRequest> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ssma::serve

@@ -1,0 +1,87 @@
+#include "serve/server.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace ssma::serve {
+
+InferenceServer::InferenceServer(const maddness::Amm& amm,
+                                 const ServerOptions& opts) {
+  SSMA_CHECK(opts.num_workers >= 1);
+  cols_ = static_cast<std::size_t>(amm.cfg().total_dims());
+  nout_ = static_cast<std::size_t>(amm.lut().nout);
+  plan_ = core::plan_tiles(amm.cfg().ncodebooks, static_cast<int>(nout_),
+                           opts.accel.ns, opts.accel.ndec);
+  queue_ = std::make_unique<RequestQueue>(opts.queue_capacity);
+
+  std::ostringstream blob;
+  amm.save(blob);
+  WorkerPoolOptions wopts;
+  wopts.num_workers = opts.num_workers;
+  wopts.mode = opts.mode;
+  wopts.accel = opts.accel;
+  wopts.batcher = opts.batcher;
+  wopts.device_ns_per_token = opts.device_ns_per_token;
+  pool_ = std::make_unique<WorkerPool>(blob.str(), *queue_, metrics_,
+                                       wopts);
+  metrics_.mark_start();
+  pool_->start();
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<InferenceResult> InferenceServer::submit(
+    std::vector<std::uint8_t> codes, std::size_t rows) {
+  SSMA_CHECK(rows >= 1);
+  SSMA_CHECK_MSG(codes.size() == rows * cols_,
+                 "submit payload must be rows x cols()");
+  InferenceRequest req;
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req.rows = rows;
+  req.codes = std::move(codes);
+  req.enqueued_at = Clock::now();
+  std::future<InferenceResult> fut = req.result.get_future();
+  if (!queue_->push(std::move(req))) {
+    // Closed: the request was not consumed, fail its future here.
+    req.result.set_exception(std::make_exception_ptr(
+        std::runtime_error("InferenceServer is shut down")));
+  }
+  return fut;
+}
+
+std::vector<std::future<InferenceResult>> InferenceServer::submit_batch(
+    const maddness::QuantizedActivations& q,
+    std::size_t rows_per_request) {
+  SSMA_CHECK(rows_per_request >= 1);
+  SSMA_CHECK_MSG(q.cols == cols_, "activation width mismatch");
+  std::vector<std::future<InferenceResult>> futures;
+  for (std::size_t r = 0; r < q.rows; r += rows_per_request) {
+    const std::size_t n = std::min(rows_per_request, q.rows - r);
+    std::vector<std::uint8_t> codes(q.row(r), q.row(r) + n * cols_);
+    futures.push_back(submit(std::move(codes), n));
+  }
+  return futures;
+}
+
+void InferenceServer::shutdown() {
+  if (shut_down_) return;
+  queue_->close();
+  pool_->join();
+  metrics_.mark_stop();
+  shut_down_ = true;
+}
+
+core::PpaReport InferenceServer::aggregate_report() const {
+  SSMA_CHECK_MSG(shut_down_, "aggregate_report requires shutdown()");
+  return pool_->aggregate_report();
+}
+
+const std::vector<std::size_t>& InferenceServer::shard_tokens() const {
+  SSMA_CHECK_MSG(shut_down_, "shard_tokens requires shutdown()");
+  return pool_->shard_tokens();
+}
+
+}  // namespace ssma::serve

@@ -1,0 +1,92 @@
+// InferenceServer — the public facade of the serving runtime. Owns the
+// bounded request queue, the metrics sink, and the sharded worker pool;
+// clients submit quantized activation rows and receive futures that
+// resolve to int16 outputs bit-exact vs Amm::apply_int16.
+//
+//   Amm amm = Amm::train(cfg, train_x, w);
+//   InferenceServer server(amm, {});            // spawns workers
+//   auto fut = server.submit(codes, nrows);     // blocks only when full
+//   InferenceResult r = fut.get();
+//   server.shutdown();                          // drain + join
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/layer_mapping.hpp"
+#include "core/ppa_report.hpp"
+#include "maddness/amm.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/worker_pool.hpp"
+
+namespace ssma::serve {
+
+struct ServerOptions {
+  int num_workers = 4;
+  std::size_t queue_capacity = 1024;  ///< requests; push blocks when full
+  BatcherOptions batcher;
+  ExecutionMode mode = ExecutionMode::kKernel;
+  core::AcceleratorOptions accel;
+  /// kDevicePaced only: modeled device service time per token (0 = the
+  /// analytic model's average token interval for `accel`).
+  double device_ns_per_token = 0.0;
+};
+
+class InferenceServer {
+ public:
+  /// Serializes the trained operator once and starts the worker pool;
+  /// each worker reconstructs a private replica from the blob.
+  InferenceServer(const maddness::Amm& amm, const ServerOptions& opts);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Submits `rows` quantized activation rows (rows x cols(), row-major).
+  /// Blocks while the queue is full (backpressure). After shutdown() the
+  /// returned future holds a std::runtime_error.
+  std::future<InferenceResult> submit(std::vector<std::uint8_t> codes,
+                                      std::size_t rows = 1);
+
+  /// Splits a pre-quantized matrix into per-request row slices and
+  /// submits them all; the last request takes the remainder.
+  std::vector<std::future<InferenceResult>> submit_batch(
+      const maddness::QuantizedActivations& q,
+      std::size_t rows_per_request);
+
+  /// Closes admission, drains every queued request, joins the workers
+  /// and freezes the metrics clock. Idempotent.
+  void shutdown();
+
+  /// Layer geometry the server was built for.
+  std::size_t cols() const { return cols_; }
+  std::size_t nout() const { return nout_; }
+  /// The macro tile plan every batch maps onto.
+  const core::TilePlan& plan() const { return plan_; }
+
+  MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  std::size_t queue_depth() const { return queue_->size(); }
+
+  /// Pool-aggregate PPA (merge of per-shard reports, idle shards
+  /// contributing silicon only). Only meaningful in
+  /// ExecutionMode::kSimulate — kernel/paced shards run no macro, so
+  /// the merge is default-empty there. Requires shutdown() first.
+  core::PpaReport aggregate_report() const;
+  const std::vector<std::size_t>& shard_tokens() const;
+
+ private:
+  std::size_t cols_ = 0;
+  std::size_t nout_ = 0;
+  core::TilePlan plan_;
+  std::atomic<std::uint64_t> next_id_{0};
+  std::unique_ptr<RequestQueue> queue_;
+  Metrics metrics_;
+  std::unique_ptr<WorkerPool> pool_;
+  bool shut_down_ = false;
+};
+
+}  // namespace ssma::serve

@@ -1,0 +1,158 @@
+#include "serve/worker_pool.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace ssma::serve {
+
+WorkerPool::WorkerPool(std::string amm_blob, RequestQueue& queue,
+                       Metrics& metrics, const WorkerPoolOptions& opts)
+    : amm_blob_(std::move(amm_blob)),
+      queue_(queue),
+      metrics_(metrics),
+      opts_(opts) {
+  SSMA_CHECK(opts.num_workers >= 1);
+  shard_reports_.resize(static_cast<std::size_t>(opts.num_workers));
+  shard_tokens_.assign(static_cast<std::size_t>(opts.num_workers), 0);
+}
+
+WorkerPool::~WorkerPool() {
+  if (!threads_.empty() && !joined_) {
+    queue_.close();
+    join();
+  }
+}
+
+void WorkerPool::start() {
+  SSMA_CHECK_MSG(threads_.empty(), "WorkerPool already started");
+  threads_.reserve(static_cast<std::size_t>(opts_.num_workers));
+  for (int w = 0; w < opts_.num_workers; ++w)
+    threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+void WorkerPool::join() {
+  for (std::thread& t : threads_)
+    if (t.joinable()) t.join();
+  joined_ = true;
+}
+
+core::PpaReport WorkerPool::aggregate_report() const {
+  SSMA_CHECK_MSG(joined_, "aggregate_report requires join()");
+  return core::merge_reports(shard_reports_);
+}
+
+void WorkerPool::worker_main(int worker_id) {
+  // Share-nothing replica: every shard deserializes its own operator
+  // from the blob — the same path a deployment uses to program a macro.
+  std::istringstream is(amm_blob_);
+  const maddness::Amm amm = maddness::Amm::load(is);
+  core::Accelerator accel(opts_.accel);
+  const Batcher batcher(opts_.batcher);
+  const auto cols = static_cast<std::size_t>(amm.cfg().total_dims());
+  const auto nout = static_cast<std::size_t>(amm.lut().nout);
+
+  double pace_ns = 0.0;
+  if (opts_.mode == ExecutionMode::kDevicePaced) {
+    pace_ns = opts_.device_ns_per_token > 0.0
+                  ? opts_.device_ns_per_token
+                  : accel.analytic_report(0).token_interval_ns;
+    SSMA_CHECK_MSG(pace_ns > 0.0, "device pacing needs a token interval");
+  }
+  Clock::time_point device_free = Clock::now();
+
+  std::vector<core::PpaReport> batch_reports;
+  std::size_t tokens_served = 0;
+  std::vector<double> queue_ns, total_ns;
+
+  for (;;) {
+    Batch batch = batcher.next_batch(queue_);
+    if (batch.empty()) break;  // queue closed and drained
+    const Clock::time_point t_exec = Clock::now();
+
+    // Stitch the batch into one activation matrix; rows keep request
+    // order, so outputs slice back out contiguously.
+    maddness::QuantizedActivations q;
+    q.rows = batch.tokens;
+    q.cols = cols;
+    q.scale = amm.activation_scale();
+    q.codes.reserve(batch.tokens * cols);
+    for (const InferenceRequest& req : batch.requests) {
+      SSMA_CHECK_MSG(req.codes.size() == req.rows * cols,
+                     "request payload shape mismatch");
+      q.codes.insert(q.codes.end(), req.codes.begin(), req.codes.end());
+    }
+
+    std::vector<std::int16_t> out;
+    if (opts_.mode == ExecutionMode::kSimulate) {
+      core::AcceleratorResult r = accel.run(amm, q);
+      out = std::move(r.outputs);
+      batch_reports.push_back(std::move(r.report));
+    } else {
+      out = amm.apply_int16(q);
+      if (opts_.mode == ExecutionMode::kDevicePaced) {
+        // The batch occupies this shard's device for tokens * interval;
+        // back-to-back batches queue on the device, idle gaps don't
+        // accumulate credit.
+        device_free =
+            std::max(device_free, t_exec) +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::nano>(
+                    static_cast<double>(batch.tokens) * pace_ns));
+        std::this_thread::sleep_until(device_free);
+      }
+    }
+
+    const Clock::time_point t_done = Clock::now();
+    queue_ns.clear();
+    total_ns.clear();
+    std::size_t row = 0;
+    for (InferenceRequest& req : batch.requests) {
+      InferenceResult res;
+      res.request_id = req.id;
+      res.rows = req.rows;
+      res.worker_id = worker_id;
+      res.completed_at = t_done;
+      res.outputs.assign(out.begin() + static_cast<std::ptrdiff_t>(
+                                           row * nout),
+                         out.begin() + static_cast<std::ptrdiff_t>(
+                                           (row + req.rows) * nout));
+      row += req.rows;
+      queue_ns.push_back(std::chrono::duration<double, std::nano>(
+                             t_exec - req.enqueued_at)
+                             .count());
+      total_ns.push_back(std::chrono::duration<double, std::nano>(
+                             t_done - req.enqueued_at)
+                             .count());
+      req.result.set_value(std::move(res));
+    }
+    tokens_served += batch.tokens;
+    metrics_.record_batch(batch.tokens, queue_ns, total_ns);
+  }
+
+  if (opts_.mode == ExecutionMode::kSimulate) {
+    if (batch_reports.empty()) {
+      // Idle shard: its macro still exists — contribute the silicon
+      // (config echo + area/SRAM) with zeroed run-dependent fields.
+      core::PpaReport silicon = accel.analytic_report(0);
+      silicon.freq_mhz = 0.0;
+      silicon.throughput_tops = 0.0;
+      silicon.token_interval_ns = 0.0;
+      silicon.tops_per_w = 0.0;
+      silicon.tops_per_mm2 = 0.0;
+      silicon.energy_per_op_fj = 0.0;
+      silicon.energy_decoder_share = 0.0;
+      silicon.energy_encoder_share = 0.0;
+      shard_reports_[static_cast<std::size_t>(worker_id)] = silicon;
+    } else {
+      shard_reports_[static_cast<std::size_t>(worker_id)] =
+          core::merge_sequential_reports(batch_reports);
+    }
+  }
+  shard_tokens_[static_cast<std::size_t>(worker_id)] = tokens_served;
+}
+
+}  // namespace ssma::serve

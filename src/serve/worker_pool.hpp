@@ -1,0 +1,94 @@
+// Share-nothing worker pool: N threads, each owning a private
+// core::Accelerator and its own maddness::Amm replica (reconstructed from
+// the serialized operator, never shared), draining token batches from the
+// request queue and fulfilling the requests' futures. Results are
+// bit-exact and deterministic per request regardless of which shard
+// serves it — MADDNESS decode is row-independent, so any partition of
+// requests across workers yields identical outputs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "maddness/amm.hpp"
+#include "serve/batcher.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request_queue.hpp"
+
+namespace ssma::serve {
+
+/// How a worker computes a batch.
+enum class ExecutionMode {
+  /// Software kernel (Amm::apply_int16): the hardware-exact reference
+  /// arithmetic at host speed. Default for throughput serving.
+  kKernel,
+  /// Full event-driven macro simulation (core::Accelerator::run): same
+  /// bits, plus per-batch PPA accounting merged into the pool report.
+  kSimulate,
+  /// Hardware-in-the-loop pacing: outputs come from the kernel, but the
+  /// worker then blocks until its private device's service time for the
+  /// batch has elapsed (`device_ns_per_token`), like a host thread
+  /// waiting on a real macro. Pool throughput then measures how well
+  /// the runtime overlaps N devices, independent of host core count.
+  kDevicePaced,
+};
+
+struct WorkerPoolOptions {
+  int num_workers = 4;
+  ExecutionMode mode = ExecutionMode::kKernel;
+  core::AcceleratorOptions accel;  ///< macro shape for kSimulate shards
+  BatcherOptions batcher;
+  /// kDevicePaced only: modeled device service time per token. 0 = use
+  /// the analytic model's average token interval for `accel`.
+  double device_ns_per_token = 0.0;
+};
+
+class WorkerPool {
+ public:
+  /// `amm_blob` is the serialized trained operator (Amm::save); each
+  /// worker deserializes its own replica from it at start().
+  WorkerPool(std::string amm_blob, RequestQueue& queue, Metrics& metrics,
+             const WorkerPoolOptions& opts);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Spawns the worker threads (idempotent-hostile: call once).
+  void start();
+  /// Waits for all workers to drain the (closed) queue and exit.
+  void join();
+
+  int num_workers() const { return opts_.num_workers; }
+  const WorkerPoolOptions& options() const { return opts_; }
+
+  /// Pool-aggregate PPA report. Only meaningful in kSimulate mode
+  /// (kernel/paced shards run no macro, so their reports stay
+  /// default-empty). Valid after join().
+  core::PpaReport aggregate_report() const;
+  /// Per-shard reports, index == worker id. Valid after join().
+  const std::vector<core::PpaReport>& shard_reports() const {
+    return shard_reports_;
+  }
+  /// Tokens served per shard (load-balance visibility). Valid after join().
+  const std::vector<std::size_t>& shard_tokens() const {
+    return shard_tokens_;
+  }
+
+ private:
+  void worker_main(int worker_id);
+
+  std::string amm_blob_;
+  RequestQueue& queue_;
+  Metrics& metrics_;
+  WorkerPoolOptions opts_;
+  std::vector<std::thread> threads_;
+  std::vector<core::PpaReport> shard_reports_;
+  std::vector<std::size_t> shard_tokens_;
+  bool joined_ = false;
+};
+
+}  // namespace ssma::serve
