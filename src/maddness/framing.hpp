@@ -1,0 +1,36 @@
+// Checksummed framing for on-disk blobs. A frame is
+//
+//   [u64 payload length][u32 CRC-32 of payload][payload bytes]
+//
+// written little-endian. Readers validate the CRC before handing the
+// payload back, so torn writes and bit rot surface as a CheckError at
+// load time instead of silently corrupt operator state. The AMM
+// operator stream, the serving checkpoints, and the request journal all
+// persist through this frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace ssma::maddness {
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320). `crc` chains
+/// incremental updates; pass 0 to start a fresh checksum.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc = 0);
+std::uint32_t crc32(const std::string& s);
+
+/// Writes one length+CRC frame around `payload`.
+void write_framed_blob(std::ostream& os, const std::string& payload);
+
+/// Reads one frame; throws CheckError on truncation or CRC mismatch.
+std::string read_framed_blob(std::istream& is);
+
+/// Torn-tolerant variant: returns false (leaving *out untouched) on a
+/// clean EOF at the frame boundary, on a truncated frame, or on a CRC
+/// mismatch — the reader treats everything from the first bad frame on
+/// as a torn tail. Never throws on corrupt input.
+bool try_read_framed_blob(std::istream& is, std::string* out);
+
+}  // namespace ssma::maddness

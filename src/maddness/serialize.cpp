@@ -1,77 +1,47 @@
 // Binary serialization of trained Amm operators. Explicit little-endian
-// encoding of fixed-width fields makes the format portable across hosts.
+// encoding of fixed-width fields makes the format portable across hosts;
+// the field payload travels inside a length+CRC frame (framing.hpp) so a
+// torn or bit-rotted blob fails loudly at load time — a hard requirement
+// for the serving runtime, whose crash recovery reprograms worker shards
+// from persisted blobs.
 #include <algorithm>
+#include <array>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "maddness/amm.hpp"
+#include "maddness/framing.hpp"
 #include "util/check.hpp"
+#include "util/wire.hpp"
 
 namespace ssma::maddness {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'S', 'M', 'A', 'A', 'M', 'M', '1'};
+using wire::get_f32;
+using wire::get_f64;
+using wire::get_u32;
+using wire::get_u64;
+using wire::get_u8;
+using wire::put_f32;
+using wire::put_f64;
+using wire::put_u32;
+using wire::put_u64;
+using wire::put_u8;
 
-void put_u8(std::ostream& os, std::uint8_t v) {
-  os.put(static_cast<char>(v));
-}
+constexpr char kMagic[8] = {'S', 'S', 'M', 'A', 'A', 'M', 'M', '2'};
 
-void put_u32(std::ostream& os, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) put_u8(os, (v >> (8 * i)) & 0xFF);
-}
-
-void put_u64(std::ostream& os, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) put_u8(os, (v >> (8 * i)) & 0xFF);
-}
-
-void put_f32(std::ostream& os, float v) {
-  static_assert(sizeof(float) == 4);
-  std::uint32_t bits;
-  __builtin_memcpy(&bits, &v, 4);
-  put_u32(os, bits);
-}
-
-void put_f64(std::ostream& os, double v) {
-  static_assert(sizeof(double) == 8);
-  std::uint64_t bits;
-  __builtin_memcpy(&bits, &v, 8);
-  put_u64(os, bits);
-}
-
-std::uint8_t get_u8(std::istream& is) {
-  const int c = is.get();
-  SSMA_CHECK_MSG(c != EOF, "unexpected end of AMM stream");
-  return static_cast<std::uint8_t>(c);
-}
-
-std::uint32_t get_u32(std::istream& is) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i)
-    v |= static_cast<std::uint32_t>(get_u8(is)) << (8 * i);
-  return v;
-}
-
-std::uint64_t get_u64(std::istream& is) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i)
-    v |= static_cast<std::uint64_t>(get_u8(is)) << (8 * i);
-  return v;
-}
-
-float get_f32(std::istream& is) {
-  const std::uint32_t bits = get_u32(is);
-  float v;
-  __builtin_memcpy(&v, &bits, 4);
-  return v;
-}
-
-double get_f64(std::istream& is) {
-  const std::uint64_t bits = get_u64(is);
-  double v;
-  __builtin_memcpy(&v, &bits, 8);
-  return v;
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
 }
 
 void put_matrix(std::ostream& os, const Matrix& m) {
@@ -92,41 +62,106 @@ Matrix get_matrix(std::istream& is) {
 
 }  // namespace
 
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+std::uint32_t crc32(const std::string& s) {
+  return crc32(s.data(), s.size());
+}
+
+void write_framed_blob(std::ostream& os, const std::string& payload) {
+  put_u64(os, payload.size());
+  put_u32(os, crc32(payload));
+  os.write(payload.data(),
+           static_cast<std::streamsize>(payload.size()));
+  SSMA_CHECK_MSG(os.good(), "framed blob write failure");
+}
+
+std::string read_framed_blob(std::istream& is) {
+  std::string payload;
+  SSMA_CHECK_MSG(try_read_framed_blob(is, &payload),
+                 "truncated or CRC-corrupt framed blob");
+  return payload;
+}
+
+bool try_read_framed_blob(std::istream& is, std::string* out) {
+  // Peek-driven: a clean EOF before the first length byte is a normal
+  // end of a record stream, anything shorter than a whole valid frame
+  // is a torn tail.
+  if (is.peek() == EOF) return false;
+  std::uint64_t len = 0;
+  std::uint32_t want_crc = 0;
+  char hdr[12];
+  is.read(hdr, sizeof(hdr));
+  if (is.gcount() != static_cast<std::streamsize>(sizeof(hdr)))
+    return false;
+  for (int i = 0; i < 8; ++i)
+    len |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(hdr[i]))
+           << (8 * i);
+  for (int i = 0; i < 4; ++i)
+    want_crc |=
+        static_cast<std::uint32_t>(static_cast<std::uint8_t>(hdr[8 + i]))
+        << (8 * i);
+  // Bound the length by the bytes actually left in the stream before
+  // allocating: a corrupt header must fall through as torn, not OOM.
+  const std::streampos body_start = is.tellg();
+  is.seekg(0, std::ios::end);
+  const std::streampos stream_end = is.tellg();
+  if (body_start < 0 || stream_end < 0) return false;
+  is.seekg(body_start);
+  if (len > static_cast<std::uint64_t>(stream_end - body_start))
+    return false;
+  std::string payload(static_cast<std::size_t>(len), '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(len));
+  if (is.gcount() != static_cast<std::streamsize>(len)) return false;
+  if (crc32(payload) != want_crc) return false;
+  *out = std::move(payload);
+  return true;
+}
+
 void Amm::save(std::ostream& os) const {
-  os.write(kMagic, sizeof(kMagic));
+  std::ostringstream body;
 
   // Config.
-  put_u32(os, static_cast<std::uint32_t>(cfg_.ncodebooks));
-  put_u32(os, static_cast<std::uint32_t>(cfg_.subvec_dim));
-  put_u32(os, static_cast<std::uint32_t>(cfg_.nlevels));
-  put_u8(os, cfg_.proto_opt == PrototypeOpt::kRidgeJoint ? 1 : 0);
-  put_f64(os, cfg_.ridge_lambda);
-  put_u8(os, cfg_.per_column_lut_scale ? 1 : 0);
-  put_f64(os, cfg_.act_clip_percentile);
-  put_u32(os, static_cast<std::uint32_t>(cfg_.lut_bits));
+  put_u32(body, static_cast<std::uint32_t>(cfg_.ncodebooks));
+  put_u32(body, static_cast<std::uint32_t>(cfg_.subvec_dim));
+  put_u32(body, static_cast<std::uint32_t>(cfg_.nlevels));
+  put_u8(body, cfg_.proto_opt == PrototypeOpt::kRidgeJoint ? 1 : 0);
+  put_f64(body, cfg_.ridge_lambda);
+  put_u8(body, cfg_.per_column_lut_scale ? 1 : 0);
+  put_f64(body, cfg_.act_clip_percentile);
+  put_u32(body, static_cast<std::uint32_t>(cfg_.lut_bits));
 
-  put_f32(os, act_scale_);
+  put_f32(body, act_scale_);
 
   // Trees.
   for (const auto& tree : trees_) {
     for (int l = 0; l < HashTree::kLevels; ++l)
-      put_u32(os, static_cast<std::uint32_t>(tree.split_dim(l)));
+      put_u32(body, static_cast<std::uint32_t>(tree.split_dim(l)));
     for (int n = 0; n < HashTree::kNodes; ++n)
-      put_u8(os, tree.threshold_flat(n));
+      put_u8(body, tree.threshold_flat(n));
   }
 
   // Prototypes.
-  put_matrix(os, protos_.p);
+  put_matrix(body, protos_.p);
 
   // LUT bank.
-  put_u32(os, static_cast<std::uint32_t>(lut_.nout));
-  put_u64(os, lut_.scales.size());
-  for (float s : lut_.scales) put_f32(os, s);
-  put_u64(os, lut_.q.size());
-  for (std::int8_t v : lut_.q) put_u8(os, static_cast<std::uint8_t>(v));
-  put_u64(os, lut_.f.size());
-  for (float v : lut_.f) put_f32(os, v);
+  put_u32(body, static_cast<std::uint32_t>(lut_.nout));
+  put_u64(body, lut_.scales.size());
+  for (float s : lut_.scales) put_f32(body, s);
+  put_u64(body, lut_.q.size());
+  for (std::int8_t v : lut_.q) put_u8(body, static_cast<std::uint8_t>(v));
+  put_u64(body, lut_.f.size());
+  for (float v : lut_.f) put_f32(body, v);
 
+  os.write(kMagic, sizeof(kMagic));
+  write_framed_blob(os, body.str());
   SSMA_CHECK_MSG(os.good(), "AMM serialization stream failure");
 }
 
@@ -135,26 +170,27 @@ Amm Amm::load(std::istream& is) {
   is.read(magic, sizeof(magic));
   SSMA_CHECK_MSG(is.good() && std::equal(magic, magic + 8, kMagic),
                  "not an SSMA AMM stream");
+  std::istringstream body(read_framed_blob(is));
 
   Amm amm;
-  amm.cfg_.ncodebooks = static_cast<int>(get_u32(is));
-  amm.cfg_.subvec_dim = static_cast<int>(get_u32(is));
-  amm.cfg_.nlevels = static_cast<int>(get_u32(is));
-  amm.cfg_.proto_opt = get_u8(is) ? PrototypeOpt::kRidgeJoint
-                                  : PrototypeOpt::kBucketMeans;
-  amm.cfg_.ridge_lambda = get_f64(is);
-  amm.cfg_.per_column_lut_scale = get_u8(is) != 0;
-  amm.cfg_.act_clip_percentile = get_f64(is);
-  amm.cfg_.lut_bits = static_cast<int>(get_u32(is));
+  amm.cfg_.ncodebooks = static_cast<int>(get_u32(body));
+  amm.cfg_.subvec_dim = static_cast<int>(get_u32(body));
+  amm.cfg_.nlevels = static_cast<int>(get_u32(body));
+  amm.cfg_.proto_opt = get_u8(body) ? PrototypeOpt::kRidgeJoint
+                                    : PrototypeOpt::kBucketMeans;
+  amm.cfg_.ridge_lambda = get_f64(body);
+  amm.cfg_.per_column_lut_scale = get_u8(body) != 0;
+  amm.cfg_.act_clip_percentile = get_f64(body);
+  amm.cfg_.lut_bits = static_cast<int>(get_u32(body));
   amm.cfg_.validate();
 
-  amm.act_scale_ = get_f32(is);
+  amm.act_scale_ = get_f32(body);
   SSMA_CHECK(amm.act_scale_ > 0.0f);
 
   amm.trees_.resize(amm.cfg_.ncodebooks);
   for (auto& tree : amm.trees_) {
     for (int l = 0; l < HashTree::kLevels; ++l)
-      tree.set_split_dim(l, static_cast<int>(get_u32(is)));
+      tree.set_split_dim(l, static_cast<int>(get_u32(body)));
     for (int l = 0; l < HashTree::kLevels; ++l)
       for (int n = 0; n < (1 << l); ++n)
         tree.set_threshold(l, n, 0);  // placeholder; set flat below
@@ -162,21 +198,21 @@ Amm Amm::load(std::istream& is) {
     for (int flat = 0; flat < HashTree::kNodes; ++flat) {
       const int level = flat < 1 ? 0 : (flat < 3 ? 1 : (flat < 7 ? 2 : 3));
       const int node = flat - ((1 << level) - 1);
-      tree.set_threshold(level, node, get_u8(is));
+      tree.set_threshold(level, node, get_u8(body));
     }
   }
 
-  amm.protos_.p = get_matrix(is);
+  amm.protos_.p = get_matrix(body);
   amm.protos_.cfg = amm.cfg_;
 
   amm.lut_.cfg = amm.cfg_;
-  amm.lut_.nout = static_cast<int>(get_u32(is));
-  amm.lut_.scales.resize(get_u64(is));
-  for (auto& s : amm.lut_.scales) s = get_f32(is);
-  amm.lut_.q.resize(get_u64(is));
-  for (auto& v : amm.lut_.q) v = static_cast<std::int8_t>(get_u8(is));
-  amm.lut_.f.resize(get_u64(is));
-  for (auto& v : amm.lut_.f) v = get_f32(is);
+  amm.lut_.nout = static_cast<int>(get_u32(body));
+  amm.lut_.scales.resize(get_u64(body));
+  for (auto& s : amm.lut_.scales) s = get_f32(body);
+  amm.lut_.q.resize(get_u64(body));
+  for (auto& v : amm.lut_.q) v = static_cast<std::int8_t>(get_u8(body));
+  amm.lut_.f.resize(get_u64(body));
+  for (auto& v : amm.lut_.f) v = get_f32(body);
 
   SSMA_CHECK(amm.lut_.q.size() ==
              static_cast<std::size_t>(amm.cfg_.ncodebooks) * 16 *

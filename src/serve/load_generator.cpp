@@ -17,6 +17,7 @@ LoadReport finish_report(const LoadSpec& spec, std::size_t completed,
                          double wall_seconds,
                          const LatencyHistogram& latency) {
   LoadReport r;
+  r.seed = spec.seed;
   r.completed = completed;
   r.tokens = completed * spec.rows_per_request;
   r.wall_seconds = wall_seconds;
@@ -38,7 +39,8 @@ std::string LoadReport::json() const {
   std::ostringstream oss;
   oss.setf(std::ios::fixed);
   oss.precision(3);
-  oss << "{\"completed\":" << completed << ",\"tokens\":" << tokens
+  oss << "{\"seed\":" << seed << ",\"completed\":" << completed
+      << ",\"tokens\":" << tokens
       << ",\"wall_seconds\":" << wall_seconds
       << ",\"offered_rps\":" << offered_rps
       << ",\"achieved_rps\":" << achieved_rps

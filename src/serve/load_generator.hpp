@@ -20,11 +20,15 @@ namespace ssma::serve {
 struct LoadSpec {
   std::size_t total_requests = 1000;
   std::size_t rows_per_request = 1;
-  std::uint64_t seed = 0x5eed5e12;  ///< Poisson arrival stream seed
+  /// Drives the Poisson arrival stream — and, when a run injects
+  /// faults, the same seed should be handed to the FaultInjector so
+  /// one number reproduces the whole scenario from a failure log.
+  std::uint64_t seed = 0x5eed5e12;
 };
 
 /// Client-side view of a finished load run.
 struct LoadReport {
+  std::uint64_t seed = 0;  ///< echoed from LoadSpec; lands in the JSON
   std::size_t completed = 0;
   std::size_t tokens = 0;
   double wall_seconds = 0.0;
@@ -54,6 +58,9 @@ class LoadGenerator {
   std::vector<std::uint8_t> request_codes(std::uint64_t id) const;
   /// First pool row used by request `id`.
   std::size_t first_row(std::uint64_t id) const;
+
+  const LoadSpec& spec() const { return spec_; }
+  std::uint64_t seed() const { return spec_.seed; }
 
   /// Open-loop: Poisson arrivals at `requests_per_sec`. Latency is
   /// measured from each request's *intended* arrival instant, so time

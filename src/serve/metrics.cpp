@@ -93,6 +93,14 @@ void Metrics::record_batch(std::size_t tokens,
   for (double t : total_ns) total_latency_.add(t);
 }
 
+void Metrics::restore(std::size_t requests, std::size_t tokens,
+                      std::size_t batches) {
+  std::lock_guard<std::mutex> lock(mu_);
+  requests_ = requests;
+  tokens_ = tokens;
+  batches_ = batches;
+}
+
 MetricsSnapshot Metrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s;

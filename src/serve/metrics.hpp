@@ -78,6 +78,13 @@ class Metrics {
                     const std::vector<double>& queue_ns,
                     const std::vector<double>& total_ns);
 
+  /// Seeds the lifetime counters from a recovered checkpoint so a
+  /// restarted server's totals continue where the crashed run's
+  /// snapshot left off. Latency histograms restart empty — they
+  /// describe this incarnation only.
+  void restore(std::size_t requests, std::size_t tokens,
+               std::size_t batches);
+
   MetricsSnapshot snapshot() const;
 
  private:

@@ -1,0 +1,96 @@
+#include "serve/recovery/fault_injector.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ssma::serve::recovery {
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kEnqueue: return "enqueue";
+    case FaultSite::kQueuePush: return "queue_push";
+    case FaultSite::kBatchFormed: return "batch_formed";
+    case FaultSite::kExecute: return "execute";
+    case FaultSite::kAck: return "ack";
+    case FaultSite::kCheckpointWrite: return "checkpoint_write";
+  }
+  return "?";
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kKillShard: return "kill_shard";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDropBeforeAck: return "drop_before_ack";
+    case FaultKind::kTornCheckpoint: return "torn_checkpoint";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  SSMA_CHECK(plan.fire_at >= 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.push_back(plan);
+  consumed_.push_back(false);
+}
+
+void FaultInjector::arm_random_delays(std::size_t count,
+                                      std::uint64_t max_fire_at,
+                                      std::chrono::microseconds max_delay) {
+  SSMA_CHECK(max_fire_at >= 1 && max_delay.count() >= 1);
+  Rng rng(seed_);
+  for (std::size_t i = 0; i < count; ++i) {
+    FaultPlan plan;
+    plan.site = rng.next_bool() ? FaultSite::kQueuePush
+                                : FaultSite::kBatchFormed;
+    plan.kind = FaultKind::kDelay;
+    plan.fire_at = 1 + rng.next_below(max_fire_at);
+    plan.delay = std::chrono::microseconds(
+        1 + static_cast<long>(rng.next_below(
+                static_cast<std::uint64_t>(max_delay.count()))));
+    arm(plan);
+  }
+}
+
+FaultAction FaultInjector::poll(FaultSite site, int worker_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto s = static_cast<std::size_t>(site);
+  const std::uint64_t n = ++site_polls_[s];
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    const FaultPlan& p = plans_[i];
+    if (p.site != site || consumed_[i]) continue;
+    if (p.worker_id >= 0 && p.worker_id != worker_id) continue;
+    const bool hit = p.repeat ? (n % p.fire_at == 0) : (n == p.fire_at);
+    if (!hit) continue;
+    if (!p.repeat) consumed_[i] = true;
+    fired_++;
+    std::ostringstream oss;
+    oss << to_string(p.kind) << "@" << to_string(site) << " poll#" << n
+        << " worker=" << worker_id;
+    fired_log_.push_back(oss.str());
+    return {p.kind, p.delay};
+  }
+  return {};
+}
+
+std::uint64_t FaultInjector::polls(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return site_polls_[static_cast<std::size_t>(site)];
+}
+
+std::uint64_t FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+std::vector<std::string> FaultInjector::fired_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_log_;
+}
+
+}  // namespace ssma::serve::recovery

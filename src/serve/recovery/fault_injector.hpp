@@ -1,0 +1,100 @@
+// Deterministic, seed-driven fault injection for the serving runtime.
+//
+// The server, queue, worker pool and checkpoint manager each poll the
+// injector at named pipeline sites; an armed FaultPlan fires on the Nth
+// poll of its site (optionally on a specific worker shard) and tells
+// the caller to crash the shard, delay, drop the batch before acking,
+// or tear the checkpoint mid-write. Because plans fire on deterministic
+// poll counts — never wall-clock time — a failing run reproduces
+// exactly from its seed and arm sequence, which the tests print on
+// failure.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ssma::serve::recovery {
+
+/// Where in the serving pipeline a fault can fire.
+enum class FaultSite {
+  kEnqueue,          ///< server admission, after the WAL accept record
+  kQueuePush,        ///< inside RequestQueue::push (delay shaping)
+  kBatchFormed,      ///< worker: batch assembled, before execution
+  kExecute,          ///< worker: outputs computed, before the ack stage
+  kAck,              ///< worker: entering the (atomic) ack stage
+  kCheckpointWrite,  ///< CheckpointManager::write
+};
+
+/// What happens when a plan fires.
+enum class FaultKind {
+  kNone,
+  kKillShard,      ///< worker exits as if the shard crashed
+  kDelay,          ///< sleep for the plan's delay, then continue
+  kDropBeforeAck,  ///< discard the computed batch unacked (worker
+                   ///< survives; the batch is requeued and re-executed)
+  kTornCheckpoint, ///< checkpoint file truncated mid-payload
+};
+
+const char* to_string(FaultSite site);
+const char* to_string(FaultKind kind);
+
+/// One armed fault. `fire_at` counts polls of `site` (1-based);
+/// `worker_id` restricts matching to one shard (-1 = any). Non-matching
+/// polls still advance the site counter, so fire points are stable
+/// under replanning.
+struct FaultPlan {
+  FaultSite site = FaultSite::kExecute;
+  FaultKind kind = FaultKind::kKillShard;
+  std::uint64_t fire_at = 1;
+  int worker_id = -1;
+  std::chrono::microseconds delay{200};  ///< kDelay only
+  bool repeat = false;  ///< refire every `fire_at` polls of the site
+};
+
+struct FaultAction {
+  FaultKind kind = FaultKind::kNone;
+  std::chrono::microseconds delay{0};
+  explicit operator bool() const { return kind != FaultKind::kNone; }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0);
+
+  /// Arms a plan; plans are checked in arm order and consumed when they
+  /// fire (unless `repeat`). Thread-safe.
+  void arm(const FaultPlan& plan);
+
+  /// Arms `count` delay faults at seed-derived poll counts in
+  /// [1, max_fire_at] across the queue-push and batch-formed sites —
+  /// deterministic timing chaos for the stress tests.
+  void arm_random_delays(std::size_t count, std::uint64_t max_fire_at,
+                         std::chrono::microseconds max_delay);
+
+  /// Advances the site counter and returns the action to apply now
+  /// (kNone almost always). Thread-safe; deterministic in the sequence
+  /// of polls.
+  FaultAction poll(FaultSite site, int worker_id = -1);
+
+  std::uint64_t seed() const { return seed_; }
+  /// Total polls observed at `site`.
+  std::uint64_t polls(FaultSite site) const;
+  /// Total plans fired so far.
+  std::uint64_t fired() const;
+  /// Human-readable record of every fired fault, for failure logs.
+  std::vector<std::string> fired_log() const;
+
+ private:
+  const std::uint64_t seed_;
+  mutable std::mutex mu_;
+  std::vector<FaultPlan> plans_;
+  std::vector<bool> consumed_;
+  std::uint64_t site_polls_[6] = {0, 0, 0, 0, 0, 0};
+  std::uint64_t fired_ = 0;
+  std::vector<std::string> fired_log_;
+};
+
+}  // namespace ssma::serve::recovery

@@ -1,0 +1,139 @@
+#include "serve/recovery/journal.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "maddness/framing.hpp"
+#include "util/check.hpp"
+#include "util/wire.hpp"
+
+namespace ssma::serve::recovery {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'S', 'M', 'A', 'J', 'N', 'L', '1'};
+constexpr std::uint8_t kAccepted = 1;
+constexpr std::uint8_t kCompleted = 2;
+
+}  // namespace
+
+RequestJournal::RequestJournal(const std::string& path) : path_(path) {
+  // Append mode keeps an existing journal's history (a recovered server
+  // keeps journaling into the same log); a fresh file gets the magic.
+  // A file torn inside the magic itself (crash during creation — no
+  // record can precede it) is rewritten from scratch; a full 8 bytes of
+  // something else is a foreign file we refuse to clobber.
+  char probe_magic[8];
+  std::streamsize have = 0;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (probe.is_open()) {
+      probe.read(probe_magic, sizeof(probe_magic));
+      have = probe.gcount();
+    }
+  }
+  const bool prefix_ok =
+      std::equal(probe_magic, probe_magic + have, kMagic);
+  SSMA_CHECK_MSG(prefix_ok || have < 8,
+                 "not an SSMA journal: " << path);
+  const bool fresh = have < 8;
+  os_.open(path, fresh ? std::ios::binary | std::ios::trunc
+                       : std::ios::binary | std::ios::app);
+  SSMA_CHECK_MSG(os_.is_open(), "cannot open journal " << path);
+  if (fresh) {
+    os_.write(kMagic, sizeof(kMagic));
+    os_.flush();
+  }
+}
+
+void RequestJournal::append_record(const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  maddness::write_framed_blob(os_, payload);
+  // Flush every record: the journal is only useful if it survives the
+  // crash it exists to cover. (OS-level fsync durability is out of
+  // scope for the in-process model; flush makes records visible to a
+  // same-host reader immediately.)
+  os_.flush();
+  SSMA_CHECK_MSG(os_.good(), "journal append failure on " << path_);
+}
+
+void RequestJournal::append_accepted(
+    std::uint64_t id, std::size_t rows,
+    const std::vector<std::uint8_t>& codes) {
+  std::ostringstream payload;
+  wire::put_u8(payload, kAccepted);
+  wire::put_u64(payload, id);
+  wire::put_u64(payload, rows);
+  wire::put_u64(payload, codes.size());
+  payload.write(reinterpret_cast<const char*>(codes.data()),
+                static_cast<std::streamsize>(codes.size()));
+  append_record(payload.str());
+}
+
+void RequestJournal::append_completed(std::uint64_t id, int worker_id,
+                                      std::uint32_t output_crc) {
+  std::ostringstream payload;
+  wire::put_u8(payload, kCompleted);
+  wire::put_u64(payload, id);
+  wire::put_u32(payload, static_cast<std::uint32_t>(worker_id));
+  wire::put_u32(payload, output_crc);
+  append_record(payload.str());
+}
+
+JournalReplay RequestJournal::read(const std::string& path) {
+  JournalReplay replay;
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return replay;
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (is.gcount() == 0) return replay;  // empty file
+  SSMA_CHECK_MSG(is.gcount() == 8 && std::equal(magic, magic + 8, kMagic),
+                 "not an SSMA journal: " << path);
+
+  std::vector<AcceptedRecord> accepted;
+  std::string payload;
+  for (;;) {
+    const std::streampos frame_start = is.tellg();
+    if (!maddness::try_read_framed_blob(is, &payload)) {
+      // Distinguish clean EOF from a torn tail: bytes existed past the
+      // last whole record but didn't parse as a valid frame.
+      is.clear();
+      is.seekg(0, std::ios::end);
+      replay.torn_tail = frame_start >= 0 && is.tellg() > frame_start;
+      break;
+    }
+    std::istringstream body(payload);
+    const std::uint8_t type = wire::get_u8(body);
+    if (type == kAccepted) {
+      AcceptedRecord rec;
+      rec.id = wire::get_u64(body);
+      rec.rows = static_cast<std::size_t>(wire::get_u64(body));
+      rec.codes.resize(static_cast<std::size_t>(wire::get_u64(body)));
+      body.read(reinterpret_cast<char*>(rec.codes.data()),
+                static_cast<std::streamsize>(rec.codes.size()));
+      SSMA_CHECK_MSG(body.gcount() ==
+                         static_cast<std::streamsize>(rec.codes.size()),
+                     "journal accepted record underflow");
+      replay.accepted++;
+      replay.max_id = std::max(replay.max_id, rec.id);
+      accepted.push_back(std::move(rec));
+    } else if (type == kCompleted) {
+      const std::uint64_t id = wire::get_u64(body);
+      wire::get_u32(body);  // worker id: informational only
+      const std::uint32_t crc = wire::get_u32(body);
+      replay.completed++;
+      replay.max_id = std::max(replay.max_id, id);
+      replay.completed_crc[id] = crc;
+    } else {
+      SSMA_CHECK_MSG(false, "unknown journal record type "
+                                << static_cast<int>(type));
+    }
+  }
+
+  for (AcceptedRecord& rec : accepted)
+    if (replay.completed_crc.find(rec.id) == replay.completed_crc.end())
+      replay.unacknowledged.push_back(std::move(rec));
+  return replay;
+}
+
+}  // namespace ssma::serve::recovery

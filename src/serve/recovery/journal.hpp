@@ -1,0 +1,76 @@
+// Write-ahead request journal for the serving runtime.
+//
+// The server appends an `accepted` record (id + payload) before a
+// request enters the queue, and the worker that serves it appends a
+// `completed` record (id + CRC-32 of the int16 outputs) after the
+// response future is fulfilled. After a crash, replaying the journal
+// yields every accepted-but-unacknowledged request; because the kernel
+// is deterministic and bit-exact, re-executing them on a restored
+// server reproduces the exact bits the lost run would have produced,
+// and the completed CRCs let an auditor verify already-acknowledged
+// responses to the bit.
+//
+// Records are individually CRC-framed (maddness/framing.hpp); a torn
+// tail — the half-written record of the crash itself — is detected and
+// dropped, never misparsed. Guarantees are at-least-once across
+// restarts: a crash between fulfilling a response and journaling its
+// completion re-executes that request on recovery.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ssma::serve::recovery {
+
+/// One accepted request reconstructed from the log.
+struct AcceptedRecord {
+  std::uint64_t id = 0;
+  std::size_t rows = 0;
+  std::vector<std::uint8_t> codes;  ///< rows x cols, row-major uint8
+};
+
+/// Everything a restarted server needs from the journal.
+struct JournalReplay {
+  /// Accepted but never acknowledged, in original admission order.
+  std::vector<AcceptedRecord> unacknowledged;
+  /// id -> CRC-32 of the acknowledged response's int16 output bytes.
+  std::unordered_map<std::uint64_t, std::uint32_t> completed_crc;
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  /// Highest request id seen in any record (valid when accepted > 0).
+  std::uint64_t max_id = 0;
+  /// True when the file ended in a half-written record (crash tail).
+  bool torn_tail = false;
+};
+
+class RequestJournal {
+ public:
+  /// Opens (creating if needed) the journal at `path` for appending.
+  explicit RequestJournal(const std::string& path);
+
+  /// WAL accept record — call before the request is enqueued.
+  void append_accepted(std::uint64_t id, std::size_t rows,
+                       const std::vector<std::uint8_t>& codes);
+  /// Ack record — call after the response future is fulfilled.
+  void append_completed(std::uint64_t id, int worker_id,
+                        std::uint32_t output_crc);
+
+  const std::string& path() const { return path_; }
+
+  /// Parses a journal file, tolerating a torn tail. A missing file
+  /// yields an empty replay.
+  static JournalReplay read(const std::string& path);
+
+ private:
+  void append_record(const std::string& payload);
+
+  std::string path_;
+  std::mutex mu_;
+  std::ofstream os_;
+};
+
+}  // namespace ssma::serve::recovery

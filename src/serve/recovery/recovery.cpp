@@ -1,0 +1,23 @@
+#include "serve/recovery/recovery.hpp"
+
+#include <algorithm>
+
+namespace ssma::serve::recovery {
+
+RecoveredState recover_state(const CheckpointManager& checkpoints,
+                             const std::string& journal_path) {
+  RecoveredState rs;
+  std::uint64_t version = 0;
+  if (auto st = checkpoints.load_latest(&version)) {
+    rs.checkpoint = std::move(*st);
+    rs.checkpoint_version = version;
+  }
+  rs.journal = RequestJournal::read(journal_path);
+  rs.next_request_id = rs.checkpoint.next_request_id;
+  if (rs.journal.accepted > 0 || rs.journal.completed > 0)
+    rs.next_request_id =
+        std::max(rs.next_request_id, rs.journal.max_id + 1);
+  return rs;
+}
+
+}  // namespace ssma::serve::recovery

@@ -1,0 +1,34 @@
+// Recovery glue: folds the newest valid checkpoint and the request
+// journal into one RecoveredState that InferenceServer::restore()
+// consumes. See README "Checkpoint / recovery" for the full protocol
+// and its guarantees.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/recovery/checkpoint.hpp"
+#include "serve/recovery/journal.hpp"
+
+namespace ssma::serve::recovery {
+
+struct RecoveredState {
+  /// Newest valid checkpoint (default-initialized when none found).
+  CheckpointState checkpoint;
+  std::uint64_t checkpoint_version = 0;  ///< 0 = no valid checkpoint
+  /// Journal view: unacknowledged requests to replay + ack CRCs.
+  JournalReplay journal;
+  /// Safe admission watermark for the restarted server: one past every
+  /// id any record or checkpoint has seen.
+  std::uint64_t next_request_id = 0;
+
+  bool has_checkpoint() const { return checkpoint_version > 0; }
+};
+
+/// Reads both persistence stores. Never throws on torn/corrupt
+/// checkpoint versions (they are skipped); throws CheckError only when
+/// the journal file itself is not a journal.
+RecoveredState recover_state(const CheckpointManager& checkpoints,
+                             const std::string& journal_path);
+
+}  // namespace ssma::serve::recovery

@@ -1,5 +1,9 @@
 #include "serve/request_queue.hpp"
 
+#include <iterator>
+#include <thread>
+
+#include "serve/recovery/fault_injector.hpp"
 #include "util/check.hpp"
 
 namespace ssma::serve {
@@ -8,8 +12,22 @@ RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
   SSMA_CHECK(capacity >= 1);
 }
 
+void RequestQueue::set_fault_injector(recovery::FaultInjector* fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_ = fault;
+}
+
 bool RequestQueue::push(InferenceRequest&& req) {
   std::unique_lock<std::mutex> lock(mu_);
+  if (fault_) {
+    const recovery::FaultAction act =
+        fault_->poll(recovery::FaultSite::kQueuePush);
+    if (act.kind == recovery::FaultKind::kDelay) {
+      lock.unlock();
+      std::this_thread::sleep_for(act.delay);
+      lock.lock();
+    }
+  }
   not_full_.wait(lock,
                  [&] { return closed_ || items_.size() < capacity_; });
   if (closed_) return false;
@@ -57,6 +75,18 @@ PopStatus RequestQueue::pop_wait(InferenceRequest* out) {
   lock.unlock();
   not_full_.notify_one();
   return PopStatus::kOk;
+}
+
+void RequestQueue::requeue_front(std::vector<InferenceRequest>&& reqs) {
+  if (reqs.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.insert(items_.begin(),
+                  std::make_move_iterator(reqs.begin()),
+                  std::make_move_iterator(reqs.end()));
+  }
+  reqs.clear();
+  not_empty_.notify_all();
 }
 
 void RequestQueue::close() {

@@ -16,6 +16,10 @@
 
 namespace ssma::serve {
 
+namespace recovery {
+class FaultInjector;
+}  // namespace recovery
+
 using Clock = std::chrono::steady_clock;
 
 /// What a fulfilled request resolves to.
@@ -66,6 +70,16 @@ class RequestQueue {
   /// Blocking pop with no budget or deadline; kOk or kClosed.
   PopStatus pop_wait(InferenceRequest* out);
 
+  /// Recovery path: puts a crashed shard's in-flight requests back at
+  /// the head of the queue in their original order, bypassing both the
+  /// capacity bound and close() — requeued work must drain even during
+  /// shutdown, and blocking the supervisor on a full queue would
+  /// deadlock recovery.
+  void requeue_front(std::vector<InferenceRequest>&& reqs);
+
+  /// Optional fault hook (kQueuePush delay shaping); not owned.
+  void set_fault_injector(recovery::FaultInjector* fault);
+
   /// After close(), pushes fail and consumers drain the remainder.
   void close();
   bool closed() const;
@@ -75,6 +89,7 @@ class RequestQueue {
 
  private:
   const std::size_t capacity_;
+  recovery::FaultInjector* fault_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

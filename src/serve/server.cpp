@@ -2,54 +2,158 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "serve/recovery/checkpoint.hpp"
+#include "serve/recovery/fault_injector.hpp"
+#include "serve/recovery/journal.hpp"
+#include "serve/recovery/recovery.hpp"
 #include "util/check.hpp"
 
 namespace ssma::serve {
 
+namespace {
+
+std::string serialize_amm(const maddness::Amm& amm) {
+  std::ostringstream blob;
+  amm.save(blob);
+  return blob.str();
+}
+
+}  // namespace
+
 InferenceServer::InferenceServer(const maddness::Amm& amm,
-                                 const ServerOptions& opts) {
+                                 const ServerOptions& opts)
+    : InferenceServer(serialize_amm(amm), opts, 0) {}
+
+InferenceServer::InferenceServer(std::string amm_blob,
+                                 const ServerOptions& opts,
+                                 std::uint64_t first_request_id)
+    : amm_blob_(std::move(amm_blob)),
+      next_id_(first_request_id),
+      recovery_(opts.recovery) {
   SSMA_CHECK(opts.num_workers >= 1);
+  std::istringstream is(amm_blob_);
+  const maddness::Amm amm = maddness::Amm::load(is);
   cols_ = static_cast<std::size_t>(amm.cfg().total_dims());
   nout_ = static_cast<std::size_t>(amm.lut().nout);
   plan_ = core::plan_tiles(amm.cfg().ncodebooks, static_cast<int>(nout_),
                            opts.accel.ns, opts.accel.ndec);
   queue_ = std::make_unique<RequestQueue>(opts.queue_capacity);
+  queue_->set_fault_injector(recovery_.fault);
 
-  std::ostringstream blob;
-  amm.save(blob);
   WorkerPoolOptions wopts;
   wopts.num_workers = opts.num_workers;
   wopts.mode = opts.mode;
   wopts.accel = opts.accel;
   wopts.batcher = opts.batcher;
   wopts.device_ns_per_token = opts.device_ns_per_token;
-  pool_ = std::make_unique<WorkerPool>(blob.str(), *queue_, metrics_,
+  wopts.fault = recovery_.fault;
+  wopts.journal = recovery_.journal;
+  wopts.checkpoints = recovery_.checkpoints;
+  wopts.supervise = recovery_.supervise;
+  wopts.max_respawns_per_shard = recovery_.max_respawns_per_shard;
+  pool_ = std::make_unique<WorkerPool>(amm_blob_, *queue_, metrics_,
                                        wopts);
   metrics_.mark_start();
+  // Startup checkpoint: guarantees the respawn and restore paths always
+  // have a version to program shards from.
+  maybe_checkpoint(accepted_.load(std::memory_order_relaxed),
+                   /*force=*/true);
   pool_->start();
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
-std::future<InferenceResult> InferenceServer::submit(
-    std::vector<std::uint8_t> codes, std::size_t rows) {
+std::unique_ptr<InferenceServer> InferenceServer::restore(
+    const recovery::RecoveredState& rs, const ServerOptions& opts) {
+  SSMA_CHECK_MSG(rs.has_checkpoint(),
+                 "restore needs a valid checkpoint (the server writes "
+                 "one at startup — was the checkpoint dir lost?)");
+  auto server = std::make_unique<InferenceServer>(
+      rs.checkpoint.amm_blob, opts, rs.next_request_id);
+  server->accepted_.store(rs.checkpoint.accepted_requests,
+                          std::memory_order_relaxed);
+  server->metrics_.restore(rs.checkpoint.completed_requests,
+                           rs.checkpoint.tokens, rs.checkpoint.batches);
+  // The constructor's startup checkpoint ran before the counters above
+  // were installed; write another so the newest version on disk carries
+  // the recovered lifetime totals, not zeros.
+  server->maybe_checkpoint(rs.checkpoint.accepted_requests,
+                           /*force=*/true);
+  return server;
+}
+
+void InferenceServer::maybe_checkpoint(std::uint64_t accepted,
+                                       bool force) {
+  if (!recovery_.checkpoints) return;
+  if (!force && (recovery_.checkpoint_every == 0 ||
+                 accepted % recovery_.checkpoint_every != 0))
+    return;
+  const MetricsSnapshot snap = metrics_.snapshot();
+  recovery::CheckpointState st;
+  st.amm_blob = amm_blob_;
+  st.next_request_id = next_id_.load(std::memory_order_relaxed);
+  st.accepted_requests = accepted;
+  st.completed_requests = snap.requests;
+  st.tokens = snap.tokens;
+  st.batches = snap.batches;
+  recovery_.checkpoints->write(st);
+}
+
+std::future<InferenceResult> InferenceServer::submit_with_id(
+    std::uint64_t id, std::vector<std::uint8_t> codes, std::size_t rows,
+    bool journal_accept) {
   SSMA_CHECK(rows >= 1);
   SSMA_CHECK_MSG(codes.size() == rows * cols_,
                  "submit payload must be rows x cols()");
+  // Write-ahead: the accept record lands before the request can be
+  // served, so a crash anywhere downstream can replay it.
+  if (journal_accept && recovery_.journal)
+    recovery_.journal->append_accepted(id, rows, codes);
+
   InferenceRequest req;
-  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req.id = id;
   req.rows = rows;
   req.codes = std::move(codes);
   req.enqueued_at = Clock::now();
   std::future<InferenceResult> fut = req.result.get_future();
+
+  if (recovery_.fault) {
+    const recovery::FaultAction act =
+        recovery_.fault->poll(recovery::FaultSite::kEnqueue);
+    if (act.kind == recovery::FaultKind::kDelay) {
+      std::this_thread::sleep_for(act.delay);
+    } else if (act.kind != recovery::FaultKind::kNone) {
+      // Simulated crash between accept and enqueue: the request is in
+      // the journal but never reaches a worker. Recovery replays it.
+      req.result.set_exception(std::make_exception_ptr(std::runtime_error(
+          "injected fault: request accepted but lost before enqueue")));
+      return fut;
+    }
+  }
+
   if (!queue_->push(std::move(req))) {
     // Closed: the request was not consumed, fail its future here.
     req.result.set_exception(std::make_exception_ptr(
         std::runtime_error("InferenceServer is shut down")));
+    return fut;
   }
+  // Cadence decides on this submit's own count (not a re-load, which
+  // concurrent submits could race past the multiple).
+  const std::uint64_t accepted =
+      accepted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  maybe_checkpoint(accepted, /*force=*/false);
   return fut;
+}
+
+std::future<InferenceResult> InferenceServer::submit(
+    std::vector<std::uint8_t> codes, std::size_t rows) {
+  const std::uint64_t id =
+      next_id_.fetch_add(1, std::memory_order_relaxed);
+  return submit_with_id(id, std::move(codes), rows,
+                        /*journal_accept=*/true);
 }
 
 std::vector<std::future<InferenceResult>> InferenceServer::submit_batch(
@@ -66,10 +170,29 @@ std::vector<std::future<InferenceResult>> InferenceServer::submit_batch(
   return futures;
 }
 
+std::vector<std::future<InferenceResult>> InferenceServer::replay(
+    const std::vector<recovery::AcceptedRecord>& requests) {
+  std::vector<std::future<InferenceResult>> futures;
+  futures.reserve(requests.size());
+  for (const recovery::AcceptedRecord& rec : requests)
+    // Already journaled by the crashed run — no second accept record.
+    futures.push_back(submit_with_id(rec.id, rec.codes, rec.rows,
+                                     /*journal_accept=*/false));
+  return futures;
+}
+
 void InferenceServer::shutdown() {
   if (shut_down_) return;
   queue_->close();
   pool_->join();
+  // Shards are gone; anything still queued (possible when shards died
+  // unsupervised) can never be served — fail those futures loudly.
+  InferenceRequest leftover;
+  while (queue_->pop_wait(&leftover) == PopStatus::kOk)
+    leftover.result.set_exception(std::make_exception_ptr(
+        std::runtime_error("server shut down with the request still "
+                           "queued (crashed shards?); replay the journal "
+                           "to recover")));
   metrics_.mark_stop();
   shut_down_ = true;
 }

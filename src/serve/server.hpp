@@ -8,6 +8,16 @@
 //   auto fut = server.submit(codes, nrows);     // blocks only when full
 //   InferenceResult r = fut.get();
 //   server.shutdown();                          // drain + join
+//
+// With ServerOptions::recovery wired up, the server write-ahead-journals
+// every accepted request, snapshots its state into versioned CRC-checked
+// checkpoints, supervises crashed worker shards back to life, and — after
+// a hard crash — restores from the latest checkpoint and replays the
+// journal's unacknowledged requests bit-exactly:
+//
+//   auto rs = recovery::recover_state(ckpts, journal_path);
+//   auto server = InferenceServer::restore(rs, opts);
+//   auto futs = server->replay(rs.journal.unacknowledged);
 #pragma once
 
 #include <atomic>
@@ -25,6 +35,32 @@
 
 namespace ssma::serve {
 
+namespace recovery {
+struct AcceptedRecord;
+struct RecoveredState;
+}  // namespace recovery
+
+/// Fault-tolerance wiring. All pointers are borrowed (not owned) and
+/// must outlive the server.
+struct RecoveryOptions {
+  /// Write-ahead journal: accept records before enqueue, ack records
+  /// after fulfillment.
+  recovery::RequestJournal* journal = nullptr;
+  /// Checkpoint store; the server writes version 1 at startup so a
+  /// crash at any later point can restore.
+  recovery::CheckpointManager* checkpoints = nullptr;
+  /// Snapshot cadence: a checkpoint every N accepted requests
+  /// (0 = only the startup checkpoint).
+  std::size_t checkpoint_every = 0;
+  /// Deterministic fault hook, threaded through admission, the queue,
+  /// the worker pool, and checkpoint writes.
+  recovery::FaultInjector* fault = nullptr;
+  /// Supervise shards: respawn crashed workers from the latest
+  /// checkpoint and requeue their in-flight batch.
+  bool supervise = false;
+  int max_respawns_per_shard = 3;
+};
+
 struct ServerOptions {
   int num_workers = 4;
   std::size_t queue_capacity = 1024;  ///< requests; push blocks when full
@@ -34,6 +70,7 @@ struct ServerOptions {
   /// kDevicePaced only: modeled device service time per token (0 = the
   /// analytic model's average token interval for `accel`).
   double device_ns_per_token = 0.0;
+  RecoveryOptions recovery;
 };
 
 class InferenceServer {
@@ -41,10 +78,20 @@ class InferenceServer {
   /// Serializes the trained operator once and starts the worker pool;
   /// each worker reconstructs a private replica from the blob.
   InferenceServer(const maddness::Amm& amm, const ServerOptions& opts);
+  /// Starts from an already-serialized operator blob (the checkpoint
+  /// restore path). `first_request_id` seeds the admission watermark.
+  InferenceServer(std::string amm_blob, const ServerOptions& opts,
+                  std::uint64_t first_request_id = 0);
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Builds a server from recovered state: operator blob and id
+  /// watermark from the checkpoint, lifetime metrics counters restored.
+  /// Call replay() with the journal's unacknowledged requests next.
+  static std::unique_ptr<InferenceServer> restore(
+      const recovery::RecoveredState& rs, const ServerOptions& opts);
 
   /// Submits `rows` quantized activation rows (rows x cols(), row-major).
   /// Blocks while the queue is full (backpressure). After shutdown() the
@@ -58,8 +105,16 @@ class InferenceServer {
       const maddness::QuantizedActivations& q,
       std::size_t rows_per_request);
 
+  /// Re-submits journaled requests under their original ids (no new
+  /// accept records — they are already in the journal). Deterministic
+  /// decode makes the replayed outputs bit-identical to what the
+  /// crashed run would have produced.
+  std::vector<std::future<InferenceResult>> replay(
+      const std::vector<recovery::AcceptedRecord>& requests);
+
   /// Closes admission, drains every queued request, joins the workers
-  /// and freezes the metrics clock. Idempotent.
+  /// and freezes the metrics clock. Requests stranded by dead shards
+  /// fail with std::runtime_error. Idempotent.
   void shutdown();
 
   /// Layer geometry the server was built for.
@@ -70,6 +125,10 @@ class InferenceServer {
 
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
   std::size_t queue_depth() const { return queue_->size(); }
+  /// Shard respawns performed by the supervisor so far.
+  int respawn_count() const { return pool_->respawn_count(); }
+  /// The serialized operator the shards replicate from.
+  const std::string& amm_blob() const { return amm_blob_; }
 
   /// Pool-aggregate PPA (merge of per-shard reports, idle shards
   /// contributing silicon only). Only meaningful in
@@ -79,13 +138,22 @@ class InferenceServer {
   const std::vector<std::size_t>& shard_tokens() const;
 
  private:
+  std::future<InferenceResult> submit_with_id(
+      std::uint64_t id, std::vector<std::uint8_t> codes, std::size_t rows,
+      bool journal_accept);
+  /// Writes a checkpoint when `accepted` hits the cadence (or `force`).
+  void maybe_checkpoint(std::uint64_t accepted, bool force);
+
   std::size_t cols_ = 0;
   std::size_t nout_ = 0;
   core::TilePlan plan_;
+  std::string amm_blob_;
   std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> accepted_{0};
   std::unique_ptr<RequestQueue> queue_;
   Metrics metrics_;
   std::unique_ptr<WorkerPool> pool_;
+  RecoveryOptions recovery_;
   bool shut_down_ = false;
 };
 

@@ -2,12 +2,21 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "maddness/framing.hpp"
+#include "serve/recovery/checkpoint.hpp"
+#include "serve/recovery/fault_injector.hpp"
+#include "serve/recovery/journal.hpp"
 #include "util/check.hpp"
 
 namespace ssma::serve {
+
+using recovery::FaultAction;
+using recovery::FaultKind;
+using recovery::FaultSite;
 
 WorkerPool::WorkerPool(std::string amm_blob, RequestQueue& queue,
                        Metrics& metrics, const WorkerPoolOptions& opts)
@@ -16,28 +25,140 @@ WorkerPool::WorkerPool(std::string amm_blob, RequestQueue& queue,
       metrics_(metrics),
       opts_(opts) {
   SSMA_CHECK(opts.num_workers >= 1);
+  SSMA_CHECK(opts.max_respawns_per_shard >= 0);
   shard_reports_.resize(static_cast<std::size_t>(opts.num_workers));
   shard_tokens_.assign(static_cast<std::size_t>(opts.num_workers), 0);
+  slots_.reserve(static_cast<std::size_t>(opts.num_workers));
+  for (int w = 0; w < opts.num_workers; ++w)
+    slots_.push_back(std::make_unique<ShardSlot>());
 }
 
 WorkerPool::~WorkerPool() {
-  if (!threads_.empty() && !joined_) {
+  if (started_ && !joined_) {
     queue_.close();
     join();
   }
 }
 
 void WorkerPool::start() {
-  SSMA_CHECK_MSG(threads_.empty(), "WorkerPool already started");
-  threads_.reserve(static_cast<std::size_t>(opts_.num_workers));
-  for (int w = 0; w < opts_.num_workers; ++w)
-    threads_.emplace_back([this, w] { worker_main(w); });
+  SSMA_CHECK_MSG(!started_, "WorkerPool already started");
+  started_ = true;
+  {
+    std::lock_guard<std::mutex> lock(sup_mu_);
+    for (int w = 0; w < opts_.num_workers; ++w) spawn_worker(w);
+  }
+  if (opts_.supervise)
+    supervisor_ = std::thread([this] { supervisor_main(); });
+}
+
+void WorkerPool::spawn_worker(int worker_id) {
+  ShardSlot& slot = *slots_[static_cast<std::size_t>(worker_id)];
+  slot.status = ShardStatus::kRunning;
+  slot.thread = std::thread([this, worker_id] { worker_main(worker_id); });
 }
 
 void WorkerPool::join() {
-  for (std::thread& t : threads_)
-    if (t.joinable()) t.join();
+  if (joined_) return;
+  // The supervisor returns once every shard is terminal (exited or
+  // dead), having already joined the threads it respawned over.
+  if (supervisor_.joinable()) supervisor_.join();
+  for (auto& slot : slots_)
+    if (slot->thread.joinable()) slot->thread.join();
+  // Unsupervised crashes (or shards declared dead) leave their batch
+  // parked in the in-flight slot: fail those futures loudly rather
+  // than letting clients observe broken_promise at destruction.
+  for (auto& slot : slots_)
+    if (!slot->in_flight.empty())
+      fail_requests(slot->in_flight,
+                    "shard crashed with this request in flight; enable "
+                    "supervision or replay the journal to recover");
   joined_ = true;
+}
+
+void WorkerPool::report_crash(int worker_id) {
+  {
+    std::lock_guard<std::mutex> lock(sup_mu_);
+    slots_[static_cast<std::size_t>(worker_id)]->status =
+        ShardStatus::kCrashed;
+  }
+  sup_cv_.notify_all();
+}
+
+void WorkerPool::report_exit(int worker_id) {
+  {
+    std::lock_guard<std::mutex> lock(sup_mu_);
+    slots_[static_cast<std::size_t>(worker_id)]->status =
+        ShardStatus::kExited;
+  }
+  sup_cv_.notify_all();
+}
+
+void WorkerPool::fail_requests(std::vector<InferenceRequest>& reqs,
+                               const std::string& why) {
+  for (InferenceRequest& req : reqs) {
+    std::ostringstream oss;
+    oss << "request " << req.id << ": " << why;
+    req.result.set_exception(
+        std::make_exception_ptr(std::runtime_error(oss.str())));
+  }
+  reqs.clear();
+}
+
+void WorkerPool::supervisor_main() {
+  std::unique_lock<std::mutex> lock(sup_mu_);
+  const auto terminal = [](ShardStatus s) {
+    return s == ShardStatus::kExited || s == ShardStatus::kDead;
+  };
+  for (;;) {
+    sup_cv_.wait(lock, [&] {
+      bool all_terminal = true;
+      for (const auto& slot : slots_) {
+        if (slot->status == ShardStatus::kCrashed) return true;
+        all_terminal = all_terminal && terminal(slot->status);
+      }
+      return all_terminal;
+    });
+
+    for (int w = 0; w < opts_.num_workers; ++w) {
+      ShardSlot& slot = *slots_[static_cast<std::size_t>(w)];
+      if (slot.status != ShardStatus::kCrashed) continue;
+      // Join the dead thread first: that is the happens-before edge
+      // that makes its in-flight slot safe to touch.
+      std::thread dead = std::move(slot.thread);
+      lock.unlock();
+      dead.join();
+      lock.lock();
+
+      std::vector<InferenceRequest> orphans = std::move(slot.in_flight);
+      slot.in_flight.clear();
+      if (slot.respawns >= opts_.max_respawns_per_shard) {
+        slot.status = ShardStatus::kDead;
+        lock.unlock();
+        fail_requests(orphans, "shard exceeded its respawn budget");
+        lock.lock();
+        continue;
+      }
+      slot.respawns++;
+      respawns_total_.fetch_add(1, std::memory_order_relaxed);
+      // Reprogram the respawned shard from the latest checkpoint (the
+      // deployment path a real restart takes); the baked-in blob is
+      // the fallback when no checkpoint validates.
+      slot.respawn_blob.clear();
+      if (opts_.checkpoints) {
+        if (auto st = opts_.checkpoints->load_latest())
+          slot.respawn_blob = std::move(st->amm_blob);
+      }
+      // Requeue before respawning so the new shard (or any live peer)
+      // finds the orphaned work even if the queue is already closed.
+      queue_.requeue_front(std::move(orphans));
+      spawn_worker(w);
+    }
+
+    bool all_terminal = true;
+    for (const auto& slot : slots_)
+      all_terminal = all_terminal && terminal(slot->status);
+    if (all_terminal) return;
+  }
 }
 
 core::PpaReport WorkerPool::aggregate_report() const {
@@ -46,14 +167,18 @@ core::PpaReport WorkerPool::aggregate_report() const {
 }
 
 void WorkerPool::worker_main(int worker_id) {
+  ShardSlot& slot = *slots_[static_cast<std::size_t>(worker_id)];
   // Share-nothing replica: every shard deserializes its own operator
   // from the blob — the same path a deployment uses to program a macro.
-  std::istringstream is(amm_blob_);
+  // A respawned shard programs from the latest checkpoint instead.
+  std::istringstream is(slot.respawn_blob.empty() ? amm_blob_
+                                                  : slot.respawn_blob);
   const maddness::Amm amm = maddness::Amm::load(is);
   core::Accelerator accel(opts_.accel);
   const Batcher batcher(opts_.batcher);
   const auto cols = static_cast<std::size_t>(amm.cfg().total_dims());
   const auto nout = static_cast<std::size_t>(amm.lut().nout);
+  recovery::FaultInjector* fault = opts_.fault;
 
   double pace_ns = 0.0;
   if (opts_.mode == ExecutionMode::kDevicePaced) {
@@ -65,12 +190,42 @@ void WorkerPool::worker_main(int worker_id) {
   Clock::time_point device_free = Clock::now();
 
   std::vector<core::PpaReport> batch_reports;
-  std::size_t tokens_served = 0;
   std::vector<double> queue_ns, total_ns;
+
+  // Polls `site`; returns true when the worker must abandon the batch
+  // (crash or drop). Applies delays in place.
+  const auto fatal_fault = [&](FaultSite site) {
+    if (!fault) return false;
+    const FaultAction act = fault->poll(site, worker_id);
+    switch (act.kind) {
+      case FaultKind::kDelay:
+        std::this_thread::sleep_for(act.delay);
+        return false;
+      case FaultKind::kKillShard:
+        // Crash: leave in_flight parked for the supervisor and die.
+        report_crash(worker_id);
+        return true;
+      case FaultKind::kDropBeforeAck:
+        // Lost-response fault: the worker survives but the batch is
+        // discarded unacked; requeue it for deterministic re-execution.
+        queue_.requeue_front(std::move(slot.in_flight));
+        return true;
+      default:
+        return false;
+    }
+  };
 
   for (;;) {
     Batch batch = batcher.next_batch(queue_);
     if (batch.empty()) break;  // queue closed and drained
+    // Park the batch in the supervision slot before touching it: from
+    // here until the ack completes, a crash leaves the requests
+    // recoverable.
+    slot.in_flight = std::move(batch.requests);
+    if (fatal_fault(FaultSite::kBatchFormed)) {
+      if (slot.in_flight.empty()) continue;  // dropped, not crashed
+      return;
+    }
     const Clock::time_point t_exec = Clock::now();
 
     // Stitch the batch into one activation matrix; rows keep request
@@ -80,7 +235,7 @@ void WorkerPool::worker_main(int worker_id) {
     q.cols = cols;
     q.scale = amm.activation_scale();
     q.codes.reserve(batch.tokens * cols);
-    for (const InferenceRequest& req : batch.requests) {
+    for (const InferenceRequest& req : slot.in_flight) {
       SSMA_CHECK_MSG(req.codes.size() == req.rows * cols,
                      "request payload shape mismatch");
       q.codes.insert(q.codes.end(), req.codes.begin(), req.codes.end());
@@ -106,11 +261,24 @@ void WorkerPool::worker_main(int worker_id) {
       }
     }
 
+    if (fatal_fault(FaultSite::kExecute)) {
+      if (slot.in_flight.empty()) continue;
+      return;
+    }
+    if (fatal_fault(FaultSite::kAck)) {
+      if (slot.in_flight.empty()) continue;
+      return;
+    }
+
+    // Ack stage. Atomic in-process: promises fulfill exactly once, so
+    // faults are only injected before it, never inside it. The journal
+    // ack lands after the response — a crash in between re-executes
+    // the request on recovery (at-least-once across restarts).
     const Clock::time_point t_done = Clock::now();
     queue_ns.clear();
     total_ns.clear();
     std::size_t row = 0;
-    for (InferenceRequest& req : batch.requests) {
+    for (InferenceRequest& req : slot.in_flight) {
       InferenceResult res;
       res.request_id = req.id;
       res.rows = req.rows;
@@ -127,9 +295,15 @@ void WorkerPool::worker_main(int worker_id) {
       total_ns.push_back(std::chrono::duration<double, std::nano>(
                              t_done - req.enqueued_at)
                              .count());
+      const std::uint32_t out_crc = maddness::crc32(
+          res.outputs.data(), res.outputs.size() * sizeof(std::int16_t));
+      const std::uint64_t req_id = req.id;
       req.result.set_value(std::move(res));
+      if (opts_.journal)
+        opts_.journal->append_completed(req_id, worker_id, out_crc);
     }
-    tokens_served += batch.tokens;
+    slot.in_flight.clear();
+    shard_tokens_[static_cast<std::size_t>(worker_id)] += batch.tokens;
     metrics_.record_batch(batch.tokens, queue_ns, total_ns);
   }
 
@@ -148,11 +322,14 @@ void WorkerPool::worker_main(int worker_id) {
       silicon.energy_encoder_share = 0.0;
       shard_reports_[static_cast<std::size_t>(worker_id)] = silicon;
     } else {
+      // A shard that crashed and respawned reports only the batches of
+      // its final incarnation — the crash lost the earlier accounting,
+      // as it would on real silicon.
       shard_reports_[static_cast<std::size_t>(worker_id)] =
           core::merge_sequential_reports(batch_reports);
     }
   }
-  shard_tokens_[static_cast<std::size_t>(worker_id)] = tokens_served;
+  report_exit(worker_id);
 }
 
 }  // namespace ssma::serve

@@ -5,9 +5,21 @@
 // bit-exact and deterministic per request regardless of which shard
 // serves it — MADDNESS decode is row-independent, so any partition of
 // requests across workers yields identical outputs.
+//
+// Fault tolerance (opt-in via WorkerPoolOptions::supervise): each shard
+// parks its current batch in a per-shard in-flight slot before
+// executing it. A supervisor thread watches for shards that die at an
+// injected (or real) fault, joins the dead thread, pushes its
+// in-flight requests back to the head of the queue, and respawns the
+// shard from the latest checkpoint's operator blob. Because the kernel
+// is deterministic, the re-executed batch produces bit-identical
+// outputs — crash recovery is invisible to clients beyond latency.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +31,12 @@
 #include "serve/request_queue.hpp"
 
 namespace ssma::serve {
+
+namespace recovery {
+class CheckpointManager;
+class FaultInjector;
+class RequestJournal;
+}  // namespace recovery
 
 /// How a worker computes a batch.
 enum class ExecutionMode {
@@ -44,6 +62,21 @@ struct WorkerPoolOptions {
   /// kDevicePaced only: modeled device service time per token. 0 = use
   /// the analytic model's average token interval for `accel`.
   double device_ns_per_token = 0.0;
+
+  // --- fault tolerance (none owned) ---
+  recovery::FaultInjector* fault = nullptr;
+  /// Ack records (request id + output CRC) are appended here.
+  recovery::RequestJournal* journal = nullptr;
+  /// Respawned shards reprogram from the latest checkpoint here (the
+  /// baked-in blob is the fallback when absent or unreadable).
+  recovery::CheckpointManager* checkpoints = nullptr;
+  /// Spawn the supervisor thread: detect dead shards, requeue their
+  /// in-flight batch, respawn. Without it a crashed shard's in-flight
+  /// futures fail at join().
+  bool supervise = false;
+  /// Per-shard respawn budget before the shard is declared dead for
+  /// good (its in-flight futures then fail instead of requeueing).
+  int max_respawns_per_shard = 3;
 };
 
 class WorkerPool {
@@ -57,13 +90,19 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  /// Spawns the worker threads (idempotent-hostile: call once).
+  /// Spawns the worker threads — and the supervisor, when enabled
+  /// (idempotent-hostile: call once).
   void start();
-  /// Waits for all workers to drain the (closed) queue and exit.
+  /// Waits for all workers to drain the (closed) queue and exit, then
+  /// fails any futures still parked in dead shards' in-flight slots.
   void join();
 
   int num_workers() const { return opts_.num_workers; }
   const WorkerPoolOptions& options() const { return opts_; }
+  /// Total shard respawns performed by the supervisor.
+  int respawn_count() const {
+    return respawns_total_.load(std::memory_order_relaxed);
+  }
 
   /// Pool-aggregate PPA report. Only meaningful in kSimulate mode
   /// (kernel/paced shards run no macro, so their reports stay
@@ -79,15 +118,43 @@ class WorkerPool {
   }
 
  private:
+  enum class ShardStatus { kNotStarted, kRunning, kCrashed, kExited, kDead };
+
+  /// Per-shard supervision state. `status` and `thread` are guarded by
+  /// sup_mu_; `in_flight` is owned by the shard thread while running
+  /// and only touched by the supervisor / join() after that thread has
+  /// been joined (the join provides the happens-before edge).
+  struct ShardSlot {
+    std::thread thread;
+    ShardStatus status = ShardStatus::kNotStarted;
+    std::vector<InferenceRequest> in_flight;
+    std::string respawn_blob;  ///< checkpoint blob for the next respawn
+    int respawns = 0;
+  };
+
   void worker_main(int worker_id);
+  void supervisor_main();
+  void spawn_worker(int worker_id);
+  /// Marks this shard crashed and wakes the supervisor. Called by the
+  /// shard thread itself on a fatal injected fault.
+  void report_crash(int worker_id);
+  void report_exit(int worker_id);
+  /// Fails every promise in `reqs` with a runtime_error.
+  static void fail_requests(std::vector<InferenceRequest>& reqs,
+                            const std::string& why);
 
   std::string amm_blob_;
   RequestQueue& queue_;
   Metrics& metrics_;
   WorkerPoolOptions opts_;
-  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<ShardSlot>> slots_;
+  std::thread supervisor_;
+  std::mutex sup_mu_;
+  std::condition_variable sup_cv_;
+  std::atomic<int> respawns_total_{0};
   std::vector<core::PpaReport> shard_reports_;
   std::vector<std::size_t> shard_tokens_;
+  bool started_ = false;
   bool joined_ = false;
 };
 

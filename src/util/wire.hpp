@@ -1,0 +1,76 @@
+// Little-endian wire helpers shared by every on-disk format in the
+// library (AMM operator blobs, serving checkpoints, the request
+// journal). Explicit byte order keeps the formats portable across
+// hosts; fixed-width reads fail loudly on truncated streams.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace ssma::wire {
+
+inline void put_u8(std::ostream& os, std::uint8_t v) {
+  os.put(static_cast<char>(v));
+}
+
+inline void put_u32(std::ostream& os, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) put_u8(os, (v >> (8 * i)) & 0xFF);
+}
+
+inline void put_u64(std::ostream& os, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) put_u8(os, (v >> (8 * i)) & 0xFF);
+}
+
+inline void put_f32(std::ostream& os, float v) {
+  static_assert(sizeof(float) == 4);
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  put_u32(os, bits);
+}
+
+inline void put_f64(std::ostream& os, double v) {
+  static_assert(sizeof(double) == 8);
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  put_u64(os, bits);
+}
+
+inline std::uint8_t get_u8(std::istream& is) {
+  const int c = is.get();
+  SSMA_CHECK_MSG(c != EOF, "unexpected end of stream");
+  return static_cast<std::uint8_t>(c);
+}
+
+inline std::uint32_t get_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(get_u8(is)) << (8 * i);
+  return v;
+}
+
+inline std::uint64_t get_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(get_u8(is)) << (8 * i);
+  return v;
+}
+
+inline float get_f32(std::istream& is) {
+  const std::uint32_t bits = get_u32(is);
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+inline double get_f64(std::istream& is) {
+  const std::uint64_t bits = get_u64(is);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+}  // namespace ssma::wire

@@ -1,0 +1,598 @@
+// Checkpoint/recovery tests: CRC framing, checkpoint versioning with
+// torn-write fallback, journal replay with torn-tail tolerance, the
+// crash-at-every-point matrix (a fault injected after each pipeline
+// stage — enqueue / batch / execute / ack — with supervised in-process
+// recovery), the hard-crash restart + journal-replay path, and the
+// golden-file regression for the checkpoint format. The recovery
+// contract under test: every acknowledged or replayed response is
+// bit-exact vs a fault-free single-threaded Amm::apply_int16 run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <vector>
+
+#include "maddness/framing.hpp"
+#include "serve/recovery/checkpoint.hpp"
+#include "serve/recovery/fault_injector.hpp"
+#include "serve/recovery/journal.hpp"
+#include "serve/recovery/recovery.hpp"
+#include "serve/server.hpp"
+#include "serve_test_util.hpp"
+
+namespace ssma::serve {
+namespace {
+
+using recovery::AcceptedRecord;
+using recovery::CheckpointManager;
+using recovery::CheckpointState;
+using recovery::FaultInjector;
+using recovery::FaultKind;
+using recovery::FaultPlan;
+using recovery::FaultSite;
+using recovery::RequestJournal;
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.is_open()) << path;
+  std::ostringstream oss;
+  oss << is.rdbuf();
+  return oss.str();
+}
+
+// ------------------------------------------------------------- framing
+
+TEST(Framing, Crc32MatchesKnownVector) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(maddness::crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(maddness::crc32(std::string()), 0u);
+}
+
+TEST(Framing, FramedBlobRoundTripAndCorruptionDetected) {
+  std::ostringstream os;
+  maddness::write_framed_blob(os, "hello, shard");
+  std::string bytes = os.str();
+  {
+    std::istringstream is(bytes);
+    EXPECT_EQ(maddness::read_framed_blob(is), "hello, shard");
+  }
+  // Flip one payload bit -> CRC must catch it.
+  bytes[bytes.size() - 3] ^= 0x40;
+  std::istringstream is(bytes);
+  std::string out;
+  EXPECT_FALSE(maddness::try_read_framed_blob(is, &out));
+}
+
+TEST(Framing, CorruptLengthHeaderIsTornNotOom) {
+  // A bit-rotted length field far larger than the stream must come
+  // back as a torn frame, never as a giant allocation or a throw.
+  std::string bytes(12, '\0');
+  bytes[3] = static_cast<char>(0xFF);  // len = 0xFF000000
+  bytes += "short";
+  std::istringstream is(bytes);
+  std::string out;
+  EXPECT_FALSE(maddness::try_read_framed_blob(is, &out));
+}
+
+TEST(Framing, AmmBlobIsSelfValidating) {
+  const ServeFixture f = ServeFixture::make();
+  std::ostringstream os;
+  f.amm.save(os);
+  std::string blob = os.str();
+  {
+    std::istringstream is(blob);
+    const maddness::Amm replica = maddness::Amm::load(is);
+    EXPECT_EQ(replica.apply_int16(f.pool), f.amm.apply_int16(f.pool));
+  }
+  // A single flipped byte deep in the payload fails the frame CRC
+  // instead of silently corrupting LUT entries.
+  blob[blob.size() / 2] ^= 0x01;
+  std::istringstream is(blob);
+  EXPECT_THROW(maddness::Amm::load(is), CheckError);
+}
+
+// --------------------------------------------------------- checkpoints
+
+TEST(Checkpoint, WriteLoadRoundTrip) {
+  TmpDir dir("ckpt");
+  CheckpointManager mgr(dir.str());
+  CheckpointState st;
+  st.amm_blob = "not-a-real-blob-but-any-bytes";
+  st.next_request_id = 42;
+  st.accepted_requests = 40;
+  st.completed_requests = 37;
+  st.tokens = 80;
+  st.batches = 11;
+  EXPECT_EQ(mgr.write(st), 1u);
+  EXPECT_EQ(mgr.write(st), 2u);
+
+  std::uint64_t version = 0;
+  const auto loaded = mgr.load_latest(&version);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(version, 2u);
+  EXPECT_EQ(loaded->amm_blob, st.amm_blob);
+  EXPECT_EQ(loaded->next_request_id, 42u);
+  EXPECT_EQ(loaded->accepted_requests, 40u);
+  EXPECT_EQ(loaded->completed_requests, 37u);
+  EXPECT_EQ(loaded->tokens, 80u);
+  EXPECT_EQ(loaded->batches, 11u);
+
+  // A new manager over the same dir adopts the existing versions.
+  CheckpointManager again(dir.str());
+  EXPECT_EQ(again.versions(), (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(again.write(st), 3u);
+}
+
+TEST(Checkpoint, TornWriteFallsBackToLastValidVersion) {
+  TmpDir dir("torn");
+  FaultInjector fault(test_seed());
+  CheckpointManager mgr(dir.str(), &fault);
+
+  CheckpointState v1;
+  v1.amm_blob = std::string(2048, 'a');
+  v1.next_request_id = 100;
+  EXPECT_EQ(mgr.write(v1), 1u);
+
+  FaultPlan torn;
+  torn.site = FaultSite::kCheckpointWrite;
+  torn.kind = FaultKind::kTornCheckpoint;
+  torn.fire_at = fault.polls(FaultSite::kCheckpointWrite) + 1;
+  fault.arm(torn);
+
+  CheckpointState v2 = v1;
+  v2.next_request_id = 200;
+  EXPECT_EQ(mgr.write(v2), 2u);  // lands torn on disk
+
+  // Strict load of the torn file throws; latest-valid falls back to v1.
+  EXPECT_THROW(CheckpointManager::load_file(mgr.path_of(2)), CheckError);
+  std::uint64_t version = 0;
+  const auto loaded = mgr.load_latest(&version);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(version, 1u);
+  EXPECT_EQ(loaded->next_request_id, 100u);
+
+  // A later good write shadows the torn version again.
+  CheckpointState v3 = v1;
+  v3.next_request_id = 300;
+  EXPECT_EQ(mgr.write(v3), 3u);
+  ASSERT_TRUE(mgr.load_latest(&version).has_value());
+  EXPECT_EQ(version, 3u);
+}
+
+// ------------------------------------------------------------- journal
+
+TEST(Journal, ReplaySeparatesUnacknowledgedFromCompleted) {
+  TmpDir dir("jnl");
+  const std::string path = dir.file("requests.jnl");
+  {
+    RequestJournal jnl(path);
+    jnl.append_accepted(0, 1, {1, 2, 3, 4});
+    jnl.append_accepted(1, 2, {5, 6, 7, 8});
+    jnl.append_completed(0, /*worker_id=*/2, /*output_crc=*/0xDEAD);
+    jnl.append_accepted(2, 1, {9, 9, 9, 9});
+  }
+  const auto replay = RequestJournal::read(path);
+  EXPECT_EQ(replay.accepted, 3u);
+  EXPECT_EQ(replay.completed, 1u);
+  EXPECT_EQ(replay.max_id, 2u);
+  EXPECT_FALSE(replay.torn_tail);
+  ASSERT_EQ(replay.unacknowledged.size(), 2u);
+  EXPECT_EQ(replay.unacknowledged[0].id, 1u);
+  EXPECT_EQ(replay.unacknowledged[0].rows, 2u);
+  EXPECT_EQ(replay.unacknowledged[0].codes,
+            (std::vector<std::uint8_t>{5, 6, 7, 8}));
+  EXPECT_EQ(replay.unacknowledged[1].id, 2u);
+  EXPECT_EQ(replay.completed_crc.at(0), 0xDEADu);
+
+  // Reopening appends instead of truncating history.
+  {
+    RequestJournal again(path);
+    again.append_completed(1, 0, 0xBEEF);
+  }
+  const auto replay2 = RequestJournal::read(path);
+  ASSERT_EQ(replay2.unacknowledged.size(), 1u);
+  EXPECT_EQ(replay2.unacknowledged[0].id, 2u);
+}
+
+TEST(Journal, TornTailIsDroppedNotMisparsed) {
+  TmpDir dir("jnltorn");
+  const std::string path = dir.file("requests.jnl");
+  {
+    RequestJournal jnl(path);
+    jnl.append_accepted(0, 1, {1, 2, 3, 4});
+    jnl.append_accepted(1, 1, {5, 6, 7, 8});
+  }
+  // Truncate mid-record: the crash tail a real power cut leaves.
+  const std::string whole = slurp(path);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(whole.data(),
+           static_cast<std::streamsize>(whole.size() - 7));
+  os.close();
+
+  const auto replay = RequestJournal::read(path);
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_EQ(replay.accepted, 1u);
+  ASSERT_EQ(replay.unacknowledged.size(), 1u);
+  EXPECT_EQ(replay.unacknowledged[0].id, 0u);
+
+  // Missing file == empty journal, not an error.
+  const auto none = RequestJournal::read(dir.file("nope.jnl"));
+  EXPECT_EQ(none.accepted, 0u);
+  EXPECT_FALSE(none.torn_tail);
+}
+
+TEST(Journal, TornMagicIsRewrittenForeignFileIsRefused) {
+  TmpDir dir("jnlmagic");
+  // Crash during journal creation: fewer than 8 magic bytes on disk.
+  // Reopening must start the journal over (no records can predate the
+  // magic), not wedge every future read.
+  const std::string torn = dir.file("torn.jnl");
+  {
+    std::ofstream os(torn, std::ios::binary);
+    os.write("SSM", 3);
+  }
+  {
+    RequestJournal jnl(torn);
+    jnl.append_accepted(7, 1, {1, 2, 3, 4});
+  }
+  const auto replay = RequestJournal::read(torn);
+  EXPECT_EQ(replay.accepted, 1u);
+  EXPECT_EQ(replay.unacknowledged.at(0).id, 7u);
+
+  // A full 8 bytes of something else is not ours to clobber.
+  const std::string foreign = dir.file("foreign.jnl");
+  {
+    std::ofstream os(foreign, std::ios::binary);
+    os.write("NOTAJRNL-data", 13);
+  }
+  EXPECT_THROW(RequestJournal{foreign}, CheckError);
+}
+
+// ---------------------------------------- crash-at-every-point matrix
+
+// A fault after each worker pipeline stage; the supervisor requeues the
+// dead shard's in-flight batch and respawns the shard from the latest
+// checkpoint. Every future must still resolve bit-exact.
+TEST(Recovery, CrashAtEveryStageSupervisedIsBitExact) {
+  const std::uint64_t seed = test_seed();
+  SCOPED_TRACE(seed_trace(seed));
+  const ServeFixture f = ServeFixture::make();
+
+  struct Scenario {
+    FaultSite site;
+    FaultKind kind;
+  };
+  const Scenario scenarios[] = {
+      {FaultSite::kBatchFormed, FaultKind::kKillShard},
+      {FaultSite::kExecute, FaultKind::kKillShard},
+      {FaultSite::kAck, FaultKind::kKillShard},
+      {FaultSite::kExecute, FaultKind::kDropBeforeAck},
+      {FaultSite::kAck, FaultKind::kDropBeforeAck},
+  };
+
+  for (const Scenario& sc : scenarios) {
+    SCOPED_TRACE(std::string(to_string(sc.kind)) + " after " +
+                 to_string(sc.site));
+    TmpDir dir("crash");
+    FaultInjector fault(seed);
+    CheckpointManager ckpts(dir.str(), &fault);
+    RequestJournal journal(dir.file("requests.jnl"));
+
+    FaultPlan plan;
+    plan.site = sc.site;
+    plan.kind = sc.kind;
+    plan.fire_at = 3;  // let a couple of batches through first
+    fault.arm(plan);
+
+    ServerOptions opts;
+    opts.num_workers = 2;
+    opts.batcher.max_batch_tokens = 4;
+    opts.batcher.max_wait = std::chrono::microseconds(50);
+    opts.recovery.fault = &fault;
+    opts.recovery.journal = &journal;
+    opts.recovery.checkpoints = &ckpts;
+    opts.recovery.supervise = true;
+    InferenceServer server(f.amm, opts);
+
+    constexpr std::size_t kRequests = 48;
+    std::vector<std::future<InferenceResult>> futs;
+    for (std::size_t id = 0; id < kRequests; ++id)
+      futs.push_back(server.submit(f.codes_for(id), 1));
+    for (std::size_t id = 0; id < futs.size(); ++id)
+      EXPECT_EQ(futs[id].get().outputs, f.expected(id % f.pool.rows, 1))
+          << "request " << id
+          << " diverged from the fault-free reference";
+
+    EXPECT_EQ(fault.fired(), 1u) << "armed fault did not fire";
+    if (sc.kind == FaultKind::kKillShard) {
+      EXPECT_EQ(server.respawn_count(), 1);
+    }
+    server.shutdown();
+    EXPECT_EQ(server.metrics().requests, kRequests);
+
+    // The journal must show every request acknowledged exactly once.
+    const auto replay = RequestJournal::read(journal.path());
+    EXPECT_EQ(replay.accepted, kRequests);
+    EXPECT_EQ(replay.completed, kRequests);
+    EXPECT_TRUE(replay.unacknowledged.empty());
+  }
+}
+
+// The enqueue-stage crash: accepted into the WAL, lost before the
+// queue. In-process supervision cannot see it — only journal replay
+// recovers it. Combined here with a shard kill and no supervision: the
+// full hard-crash + restart + replay path, verified to the bit.
+TEST(Recovery, HardCrashRestartReplaysJournalBitExact) {
+  const std::uint64_t seed = test_seed();
+  SCOPED_TRACE(seed_trace(seed));
+  const ServeFixture f = ServeFixture::make();
+  TmpDir dir("restart");
+  const std::string journal_path = dir.file("requests.jnl");
+  constexpr std::size_t kRequests = 32;
+
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (std::size_t id = 0; id < kRequests; ++id)
+    payloads.push_back(f.codes_for(id * 3 + 1));
+
+  std::size_t served_before_crash = 0;
+  {
+    FaultInjector fault(seed);
+    CheckpointManager ckpts(dir.str(), &fault);
+    RequestJournal journal(journal_path);
+
+    // Shard dies mid-load...
+    FaultPlan kill;
+    kill.site = FaultSite::kExecute;
+    kill.kind = FaultKind::kKillShard;
+    kill.fire_at = 5;
+    fault.arm(kill);
+    // ...and one request is lost between WAL accept and enqueue.
+    FaultPlan lost;
+    lost.site = FaultSite::kEnqueue;
+    lost.kind = FaultKind::kKillShard;
+    lost.fire_at = 11;
+    fault.arm(lost);
+
+    ServerOptions opts;
+    opts.num_workers = 1;  // deterministic: the one shard dies
+    opts.queue_capacity = 2 * kRequests;  // crash must not block submit
+    opts.batcher.max_batch_tokens = 1;
+    opts.batcher.max_wait = std::chrono::microseconds(0);
+    opts.recovery.fault = &fault;
+    opts.recovery.journal = &journal;
+    opts.recovery.checkpoints = &ckpts;
+    opts.recovery.checkpoint_every = 8;
+    opts.recovery.supervise = false;  // a crash is a crash
+    InferenceServer server(f.amm, opts);
+
+    std::vector<std::future<InferenceResult>> futs;
+    for (std::size_t id = 0; id < kRequests; ++id)
+      futs.push_back(server.submit(payloads[id], 1));
+    server.shutdown();  // the "process" dies: unserved futures fail
+
+    for (std::size_t id = 0; id < futs.size(); ++id) {
+      try {
+        const InferenceResult res = futs[id].get();
+        EXPECT_EQ(res.outputs, f.expected_for(payloads[id], 1));
+        served_before_crash++;
+      } catch (const std::runtime_error&) {
+        // Lost to the crash; the journal owns it now.
+      }
+    }
+    EXPECT_LT(served_before_crash, kRequests);
+    EXPECT_GE(fault.fired(), 2u);
+  }
+
+  // ----- restart -----
+  CheckpointManager ckpts(dir.str());
+  const auto rs = recovery::recover_state(ckpts, journal_path);
+  ASSERT_TRUE(rs.has_checkpoint());
+  EXPECT_EQ(rs.journal.accepted, kRequests);
+  EXPECT_EQ(rs.journal.completed, served_before_crash);
+  EXPECT_EQ(rs.journal.unacknowledged.size(),
+            kRequests - served_before_crash);
+  EXPECT_EQ(rs.next_request_id, kRequests);
+
+  RequestJournal journal(journal_path);  // keep journaling on recovery
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.recovery.journal = &journal;
+  opts.recovery.checkpoints = &ckpts;
+  auto server = InferenceServer::restore(rs, opts);
+
+  // Replayed responses are bit-exact vs the fault-free reference —
+  // including the enqueue-lost request the first run never served.
+  auto futs = server->replay(rs.journal.unacknowledged);
+  ASSERT_EQ(futs.size(), rs.journal.unacknowledged.size());
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const AcceptedRecord& rec = rs.journal.unacknowledged[i];
+    const InferenceResult res = futs[i].get();
+    EXPECT_EQ(res.request_id, rec.id);
+    EXPECT_EQ(res.outputs, f.expected_for(rec.codes, rec.rows))
+        << "replayed request " << rec.id << " diverged";
+  }
+  // New admissions continue past the recovered watermark.
+  auto fresh = server->submit(f.codes_for(0), 1);
+  EXPECT_EQ(fresh.get().request_id, kRequests);
+  server->shutdown();
+
+  // Ack CRCs in the journal audit the crashed run's acknowledged
+  // responses to the bit: recompute each from the reference kernel.
+  for (std::size_t id = 0; id < kRequests; ++id) {
+    const auto it = rs.journal.completed_crc.find(id);
+    if (it == rs.journal.completed_crc.end()) continue;
+    const auto want = f.expected_for(payloads[id], 1);
+    EXPECT_EQ(it->second,
+              maddness::crc32(want.data(),
+                              want.size() * sizeof(std::int16_t)))
+        << "acknowledged output CRC mismatch for request " << id;
+  }
+
+  // The second run journaled its acks; a third read shows none left.
+  const auto after = RequestJournal::read(journal_path);
+  EXPECT_TRUE(after.unacknowledged.empty());
+}
+
+TEST(Recovery, UnsupervisedCrashFailsFuturesLoudly) {
+  const ServeFixture f = ServeFixture::make();
+  FaultInjector fault(test_seed());
+  FaultPlan kill;
+  kill.site = FaultSite::kExecute;
+  kill.kind = FaultKind::kKillShard;
+  kill.fire_at = 1;
+  fault.arm(kill);
+
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 64;
+  opts.batcher.max_batch_tokens = 1;
+  opts.batcher.max_wait = std::chrono::microseconds(0);
+  opts.recovery.fault = &fault;
+  InferenceServer server(f.amm, opts);
+
+  std::vector<std::future<InferenceResult>> futs;
+  for (std::size_t id = 0; id < 4; ++id)
+    futs.push_back(server.submit(f.codes_for(id), 1));
+  server.shutdown();
+
+  std::size_t failed = 0;
+  for (auto& fut : futs) {
+    try {
+      fut.get();
+    } catch (const std::runtime_error&) {
+      failed++;  // a real error message, not std::future_error
+    }
+  }
+  EXPECT_EQ(failed, 4u);
+}
+
+TEST(Recovery, CheckpointCadenceWritesVersions) {
+  const ServeFixture f = ServeFixture::make();
+  TmpDir dir("cadence");
+  CheckpointManager ckpts(dir.str());
+
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.recovery.checkpoints = &ckpts;
+  opts.recovery.checkpoint_every = 4;
+  InferenceServer server(f.amm, opts);
+
+  std::vector<std::future<InferenceResult>> futs;
+  for (std::size_t id = 0; id < 12; ++id)
+    futs.push_back(server.submit(f.codes_for(id), 1));
+  for (auto& fut : futs) fut.get();
+  server.shutdown();
+
+  // Startup checkpoint + one per 4 accepted requests.
+  EXPECT_GE(ckpts.versions().size(), 4u);
+  std::uint64_t version = 0;
+  const auto latest = ckpts.load_latest(&version);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->next_request_id, 12u);
+  std::istringstream is(latest->amm_blob);
+  const maddness::Amm replica = maddness::Amm::load(is);
+  EXPECT_EQ(replica.apply_int16(f.pool), f.amm.apply_int16(f.pool));
+}
+
+// --------------------------------------------- golden checkpoint file
+
+// Guards the on-disk checkpoint format against drift: a fixture
+// checkpoint is committed to tests/data/ and must (a) load with the
+// exact field values it was written with, (b) serve bit-identical
+// outputs recorded next to it, and (c) re-encode byte-identically.
+// Regenerate (format bumps only) by running test_recovery with
+// --gtest_also_run_disabled_tests
+// --gtest_filter='*RegenerateGoldenCheckpoint*'
+namespace golden {
+constexpr std::uint64_t kVersion = 1;
+constexpr std::uint64_t kNextId = 77;
+constexpr std::uint64_t kAccepted = 70;
+constexpr std::uint64_t kCompleted = 66;
+constexpr std::uint64_t kTokens = 132;
+constexpr std::uint64_t kBatches = 17;
+constexpr std::size_t kProbeRows = 8;
+
+std::string checkpoint_path() {
+  return std::string(SSMA_TEST_DATA_DIR) + "/checkpoint-000001.ssck";
+}
+std::string outputs_path() {
+  return std::string(SSMA_TEST_DATA_DIR) + "/golden_outputs.txt";
+}
+
+/// The operator the golden fixture snapshots (deterministic train).
+ServeFixture fixture() { return ServeFixture::make(4, 8, 64, 1234); }
+
+/// Deterministic probe activations — integer pipeline from here on, so
+/// the expected outputs are platform-stable.
+maddness::QuantizedActivations probe(const maddness::Amm& amm) {
+  maddness::QuantizedActivations q;
+  q.rows = kProbeRows;
+  q.cols = static_cast<std::size_t>(amm.cfg().total_dims());
+  q.scale = amm.activation_scale();
+  q.codes.resize(q.rows * q.cols);
+  for (std::size_t i = 0; i < q.codes.size(); ++i)
+    q.codes[i] = static_cast<std::uint8_t>((i * 37 + 11) & 0xFF);
+  return q;
+}
+}  // namespace golden
+
+TEST(Recovery, GoldenCheckpointFormatIsStable) {
+  const CheckpointState st =
+      CheckpointManager::load_file(golden::checkpoint_path());
+  EXPECT_EQ(st.next_request_id, golden::kNextId);
+  EXPECT_EQ(st.accepted_requests, golden::kAccepted);
+  EXPECT_EQ(st.completed_requests, golden::kCompleted);
+  EXPECT_EQ(st.tokens, golden::kTokens);
+  EXPECT_EQ(st.batches, golden::kBatches);
+
+  // The embedded operator still decodes the probe to the committed
+  // bits (pure integer pipeline — platform independent).
+  std::istringstream is(st.amm_blob);
+  const maddness::Amm amm = maddness::Amm::load(is);
+  const auto out = amm.apply_int16(golden::probe(amm));
+  std::ifstream want(golden::outputs_path());
+  ASSERT_TRUE(want.is_open()) << golden::outputs_path();
+  std::size_t i = 0;
+  int v = 0;
+  while (want >> v) {
+    ASSERT_LT(i, out.size());
+    EXPECT_EQ(out[i], static_cast<std::int16_t>(v))
+        << "golden output " << i << " drifted";
+    i++;
+  }
+  EXPECT_EQ(i, out.size());
+
+  // save -> load -> save is byte-identical (no serialization drift).
+  TmpDir dir("golden");
+  const std::string again = dir.file("rewrite.ssck");
+  CheckpointManager::write_file(again, golden::kVersion, st);
+  EXPECT_EQ(slurp(again), slurp(golden::checkpoint_path()))
+      << "checkpoint re-encode changed bytes: format drift";
+}
+
+// Not a test: regenerates the golden fixture after a deliberate format
+// bump. Keep the constants above in sync.
+TEST(Recovery, DISABLED_RegenerateGoldenCheckpoint) {
+  const ServeFixture f = golden::fixture();
+  std::ostringstream blob;
+  f.amm.save(blob);
+  CheckpointState st;
+  st.amm_blob = blob.str();
+  st.next_request_id = golden::kNextId;
+  st.accepted_requests = golden::kAccepted;
+  st.completed_requests = golden::kCompleted;
+  st.tokens = golden::kTokens;
+  st.batches = golden::kBatches;
+  CheckpointManager::write_file(golden::checkpoint_path(),
+                                golden::kVersion, st);
+
+  const auto out = f.amm.apply_int16(golden::probe(f.amm));
+  std::ofstream os(golden::outputs_path());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    os << out[i] << ((i + 1) % 8 == 0 ? "\n" : " ");
+}
+
+}  // namespace
+}  // namespace ssma::serve
