@@ -1,0 +1,243 @@
+// Old-vs-new sweep of the LUT accumulation hot path. For each
+// (rows, ncodebooks, nout) cell it measures:
+//   * ref    — the pre-rewrite path: row-major encode + naive
+//              row->codebook->output accumulation over the proto-major
+//              layout (apply_lut_reference),
+//   * packed — the rewritten path: one codebook-major encode + the
+//              packed output-major kernel at the runtime-selected tier,
+//   * each individually available tier on a prebuilt encode cache, so
+//     the dispatch levels can be compared in one artifact.
+// Every cell also asserts bit-exactness of packed vs ref before timing —
+// a perf artifact from a wrong kernel is worse than none.
+//
+//   build/bench/amm_kernel_sweep [--smoke] [--out=BENCH_amm_kernel.json]
+//                                [--min-ms=N]
+//
+// --smoke shrinks the workload to seconds (for the sanitizer CI job),
+// checks exactness on every tier and writes no artifact. The full run
+// writes one JSON object (see README "LUT kernel architecture" for how
+// to read it); the headline cell is (rows=256, ncodebooks=32, nout=128).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_env.hpp"
+#include "maddness/amm.hpp"
+#include "maddness/lut_kernel.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+using namespace ssma;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+volatile std::int16_t g_sink = 0;  // defeat dead-code elimination
+
+template <class F>
+double seconds_per_call(F&& f, double min_ms) {
+  f();  // warm caches, fault pages
+  const Clock::time_point t0 = Clock::now();
+  int iters = 0;
+  double elapsed_s = 0.0;
+  do {
+    f();
+    ++iters;
+    elapsed_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (elapsed_s * 1000.0 < min_ms);
+  return elapsed_s / iters;
+}
+
+maddness::Amm train_operator(Rng& rng, int ncodebooks, int nout) {
+  const std::size_t d = static_cast<std::size_t>(ncodebooks) * 9;
+  Matrix train(256, d);
+  for (std::size_t i = 0; i < train.size(); ++i)
+    train.data()[i] = static_cast<float>(rng.next_double(0, 220));
+  Matrix w(d, static_cast<std::size_t>(nout));
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w.data()[i] = static_cast<float>(rng.next_gaussian(0, 0.08));
+  maddness::Config cfg;
+  cfg.ncodebooks = ncodebooks;
+  return maddness::Amm::train(cfg, train, w);
+}
+
+struct Measure {
+  double rows_per_s = 0.0;
+  double lut_gbps = 0.0;  // one gathered LUT byte per (row, codebook, out)
+};
+
+std::string measure_json(const Measure& m) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "{\"rows_per_s\":%.0f,\"lut_gbps\":%.3f}", m.rows_per_s,
+                m.lut_gbps);
+  return buf;
+}
+
+Measure make_measure(std::size_t rows, int ncb, int nout, double sec) {
+  Measure m;
+  m.rows_per_s = static_cast<double>(rows) / sec;
+  m.lut_gbps = static_cast<double>(rows) * ncb * nout / sec / 1e9;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_amm_kernel.json";
+  double min_ms = 150.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else if (std::strncmp(argv[i], "--out=", 6) == 0)
+      out_path = argv[i] + 6;
+    else if (std::strncmp(argv[i], "--min-ms=", 9) == 0)
+      min_ms = std::strtod(argv[i] + 9, nullptr);
+    else {
+      std::fprintf(stderr, "unknown arg: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (smoke) min_ms = 2.0;
+
+  std::vector<maddness::KernelTier> tiers{maddness::KernelTier::kScalar};
+  if (maddness::kernel_tier_available(maddness::KernelTier::kSsse3))
+    tiers.push_back(maddness::KernelTier::kSsse3);
+  if (maddness::kernel_tier_available(maddness::KernelTier::kAvx2))
+    tiers.push_back(maddness::KernelTier::kAvx2);
+
+  struct CellSpec {
+    std::size_t rows;
+    int ncodebooks;
+    int nout;
+  };
+  std::vector<CellSpec> specs;
+  if (smoke) {
+    specs = {{33, 4, 8}, {64, 4, 17}};
+  } else {
+    for (const int ncb : {8, 32})
+      for (const int nout : {16, 128})
+        for (const std::size_t rows : {std::size_t{64}, std::size_t{256},
+                                       std::size_t{1024}})
+          specs.push_back({rows, ncb, nout});
+  }
+
+  Rng rng(2026);
+  std::string cells_json;
+  double headline_speedup = 0.0;
+  int trained_ncb = -1, trained_nout = -1;
+  maddness::Amm amm;  // reused across row counts of one (ncb, nout) pair
+  for (const CellSpec& spec : specs) {
+    if (spec.ncodebooks != trained_ncb || spec.nout != trained_nout) {
+      amm = train_operator(rng, spec.ncodebooks, spec.nout);
+      trained_ncb = spec.ncodebooks;
+      trained_nout = spec.nout;
+    }
+    const std::size_t d = static_cast<std::size_t>(spec.ncodebooks) * 9;
+    Matrix x(spec.rows, d);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x.data()[i] = static_cast<float>(rng.next_double(0, 220));
+    const maddness::QuantizedActivations q =
+        maddness::quantize_activations(x, amm.activation_scale());
+
+    // Correctness gate: the packed kernel must be bit-exact vs the
+    // reference on this cell (all tiers) before any number is recorded.
+    const auto ref_out = amm.apply_int16_reference(q);
+    const maddness::EncodedBatch enc = amm.encode_batch(q);
+    for (const maddness::KernelTier tier : tiers) {
+      const auto got =
+          maddness::apply_lut_packed(amm.packed_lut(), enc, tier);
+      if (got != ref_out) {
+        std::fprintf(stderr,
+                     "MISMATCH: tier %s differs from reference at "
+                     "rows=%zu ncb=%d nout=%d\n",
+                     maddness::kernel_tier_name(tier), spec.rows,
+                     spec.ncodebooks, spec.nout);
+        return 2;
+      }
+    }
+
+    // End-to-end old vs new (both include their encode step).
+    const double ref_s = seconds_per_call(
+        [&] {
+          const auto out = amm.apply_int16_reference(q);
+          g_sink = static_cast<std::int16_t>(g_sink + out[0]);
+        },
+        min_ms);
+    const double packed_s = seconds_per_call(
+        [&] {
+          const auto out = amm.apply_int16(q);
+          g_sink = static_cast<std::int16_t>(g_sink + out[0]);
+        },
+        min_ms);
+    const Measure ref_m =
+        make_measure(spec.rows, spec.ncodebooks, spec.nout, ref_s);
+    const Measure packed_m =
+        make_measure(spec.rows, spec.ncodebooks, spec.nout, packed_s);
+    const double speedup = ref_s / packed_s;
+    if (spec.rows == 256 && spec.ncodebooks == 32 && spec.nout == 128)
+      headline_speedup = speedup;
+
+    // Per-tier kernel-only numbers on the prebuilt encode cache.
+    std::string tier_json;
+    for (const maddness::KernelTier tier : tiers) {
+      const double tier_s = seconds_per_call(
+          [&] {
+            const auto out =
+                maddness::apply_lut_packed(amm.packed_lut(), enc, tier);
+            g_sink = static_cast<std::int16_t>(g_sink + out[0]);
+          },
+          min_ms);
+      if (!tier_json.empty()) tier_json += ",";
+      tier_json += std::string("\"") + maddness::kernel_tier_name(tier) +
+                   "\":" +
+                   measure_json(make_measure(spec.rows, spec.ncodebooks,
+                                             spec.nout, tier_s));
+    }
+
+    if (!cells_json.empty()) cells_json += ",";
+    cells_json += "{\"rows\":" + std::to_string(spec.rows) +
+                  ",\"ncodebooks\":" + std::to_string(spec.ncodebooks) +
+                  ",\"nout\":" + std::to_string(spec.nout) +
+                  ",\"ref\":" + measure_json(ref_m) +
+                  ",\"packed\":" + measure_json(packed_m) + ",";
+    char sp[48];
+    std::snprintf(sp, sizeof(sp), "\"speedup\":%.2f,", speedup);
+    cells_json += sp;
+    cells_json += "\"kernel_only\":{" + tier_json + "}}";
+    std::fprintf(stderr,
+                 "rows=%4zu ncb=%2d nout=%3d  ref %.0f rows/s  packed "
+                 "%.0f rows/s  speedup %.2fx\n",
+                 spec.rows, spec.ncodebooks, spec.nout, ref_m.rows_per_s,
+                 packed_m.rows_per_s, speedup);
+  }
+
+  if (smoke) {
+    std::fprintf(stderr, "smoke ok (tiers:");
+    for (const maddness::KernelTier tier : tiers)
+      std::fprintf(stderr, " %s", maddness::kernel_tier_name(tier));
+    std::fprintf(stderr, ")\n");
+    return 0;
+  }
+
+  std::string tiers_json;
+  for (const maddness::KernelTier tier : tiers) {
+    if (!tiers_json.empty()) tiers_json += ",";
+    tiers_json +=
+        std::string("\"") + maddness::kernel_tier_name(tier) + "\"";
+  }
+  char headline[64];
+  std::snprintf(headline, sizeof(headline),
+                "\"headline_speedup_256x32x128\":%.2f", headline_speedup);
+  const std::string json =
+      std::string("{\"bench\":\"amm_kernel_sweep\",") +
+      benchenv::machine_json() + ",\"tier_selected\":\"" +
+      maddness::kernel_tier_name(maddness::select_kernel_tier()) +
+      "\",\"tiers_available\":[" + tiers_json + "]," + headline +
+      ",\"cells\":[" + cells_json + "]}";
+  return benchenv::write_artifact(out_path, json) ? 0 : 1;
+}

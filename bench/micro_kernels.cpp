@@ -43,6 +43,9 @@ void BM_ExactGemm(benchmark::State& state) {
 BENCHMARK(BM_ExactGemm)->Arg(256)->Arg(1024);
 
 void BM_MaddnessApply(benchmark::State& state) {
+  // Full decode through the packed, tier-dispatched kernel (encode +
+  // lookup-accumulate). Compare against BM_MaddnessApplyReference for
+  // the cost of the pre-rewrite naive accumulation.
   const std::size_t n = state.range(0);
   Rng rng(2);
   maddness::Config cfg;
@@ -58,6 +61,50 @@ void BM_MaddnessApply(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * 144 * 16 * 2);
 }
 BENCHMARK(BM_MaddnessApply)->Arg(256)->Arg(1024);
+
+void BM_MaddnessApplyReference(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(2);
+  maddness::Config cfg;
+  cfg.ncodebooks = 16;
+  const Matrix x = random_activations(rng, n, 144);
+  const Matrix w = random_weights(rng, 144, 16);
+  const auto amm = maddness::Amm::train(cfg, x, w);
+  const auto q = maddness::quantize_activations(x, amm.activation_scale());
+  for (auto _ : state) {
+    auto y = amm.apply_int16_reference(q);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 144 * 16 * 2);
+}
+BENCHMARK(BM_MaddnessApplyReference)->Arg(256)->Arg(1024);
+
+void BM_PackedLutKernel(benchmark::State& state) {
+  // Accumulation only, on a prebuilt encode cache, at a fixed dispatch
+  // tier (0 = scalar, 1 = ssse3, 2 = avx2); unavailable tiers skip.
+  const auto tier = static_cast<maddness::KernelTier>(state.range(0));
+  if (!maddness::kernel_tier_available(tier)) {
+    state.SkipWithError("tier not available on this build/CPU");
+    return;
+  }
+  const std::size_t n = 1024;
+  Rng rng(5);
+  maddness::Config cfg;
+  cfg.ncodebooks = 32;
+  const Matrix x = random_activations(rng, n, 32 * 9);
+  const Matrix w = random_weights(rng, 32 * 9, 128);
+  const auto amm = maddness::Amm::train(cfg, x, w);
+  const auto q = maddness::quantize_activations(x, amm.activation_scale());
+  const maddness::EncodedBatch enc = amm.encode_batch(q);
+  for (auto _ : state) {
+    auto y = maddness::apply_lut_packed(amm.packed_lut(), enc, tier);
+    benchmark::DoNotOptimize(y.data());
+  }
+  // One gathered LUT byte per (row, codebook, output).
+  state.SetBytesProcessed(state.iterations() * n * 32 * 128);
+  state.SetLabel(maddness::kernel_tier_name(tier));
+}
+BENCHMARK(BM_PackedLutKernel)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_TreeEncode(benchmark::State& state) {
   Rng rng(3);

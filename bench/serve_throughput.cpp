@@ -13,15 +13,23 @@
 // measures raw host-side software throughput instead (scales with
 // cores), `simulate` runs the full event-driven macro.
 //
+// The result is written as one JSON object to --out (default
+// BENCH_serve.json) and echoed to stdout. The artifact records the
+// machine (CPU model, logical cores) because worker scaling in kernel
+// and simulate modes is meaningless without it — the CI container has a
+// single CPU, so only paced mode shows >1x there.
+//
 //   build/bench/serve_throughput [--mode=paced|kernel|simulate]
 //                                [--device-ns=N]
 //                                [--requests=N] [--rows=N]
+//                                [--out=BENCH_serve.json]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "maddness/amm.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/server.hpp"
@@ -59,6 +67,7 @@ int main(int argc, char** argv) {
   std::size_t total_requests = 1024;
   std::size_t rows_per_request = 16;
   double device_ns = 10'000.0;
+  std::string out_path = "BENCH_serve.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mode=simulate") == 0)
       mode = serve::ExecutionMode::kSimulate;
@@ -74,6 +83,8 @@ int main(int argc, char** argv) {
     else if (std::strncmp(argv[i], "--rows=", 7) == 0)
       rows_per_request = static_cast<std::size_t>(
           std::strtoull(argv[i] + 7, nullptr, 10));
+    else if (std::strncmp(argv[i], "--out=", 6) == 0)
+      out_path = argv[i] + 6;
     else {
       std::fprintf(stderr, "unknown arg: %s\n", argv[i]);
       return 1;
@@ -157,8 +168,11 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "\naggregate speedup: 4 workers vs 1 = %.2fx\n",
                speedup_4w);
 
-  // Machine-readable result on stdout.
-  std::string out = "{\"bench\":\"serve_throughput\",\"mode\":\"";
+  // Machine-readable result: one JSON object, written to the BENCH
+  // artifact and echoed on stdout.
+  std::string out = "{\"bench\":\"serve_throughput\",";
+  out += benchenv::machine_json();
+  out += ",\"mode\":\"";
   out += mode_name;
   out += "\"";
   if (paced) {
@@ -181,6 +195,5 @@ int main(int argc, char** argv) {
   std::snprintf(tail, sizeof(tail), "],\"speedup_4w_vs_1w\":%.3f}",
                 speedup_4w);
   out += tail;
-  std::printf("%s\n", out.c_str());
-  return 0;
+  return benchenv::write_artifact(out_path, out) ? 0 : 1;
 }

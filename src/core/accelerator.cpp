@@ -16,6 +16,22 @@ AcceleratorResult Accelerator::run(
   const maddness::Config& mcfg = amm.cfg();
   SSMA_CHECK_MSG(mcfg.subvec_dim == ppa::kSubvectorDim,
                  "hardware subvectors are 9-dimensional");
+  // The decoder SRAMs have exactly 16 rows; a config with a different
+  // prototype count must fail here, before tile programming silently
+  // truncates or misstrides its tables.
+  SSMA_CHECK_MSG(mcfg.nprototypes() == ppa::kProtosPerCodebook,
+                 "hardware LUTs hold " << ppa::kProtosPerCodebook
+                                       << " prototypes per codebook, config "
+                                          "has "
+                                       << mcfg.nprototypes());
+  // The macro's CSA/RCA rail wraps at 16 bits while the software decode
+  // saturates from int32; they are bit-exact only while a worst-case
+  // accumulation cannot leave the rail. Reject configs past that point
+  // instead of silently diverging from apply_int16.
+  SSMA_CHECK_MSG(mcfg.ncodebooks * 127 <= 32767,
+                 "config can overflow the macro's 16-bit accumulation "
+                 "rail; the hardware model would wrap where the software "
+                 "decode saturates");
   SSMA_CHECK(activations.cols ==
              static_cast<std::size_t>(mcfg.total_dims()));
   const int nout = amm.lut().nout;
@@ -33,7 +49,7 @@ AcceleratorResult Accelerator::run(
   // Identity tree used by idle (padding) blocks; their LUTs are zero so
   // they contribute nothing to the accumulation.
   const maddness::HashTree idle_tree;
-  const std::array<std::int8_t, 16> zero_table{};
+  const sim::LutTable zero_table{};
   const sim::Subvec zero_subvec{};
 
   for (const Tile& tile : res.plan.tiles) {
@@ -46,15 +62,15 @@ AcceleratorResult Accelerator::run(
     // Program: blocks [0, tile.block_n) carry real codebooks, the rest
     // idle; lanes [0, tile.lane_n) carry real outputs.
     std::vector<maddness::HashTree> trees(opts_.ns, idle_tree);
-    std::vector<std::vector<std::array<std::int8_t, 16>>> luts(
-        opts_.ns,
-        std::vector<std::array<std::int8_t, 16>>(opts_.ndec, zero_table));
+    std::vector<std::vector<sim::LutTable>> luts(
+        opts_.ns, std::vector<sim::LutTable>(opts_.ndec, zero_table));
     for (int b = 0; b < tile.block_n; ++b) {
       const int cb = tile.block_lo + b;
       trees[b] = amm.trees()[cb];
       for (int d = 0; d < tile.lane_n; ++d) {
         const auto table = amm.lut().table(cb, tile.lane_lo + d);
-        for (int k = 0; k < 16; ++k) luts[b][d][k] = table[k];
+        for (int k = 0; k < ppa::kProtosPerCodebook; ++k)
+          luts[b][d][k] = table[k];
       }
     }
     macro.program(trees, luts,

@@ -4,7 +4,6 @@
 
 #include "maddness/tree_learner.hpp"
 #include "util/check.hpp"
-#include "util/fixed_point.hpp"
 
 namespace ssma::maddness {
 
@@ -53,6 +52,7 @@ Amm Amm::train(const Config& cfg, const Matrix& train_activations,
 
   amm.protos_ = learn_prototypes(cfg, amm.trees_, q);
   amm.lut_ = build_lut(amm.protos_, weights);
+  amm.repack_lut();
   return amm;
 }
 
@@ -60,25 +60,28 @@ std::vector<std::uint8_t> Amm::encode(const QuantizedActivations& q) const {
   return encode_all(cfg_, trees_, q);
 }
 
+EncodedBatch Amm::encode_batch(const QuantizedActivations& q) const {
+  SSMA_CHECK(q.cols == static_cast<std::size_t>(cfg_.total_dims()));
+  EncodedBatch enc;
+  enc.rows = q.rows;
+  enc.ncodebooks = cfg_.ncodebooks;
+  enc.codes = encode_all_codebook_major(cfg_, trees_, q);
+  return enc;
+}
+
 std::vector<std::int16_t> Amm::apply_int16(
     const QuantizedActivations& q) const {
+  return apply_int16(encode_batch(q));
+}
+
+std::vector<std::int16_t> Amm::apply_int16(const EncodedBatch& enc) const {
+  return apply_lut_packed(packed_, enc);
+}
+
+std::vector<std::int16_t> Amm::apply_int16_reference(
+    const QuantizedActivations& q) const {
   SSMA_CHECK(q.cols == static_cast<std::size_t>(cfg_.total_dims()));
-  const auto codes = encode(q);
-  const int nout = lut_.nout;
-  std::vector<std::int16_t> out(q.rows * static_cast<std::size_t>(nout), 0);
-  for (std::size_t n = 0; n < q.rows; ++n) {
-    std::int16_t* orow = out.data() + n * nout;
-    for (int c = 0; c < cfg_.ncodebooks; ++c) {
-      const int leaf = codes[n * cfg_.ncodebooks + c];
-      const std::int8_t* lrow =
-          lut_.q.data() +
-          (static_cast<std::size_t>(c) * 16 + leaf) *
-              static_cast<std::size_t>(nout);
-      for (int o = 0; o < nout; ++o)
-        orow[o] = add_wrap16(orow[o], sext8to16(lrow[o]));
-    }
-  }
-  return out;
+  return apply_lut_reference(lut_, encode(q), q.rows);
 }
 
 Matrix Amm::apply(const Matrix& x) const {

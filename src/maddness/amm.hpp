@@ -15,6 +15,7 @@
 #include "maddness/config.hpp"
 #include "maddness/hash_tree.hpp"
 #include "maddness/lut.hpp"
+#include "maddness/lut_kernel.hpp"
 #include "maddness/prototypes.hpp"
 #include "maddness/quantize.hpp"
 #include "util/matrix.hpp"
@@ -32,15 +33,32 @@ class Amm {
   const Config& cfg() const { return cfg_; }
   const std::vector<HashTree>& trees() const { return trees_; }
   const LutBank& lut() const { return lut_; }
+  /// Output-major repack of lut(), built once at train/load time — the
+  /// layout the accumulation kernels run on.
+  const LutBankPacked& packed_lut() const { return packed_; }
   const Prototypes& prototypes() const { return protos_; }
   float activation_scale() const { return act_scale_; }
 
   /// Encodes a (pre-quantized) activation matrix: N x M leaf codes.
   std::vector<std::uint8_t> encode(const QuantizedActivations& q) const;
 
-  /// Hardware-exact decode: int16 two's-complement accumulation of int8
-  /// LUT entries. Output is N x nout int16 (row-major).
+  /// Encode cache: encodes the batch once into the codebook-major layout
+  /// the accumulation kernel consumes. Callers that apply the same batch
+  /// more than once (replay, sweeps) reuse it to skip re-encoding.
+  EncodedBatch encode_batch(const QuantizedActivations& q) const;
+
+  /// Hardware-exact decode: accumulates the int8 LUT entries selected by
+  /// the codes in int32 and saturates once to int16 at the end (the
+  /// paper's pipeline-accumulate-then-clamp). Output is N x nout int16
+  /// (row-major). Runs the packed, tier-dispatched kernel.
   std::vector<std::int16_t> apply_int16(const QuantizedActivations& q) const;
+  std::vector<std::int16_t> apply_int16(const EncodedBatch& enc) const;
+
+  /// Reference decode: naive triple loop over the proto-major layout,
+  /// same accumulate-then-clamp semantics. The packed kernels are tested
+  /// bit-exact against this.
+  std::vector<std::int16_t> apply_int16_reference(
+      const QuantizedActivations& q) const;
 
   /// Full approximate product in float: quantize -> encode -> decode ->
   /// dequantize. Shapes: x is N x D, result N x nout.
@@ -60,10 +78,14 @@ class Amm {
   static Amm load_file(const std::string& path);
 
  private:
+  /// Rebuilds the packed bank from lut_ (after training or load).
+  void repack_lut() { packed_ = pack_lut(lut_); }
+
   Config cfg_;
   std::vector<HashTree> trees_;
   Prototypes protos_;
   LutBank lut_;
+  LutBankPacked packed_;
   float act_scale_ = 1.0f;
 };
 

@@ -42,9 +42,16 @@ struct Config {
     SSMA_CHECK(act_clip_percentile > 0.0 && act_clip_percentile <= 100.0);
     SSMA_CHECK_MSG(lut_bits >= 2 && lut_bits <= 8,
                    "hardware LUT words are at most 8 bits");
-    // 16-bit accumulation must not overflow: ncodebooks * 127 < 2^15.
-    SSMA_CHECK_MSG(ncodebooks * 127 < 32768,
-                   "too many codebooks for 16-bit accumulation");
+    // The software decode accumulates in int32 and saturates once to the
+    // 16-bit output rail (pipeline-accumulate-then-clamp), so large
+    // codebook counts clamp instead of wrapping. Beyond 258 codebooks a
+    // worst-case (all +/-127) sum exceeds int16 and the clamp can
+    // engage; the event-driven hardware model keeps the paper's 16-bit
+    // wraparound rail and is only bit-exact below that threshold. Cap at
+    // a sanity bound rather than the old hard 16-bit limit.
+    SSMA_CHECK_MSG(ncodebooks <= 4096,
+                   "implausible codebook count (tiling/accumulator sanity "
+                   "bound)");
   }
 };
 

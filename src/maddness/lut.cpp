@@ -11,9 +11,60 @@ namespace ssma::maddness {
 std::vector<std::int8_t> LutBank::table(int codebook, int out) const {
   SSMA_CHECK(codebook >= 0 && codebook < cfg.ncodebooks);
   SSMA_CHECK(out >= 0 && out < nout);
-  std::vector<std::int8_t> t(16);
-  for (int k = 0; k < 16; ++k) t[k] = at(codebook, k, out);
+  const int nk = cfg.nprototypes();
+  std::vector<std::int8_t> t(static_cast<std::size_t>(nk));
+  for (int k = 0; k < nk; ++k) t[k] = at(codebook, k, out);
   return t;
+}
+
+LutBankPacked pack_lut(const LutBank& bank) {
+  const int nk = bank.cfg.nprototypes();
+  SSMA_CHECK_MSG(bank.q.size() == static_cast<std::size_t>(
+                                      bank.cfg.ncodebooks) *
+                                      nk * bank.nout,
+                 "LutBank entry count inconsistent with its config");
+  LutBankPacked p;
+  p.ncodebooks = bank.cfg.ncodebooks;
+  p.nprotos = nk;
+  p.nout = bank.nout;
+  p.per_column_scale = bank.cfg.per_column_lut_scale;
+  p.scales = bank.scales;
+  p.q.resize(bank.q.size());
+  for (int c = 0; c < p.ncodebooks; ++c)
+    for (int k = 0; k < nk; ++k) {
+      const std::int8_t* src =
+          bank.q.data() +
+          (static_cast<std::size_t>(c) * nk + k) * bank.nout;
+      for (int o = 0; o < p.nout; ++o)
+        p.q[p.table_index(c, o) + static_cast<std::size_t>(k)] = src[o];
+    }
+  return p;
+}
+
+LutBank unpack_lut(const LutBankPacked& packed, const Config& cfg) {
+  SSMA_CHECK_MSG(cfg.ncodebooks == packed.ncodebooks &&
+                     cfg.nprototypes() == packed.nprotos &&
+                     cfg.per_column_lut_scale == packed.per_column_scale,
+                 "config does not describe this packed bank");
+  LutBank bank;
+  bank.cfg = cfg;
+  bank.nout = packed.nout;
+  bank.scales = packed.scales;
+  bank.q.resize(packed.q.size());
+  // The float reference entries are not carried by the packed form; an
+  // unpacked round trip reconstructs the integer operator only.
+  bank.f.clear();
+  const int nk = packed.nprotos;
+  for (int c = 0; c < packed.ncodebooks; ++c)
+    for (int k = 0; k < nk; ++k) {
+      std::int8_t* dst =
+          bank.q.data() +
+          (static_cast<std::size_t>(c) * nk + k) * bank.nout;
+      for (int o = 0; o < packed.nout; ++o)
+        dst[o] = packed.q[packed.table_index(c, o) +
+                          static_cast<std::size_t>(k)];
+    }
+  return bank;
 }
 
 LutBank build_lut(const Prototypes& protos, const Matrix& weights) {

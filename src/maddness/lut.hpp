@@ -4,6 +4,16 @@
 // quantized to INT8 (the paper's LUT precision) with per-output-column
 // scales. The hardware loads exactly these int8 words into its 16x8
 // 10T-SRAM arrays.
+//
+// Two in-memory layouts coexist:
+//   * LutBank — proto-major, index (c * K + k) * nout + o. This is the
+//     construction/serialization layout (it matches the order build_lut
+//     fills entries in and the on-disk SSMAAMM2 payload).
+//   * LutBankPacked — output-major, codebook-tiled: the K entries of one
+//     (codebook, output) table are contiguous, index (c * nout + o) * K + k.
+//     This is the accumulation layout: the hot kernel walks output blocks
+//     with each 16-entry table resident in one cache line (and, on x86,
+//     in one pshufb register). See lut_kernel.hpp.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +29,7 @@ struct LutBank {
   Config cfg;
   int nout = 0;
   /// int8 entry for (codebook c, prototype k, output o):
-  /// index = (c * 16 + k) * nout + o.
+  /// index = (c * cfg.nprototypes() + k) * nout + o.
   std::vector<std::int8_t> q;
   /// Dequantization scale per output column (or a single broadcast scale
   /// when cfg.per_column_lut_scale is false).
@@ -29,15 +39,50 @@ struct LutBank {
   std::vector<float> f;
 
   std::int8_t at(int codebook, int proto, int out) const {
-    return q[(static_cast<std::size_t>(codebook) * 16 + proto) * nout + out];
+    return q[(static_cast<std::size_t>(codebook) * cfg.nprototypes() +
+              proto) *
+                 nout +
+             out];
   }
   float scale(int out) const {
     return scales[cfg.per_column_lut_scale ? out : 0];
   }
-  /// The 16 int8 entries of one (codebook, output) LUT — the contents of
+  /// The K int8 entries of one (codebook, output) LUT — the contents of
   /// one hardware SRAM array column group.
   std::vector<std::int8_t> table(int codebook, int out) const;
 };
+
+/// Output-major, codebook-tiled packing of a LutBank (see file comment).
+/// Self-contained (no Config) so kernels and tests can drive it directly.
+struct LutBankPacked {
+  int ncodebooks = 0;
+  int nprotos = 0;  ///< K; kProtosPerCodebook (16) for the hardware shape
+  int nout = 0;
+  bool per_column_scale = true;
+  /// index = (c * nout + o) * nprotos + k.
+  std::vector<std::int8_t> q;
+  std::vector<float> scales;
+
+  std::size_t table_index(int codebook, int out) const {
+    return (static_cast<std::size_t>(codebook) * nout + out) *
+           static_cast<std::size_t>(nprotos);
+  }
+  const std::int8_t* table_ptr(int codebook, int out) const {
+    return q.data() + table_index(codebook, out);
+  }
+  std::int8_t at(int codebook, int proto, int out) const {
+    return q[table_index(codebook, out) + static_cast<std::size_t>(proto)];
+  }
+};
+
+/// Repacks proto-major -> output-major. O(entries), done once per trained
+/// or deserialized operator.
+LutBankPacked pack_lut(const LutBank& bank);
+
+/// Inverse repack (used by round-trip tests and by tooling that wants the
+/// serialization layout back from a packed bank). `cfg` supplies the
+/// metadata a packed bank does not carry; its strides must match.
+LutBank unpack_lut(const LutBankPacked& packed, const Config& cfg);
 
 /// Builds the LUT bank from prototypes and a weight matrix W (D x nout).
 LutBank build_lut(const Prototypes& protos, const Matrix& weights);

@@ -1,0 +1,213 @@
+#include "maddness/lut_kernel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "ppa/tech_constants.hpp"
+#include "util/check.hpp"
+
+namespace ssma::maddness {
+
+namespace {
+
+bool cpu_supports(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return true;
+    case KernelTier::kSsse3:
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("ssse3") != 0;
+#else
+      return false;
+#endif
+    case KernelTier::kAvx2:
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+KernelTier parse_tier_env(const char* s, KernelTier fallback) {
+  if (!s) return fallback;
+  if (std::strcmp(s, "scalar") == 0) return KernelTier::kScalar;
+  if (std::strcmp(s, "ssse3") == 0) return KernelTier::kSsse3;
+  if (std::strcmp(s, "avx2") == 0) return KernelTier::kAvx2;
+  return fallback;
+}
+
+inline std::int16_t saturate16(std::int32_t v) {
+  return static_cast<std::int16_t>(std::clamp<std::int32_t>(v, -32768, 32767));
+}
+
+}  // namespace
+
+const char* kernel_tier_name(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kSsse3:
+      return "ssse3";
+    case KernelTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool kernel_tier_available(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return true;
+    case KernelTier::kSsse3:
+      return detail::ssse3_compiled_in() && cpu_supports(tier);
+    case KernelTier::kAvx2:
+      return detail::avx2_compiled_in() && cpu_supports(tier);
+  }
+  return false;
+}
+
+KernelTier best_kernel_tier() {
+  if (kernel_tier_available(KernelTier::kAvx2)) return KernelTier::kAvx2;
+  if (kernel_tier_available(KernelTier::kSsse3)) return KernelTier::kSsse3;
+  return KernelTier::kScalar;
+}
+
+KernelTier select_kernel_tier() {
+  static const KernelTier tier = [] {
+    const KernelTier best = best_kernel_tier();
+    const KernelTier want = parse_tier_env(std::getenv("SSMA_KERNEL"), best);
+    return static_cast<int>(want) < static_cast<int>(best) ? want : best;
+  }();
+  return tier;
+}
+
+EncodedBatch make_encoded_batch(const std::vector<std::uint8_t>& row_major,
+                                std::size_t rows, int ncodebooks) {
+  SSMA_CHECK(row_major.size() ==
+             rows * static_cast<std::size_t>(ncodebooks));
+  EncodedBatch enc;
+  enc.rows = rows;
+  enc.ncodebooks = ncodebooks;
+  enc.codes.resize(row_major.size());
+  for (std::size_t n = 0; n < rows; ++n)
+    for (int c = 0; c < ncodebooks; ++c)
+      enc.codes[static_cast<std::size_t>(c) * rows + n] =
+          row_major[n * static_cast<std::size_t>(ncodebooks) + c];
+  return enc;
+}
+
+std::vector<std::int16_t> apply_lut_reference(
+    const LutBank& lut, const std::vector<std::uint8_t>& row_major_codes,
+    std::size_t rows) {
+  const int nout = lut.nout;
+  const int nk = lut.cfg.nprototypes();
+  const int ncb = lut.cfg.ncodebooks;
+  SSMA_CHECK(row_major_codes.size() ==
+             rows * static_cast<std::size_t>(ncb));
+  std::vector<std::int16_t> out(rows * static_cast<std::size_t>(nout), 0);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(nout));
+  for (std::size_t n = 0; n < rows; ++n) {
+    std::fill(acc.begin(), acc.end(), 0);
+    for (int c = 0; c < ncb; ++c) {
+      const int leaf = row_major_codes[n * static_cast<std::size_t>(ncb) + c];
+      SSMA_CHECK_MSG(leaf < nk, "leaf code out of prototype range");
+      const std::int8_t* lrow =
+          lut.q.data() + (static_cast<std::size_t>(c) * nk + leaf) *
+                             static_cast<std::size_t>(nout);
+      for (int o = 0; o < nout; ++o) acc[o] += lrow[o];
+    }
+    std::int16_t* orow = out.data() + n * static_cast<std::size_t>(nout);
+    for (int o = 0; o < nout; ++o) orow[o] = saturate16(acc[o]);
+  }
+  return out;
+}
+
+namespace detail {
+
+// Blocked scalar kernel. Tile shape: kRowBlock rows x kOutBlock outputs.
+// Within a tile the working set is tiny — kRowBlock codes per codebook,
+// kOutBlock contiguous 16-byte tables, and a kRowBlock x kOutBlock int32
+// accumulator patch — so every LUT byte is read from L1.
+void apply_packed_scalar_rows(const LutBankPacked& lut,
+                              const EncodedBatch& enc, std::size_t row_lo,
+                              std::int16_t* out) {
+  constexpr std::size_t kRowBlock = 32;
+  constexpr int kOutBlock = 16;
+  const int nout = lut.nout;
+  const int nk = lut.nprotos;
+  const std::size_t rows = enc.rows;
+  std::int32_t acc[kRowBlock * kOutBlock];
+  for (std::size_t n0 = row_lo; n0 < rows; n0 += kRowBlock) {
+    const std::size_t nb = std::min(kRowBlock, rows - n0);
+    for (int o0 = 0; o0 < nout; o0 += kOutBlock) {
+      const int ob = std::min(kOutBlock, nout - o0);
+      std::fill(acc, acc + nb * static_cast<std::size_t>(ob), 0);
+      for (int c = 0; c < lut.ncodebooks; ++c) {
+        const std::uint8_t* codes = enc.codebook(c) + n0;
+        const std::int8_t* tables = lut.table_ptr(c, o0);
+        for (std::size_t i = 0; i < nb; ++i) {
+          const std::int8_t* entry = tables + codes[i];
+          std::int32_t* arow = acc + i * static_cast<std::size_t>(ob);
+          for (int j = 0; j < ob; ++j)
+            arow[j] += entry[static_cast<std::size_t>(j) * nk];
+        }
+      }
+      for (std::size_t i = 0; i < nb; ++i) {
+        std::int16_t* orow =
+            out + (n0 + i) * static_cast<std::size_t>(nout) + o0;
+        const std::int32_t* arow = acc + i * static_cast<std::size_t>(ob);
+        for (int j = 0; j < ob; ++j)
+          orow[j] = static_cast<std::int16_t>(
+              std::clamp<std::int32_t>(arow[j], -32768, 32767));
+      }
+    }
+  }
+}
+
+void apply_packed_scalar(const LutBankPacked& lut, const EncodedBatch& enc,
+                         std::int16_t* out) {
+  apply_packed_scalar_rows(lut, enc, 0, out);
+}
+
+}  // namespace detail
+
+std::vector<std::int16_t> apply_lut_packed(const LutBankPacked& lut,
+                                           const EncodedBatch& enc,
+                                           KernelTier tier) {
+  SSMA_CHECK(enc.ncodebooks == lut.ncodebooks);
+  SSMA_CHECK(enc.codes.size() ==
+             enc.rows * static_cast<std::size_t>(enc.ncodebooks));
+  SSMA_CHECK(lut.q.size() == static_cast<std::size_t>(lut.ncodebooks) *
+                                 lut.nout * lut.nprotos);
+  std::vector<std::int16_t> out(
+      enc.rows * static_cast<std::size_t>(lut.nout), 0);
+  if (enc.rows == 0 || lut.nout == 0) return out;
+  while (!kernel_tier_available(tier))
+    tier = static_cast<KernelTier>(static_cast<int>(tier) - 1);
+  // pshufb indexes a 16-byte register: banks with a non-hardware K take
+  // the scalar path (which handles any K, with codes range-checked by the
+  // encoder that produced them).
+  if (lut.nprotos != ppa::kProtosPerCodebook) tier = KernelTier::kScalar;
+  switch (tier) {
+    case KernelTier::kAvx2:
+      detail::apply_packed_avx2(lut, enc, out.data());
+      break;
+    case KernelTier::kSsse3:
+      detail::apply_packed_ssse3(lut, enc, out.data());
+      break;
+    case KernelTier::kScalar:
+      detail::apply_packed_scalar(lut, enc, out.data());
+      break;
+  }
+  return out;
+}
+
+std::vector<std::int16_t> apply_lut_packed(const LutBankPacked& lut,
+                                           const EncodedBatch& enc) {
+  return apply_lut_packed(lut, enc, select_kernel_tier());
+}
+
+}  // namespace ssma::maddness

@@ -1,0 +1,100 @@
+// The LUT accumulation hot path: given per-row leaf codes and a packed
+// (output-major) LUT bank, accumulate ncodebooks int8 table entries per
+// output in int32 and saturate once to int16 at the end — the software
+// mirror of the paper's pipeline-accumulate-then-clamp datapath.
+//
+// Three implementation tiers share one contract (bit-exact results):
+//   * kScalar — portable blocked kernel: 32-row x 16-output tiles keep
+//     the codes, the 16-byte tables and the int32 accumulators L1-hot.
+//   * kSsse3  — pshufb gather: one 16-entry table lives in an XMM
+//     register; 16 rows of codes index it in a single shuffle.
+//   * kAvx2   — the same with the table broadcast to both 128-bit lanes,
+//     32 rows per shuffle.
+// The SIMD tiers require the hardware table shape (K == 16, codes < 16);
+// other K values dispatch to the scalar kernel. Tier selection happens at
+// runtime from CPUID (overridable via the SSMA_KERNEL environment
+// variable: scalar | ssse3 | avx2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "maddness/lut.hpp"
+
+namespace ssma::maddness {
+
+enum class KernelTier { kScalar = 0, kSsse3 = 1, kAvx2 = 2 };
+
+const char* kernel_tier_name(KernelTier tier);
+
+/// Highest tier both compiled in and supported by this CPU.
+KernelTier best_kernel_tier();
+
+/// best_kernel_tier(), downgraded by SSMA_KERNEL=scalar|ssse3|avx2 when
+/// set (an override above what the CPU supports is clamped down). Read
+/// once and cached.
+KernelTier select_kernel_tier();
+
+/// True when `tier` can run on this build + CPU.
+bool kernel_tier_available(KernelTier tier);
+
+/// Encode cache: one batch's leaf codes, stored codebook-major
+/// (codes[c * rows + n]) so the accumulation kernel streams one codebook's
+/// codes contiguously. Built once per batch; every output block reuses it
+/// instead of re-walking the row-major encode output.
+struct EncodedBatch {
+  std::size_t rows = 0;
+  int ncodebooks = 0;
+  std::vector<std::uint8_t> codes;
+
+  const std::uint8_t* codebook(int c) const {
+    return codes.data() + static_cast<std::size_t>(c) * rows;
+  }
+};
+
+/// Transposes row-major codes (codes[n * ncodebooks + c], the encode_all
+/// layout) into an EncodedBatch.
+EncodedBatch make_encoded_batch(const std::vector<std::uint8_t>& row_major,
+                                std::size_t rows, int ncodebooks);
+
+/// Reference kernel: naive row -> codebook -> output triple loop over the
+/// proto-major LutBank. int32 accumulation, one saturation at the end.
+/// This is the semantic definition the packed kernels are tested against.
+std::vector<std::int16_t> apply_lut_reference(
+    const LutBank& lut, const std::vector<std::uint8_t>& row_major_codes,
+    std::size_t rows);
+
+/// Packed kernel, dispatched to `tier` (clamped to what is available and
+/// to kScalar when the bank is not pshufb-shaped). Returns rows x nout
+/// int16, row-major — bit-exact vs apply_lut_reference.
+std::vector<std::int16_t> apply_lut_packed(const LutBankPacked& lut,
+                                           const EncodedBatch& enc,
+                                           KernelTier tier);
+std::vector<std::int16_t> apply_lut_packed(const LutBankPacked& lut,
+                                           const EncodedBatch& enc);
+
+namespace detail {
+
+// Per-tier entry points. Each accumulates into `out` (rows x nout,
+// pre-sized) with identical int32-then-saturate semantics. The SIMD TUs
+// are compiled with the matching -m flags when the toolchain supports
+// them; otherwise their *_compiled_in() probe returns false and the
+// dispatcher never calls them.
+void apply_packed_scalar(const LutBankPacked& lut, const EncodedBatch& enc,
+                         std::int16_t* out);
+bool ssse3_compiled_in();
+void apply_packed_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
+                        std::int16_t* out);
+bool avx2_compiled_in();
+void apply_packed_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
+                       std::int16_t* out);
+
+/// Scalar tail helper shared by the SIMD tiers: rows [row_lo, rows).
+void apply_packed_scalar_rows(const LutBankPacked& lut,
+                              const EncodedBatch& enc, std::size_t row_lo,
+                              std::int16_t* out);
+
+}  // namespace detail
+
+}  // namespace ssma::maddness

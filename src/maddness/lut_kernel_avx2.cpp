@@ -1,0 +1,140 @@
+// AVX2 tier of the packed LUT kernel. Compiled with -mavx2 when the
+// toolchain supports it (CMake probes the flag); the __AVX2__ guard keeps
+// this TU a stub otherwise, and the runtime dispatcher additionally
+// checks CPUID before calling in — so a binary built here still runs on
+// machines without AVX2.
+//
+// Shape: one (codebook, output) table is 16 int8 entries — exactly one
+// 128-bit pshufb operand. Broadcasting it to both lanes of a YMM register
+// turns 32 rows of leaf codes into 32 gathered entries per shuffle. The
+// entries sign-extend via unpack + arithmetic shift and accumulate in
+// int16, which is wrap-free within a <=256-codebook chunk
+// (256 * 127 < 2^15). Banks with <= 256 codebooks therefore store their
+// int16 partials directly (the int32 total provably fits int16, so the
+// final clamp is the identity); larger banks widen each chunk into int32
+// and saturate exactly once at the end — either way bit-identical to the
+// reference int32 accumulation.
+//
+// unpack interleaves within each 128-bit lane, so accumulator lanes hold
+// rows permuted as {0..7,16..23} / {8..15,24..31}; the permutation is
+// undone for free inside the (already scalar) store loops.
+#include <algorithm>
+
+#include "maddness/lut_kernel.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace ssma::maddness::detail {
+
+#if defined(__AVX2__)
+
+namespace {
+
+constexpr std::size_t kRowBlock = 32;
+constexpr int kOutBlock = 4;
+constexpr int kChunk = 256;
+
+/// Row index held by lane i of accumulator half h (see file comment).
+inline int lane_row(int h, int i) {
+  return (i & 7) + 8 * (2 * (i >> 3) + h);
+}
+
+/// Accumulates codebooks [c0, c_end) of one (32-row, ob-output) tile
+/// into int16 accumulators.
+inline void accumulate_chunk(const LutBankPacked& lut,
+                             const EncodedBatch& enc, std::size_t n0,
+                             int o0, int ob, int c0, int c_end,
+                             __m256i acc16[][2]) {
+  const __m256i zero = _mm256_setzero_si256();
+  for (int c = c0; c < c_end; ++c) {
+    const __m256i codes = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(enc.codebook(c) + n0));
+    for (int j = 0; j < ob; ++j) {
+      const __m256i table = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(lut.table_ptr(c, o0 + j))));
+      const __m256i v8 = _mm256_shuffle_epi8(table, codes);
+      acc16[j][0] = _mm256_add_epi16(
+          acc16[j][0],
+          _mm256_srai_epi16(_mm256_unpacklo_epi8(zero, v8), 8));
+      acc16[j][1] = _mm256_add_epi16(
+          acc16[j][1],
+          _mm256_srai_epi16(_mm256_unpackhi_epi8(zero, v8), 8));
+    }
+  }
+}
+
+}  // namespace
+
+bool avx2_compiled_in() { return true; }
+
+void apply_packed_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
+                       std::int16_t* out) {
+  const int nout = lut.nout;
+  const int ncb = lut.ncodebooks;
+  const std::size_t rows = enc.rows;
+  const std::size_t full = rows - rows % kRowBlock;
+  alignas(32) std::int16_t lanes[kRowBlock];
+  for (std::size_t n0 = 0; n0 < full; n0 += kRowBlock) {
+    for (int o0 = 0; o0 < nout; o0 += kOutBlock) {
+      const int ob = std::min(kOutBlock, nout - o0);
+      if (ncb <= kChunk) {
+        // Single chunk: int16 partials are the exact int32 totals.
+        __m256i acc16[kOutBlock][2];
+        for (int j = 0; j < ob; ++j)
+          acc16[j][0] = acc16[j][1] = _mm256_setzero_si256();
+        accumulate_chunk(lut, enc, n0, o0, ob, 0, ncb, acc16);
+        for (int j = 0; j < ob; ++j)
+          for (int h = 0; h < 2; ++h) {
+            _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                               acc16[j][h]);
+            for (int i = 0; i < 16; ++i)
+              out[(n0 + lane_row(h, i)) * static_cast<std::size_t>(nout) +
+                  o0 + j] = lanes[i];
+          }
+      } else {
+        std::int32_t acc32[kOutBlock][kRowBlock] = {};
+        for (int c0 = 0; c0 < ncb; c0 += kChunk) {
+          __m256i acc16[kOutBlock][2];
+          for (int j = 0; j < ob; ++j)
+            acc16[j][0] = acc16[j][1] = _mm256_setzero_si256();
+          accumulate_chunk(lut, enc, n0, o0, ob, c0,
+                           std::min(ncb, c0 + kChunk), acc16);
+          // Widen lane-for-lane (vectorizable); the row permutation is
+          // resolved by the final store below.
+          for (int j = 0; j < ob; ++j)
+            for (int h = 0; h < 2; ++h) {
+              _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                                 acc16[j][h]);
+              std::int32_t* dst = acc32[j] + h * 16;
+              for (int i = 0; i < 16; ++i) dst[i] += lanes[i];
+            }
+        }
+        for (int j = 0; j < ob; ++j)
+          for (int h = 0; h < 2; ++h)
+            for (int i = 0; i < 16; ++i)
+              out[(n0 + lane_row(h, i)) * static_cast<std::size_t>(nout) +
+                  o0 + j] =
+                  static_cast<std::int16_t>(std::clamp<std::int32_t>(
+                      acc32[j][h * 16 + i], -32768, 32767));
+      }
+    }
+  }
+  apply_packed_scalar_rows(lut, enc, full, out);
+}
+
+#else  // !defined(__AVX2__)
+
+bool avx2_compiled_in() { return false; }
+
+void apply_packed_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
+                       std::int16_t* out) {
+  // Unreachable: the dispatcher never selects a tier whose
+  // *_compiled_in() probe is false. Fall back defensively anyway.
+  apply_packed_scalar(lut, enc, out);
+}
+
+#endif
+
+}  // namespace ssma::maddness::detail

@@ -1,0 +1,104 @@
+// SSSE3 tier of the packed LUT kernel: the XMM-width sibling of the AVX2
+// tier (see lut_kernel_avx2.cpp for the scheme). One pshufb gathers 16
+// rows; sign extension uses the SSE2 unpack+arithmetic-shift idiom since
+// pmovsxbw is SSE4.1. Same chunked int16 -> int32 -> saturate-once
+// contract, bit-identical to the reference kernel.
+#include <algorithm>
+
+#include "maddness/lut_kernel.hpp"
+
+#if defined(__SSSE3__)
+#include <immintrin.h>
+#endif
+
+namespace ssma::maddness::detail {
+
+#if defined(__SSSE3__)
+
+bool ssse3_compiled_in() { return true; }
+
+void apply_packed_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
+                        std::int16_t* out) {
+  constexpr std::size_t kRowBlock = 16;
+  constexpr int kOutBlock = 4;
+  constexpr int kChunk = 256;
+  const int nout = lut.nout;
+  const int ncb = lut.ncodebooks;
+  const std::size_t rows = enc.rows;
+  const std::size_t full = rows - rows % kRowBlock;
+  alignas(16) std::int16_t lanes[kRowBlock];
+  const __m128i zero = _mm_setzero_si128();
+  for (std::size_t n0 = 0; n0 < full; n0 += kRowBlock) {
+    for (int o0 = 0; o0 < nout; o0 += kOutBlock) {
+      const int ob = std::min(kOutBlock, nout - o0);
+      const auto accumulate_chunk = [&](int c0, int c_end,
+                                        __m128i acc16[][2]) {
+        for (int c = c0; c < c_end; ++c) {
+          const __m128i codes = _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(enc.codebook(c) + n0));
+          for (int j = 0; j < ob; ++j) {
+            const __m128i table = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(lut.table_ptr(c, o0 + j)));
+            const __m128i v8 = _mm_shuffle_epi8(table, codes);
+            // unpack(zero, v) places v's bytes in each word's high half;
+            // >>a 8 sign-extends, keeping lane order 0..7 / 8..15.
+            acc16[j][0] = _mm_add_epi16(
+                acc16[j][0],
+                _mm_srai_epi16(_mm_unpacklo_epi8(zero, v8), 8));
+            acc16[j][1] = _mm_add_epi16(
+                acc16[j][1],
+                _mm_srai_epi16(_mm_unpackhi_epi8(zero, v8), 8));
+          }
+        }
+      };
+      if (ncb <= kChunk) {
+        // One chunk cannot wrap int16: the accumulators already hold the
+        // exact int32 totals, clamped-by-construction.
+        __m128i acc16[kOutBlock][2];
+        for (int j = 0; j < ob; ++j) acc16[j][0] = acc16[j][1] = zero;
+        accumulate_chunk(0, ncb, acc16);
+        for (int j = 0; j < ob; ++j)
+          for (int h = 0; h < 2; ++h) {
+            _mm_store_si128(reinterpret_cast<__m128i*>(lanes),
+                            acc16[j][h]);
+            for (int i = 0; i < 8; ++i)
+              out[(n0 + h * 8 + i) * static_cast<std::size_t>(nout) + o0 +
+                  j] = lanes[i];
+          }
+      } else {
+        std::int32_t acc32[kOutBlock][kRowBlock] = {};
+        for (int c0 = 0; c0 < ncb; c0 += kChunk) {
+          __m128i acc16[kOutBlock][2];
+          for (int j = 0; j < ob; ++j) acc16[j][0] = acc16[j][1] = zero;
+          accumulate_chunk(c0, std::min(ncb, c0 + kChunk), acc16);
+          for (int j = 0; j < ob; ++j)
+            for (int h = 0; h < 2; ++h) {
+              _mm_store_si128(reinterpret_cast<__m128i*>(lanes),
+                              acc16[j][h]);
+              std::int32_t* dst = acc32[j] + h * 8;
+              for (int i = 0; i < 8; ++i) dst[i] += lanes[i];
+            }
+        }
+        for (int j = 0; j < ob; ++j)
+          for (std::size_t i = 0; i < kRowBlock; ++i)
+            out[(n0 + i) * static_cast<std::size_t>(nout) + o0 + j] =
+                static_cast<std::int16_t>(
+                    std::clamp<std::int32_t>(acc32[j][i], -32768, 32767));
+      }
+    }
+  }
+  apply_packed_scalar_rows(lut, enc, full, out);
+}
+
+#else  // !defined(__SSSE3__)
+
+bool ssse3_compiled_in() { return false; }
+
+void apply_packed_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
+                        std::int16_t* out) {
+  apply_packed_scalar(lut, enc, out);
+}
+
+#endif
+
+}  // namespace ssma::maddness::detail

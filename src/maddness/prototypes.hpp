@@ -22,11 +22,12 @@ namespace ssma::maddness {
 /// prototype k of codebook c. Under kBucketMeans, entries outside
 /// codebook c's dim range [c*subvec_dim, (c+1)*subvec_dim) are zero.
 struct Prototypes {
-  Matrix p;          ///< (M*16) x D, in the *dequantized float* domain
+  Matrix p;          ///< (M*K) x D, in the *dequantized float* domain
   Config cfg;
 
   const float* row(int codebook, int proto) const {
-    return p.row(static_cast<std::size_t>(codebook) * 16 + proto);
+    return p.row(static_cast<std::size_t>(codebook) * cfg.nprototypes() +
+                 proto);
   }
 };
 
@@ -35,6 +36,15 @@ struct Prototypes {
 std::vector<std::uint8_t> encode_all(const Config& cfg,
                                      const std::vector<HashTree>& trees,
                                      const QuantizedActivations& q);
+
+/// Same codes, written codebook-major (codes[c * N + n]) in one fused
+/// pass — the layout the packed LUT kernel streams. The tree walk is
+/// inlined over precomputed absolute split dims, so a batch of B rows
+/// costs B tree walks and no transpose; this feeds the encode cache on
+/// the serving hot path.
+std::vector<std::uint8_t> encode_all_codebook_major(
+    const Config& cfg, const std::vector<HashTree>& trees,
+    const QuantizedActivations& q);
 
 /// Learns prototypes from training data and its codes.
 Prototypes learn_prototypes(const Config& cfg,

@@ -215,8 +215,12 @@ Amm Amm::load(std::istream& is) {
   for (auto& v : amm.lut_.f) v = get_f32(body);
 
   SSMA_CHECK(amm.lut_.q.size() ==
-             static_cast<std::size_t>(amm.cfg_.ncodebooks) * 16 *
-                 amm.lut_.nout);
+             static_cast<std::size_t>(amm.cfg_.ncodebooks) *
+                 amm.cfg_.nprototypes() * amm.lut_.nout);
+  // The wire format stays proto-major (layout and SSMAAMM2 frame are
+  // unchanged by the packed kernel); the accumulation layout is derived
+  // here, after the CRC-validated payload parsed.
+  amm.repack_lut();
   return amm;
 }
 

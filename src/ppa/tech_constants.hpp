@@ -132,6 +132,12 @@ inline constexpr int kOpsPerLookup = 2 * kSubvectorDim;
 // --- Architectural constants ---------------------------------------------------
 inline constexpr int kNumPrototypes = 16;  // K = 2^4 leaves
 inline constexpr int kTreeLevels = 4;
+/// Prototypes per codebook (LUT rows per decoder SRAM): 2^kTreeLevels.
+/// Software paths that model the fixed-function hardware (decoder arrays,
+/// tile programming, the pshufb kernel lane width) are sized by this
+/// constant; configurable-K paths must route through Config::nprototypes()
+/// and check against it where they hand off to hardware-shaped code.
+inline constexpr int kProtosPerCodebook = 1 << kTreeLevels;
 inline constexpr int kLutRows = 16;
 inline constexpr int kLutBits = 8;
 

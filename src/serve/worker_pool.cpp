@@ -247,6 +247,11 @@ void WorkerPool::worker_main(int worker_id) {
       out = std::move(r.outputs);
       batch_reports.push_back(std::move(r.report));
     } else {
+      // Packed tier-dispatched LUT kernel (encodes the stitched batch
+      // once internally). It is bit-exact vs the reference
+      // accumulation, so journal replay after a crash reproduces
+      // identical output CRCs regardless of which tier the recovering
+      // host dispatches to.
       out = amm.apply_int16(q);
       if (opts_.mode == ExecutionMode::kDevicePaced) {
         // The batch occupies this shard's device for tokens * interval;

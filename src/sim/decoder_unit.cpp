@@ -13,14 +13,14 @@ DecoderUnit::DecoderUnit(SimContext& ctx, int block, int dec)
       lut_rcd_(8, ctx.delay.rcd_lut_ns()),
       rcd_lut_prop_ns_(ctx.delay.rcd_lut_ns()) {}
 
-void DecoderUnit::program(SimContext& ctx,
-                          const std::array<std::int8_t, 16>& table) {
-  for (int row = 0; row < 16; ++row) sram_.write_row(ctx, row, table[row]);
+void DecoderUnit::program(SimContext& ctx, const LutTable& table) {
+  for (int row = 0; row < ppa::kProtosPerCodebook; ++row)
+    sram_.write_row(ctx, row, table[row]);
 }
 
 void DecoderUnit::decode(SimContext& ctx, int row, CarrySave in,
                          std::function<void(Done)> done) {
-  SSMA_CHECK(row >= 0 && row < 16);
+  SSMA_CHECK(row >= 0 && row < ppa::kProtosPerCodebook);
   lut_rcd_.reset();
 
   // Functional result is fully determined now; events realize the timing.

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "ppa/tech_constants.hpp"
 #include "sim/adders.hpp"
 #include "sim/context.hpp"
 #include "sim/rcd_tree.hpp"
@@ -16,12 +17,17 @@
 
 namespace ssma::sim {
 
+/// One decoder's LUT contents: the fixed 16-row hardware SRAM shape.
+/// Software configs with a different Config::nprototypes() cannot be
+/// programmed onto this unit — the programming paths check loudly.
+using LutTable = std::array<std::int8_t, ppa::kProtosPerCodebook>;
+
 class DecoderUnit {
  public:
   DecoderUnit(SimContext& ctx, int block, int dec);
 
   /// Programs the 16-entry LUT via the write port.
-  void program(SimContext& ctx, const std::array<std::int8_t, 16>& table);
+  void program(SimContext& ctx, const LutTable& table);
 
   std::int8_t lut_entry(int row) const { return sram_.read_word(row); }
 

@@ -1,0 +1,359 @@
+// Correctness hardening of the LUT accumulation hot path: every packed
+// kernel tier must be bit-exact vs the reference int32-accumulate /
+// saturate-once decode on randomized configurations (including ragged
+// row counts and non-16-multiple output tails), the packed layout must
+// round-trip, and the saturation semantics must hold under adversarial
+// all-±127 banks that overflow int16.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "maddness/amm.hpp"
+#include "maddness/framing.hpp"
+#include "maddness/lut.hpp"
+#include "maddness/lut_kernel.hpp"
+#include "ppa/tech_constants.hpp"
+#include "util/rng.hpp"
+
+using namespace ssma;
+using namespace ssma::maddness;
+
+namespace {
+
+std::vector<KernelTier> available_tiers() {
+  std::vector<KernelTier> tiers{KernelTier::kScalar};
+  if (kernel_tier_available(KernelTier::kSsse3))
+    tiers.push_back(KernelTier::kSsse3);
+  if (kernel_tier_available(KernelTier::kAvx2))
+    tiers.push_back(KernelTier::kAvx2);
+  return tiers;
+}
+
+/// Handcrafted random bank: entries uniform in [-127, 127].
+LutBank random_bank(Rng& rng, int ncodebooks, int nlevels, int nout) {
+  LutBank bank;
+  bank.cfg.ncodebooks = ncodebooks;
+  bank.cfg.nlevels = nlevels;
+  bank.nout = nout;
+  const std::size_t entries = static_cast<std::size_t>(ncodebooks) *
+                              bank.cfg.nprototypes() * nout;
+  bank.q.resize(entries);
+  for (auto& v : bank.q)
+    v = static_cast<std::int8_t>(rng.next_int(-127, 127));
+  bank.scales.assign(
+      bank.cfg.per_column_lut_scale ? static_cast<std::size_t>(nout) : 1u,
+      1.0f);
+  return bank;
+}
+
+std::vector<std::uint8_t> random_codes(Rng& rng, std::size_t rows,
+                                       int ncodebooks, int nprotos) {
+  std::vector<std::uint8_t> codes(rows * static_cast<std::size_t>(ncodebooks));
+  for (auto& c : codes)
+    c = static_cast<std::uint8_t>(rng.next_int(0, nprotos - 1));
+  return codes;
+}
+
+Matrix random_activations(Rng& rng, std::size_t n, std::size_t d) {
+  Matrix x(n, d);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.data()[i] = static_cast<float>(rng.next_double(0, 200));
+  return x;
+}
+
+Matrix random_weights(Rng& rng, std::size_t d, std::size_t o) {
+  Matrix w(d, o);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w.data()[i] = static_cast<float>(rng.next_gaussian(0, 0.05));
+  return w;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- layout round trip
+
+TEST(LutPacked, PackUnpackRoundTrip) {
+  Rng rng(101);
+  for (const int nout : {1, 5, 16, 37}) {
+    const LutBank bank = random_bank(rng, 3, 4, nout);
+    const LutBankPacked packed = pack_lut(bank);
+    ASSERT_EQ(packed.q.size(), bank.q.size());
+    for (int c = 0; c < 3; ++c)
+      for (int k = 0; k < 16; ++k)
+        for (int o = 0; o < nout; ++o)
+          ASSERT_EQ(packed.at(c, k, o), bank.at(c, k, o))
+              << "c=" << c << " k=" << k << " o=" << o;
+    const LutBank back = unpack_lut(packed, bank.cfg);
+    EXPECT_EQ(back.q, bank.q);
+    EXPECT_EQ(back.scales, bank.scales);
+    EXPECT_EQ(back.nout, bank.nout);
+  }
+}
+
+TEST(LutPacked, TableIsContiguousPerCodebookOutput) {
+  Rng rng(103);
+  const LutBank bank = random_bank(rng, 2, 4, 7);
+  const LutBankPacked packed = pack_lut(bank);
+  for (int c = 0; c < 2; ++c)
+    for (int o = 0; o < 7; ++o) {
+      const std::int8_t* t = packed.table_ptr(c, o);
+      for (int k = 0; k < 16; ++k) EXPECT_EQ(t[k], bank.at(c, k, o));
+    }
+}
+
+// -------------------------------------------------- kernel bit-exactness
+
+TEST(LutKernel, AllTiersBitExactOnRandomConfigMatrix) {
+  Rng rng(2027);
+  const auto tiers = available_tiers();
+  // Dimensions chosen to stress tails: rows not multiples of the 16/32
+  // row blocks, nout not multiples of the output block (including < 1
+  // block), codebook counts around the SIMD chunk boundaries.
+  const int cases[][3] = {
+      // {ncodebooks, nout, rows}
+      {1, 1, 1},    {1, 5, 7},     {3, 16, 31},  {7, 37, 33},
+      {16, 64, 64}, {16, 130, 50}, {32, 128, 96}, {40, 23, 100},
+  };
+  for (const auto& cs : cases) {
+    const int ncb = cs[0], nout = cs[1];
+    const std::size_t rows = static_cast<std::size_t>(cs[2]);
+    const LutBank bank = random_bank(rng, ncb, 4, nout);
+    const auto codes = random_codes(rng, rows, ncb, 16);
+    const auto ref = apply_lut_reference(bank, codes, rows);
+    const LutBankPacked packed = pack_lut(bank);
+    const EncodedBatch enc = make_encoded_batch(codes, rows, ncb);
+    for (const KernelTier tier : tiers) {
+      const auto got = apply_lut_packed(packed, enc, tier);
+      ASSERT_EQ(got, ref) << "tier=" << kernel_tier_name(tier)
+                          << " ncb=" << ncb << " nout=" << nout
+                          << " rows=" << rows;
+    }
+  }
+}
+
+TEST(LutKernel, NonHardwarePrototypeCountFallsBackExactly) {
+  // K=8 (nlevels=3) banks cannot use the pshufb tiers; requesting the
+  // top tier must still produce reference-exact results via the scalar
+  // fallback rather than silently misindexing a 16-wide shuffle.
+  Rng rng(2029);
+  const LutBank bank = random_bank(rng, 5, 3, 21);
+  const auto codes = random_codes(rng, 40, 5, 8);
+  const auto ref = apply_lut_reference(bank, codes, 40);
+  const LutBankPacked packed = pack_lut(bank);
+  ASSERT_EQ(packed.nprotos, 8);
+  const EncodedBatch enc = make_encoded_batch(codes, 40, 5);
+  for (const KernelTier tier : available_tiers())
+    EXPECT_EQ(apply_lut_packed(packed, enc, tier), ref)
+        << kernel_tier_name(tier);
+}
+
+TEST(LutKernel, EmptyBatchAndEmptyBank) {
+  Rng rng(2031);
+  const LutBank bank = random_bank(rng, 2, 4, 6);
+  const LutBankPacked packed = pack_lut(bank);
+  EncodedBatch empty;
+  empty.ncodebooks = 2;
+  EXPECT_TRUE(apply_lut_packed(packed, empty).empty());
+  const LutBank nooutputs = random_bank(rng, 2, 4, 0);
+  const auto codes = random_codes(rng, 9, 2, 16);
+  EXPECT_TRUE(apply_lut_packed(pack_lut(nooutputs),
+                               make_encoded_batch(codes, 9, 2))
+                  .empty());
+  EXPECT_TRUE(apply_lut_reference(nooutputs, codes, 9).empty());
+}
+
+// --------------------------------------------- accumulator saturation
+
+TEST(LutKernel, AdversarialAllMaxLutsSaturateInsteadOfWrapping) {
+  // 300 codebooks of all-(+127) entries sum to 38100 > INT16_MAX: the old
+  // int16 wraparound accumulator produced a negative garbage value here;
+  // the int32-accumulate / clamp-once path must pin to the rail.
+  const int ncb = 300;
+  LutBank bank;
+  bank.cfg.ncodebooks = ncb;
+  bank.cfg.nlevels = 4;
+  bank.cfg.validate();
+  bank.nout = 10;
+  bank.q.assign(static_cast<std::size_t>(ncb) * 16 * 10, 127);
+  bank.scales.assign(10, 1.0f);
+  Rng rng(2033);
+  const std::size_t rows = 37;
+  const auto codes = random_codes(rng, rows, ncb, 16);
+
+  const auto ref = apply_lut_reference(bank, codes, rows);
+  for (const std::int16_t v : ref) ASSERT_EQ(v, 32767);
+
+  const LutBankPacked packed = pack_lut(bank);
+  const EncodedBatch enc = make_encoded_batch(codes, rows, ncb);
+  for (const KernelTier tier : available_tiers())
+    EXPECT_EQ(apply_lut_packed(packed, enc, tier), ref)
+        << kernel_tier_name(tier);
+
+  // Negative rail: all -127 must clamp at -32768, not wrap positive.
+  for (auto& v : bank.q) v = -127;
+  const auto ref_neg = apply_lut_reference(bank, codes, rows);
+  for (const std::int16_t v : ref_neg) ASSERT_EQ(v, -32768);
+  const LutBankPacked packed_neg = pack_lut(bank);
+  for (const KernelTier tier : available_tiers())
+    EXPECT_EQ(apply_lut_packed(packed_neg, enc, tier), ref_neg)
+        << kernel_tier_name(tier);
+}
+
+TEST(LutKernel, MixedSignNearRailStaysExact) {
+  // Alternating ±127 banks hover around zero with large intermediate
+  // partials; saturating per-add (e.g. adds_epi16) would diverge from
+  // clamp-once semantics. All tiers must agree with the reference.
+  const int ncb = 300;
+  LutBank bank;
+  bank.cfg.ncodebooks = ncb;
+  bank.nout = 8;
+  bank.q.resize(static_cast<std::size_t>(ncb) * 16 * 8);
+  for (std::size_t i = 0; i < bank.q.size(); ++i) {
+    const std::size_t c = i / (16u * 8u);
+    bank.q[i] = (c % 2 == 0) ? 127 : -127;
+  }
+  bank.scales.assign(8, 1.0f);
+  Rng rng(2035);
+  const auto codes = random_codes(rng, 33, ncb, 16);
+  const auto ref = apply_lut_reference(bank, codes, 33);
+  for (const std::int16_t v : ref) ASSERT_EQ(v, 0);
+  const LutBankPacked packed = pack_lut(bank);
+  const EncodedBatch enc = make_encoded_batch(codes, 33, ncb);
+  for (const KernelTier tier : available_tiers())
+    EXPECT_EQ(apply_lut_packed(packed, enc, tier), ref)
+        << kernel_tier_name(tier);
+}
+
+// ------------------------------------------------------ Amm integration
+
+TEST(LutKernel, TrainedOperatorPackedMatchesReference) {
+  Rng rng(2037);
+  for (const int nout : {3, 17, 64}) {
+    Config cfg;
+    cfg.ncodebooks = 8;
+    const std::size_t d = 8 * 9;
+    const Matrix x = random_activations(rng, 200, d);
+    const Matrix w = random_weights(rng, d, static_cast<std::size_t>(nout));
+    const Amm amm = Amm::train(cfg, x, w);
+    const auto q = quantize_activations(x, amm.activation_scale());
+    EXPECT_EQ(amm.apply_int16(q), amm.apply_int16_reference(q))
+        << "nout=" << nout;
+  }
+}
+
+TEST(LutKernel, EncodeBatchCacheMatchesRowMajorEncode) {
+  Rng rng(2039);
+  Config cfg;
+  cfg.ncodebooks = 4;
+  const std::size_t d = 4 * 9;
+  const Matrix x = random_activations(rng, 65, d);
+  const Amm amm = Amm::train(cfg, x, random_weights(rng, d, 6));
+  const auto q = quantize_activations(x, amm.activation_scale());
+  const auto row_major = amm.encode(q);
+  const EncodedBatch enc = amm.encode_batch(q);
+  ASSERT_EQ(enc.rows, q.rows);
+  ASSERT_EQ(enc.ncodebooks, 4);
+  for (std::size_t n = 0; n < q.rows; ++n)
+    for (int c = 0; c < 4; ++c)
+      ASSERT_EQ(enc.codebook(c)[n], row_major[n * 4 + c]);
+  // Applying through the cache equals the one-shot path.
+  EXPECT_EQ(amm.apply_int16(enc), amm.apply_int16(q));
+}
+
+TEST(LutKernel, DispatchReportsAConsistentTier) {
+  const KernelTier best = best_kernel_tier();
+  EXPECT_TRUE(kernel_tier_available(best));
+  EXPECT_TRUE(kernel_tier_available(KernelTier::kScalar));
+  EXPECT_LE(static_cast<int>(select_kernel_tier()),
+            static_cast<int>(best));
+  EXPECT_STREQ(kernel_tier_name(KernelTier::kScalar), "scalar");
+  EXPECT_STREQ(kernel_tier_name(KernelTier::kSsse3), "ssse3");
+  EXPECT_STREQ(kernel_tier_name(KernelTier::kAvx2), "avx2");
+}
+
+// ------------------------------------------- serialization edge cases
+
+TEST(LutSerialize, EmptyBankRoundTripsThroughCrcFrame) {
+  Rng rng(2041);
+  Config cfg;
+  cfg.ncodebooks = 2;
+  const std::size_t d = 2 * 9;
+  const Matrix x = random_activations(rng, 120, d);
+  const Amm amm = Amm::train(cfg, x, Matrix(d, 0));
+  ASSERT_EQ(amm.lut().nout, 0);
+  ASSERT_TRUE(amm.lut().q.empty());
+  std::stringstream ss;
+  amm.save(ss);
+  const Amm loaded = Amm::load(ss);
+  EXPECT_EQ(loaded.lut().nout, 0);
+  EXPECT_TRUE(loaded.lut().q.empty());
+  EXPECT_EQ(loaded.packed_lut().q.size(), 0u);
+  const auto q = quantize_activations(x, loaded.activation_scale());
+  EXPECT_TRUE(loaded.apply_int16(q).empty());
+}
+
+TEST(LutSerialize, BroadcastScaleRoundTrips) {
+  Rng rng(2043);
+  Config cfg;
+  cfg.ncodebooks = 2;
+  cfg.per_column_lut_scale = false;
+  const std::size_t d = 2 * 9;
+  const Matrix x = random_activations(rng, 150, d);
+  const Amm amm = Amm::train(cfg, x, random_weights(rng, d, 5));
+  ASSERT_EQ(amm.lut().scales.size(), 1u);  // single broadcast scale
+  std::stringstream ss;
+  amm.save(ss);
+  const Amm loaded = Amm::load(ss);
+  ASSERT_EQ(loaded.lut().scales.size(), 1u);
+  EXPECT_EQ(loaded.lut().scales, amm.lut().scales);
+  EXPECT_EQ(loaded.lut().q, amm.lut().q);
+  EXPECT_FALSE(loaded.packed_lut().per_column_scale);
+  // scale(o) broadcasts the single entry to every column.
+  for (int o = 0; o < 5; ++o)
+    EXPECT_EQ(loaded.lut().scale(o), loaded.lut().scales[0]);
+  const auto q = quantize_activations(x, loaded.activation_scale());
+  EXPECT_EQ(loaded.apply_int16(q), amm.apply_int16_reference(q));
+}
+
+TEST(LutSerialize, PackedUnpackedRoundTripUnderCrcFraming) {
+  // The packed layout is derived state: serializing and reloading an
+  // operator must (a) keep the SSMAAMM2 frame byte-identical, (b) yield
+  // a packed bank equal to repacking the original, and (c) unpack back
+  // to the exact proto-major entries that were framed.
+  Rng rng(2045);
+  Config cfg;
+  cfg.ncodebooks = 3;
+  const std::size_t d = 3 * 9;
+  const Matrix x = random_activations(rng, 180, d);
+  const Amm amm = Amm::train(cfg, x, random_weights(rng, d, 7));
+  std::stringstream ss;
+  amm.save(ss);
+  const std::string bytes = ss.str();
+  std::istringstream is(bytes);
+  const Amm loaded = Amm::load(is);
+  EXPECT_EQ(loaded.packed_lut().q, amm.packed_lut().q);
+  EXPECT_EQ(loaded.packed_lut().scales, amm.packed_lut().scales);
+  const LutBank unpacked = unpack_lut(loaded.packed_lut(), loaded.cfg());
+  EXPECT_EQ(unpacked.q, amm.lut().q);
+  // Re-serializing the loaded operator reproduces the original frame
+  // bit-for-bit (and therefore the same CRC).
+  std::stringstream ss2;
+  loaded.save(ss2);
+  EXPECT_EQ(ss2.str(), bytes);
+  // The framed payload itself still validates through the CRC reader.
+  std::istringstream frame(bytes);
+  char magic[8];
+  frame.read(magic, 8);
+  std::string payload;
+  EXPECT_TRUE(try_read_framed_blob(frame, &payload));
+  EXPECT_FALSE(payload.empty());
+  // Flipping one payload byte must fail the CRC check, proving the frame
+  // actually guards the LUT bytes the packed layout is derived from.
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() - 1] ^= 0x01;
+  std::istringstream bad(corrupt);
+  bad.read(magic, 8);
+  std::string dropped;
+  EXPECT_FALSE(try_read_framed_blob(bad, &dropped));
+}

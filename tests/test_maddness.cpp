@@ -445,9 +445,15 @@ TEST(Amm, ConfigValidation) {
   Config bad;
   bad.ncodebooks = 0;
   EXPECT_THROW(bad.validate(), CheckError);
-  Config overflow;
-  overflow.ncodebooks = 300;  // 300*127 >= 2^15
-  EXPECT_THROW(overflow.validate(), CheckError);
+  // Since the decode accumulates in int32 and clamps once at the end,
+  // codebook counts whose worst-case sum exceeds int16 are legal (they
+  // saturate instead of wrapping); only implausible counts are rejected.
+  Config saturating;
+  saturating.ncodebooks = 300;  // 300*127 >= 2^15: clamps, no longer throws
+  saturating.validate();
+  Config implausible;
+  implausible.ncodebooks = 5000;
+  EXPECT_THROW(implausible.validate(), CheckError);
   Config wide;
   wide.lut_bits = 9;  // hardware columns are 8 bits
   EXPECT_THROW(wide.validate(), CheckError);
