@@ -1,22 +1,34 @@
-// Old-vs-new sweep of the LUT accumulation hot path. For each
+// Old-vs-new sweep of the AMM hot path. For each
 // (rows, ncodebooks, nout) cell it measures:
-//   * ref    — the pre-rewrite path: row-major encode + naive
-//              row->codebook->output accumulation over the proto-major
-//              layout (apply_lut_reference),
-//   * packed — the rewritten path: one codebook-major encode + the
-//              packed output-major kernel at the runtime-selected tier,
-//   * each individually available tier on a prebuilt encode cache, so
-//     the dispatch levels can be compared in one artifact.
-// Every cell also asserts bit-exactness of packed vs ref before timing —
-// a perf artifact from a wrong kernel is worse than none.
+//   * ref     — the pre-rewrite path: per-row tree-walk encode + naive
+//               row->codebook->output accumulation over the proto-major
+//               layout (apply_lut_reference),
+//   * scalar_encode — the PR 3 shape: scalar codebook-major tree walk
+//               (encode_all_codebook_major) feeding the packed kernel —
+//               the "old" end-to-end the vectorized encoder replaces,
+//   * packed  — the current serving path: vectorized batch encode into
+//               reusable scratch + the packed output-major kernel, both
+//               at their runtime-selected tiers,
+//   * kernel_only — each available accumulation tier on a prebuilt
+//               encode cache,
+//   * encoder — each available encoder tier, encode only, plus the
+//               cell's encode_fraction: the share of the new end-to-end
+//               time spent encoding (how much of the encode/kernel gap
+//               remains).
+// Every cell also asserts bit-exactness (encoder tiers vs the per-row
+// HashTree walk, packed kernel vs the reference accumulation) before
+// timing — a perf artifact from a wrong kernel is worse than none.
 //
 //   build/bench/amm_kernel_sweep [--smoke] [--out=BENCH_amm_kernel.json]
 //                                [--min-ms=N]
 //
 // --smoke shrinks the workload to seconds (for the sanitizer CI job),
 // checks exactness on every tier and writes no artifact. The full run
-// writes one JSON object (see README "LUT kernel architecture" for how
-// to read it); the headline cell is (rows=256, ncodebooks=32, nout=128).
+// writes one JSON object (see README "Encoder kernel architecture" for
+// how to read it); the headline cell is (rows=256, ncodebooks=32,
+// nout=128) with two speedups: headline_speedup_256x32x128 (vs the
+// naive reference) and e2e_speedup_256x32x128 (vs the PR 3
+// scalar-encode + packed-kernel end-to-end).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -26,7 +38,9 @@
 
 #include "bench_env.hpp"
 #include "maddness/amm.hpp"
+#include "maddness/encoder_kernel.hpp"
 #include "maddness/lut_kernel.hpp"
+#include "maddness/prototypes.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -109,6 +123,11 @@ int main(int argc, char** argv) {
     tiers.push_back(maddness::KernelTier::kSsse3);
   if (maddness::kernel_tier_available(maddness::KernelTier::kAvx2))
     tiers.push_back(maddness::KernelTier::kAvx2);
+  std::vector<maddness::KernelTier> enc_tiers{maddness::KernelTier::kScalar};
+  if (maddness::encoder_tier_available(maddness::KernelTier::kSsse3))
+    enc_tiers.push_back(maddness::KernelTier::kSsse3);
+  if (maddness::encoder_tier_available(maddness::KernelTier::kAvx2))
+    enc_tiers.push_back(maddness::KernelTier::kAvx2);
 
   struct CellSpec {
     std::size_t rows;
@@ -129,6 +148,7 @@ int main(int argc, char** argv) {
   Rng rng(2026);
   std::string cells_json;
   double headline_speedup = 0.0;
+  double e2e_speedup = 0.0;
   int trained_ncb = -1, trained_nout = -1;
   maddness::Amm amm;  // reused across row counts of one (ncb, nout) pair
   for (const CellSpec& spec : specs) {
@@ -144,10 +164,26 @@ int main(int argc, char** argv) {
     const maddness::QuantizedActivations q =
         maddness::quantize_activations(x, amm.activation_scale());
 
-    // Correctness gate: the packed kernel must be bit-exact vs the
-    // reference on this cell (all tiers) before any number is recorded.
+    // Correctness gates before any number is recorded: every encoder
+    // tier must reproduce the per-row HashTree walk to the bit, and
+    // every accumulation tier must match the reference decode.
+    const auto ref_codes =
+        maddness::encode_all_codebook_major(amm.cfg(), amm.trees(), q);
+    maddness::EncodeScratch scratch;
+    maddness::EncodedBatch enc;
+    for (const maddness::KernelTier tier : enc_tiers) {
+      maddness::encode_batch_packed(amm.encoder_bank(), q, tier, scratch,
+                                    enc);
+      if (enc.codes != ref_codes) {
+        std::fprintf(stderr,
+                     "ENCODER MISMATCH: tier %s differs from "
+                     "HashTree::encode at rows=%zu ncb=%d\n",
+                     maddness::kernel_tier_name(tier), spec.rows,
+                     spec.ncodebooks);
+        return 2;
+      }
+    }
     const auto ref_out = amm.apply_int16_reference(q);
-    const maddness::EncodedBatch enc = amm.encode_batch(q);
     for (const maddness::KernelTier tier : tiers) {
       const auto got =
           maddness::apply_lut_packed(amm.packed_lut(), enc, tier);
@@ -161,34 +197,53 @@ int main(int argc, char** argv) {
       }
     }
 
-    // End-to-end old vs new (both include their encode step).
+    // End-to-end: naive reference, the PR 3 scalar-encode + packed
+    // kernel shape, and the current serving path (vectorized encode
+    // into reusable scratch + packed kernel).
+    std::vector<std::int16_t> out;
     const double ref_s = seconds_per_call(
         [&] {
-          const auto out = amm.apply_int16_reference(q);
+          const auto r = amm.apply_int16_reference(q);
+          g_sink = static_cast<std::int16_t>(g_sink + r[0]);
+        },
+        min_ms);
+    const double scalar_enc_s = seconds_per_call(
+        [&] {
+          maddness::EncodedBatch old_enc;
+          old_enc.rows = q.rows;
+          old_enc.ncodebooks = amm.cfg().ncodebooks;
+          old_enc.codes =
+              maddness::encode_all_codebook_major(amm.cfg(), amm.trees(), q);
+          amm.apply_int16(old_enc, out);
           g_sink = static_cast<std::int16_t>(g_sink + out[0]);
         },
         min_ms);
     const double packed_s = seconds_per_call(
         [&] {
-          const auto out = amm.apply_int16(q);
+          amm.encode_batch(q, scratch, enc);
+          amm.apply_int16(enc, out);
           g_sink = static_cast<std::int16_t>(g_sink + out[0]);
         },
         min_ms);
     const Measure ref_m =
         make_measure(spec.rows, spec.ncodebooks, spec.nout, ref_s);
+    const Measure scalar_enc_m =
+        make_measure(spec.rows, spec.ncodebooks, spec.nout, scalar_enc_s);
     const Measure packed_m =
         make_measure(spec.rows, spec.ncodebooks, spec.nout, packed_s);
     const double speedup = ref_s / packed_s;
-    if (spec.rows == 256 && spec.ncodebooks == 32 && spec.nout == 128)
+    const double cell_e2e_speedup = scalar_enc_s / packed_s;
+    if (spec.rows == 256 && spec.ncodebooks == 32 && spec.nout == 128) {
       headline_speedup = speedup;
+      e2e_speedup = cell_e2e_speedup;
+    }
 
     // Per-tier kernel-only numbers on the prebuilt encode cache.
     std::string tier_json;
     for (const maddness::KernelTier tier : tiers) {
       const double tier_s = seconds_per_call(
           [&] {
-            const auto out =
-                maddness::apply_lut_packed(amm.packed_lut(), enc, tier);
+            maddness::apply_lut_packed(amm.packed_lut(), enc, tier, out);
             g_sink = static_cast<std::int16_t>(g_sink + out[0]);
           },
           min_ms);
@@ -199,26 +254,61 @@ int main(int argc, char** argv) {
                                              spec.nout, tier_s));
     }
 
+    // Per-tier encoder-only numbers (scratch reused, as serving does),
+    // plus the selected-tier encode time for the encode_fraction.
+    std::string enc_json;
+    double enc_selected_s = 0.0;
+    for (const maddness::KernelTier tier : enc_tiers) {
+      const double tier_s = seconds_per_call(
+          [&] {
+            maddness::encode_batch_packed(amm.encoder_bank(), q, tier,
+                                          scratch, enc);
+            g_sink = static_cast<std::int16_t>(g_sink + enc.codes[0]);
+          },
+          min_ms);
+      if (tier == maddness::select_encoder_tier()) enc_selected_s = tier_s;
+      if (!enc_json.empty()) enc_json += ",";
+      char ebuf[64];
+      std::snprintf(ebuf, sizeof(ebuf), "{\"rows_per_s\":%.0f}",
+                    static_cast<double>(spec.rows) / tier_s);
+      enc_json += std::string("\"") + maddness::kernel_tier_name(tier) +
+                  "\":" + ebuf;
+    }
+    // Share of the new end-to-end spent encoding: what remains of the
+    // encode/kernel gap at this cell.
+    const double encode_fraction =
+        packed_s > 0.0 ? enc_selected_s / packed_s : 0.0;
+
     if (!cells_json.empty()) cells_json += ",";
     cells_json += "{\"rows\":" + std::to_string(spec.rows) +
                   ",\"ncodebooks\":" + std::to_string(spec.ncodebooks) +
                   ",\"nout\":" + std::to_string(spec.nout) +
                   ",\"ref\":" + measure_json(ref_m) +
+                  ",\"scalar_encode\":" + measure_json(scalar_enc_m) +
                   ",\"packed\":" + measure_json(packed_m) + ",";
-    char sp[48];
-    std::snprintf(sp, sizeof(sp), "\"speedup\":%.2f,", speedup);
+    char sp[96];
+    std::snprintf(sp, sizeof(sp),
+                  "\"speedup\":%.2f,\"e2e_speedup\":%.2f,"
+                  "\"encode_fraction\":%.3f,",
+                  speedup, cell_e2e_speedup, encode_fraction);
     cells_json += sp;
-    cells_json += "\"kernel_only\":{" + tier_json + "}}";
+    cells_json += "\"kernel_only\":{" + tier_json + "},\"encoder\":{" +
+                  enc_json + "}}";
     std::fprintf(stderr,
-                 "rows=%4zu ncb=%2d nout=%3d  ref %.0f rows/s  packed "
-                 "%.0f rows/s  speedup %.2fx\n",
+                 "rows=%4zu ncb=%2d nout=%3d  ref %.0f rows/s  "
+                 "scalar-enc %.0f rows/s  packed %.0f rows/s  "
+                 "speedup %.2fx  e2e %.2fx  enc-frac %.2f\n",
                  spec.rows, spec.ncodebooks, spec.nout, ref_m.rows_per_s,
-                 packed_m.rows_per_s, speedup);
+                 scalar_enc_m.rows_per_s, packed_m.rows_per_s, speedup,
+                 cell_e2e_speedup, encode_fraction);
   }
 
   if (smoke) {
-    std::fprintf(stderr, "smoke ok (tiers:");
+    std::fprintf(stderr, "smoke ok (kernel tiers:");
     for (const maddness::KernelTier tier : tiers)
+      std::fprintf(stderr, " %s", maddness::kernel_tier_name(tier));
+    std::fprintf(stderr, "; encoder tiers:");
+    for (const maddness::KernelTier tier : enc_tiers)
       std::fprintf(stderr, " %s", maddness::kernel_tier_name(tier));
     std::fprintf(stderr, ")\n");
     return 0;
@@ -230,14 +320,25 @@ int main(int argc, char** argv) {
     tiers_json +=
         std::string("\"") + maddness::kernel_tier_name(tier) + "\"";
   }
-  char headline[64];
+  std::string enc_tiers_json;
+  for (const maddness::KernelTier tier : enc_tiers) {
+    if (!enc_tiers_json.empty()) enc_tiers_json += ",";
+    enc_tiers_json +=
+        std::string("\"") + maddness::kernel_tier_name(tier) + "\"";
+  }
+  char headline[128];
   std::snprintf(headline, sizeof(headline),
-                "\"headline_speedup_256x32x128\":%.2f", headline_speedup);
+                "\"headline_speedup_256x32x128\":%.2f,"
+                "\"e2e_speedup_256x32x128\":%.2f",
+                headline_speedup, e2e_speedup);
   const std::string json =
       std::string("{\"bench\":\"amm_kernel_sweep\",") +
       benchenv::machine_json() + ",\"tier_selected\":\"" +
       maddness::kernel_tier_name(maddness::select_kernel_tier()) +
-      "\",\"tiers_available\":[" + tiers_json + "]," + headline +
-      ",\"cells\":[" + cells_json + "]}";
+      "\",\"tiers_available\":[" + tiers_json +
+      "],\"encoder_tier_selected\":\"" +
+      maddness::kernel_tier_name(maddness::select_encoder_tier()) +
+      "\",\"encoder_tiers_available\":[" + enc_tiers_json + "]," +
+      headline + ",\"cells\":[" + cells_json + "]}";
   return benchenv::write_artifact(out_path, json) ? 0 : 1;
 }

@@ -107,6 +107,8 @@ void BM_PackedLutKernel(benchmark::State& state) {
 BENCHMARK(BM_PackedLutKernel)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_TreeEncode(benchmark::State& state) {
+  // Per-row reference walk — the scalar baseline BM_BatchEncoder is
+  // measured against (and the bit-exactness oracle for all its tiers).
   Rng rng(3);
   maddness::HashTree tree;
   for (int l = 0; l < 4; ++l) tree.set_split_dim(l, rng.next_int(0, 8));
@@ -125,6 +127,37 @@ void BM_TreeEncode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4096);
 }
 BENCHMARK(BM_TreeEncode);
+
+void BM_BatchEncoder(benchmark::State& state) {
+  // The vectorized batch encoder at a fixed dispatch tier (0 = scalar,
+  // 1 = ssse3, 2 = avx2); unavailable tiers skip. Scratch is reused
+  // across iterations, as the serve worker shards do.
+  const auto tier = static_cast<maddness::KernelTier>(state.range(0));
+  if (!maddness::encoder_tier_available(tier)) {
+    state.SkipWithError("tier not available on this build/CPU");
+    return;
+  }
+  const std::size_t n = 1024;
+  Rng rng(6);
+  maddness::Config cfg;
+  cfg.ncodebooks = 32;
+  const Matrix x = random_activations(rng, n, 32 * 9);
+  const Matrix w = random_weights(rng, 32 * 9, 16);
+  const auto amm = maddness::Amm::train(cfg, x, w);
+  const auto q = maddness::quantize_activations(x, amm.activation_scale());
+  maddness::EncodeScratch scratch;
+  maddness::EncodedBatch enc;
+  for (auto _ : state) {
+    maddness::encode_batch_packed(amm.encoder_bank(), q, tier, scratch,
+                                  enc);
+    benchmark::DoNotOptimize(enc.codes.data());
+  }
+  // One leaf code per (row, codebook).
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n * 32);
+  state.SetLabel(maddness::kernel_tier_name(tier));
+}
+BENCHMARK(BM_BatchEncoder)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_EventSimTokens(benchmark::State& state) {
   const int ndec = static_cast<int>(state.range(0));

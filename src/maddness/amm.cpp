@@ -52,21 +52,36 @@ Amm Amm::train(const Config& cfg, const Matrix& train_activations,
 
   amm.protos_ = learn_prototypes(cfg, amm.trees_, q);
   amm.lut_ = build_lut(amm.protos_, weights);
-  amm.repack_lut();
+  amm.rebuild_derived();
   return amm;
 }
 
 std::vector<std::uint8_t> Amm::encode(const QuantizedActivations& q) const {
-  return encode_all(cfg_, trees_, q);
+  const EncodedBatch enc = encode_batch(q);
+  std::vector<std::uint8_t> row_major(enc.codes.size());
+  const auto ncb = static_cast<std::size_t>(enc.ncodebooks);
+  for (std::size_t c = 0; c < ncb; ++c)
+    for (std::size_t n = 0; n < enc.rows; ++n)
+      row_major[n * ncb + c] = enc.codes[c * enc.rows + n];
+  return row_major;
 }
 
 EncodedBatch Amm::encode_batch(const QuantizedActivations& q) const {
-  SSMA_CHECK(q.cols == static_cast<std::size_t>(cfg_.total_dims()));
+  EncodeScratch scratch;
   EncodedBatch enc;
-  enc.rows = q.rows;
-  enc.ncodebooks = cfg_.ncodebooks;
-  enc.codes = encode_all_codebook_major(cfg_, trees_, q);
+  encode_batch(q, scratch, enc);
   return enc;
+}
+
+void Amm::encode_batch(const QuantizedActivations& q,
+                       EncodeScratch& scratch, EncodedBatch& out) const {
+  encode_batch_packed(bank_, q, select_encoder_tier(), scratch, out);
+}
+
+void Amm::encode_batch(const Matrix& x, EncodeScratch& scratch,
+                       EncodedBatch& out) const {
+  encode_batch_packed(bank_, x, act_scale_, select_encoder_tier(), scratch,
+                      out);
 }
 
 std::vector<std::int16_t> Amm::apply_int16(
@@ -78,16 +93,28 @@ std::vector<std::int16_t> Amm::apply_int16(const EncodedBatch& enc) const {
   return apply_lut_packed(packed_, enc);
 }
 
+void Amm::apply_int16(const EncodedBatch& enc,
+                      std::vector<std::int16_t>& out) const {
+  apply_lut_packed(packed_, enc, select_kernel_tier(), out);
+}
+
 std::vector<std::int16_t> Amm::apply_int16_reference(
     const QuantizedActivations& q) const {
   SSMA_CHECK(q.cols == static_cast<std::size_t>(cfg_.total_dims()));
-  return apply_lut_reference(lut_, encode(q), q.rows);
+  // The reference path stays fully independent of the vectorized
+  // encoder: per-row HashTree::encode walk + naive accumulation.
+  return apply_lut_reference(lut_, encode_all(cfg_, trees_, q), q.rows);
 }
 
 Matrix Amm::apply(const Matrix& x) const {
-  const QuantizedActivations q = quantize_activations(x, act_scale_);
-  const auto acc = apply_int16(q);
-  return dequantize_result(acc, q.rows);
+  // Fused quantize + encode: one pass over the float input instead of
+  // quantize-then-encode; codes (and therefore outputs) are
+  // bit-identical to the two-pass path.
+  EncodeScratch scratch;
+  EncodedBatch enc;
+  encode_batch(x, scratch, enc);
+  const auto acc = apply_int16(enc);
+  return dequantize_result(acc, x.rows());
 }
 
 Matrix Amm::dequantize_result(const std::vector<std::int16_t>& acc,

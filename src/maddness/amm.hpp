@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "maddness/config.hpp"
+#include "maddness/encoder_kernel.hpp"
 #include "maddness/hash_tree.hpp"
 #include "maddness/lut.hpp"
 #include "maddness/lut_kernel.hpp"
@@ -36,16 +37,30 @@ class Amm {
   /// Output-major repack of lut(), built once at train/load time — the
   /// layout the accumulation kernels run on.
   const LutBankPacked& packed_lut() const { return packed_; }
+  /// SoA flattening of trees(), built once at train/load time — the
+  /// layout the vectorized batch encoder runs on.
+  const EncoderBank& encoder_bank() const { return bank_; }
   const Prototypes& prototypes() const { return protos_; }
   float activation_scale() const { return act_scale_; }
 
-  /// Encodes a (pre-quantized) activation matrix: N x M leaf codes.
+  /// Encodes a (pre-quantized) activation matrix: N x M leaf codes,
+  /// row-major. Runs the vectorized encoder and transposes — bit-exact
+  /// vs the per-row HashTree::encode reference walk.
   std::vector<std::uint8_t> encode(const QuantizedActivations& q) const;
 
   /// Encode cache: encodes the batch once into the codebook-major layout
   /// the accumulation kernel consumes. Callers that apply the same batch
   /// more than once (replay, sweeps) reuse it to skip re-encoding.
   EncodedBatch encode_batch(const QuantizedActivations& q) const;
+  /// Scratch-reusing form for steady-state callers (serve worker
+  /// shards): same codes, zero allocations once `scratch` and `out`
+  /// capacities are established.
+  void encode_batch(const QuantizedActivations& q, EncodeScratch& scratch,
+                    EncodedBatch& out) const;
+  /// Fused quantize + encode from float activations: one pass over the
+  /// input, bit-identical to quantize_activations + encode_batch.
+  void encode_batch(const Matrix& x, EncodeScratch& scratch,
+                    EncodedBatch& out) const;
 
   /// Hardware-exact decode: accumulates the int8 LUT entries selected by
   /// the codes in int32 and saturates once to int16 at the end (the
@@ -53,6 +68,10 @@ class Amm {
   /// (row-major). Runs the packed, tier-dispatched kernel.
   std::vector<std::int16_t> apply_int16(const QuantizedActivations& q) const;
   std::vector<std::int16_t> apply_int16(const EncodedBatch& enc) const;
+  /// Non-allocating form: `out` is resized capacity-reusing, so a
+  /// caller that keeps it alive pays zero steady-state allocations.
+  void apply_int16(const EncodedBatch& enc,
+                   std::vector<std::int16_t>& out) const;
 
   /// Reference decode: naive triple loop over the proto-major layout,
   /// same accumulate-then-clamp semantics. The packed kernels are tested
@@ -78,14 +97,19 @@ class Amm {
   static Amm load_file(const std::string& path);
 
  private:
-  /// Rebuilds the packed bank from lut_ (after training or load).
-  void repack_lut() { packed_ = pack_lut(lut_); }
+  /// Rebuilds the derived hot-path state (packed LUT bank + flattened
+  /// encoder bank) from lut_/trees_ after training or load.
+  void rebuild_derived() {
+    packed_ = pack_lut(lut_);
+    bank_ = build_encoder_bank(cfg_, trees_);
+  }
 
   Config cfg_;
   std::vector<HashTree> trees_;
   Prototypes protos_;
   LutBank lut_;
   LutBankPacked packed_;
+  EncoderBank bank_;
   float act_scale_ = 1.0f;
 };
 

@@ -11,7 +11,23 @@ namespace ssma::maddness {
 
 namespace {
 
-bool cpu_supports(KernelTier tier) {
+KernelTier parse_tier_env(const char* s, KernelTier fallback) {
+  if (!s) return fallback;
+  if (std::strcmp(s, "scalar") == 0) return KernelTier::kScalar;
+  if (std::strcmp(s, "ssse3") == 0) return KernelTier::kSsse3;
+  if (std::strcmp(s, "avx2") == 0) return KernelTier::kAvx2;
+  return fallback;
+}
+
+inline std::int16_t saturate16(std::int32_t v) {
+  return static_cast<std::int16_t>(std::clamp<std::int32_t>(v, -32768, 32767));
+}
+
+}  // namespace
+
+namespace detail {
+
+bool cpu_supports_tier(KernelTier tier) {
   switch (tier) {
     case KernelTier::kScalar:
       return true;
@@ -31,19 +47,12 @@ bool cpu_supports(KernelTier tier) {
   return false;
 }
 
-KernelTier parse_tier_env(const char* s, KernelTier fallback) {
-  if (!s) return fallback;
-  if (std::strcmp(s, "scalar") == 0) return KernelTier::kScalar;
-  if (std::strcmp(s, "ssse3") == 0) return KernelTier::kSsse3;
-  if (std::strcmp(s, "avx2") == 0) return KernelTier::kAvx2;
-  return fallback;
+KernelTier clamp_tier_by_env(KernelTier best) {
+  const KernelTier want = parse_tier_env(std::getenv("SSMA_KERNEL"), best);
+  return static_cast<int>(want) < static_cast<int>(best) ? want : best;
 }
 
-inline std::int16_t saturate16(std::int32_t v) {
-  return static_cast<std::int16_t>(std::clamp<std::int32_t>(v, -32768, 32767));
-}
-
-}  // namespace
+}  // namespace detail
 
 const char* kernel_tier_name(KernelTier tier) {
   switch (tier) {
@@ -62,9 +71,9 @@ bool kernel_tier_available(KernelTier tier) {
     case KernelTier::kScalar:
       return true;
     case KernelTier::kSsse3:
-      return detail::ssse3_compiled_in() && cpu_supports(tier);
+      return detail::ssse3_compiled_in() && detail::cpu_supports_tier(tier);
     case KernelTier::kAvx2:
-      return detail::avx2_compiled_in() && cpu_supports(tier);
+      return detail::avx2_compiled_in() && detail::cpu_supports_tier(tier);
   }
   return false;
 }
@@ -76,11 +85,7 @@ KernelTier best_kernel_tier() {
 }
 
 KernelTier select_kernel_tier() {
-  static const KernelTier tier = [] {
-    const KernelTier best = best_kernel_tier();
-    const KernelTier want = parse_tier_env(std::getenv("SSMA_KERNEL"), best);
-    return static_cast<int>(want) < static_cast<int>(best) ? want : best;
-  }();
+  static const KernelTier tier = detail::clamp_tier_by_env(best_kernel_tier());
   return tier;
 }
 
@@ -174,17 +179,15 @@ void apply_packed_scalar(const LutBankPacked& lut, const EncodedBatch& enc,
 
 }  // namespace detail
 
-std::vector<std::int16_t> apply_lut_packed(const LutBankPacked& lut,
-                                           const EncodedBatch& enc,
-                                           KernelTier tier) {
+void apply_lut_packed(const LutBankPacked& lut, const EncodedBatch& enc,
+                      KernelTier tier, std::vector<std::int16_t>& out) {
   SSMA_CHECK(enc.ncodebooks == lut.ncodebooks);
   SSMA_CHECK(enc.codes.size() ==
              enc.rows * static_cast<std::size_t>(enc.ncodebooks));
   SSMA_CHECK(lut.q.size() == static_cast<std::size_t>(lut.ncodebooks) *
                                  lut.nout * lut.nprotos);
-  std::vector<std::int16_t> out(
-      enc.rows * static_cast<std::size_t>(lut.nout), 0);
-  if (enc.rows == 0 || lut.nout == 0) return out;
+  out.assign(enc.rows * static_cast<std::size_t>(lut.nout), 0);
+  if (enc.rows == 0 || lut.nout == 0) return;
   while (!kernel_tier_available(tier))
     tier = static_cast<KernelTier>(static_cast<int>(tier) - 1);
   // pshufb indexes a 16-byte register: banks with a non-hardware K take
@@ -202,6 +205,13 @@ std::vector<std::int16_t> apply_lut_packed(const LutBankPacked& lut,
       detail::apply_packed_scalar(lut, enc, out.data());
       break;
   }
+}
+
+std::vector<std::int16_t> apply_lut_packed(const LutBankPacked& lut,
+                                           const EncodedBatch& enc,
+                                           KernelTier tier) {
+  std::vector<std::int16_t> out;
+  apply_lut_packed(lut, enc, tier, out);
   return out;
 }
 

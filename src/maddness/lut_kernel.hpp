@@ -74,7 +74,19 @@ std::vector<std::int16_t> apply_lut_packed(const LutBankPacked& lut,
 std::vector<std::int16_t> apply_lut_packed(const LutBankPacked& lut,
                                            const EncodedBatch& enc);
 
+/// Non-allocating form: `out` is resized (capacity-reusing) to
+/// rows x nout. Steady-state callers that keep `out` alive across
+/// batches pay zero allocations once its capacity is established.
+void apply_lut_packed(const LutBankPacked& lut, const EncodedBatch& enc,
+                      KernelTier tier, std::vector<std::int16_t>& out);
+
 namespace detail {
+
+/// CPUID probe for `tier`, shared by the LUT and encoder dispatchers.
+bool cpu_supports_tier(KernelTier tier);
+/// Applies the SSMA_KERNEL env override to `best`: a requested tier
+/// below `best` wins, one above it is clamped down to `best`.
+KernelTier clamp_tier_by_env(KernelTier best);
 
 // Per-tier entry points. Each accumulates into `out` (rows x nout,
 // pre-sized) with identical int32-then-saturate semantics. The SIMD TUs

@@ -42,13 +42,43 @@ inline int lane_row(int h, int i) {
 }
 
 /// Accumulates codebooks [c0, c_end) of one (32-row, ob-output) tile
-/// into int16 accumulators.
+/// into int16 accumulators. Codebooks are processed in pairs: the two
+/// gathered byte vectors interleave (unpack) and one pmaddubsw against
+/// an all-ones unsigned operand sums each (A_i, B_i) byte pair straight
+/// into the int16 lanes — two codebooks per sign-extension, vs the
+/// two-unpack + two-shift chain a lone codebook needs. The pairwise
+/// int16 product sum is at most |A| + |B| <= 256, so pmaddubsw's
+/// saturation can never engage and the result is exact.
 inline void accumulate_chunk(const LutBankPacked& lut,
                              const EncodedBatch& enc, std::size_t n0,
                              int o0, int ob, int c0, int c_end,
                              __m256i acc16[][2]) {
-  const __m256i zero = _mm256_setzero_si256();
-  for (int c = c0; c < c_end; ++c) {
+  const __m256i ones = _mm256_set1_epi8(1);
+  int c = c0;
+  for (; c + 1 < c_end; c += 2) {
+    const __m256i codes_a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(enc.codebook(c) + n0));
+    const __m256i codes_b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(enc.codebook(c + 1) + n0));
+    for (int j = 0; j < ob; ++j) {
+      const __m256i table_a = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(lut.table_ptr(c, o0 + j))));
+      const __m256i table_b = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(lut.table_ptr(c + 1, o0 + j))));
+      const __m256i va = _mm256_shuffle_epi8(table_a, codes_a);
+      const __m256i vb = _mm256_shuffle_epi8(table_b, codes_b);
+      acc16[j][0] = _mm256_add_epi16(
+          acc16[j][0],
+          _mm256_maddubs_epi16(ones, _mm256_unpacklo_epi8(va, vb)));
+      acc16[j][1] = _mm256_add_epi16(
+          acc16[j][1],
+          _mm256_maddubs_epi16(ones, _mm256_unpackhi_epi8(va, vb)));
+    }
+  }
+  if (c < c_end) {
+    // Trailing unpaired codebook: classic unpack + arithmetic-shift
+    // sign extension.
+    const __m256i zero = _mm256_setzero_si256();
     const __m256i codes = _mm256_loadu_si256(
         reinterpret_cast<const __m256i*>(enc.codebook(c) + n0));
     for (int j = 0; j < ob; ++j) {
@@ -85,14 +115,60 @@ void apply_packed_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
         for (int j = 0; j < ob; ++j)
           acc16[j][0] = acc16[j][1] = _mm256_setzero_si256();
         accumulate_chunk(lut, enc, n0, o0, ob, 0, ncb, acc16);
-        for (int j = 0; j < ob; ++j)
+        if (ob == kOutBlock) {
+          // Full 4-output block: transpose the accumulators in-register
+          // to per-row (o0..o0+3) quads and store each as one 8-byte
+          // write — the scalar de-permute loop this replaces was a
+          // material fraction of the kernel at large nout.
           for (int h = 0; h < 2; ++h) {
-            _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
-                               acc16[j][h]);
-            for (int i = 0; i < 16; ++i)
-              out[(n0 + lane_row(h, i)) * static_cast<std::size_t>(nout) +
-                  o0 + j] = lanes[i];
+            // acc16[j][h] int16 lanes hold rows 8h..8h+7 (lane 0) and
+            // 8h+16..8h+23 (lane 1); two unpack stages give, per
+            // register, two consecutive rows' output quads per lane.
+            const std::size_t base = n0 + 8 * static_cast<std::size_t>(h);
+            const __m256i t01l =
+                _mm256_unpacklo_epi16(acc16[0][h], acc16[1][h]);
+            const __m256i t01h =
+                _mm256_unpackhi_epi16(acc16[0][h], acc16[1][h]);
+            const __m256i t23l =
+                _mm256_unpacklo_epi16(acc16[2][h], acc16[3][h]);
+            const __m256i t23h =
+                _mm256_unpackhi_epi16(acc16[2][h], acc16[3][h]);
+            const __m256i quads[4] = {_mm256_unpacklo_epi32(t01l, t23l),
+                                      _mm256_unpackhi_epi32(t01l, t23l),
+                                      _mm256_unpacklo_epi32(t01h, t23h),
+                                      _mm256_unpackhi_epi32(t01h, t23h)};
+            for (int g = 0; g < 4; ++g) {
+              const std::size_t r = base + 2 * static_cast<std::size_t>(g);
+              const __m128i lo = _mm256_castsi256_si128(quads[g]);
+              const __m128i hi = _mm256_extracti128_si256(quads[g], 1);
+              _mm_storel_epi64(
+                  reinterpret_cast<__m128i*>(
+                      out + r * static_cast<std::size_t>(nout) + o0),
+                  lo);
+              _mm_storel_epi64(
+                  reinterpret_cast<__m128i*>(
+                      out + (r + 1) * static_cast<std::size_t>(nout) + o0),
+                  _mm_unpackhi_epi64(lo, lo));
+              _mm_storel_epi64(
+                  reinterpret_cast<__m128i*>(
+                      out + (r + 16) * static_cast<std::size_t>(nout) + o0),
+                  hi);
+              _mm_storel_epi64(
+                  reinterpret_cast<__m128i*>(
+                      out + (r + 17) * static_cast<std::size_t>(nout) + o0),
+                  _mm_unpackhi_epi64(hi, hi));
+            }
           }
+        } else {
+          for (int j = 0; j < ob; ++j)
+            for (int h = 0; h < 2; ++h) {
+              _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                                 acc16[j][h]);
+              for (int i = 0; i < 16; ++i)
+                out[(n0 + lane_row(h, i)) * static_cast<std::size_t>(nout) +
+                    o0 + j] = lanes[i];
+            }
+        }
       } else {
         std::int32_t acc32[kOutBlock][kRowBlock] = {};
         for (int c0 = 0; c0 < ncb; c0 += kChunk) {

@@ -33,7 +33,34 @@ void apply_packed_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
       const int ob = std::min(kOutBlock, nout - o0);
       const auto accumulate_chunk = [&](int c0, int c_end,
                                         __m128i acc16[][2]) {
-        for (int c = c0; c < c_end; ++c) {
+        // Codebook pairs: interleave the two gathered vectors and let
+        // pmaddubsw against all-ones sum each (A_i, B_i) byte pair into
+        // int16 — exact, since |A| + |B| <= 256 never saturates (see
+        // the AVX2 tier for the full argument).
+        const __m128i ones = _mm_set1_epi8(1);
+        int c = c0;
+        for (; c + 1 < c_end; c += 2) {
+          const __m128i codes_a = _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(enc.codebook(c) + n0));
+          const __m128i codes_b = _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(enc.codebook(c + 1) + n0));
+          for (int j = 0; j < ob; ++j) {
+            const __m128i table_a = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(lut.table_ptr(c, o0 + j)));
+            const __m128i table_b = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(
+                    lut.table_ptr(c + 1, o0 + j)));
+            const __m128i va = _mm_shuffle_epi8(table_a, codes_a);
+            const __m128i vb = _mm_shuffle_epi8(table_b, codes_b);
+            acc16[j][0] = _mm_add_epi16(
+                acc16[j][0],
+                _mm_maddubs_epi16(ones, _mm_unpacklo_epi8(va, vb)));
+            acc16[j][1] = _mm_add_epi16(
+                acc16[j][1],
+                _mm_maddubs_epi16(ones, _mm_unpackhi_epi8(va, vb)));
+          }
+        }
+        if (c < c_end) {
           const __m128i codes = _mm_loadu_si128(
               reinterpret_cast<const __m128i*>(enc.codebook(c) + n0));
           for (int j = 0; j < ob; ++j) {
@@ -57,14 +84,46 @@ void apply_packed_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
         __m128i acc16[kOutBlock][2];
         for (int j = 0; j < ob; ++j) acc16[j][0] = acc16[j][1] = zero;
         accumulate_chunk(0, ncb, acc16);
-        for (int j = 0; j < ob; ++j)
+        if (ob == kOutBlock) {
+          // Transpose to per-row output quads and store 8 bytes per row
+          // (see the AVX2 tier) — acc16[j][h] holds rows 8h..8h+7 in
+          // order, so the unpacked quads come out row-sequential.
           for (int h = 0; h < 2; ++h) {
-            _mm_store_si128(reinterpret_cast<__m128i*>(lanes),
-                            acc16[j][h]);
-            for (int i = 0; i < 8; ++i)
-              out[(n0 + h * 8 + i) * static_cast<std::size_t>(nout) + o0 +
-                  j] = lanes[i];
+            const std::size_t base = n0 + 8 * static_cast<std::size_t>(h);
+            const __m128i t01l =
+                _mm_unpacklo_epi16(acc16[0][h], acc16[1][h]);
+            const __m128i t01h =
+                _mm_unpackhi_epi16(acc16[0][h], acc16[1][h]);
+            const __m128i t23l =
+                _mm_unpacklo_epi16(acc16[2][h], acc16[3][h]);
+            const __m128i t23h =
+                _mm_unpackhi_epi16(acc16[2][h], acc16[3][h]);
+            const __m128i quads[4] = {_mm_unpacklo_epi32(t01l, t23l),
+                                      _mm_unpackhi_epi32(t01l, t23l),
+                                      _mm_unpacklo_epi32(t01h, t23h),
+                                      _mm_unpackhi_epi32(t01h, t23h)};
+            for (int g = 0; g < 4; ++g) {
+              const std::size_t r = base + 2 * static_cast<std::size_t>(g);
+              _mm_storel_epi64(
+                  reinterpret_cast<__m128i*>(
+                      out + r * static_cast<std::size_t>(nout) + o0),
+                  quads[g]);
+              _mm_storel_epi64(
+                  reinterpret_cast<__m128i*>(
+                      out + (r + 1) * static_cast<std::size_t>(nout) + o0),
+                  _mm_unpackhi_epi64(quads[g], quads[g]));
+            }
           }
+        } else {
+          for (int j = 0; j < ob; ++j)
+            for (int h = 0; h < 2; ++h) {
+              _mm_store_si128(reinterpret_cast<__m128i*>(lanes),
+                              acc16[j][h]);
+              for (int i = 0; i < 8; ++i)
+                out[(n0 + h * 8 + i) * static_cast<std::size_t>(nout) +
+                    o0 + j] = lanes[i];
+            }
+        }
       } else {
         std::int32_t acc32[kOutBlock][kRowBlock] = {};
         for (int c0 = 0; c0 < ncb; c0 += kChunk) {

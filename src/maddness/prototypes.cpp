@@ -1,5 +1,6 @@
 #include "maddness/prototypes.hpp"
 
+#include "maddness/encoder_kernel.hpp"
 #include "util/check.hpp"
 #include "util/linalg.hpp"
 
@@ -71,7 +72,13 @@ Prototypes learn_prototypes(const Config& cfg,
                             const QuantizedActivations& train) {
   cfg.validate();
   const int k = cfg.nprototypes();
-  const auto codes = encode_all(cfg, trees, train);
+  // Training encodes through the same vectorized batch encoder the hot
+  // path runs (bit-exact vs the per-row tree walk), codebook-major.
+  const EncodedBatch enc =
+      encode_batch_packed(build_encoder_bank(cfg, trees), train);
+  const auto leaf_of = [&](std::size_t i, int c) {
+    return static_cast<int>(enc.codebook(c)[i]);
+  };
   const std::size_t n = train.rows;
   const std::size_t d = train.cols;
 
@@ -85,7 +92,7 @@ Prototypes learn_prototypes(const Config& cfg,
                                0.0);
       std::vector<std::size_t> counts(k, 0);
       for (std::size_t i = 0; i < n; ++i) {
-        const int leaf = codes[i * cfg.ncodebooks + c];
+        const int leaf = leaf_of(i, c);
         ++counts[leaf];
         const std::uint8_t* sub =
             train.row(i) + static_cast<std::size_t>(c) * cfg.subvec_dim;
@@ -112,8 +119,7 @@ Prototypes learn_prototypes(const Config& cfg,
   Matrix g(n, static_cast<std::size_t>(cfg.ncodebooks) * k);
   for (std::size_t i = 0; i < n; ++i)
     for (int c = 0; c < cfg.ncodebooks; ++c)
-      g(i, static_cast<std::size_t>(c) * k + codes[i * cfg.ncodebooks + c]) =
-          1.0f;
+      g(i, static_cast<std::size_t>(c) * k + leaf_of(i, c)) = 1.0f;
   Matrix x(n, d);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < d; ++j)

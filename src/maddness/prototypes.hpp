@@ -31,17 +31,20 @@ struct Prototypes {
   }
 };
 
-/// Encodes every row of `q` with the per-codebook trees.
-/// Returns N x M codes (leaf index per codebook).
+/// Encodes every row of `q` with the per-codebook trees, row-at-a-time
+/// through HashTree::encode. Returns N x M codes (leaf index per
+/// codebook). This is the scalar reference path the vectorized batch
+/// encoder (encoder_kernel.hpp) is tested bit-exact against; hot-path
+/// callers go through Amm::encode_batch instead.
 std::vector<std::uint8_t> encode_all(const Config& cfg,
                                      const std::vector<HashTree>& trees,
                                      const QuantizedActivations& q);
 
-/// Same codes, written codebook-major (codes[c * N + n]) in one fused
-/// pass — the layout the packed LUT kernel streams. The tree walk is
-/// inlined over precomputed absolute split dims, so a batch of B rows
-/// costs B tree walks and no transpose; this feeds the encode cache on
-/// the serving hot path.
+/// Same codes, written codebook-major (codes[c * N + n]) with the tree
+/// walk inlined over precomputed absolute split dims — the pre-SIMD
+/// scalar encode the kernel sweep benchmarks against as the "old"
+/// end-to-end path. Kept as a second independent reference; production
+/// encoding runs encode_batch_packed.
 std::vector<std::uint8_t> encode_all_codebook_major(
     const Config& cfg, const std::vector<HashTree>& trees,
     const QuantizedActivations& q);

@@ -217,10 +217,11 @@ Amm Amm::load(std::istream& is) {
   SSMA_CHECK(amm.lut_.q.size() ==
              static_cast<std::size_t>(amm.cfg_.ncodebooks) *
                  amm.cfg_.nprototypes() * amm.lut_.nout);
-  // The wire format stays proto-major (layout and SSMAAMM2 frame are
-  // unchanged by the packed kernel); the accumulation layout is derived
-  // here, after the CRC-validated payload parsed.
-  amm.repack_lut();
+  // The wire format stays proto-major / per-tree (layout and SSMAAMM2
+  // frame are unchanged by the packed kernels); the accumulation and
+  // encoder layouts are derived here, after the CRC-validated payload
+  // parsed.
+  amm.rebuild_derived();
   return amm;
 }
 

@@ -192,6 +192,20 @@ void WorkerPool::worker_main(int worker_id) {
   std::vector<core::PpaReport> batch_reports;
   std::vector<double> queue_ns, total_ns;
 
+  // Steady-state hot-path buffers, owned by the shard for its whole
+  // life: the stitched activation matrix, the encoder's staging tile,
+  // the encode cache and the output accumulators all reuse their
+  // capacity across batches, so a shard at steady state performs no
+  // per-batch allocations on the encode/decode path (per-request
+  // response payloads are the only per-request allocation, and those
+  // are handed off to the client).
+  maddness::QuantizedActivations q;
+  q.cols = cols;
+  q.scale = amm.activation_scale();
+  maddness::EncodeScratch scratch;
+  maddness::EncodedBatch enc;
+  std::vector<std::int16_t> out;
+
   // Polls `site`; returns true when the worker must abandon the batch
   // (crash or drop). Applies delays in place.
   const auto fatal_fault = [&](FaultSite site) {
@@ -230,29 +244,26 @@ void WorkerPool::worker_main(int worker_id) {
 
     // Stitch the batch into one activation matrix; rows keep request
     // order, so outputs slice back out contiguously.
-    maddness::QuantizedActivations q;
     q.rows = batch.tokens;
-    q.cols = cols;
-    q.scale = amm.activation_scale();
-    q.codes.reserve(batch.tokens * cols);
+    q.codes.clear();
     for (const InferenceRequest& req : slot.in_flight) {
       SSMA_CHECK_MSG(req.codes.size() == req.rows * cols,
                      "request payload shape mismatch");
       q.codes.insert(q.codes.end(), req.codes.begin(), req.codes.end());
     }
 
-    std::vector<std::int16_t> out;
     if (opts_.mode == ExecutionMode::kSimulate) {
       core::AcceleratorResult r = accel.run(amm, q);
       out = std::move(r.outputs);
       batch_reports.push_back(std::move(r.report));
     } else {
-      // Packed tier-dispatched LUT kernel (encodes the stitched batch
-      // once internally). It is bit-exact vs the reference
-      // accumulation, so journal replay after a crash reproduces
+      // Vectorized batch encode into the shard's reusable scratch, then
+      // the packed tier-dispatched LUT kernel. Both are bit-exact vs
+      // their references, so journal replay after a crash reproduces
       // identical output CRCs regardless of which tier the recovering
       // host dispatches to.
-      out = amm.apply_int16(q);
+      amm.encode_batch(q, scratch, enc);
+      amm.apply_int16(enc, out);
       if (opts_.mode == ExecutionMode::kDevicePaced) {
         // The batch occupies this shard's device for tokens * interval;
         // back-to-back batches queue on the device, idle gaps don't
