@@ -1,4 +1,6 @@
-// Checkpoint/recovery walkthrough for the serving runtime, two acts:
+// Checkpoint/recovery walkthrough for the serving runtime (v2 Engine
+// API: the operator is a named, versioned registry entry and every
+// journal record is tagged with the bank it pinned), two acts:
 //
 //   1. Supervised self-healing: a shard is killed mid-load by the
 //      deterministic fault injector; the supervisor requeues its
@@ -112,12 +114,13 @@ int main() {
     opts.recovery.journal = &journal;
     opts.recovery.checkpoint_every = 64;
     opts.recovery.supervise = true;
-    serve::InferenceServer server(wl.amm, opts);
+    serve::InferenceServer server(opts);
+    server.register_model("embed", wl.amm);
 
     constexpr std::size_t kRequests = 200;
     std::vector<std::future<serve::InferenceResult>> futs;
     for (std::size_t id = 0; id < kRequests; ++id)
-      futs.push_back(server.submit(payload(wl, id), 1));
+      futs.push_back(server.submit("embed", payload(wl, id), 1));
 
     std::size_t exact = 0;
     for (std::size_t id = 0; id < futs.size(); ++id)
@@ -165,11 +168,12 @@ int main() {
     opts.recovery.checkpoints = &ckpts;
     opts.recovery.journal = &journal;
     opts.recovery.checkpoint_every = 16;
-    serve::InferenceServer server(wl.amm, opts);
+    serve::InferenceServer server(opts);
+    server.register_model("embed", wl.amm);
 
     std::vector<std::future<serve::InferenceResult>> futs;
     for (std::size_t id = 0; id < kRequests; ++id)
-      futs.push_back(server.submit(payload(wl, id), 1));
+      futs.push_back(server.submit("embed", payload(wl, id), 1));
     server.shutdown();  // the "crash": stranded futures fail
 
     for (auto& fut : futs) {
@@ -198,6 +202,9 @@ int main() {
     opts.recovery.checkpoints = &ckpts;
     opts.recovery.journal = &journal;
     auto server = serve::InferenceServer::restore(rs, opts);
+    std::printf("    restored registry serves embed@%llu\n",
+                static_cast<unsigned long long>(
+                    server->registry().latest_version("embed")));
     auto futs = server->replay(rs.journal.unacknowledged);
 
     std::size_t exact = 0;

@@ -1,11 +1,15 @@
-// Serving-runtime demo: train a MADDNESS operator, stand up an
-// InferenceServer fronting a pool of simulated accelerator macros, push
-// a closed-loop workload through it, and print the serving metrics plus
-// the pool-aggregate PPA report (per-shard silicon and energy merged).
+// Serving-runtime demo on the v2 Engine API: train two MADDNESS
+// operators and a two-stage pipeline, register them in one
+// InferenceServer's model registry, push an interleaved closed-loop
+// workload through a pool of simulated accelerator macros, hot-swap one
+// model's LUT bank under load, and print the per-model serving metrics
+// plus the pool-aggregate PPA report.
 //
 //   build/examples/serve_demo
 #include <cstdio>
 
+#include "core/layer_mapping.hpp"
+#include "engine/pipeline.hpp"
 #include "maddness/amm.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/server.hpp"
@@ -14,57 +18,128 @@
 
 using namespace ssma;
 
-int main() {
-  std::printf("== ssma serve demo ==\n\n");
+namespace {
 
-  // 1. Train a small operator: 4 input channels (9 dims each) -> 8 outs.
-  Rng rng(42);
-  const int ncodebooks = 4, nout = 8;
+maddness::Amm train_operator(Rng& rng, int ncodebooks, int nout,
+                             float spread = 220.0f) {
   const std::size_t d = static_cast<std::size_t>(ncodebooks) * 9;
   Matrix train(512, d);
   for (std::size_t i = 0; i < train.size(); ++i)
-    train.data()[i] = static_cast<float>(rng.next_double(0, 220));
-  Matrix w(d, nout);
+    train.data()[i] = static_cast<float>(rng.next_double(0, spread));
+  Matrix w(d, static_cast<std::size_t>(nout));
   for (std::size_t i = 0; i < w.size(); ++i)
     w.data()[i] = static_cast<float>(rng.next_gaussian(0, 0.08));
   maddness::Config cfg;
   cfg.ncodebooks = ncodebooks;
-  const maddness::Amm amm = maddness::Amm::train(cfg, train, w);
-  std::printf("trained operator: %d codebooks x 9 dims -> %d outputs\n",
-              ncodebooks, nout);
+  return maddness::Amm::train(cfg, train, w);
+}
 
-  // 2. A pool of 4 simulated macros behind one server. Each worker owns
-  //    a private replica deserialized from the trained operator.
+}  // namespace
+
+int main() {
+  std::printf("== ssma serve demo (engine API v2) ==\n\n");
+
+  // 1. Three deployables: two single-matmul models plus a two-stage
+  //    pipeline (a 4-codebook feature layer chained into a dense head).
+  Rng rng(42);
+  const maddness::Amm embed = train_operator(rng, 4, 8);
+  const maddness::Amm wide = train_operator(rng, 8, 16);
+
+  const std::size_t d = 4 * 9;
+  Matrix calib(384, d);
+  for (std::size_t i = 0; i < calib.size(); ++i)
+    calib.data()[i] = static_cast<float>(rng.next_double(0, 200));
+  Matrix w0(d, 36), w1(36, 12);
+  for (std::size_t i = 0; i < w0.size(); ++i)
+    w0.data()[i] = static_cast<float>(rng.next_gaussian(0, 0.08));
+  for (std::size_t i = 0; i < w1.size(); ++i)
+    w1.data()[i] = static_cast<float>(rng.next_gaussian(0, 0.08));
+  maddness::Config pcfg;
+  pcfg.ncodebooks = 4;
+  Matrix mid;
+  const maddness::Amm stage0 =
+      engine::train_chained_stage(pcfg, calib, w0, &mid);
+  const maddness::Amm stage1 =
+      engine::train_chained_stage(pcfg, mid, w1, nullptr);
+
+  // 2. One server, simulate backend: every shard owns an event-driven
+  //    macro; the registry maps (name, version) -> immutable bank.
   serve::ServerOptions opts;
   opts.num_workers = 4;
-  opts.mode = serve::ExecutionMode::kSimulate;
-  opts.accel.ns = 4;
-  opts.accel.ndec = 8;
+  opts.engine.backend = engine::Backend::kSimulate;
+  opts.engine.accel.ns = 4;
+  opts.engine.accel.ndec = 8;
   opts.batcher.max_batch_tokens = 16;
-  serve::InferenceServer server(amm, opts);
-  std::printf("server: %d workers, tile plan %zu tile(s)\n\n",
-              opts.num_workers, server.plan().tiles.size());
+  serve::InferenceServer server(opts);
+  server.register_model("embed", embed);
+  server.register_model("wide", wide);
+  server.register_pipeline("mlp", {&stage0, &stage1});
+  const core::TilePlan plan = core::plan_tiles(
+      embed.cfg().ncodebooks, embed.lut().nout, opts.engine.accel.ns,
+      opts.engine.accel.ndec);
+  std::printf(
+      "server: %d simulated macros; registry holds %zu models "
+      "(embed tile plan: %zu tile(s))\n\n",
+      opts.num_workers, server.registry().num_models(),
+      plan.tiles.size());
 
-  // 3. Closed-loop load: 8 clients, 256 requests x 4 rows.
+  // 3. Closed-loop load interleaving the two matmul models.
   Matrix fresh(128, d);
   for (std::size_t i = 0; i < fresh.size(); ++i)
     fresh.data()[i] = static_cast<float>(rng.next_double(0, 220));
   const maddness::QuantizedActivations pool =
-      maddness::quantize_activations(fresh, amm.activation_scale());
+      maddness::quantize_activations(fresh, embed.activation_scale());
+  Matrix fresh_w(128, 8 * 9);
+  for (std::size_t i = 0; i < fresh_w.size(); ++i)
+    fresh_w.data()[i] = static_cast<float>(rng.next_double(0, 220));
+  const maddness::QuantizedActivations pool_w =
+      maddness::quantize_activations(fresh_w, wide.activation_scale());
 
   serve::LoadSpec spec;
-  spec.total_requests = 256;
+  spec.total_requests = 128;
   spec.rows_per_request = 4;
+  spec.model_refs = {"embed@latest"};
   serve::LoadGenerator gen(pool, spec);
-  const serve::LoadReport load = gen.run_closed_loop(server, 8);
-  std::printf("closed-loop (8 clients): %zu requests, %.0f tokens/s, "
-              "p50 %.2f ms, p99 %.2f ms\n",
-              load.completed, load.tokens_per_sec, load.p50_ms,
-              load.p99_ms);
+  serve::LoadReport load = gen.run_closed_loop(server, 8);
+  std::printf("closed-loop embed (8 clients): %zu requests, %.0f "
+              "tokens/s, p50 %.2f ms\n",
+              load.completed, load.tokens_per_sec, load.p50_ms);
 
-  // 4. Server-side metrics and the merged PPA view of the shard pool.
+  serve::LoadSpec spec_w = spec;
+  spec_w.model_refs = {"wide@latest"};
+  serve::LoadGenerator gen_w(pool_w, spec_w);
+  load = gen_w.run_closed_loop(server, 8);
+  std::printf("closed-loop wide  (8 clients): %zu requests, %.0f "
+              "tokens/s, p50 %.2f ms\n",
+              load.completed, load.tokens_per_sec, load.p50_ms);
+
+  // 4. Zero-downtime hot-swap: retrain embed, register as version 2
+  //    while the server keeps accepting traffic, then serve more. Old
+  //    in-flight batches finish on v1; everything after resolves v2.
+  const maddness::Amm embed_v2 = train_operator(rng, 4, 8, 200.0f);
+  const std::uint64_t v2 = server.register_model("embed", embed_v2);
+  std::printf("\nhot-swapped embed to version %llu (no restart, no "
+              "dropped requests)\n",
+              static_cast<unsigned long long>(v2));
+  auto fut = server.submit("embed@latest",
+                           std::vector<std::uint8_t>(
+                               pool.row(0), pool.row(0) + pool.cols),
+                           1);
+  std::printf("post-swap request served by embed@%llu\n",
+              static_cast<unsigned long long>(fut.get().model_version));
+
+  // 5. A pipeline request: one row through both stages.
+  auto pfut = server.submit("mlp",
+                            std::vector<std::uint8_t>(
+                                pool.row(1), pool.row(1) + pool.cols),
+                            1);
+  std::printf("pipeline request: %zu outputs from 2 chained stages\n",
+              pfut.get().outputs.size());
+
+  // 6. Per-model metrics and the merged PPA view of the shard pool.
   server.shutdown();
-  std::printf("\n-- serving metrics --\n%s\n",
+  std::printf("\n-- serving metrics (per-model table at the bottom) "
+              "--\n%s\n",
               server.metrics().render().c_str());
   std::printf("-- shard load --\n");
   const auto& shard_tokens = server.shard_tokens();

@@ -1,0 +1,176 @@
+#include "engine/execution_engine.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "engine/pipeline.hpp"
+#include "util/check.hpp"
+
+namespace ssma::engine {
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kKernel:
+      return "kernel";
+    case Backend::kSimulate:
+      return "simulate";
+    case Backend::kDevicePaced:
+      return "paced";
+  }
+  return "?";
+}
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Software-kernel backend: vectorized batch encode into reusable
+/// scratch, packed tier-dispatched LUT accumulate. Single-stage models
+/// pay zero steady-state allocations once capacities are established;
+/// pipeline stages additionally allocate per stage handoff (the
+/// dequantize/requantize matrices are built fresh each batch).
+class KernelEngine : public ExecutionEngine {
+ public:
+  void run_batch(const ModelHandle& model,
+                 const maddness::QuantizedActivations& batch,
+                 std::vector<std::int16_t>& out) override {
+    const maddness::Amm& first = model.stage(0);
+    first.encode_batch(batch, scratch_, enc_);
+    if (!model.is_pipeline()) {
+      first.apply_int16(enc_, out);
+      return;
+    }
+    first.apply_int16(enc_, acc_);
+    for (std::size_t s = 1; s < model.num_stages(); ++s) {
+      const maddness::Amm& prev = model.stage(s - 1);
+      const maddness::Amm& cur = model.stage(s);
+      const maddness::QuantizedActivations qs =
+          stage_handoff(prev, cur, acc_, batch.rows);
+      cur.encode_batch(qs, scratch_, enc_);
+      if (s + 1 == model.num_stages())
+        cur.apply_int16(enc_, out);
+      else
+        cur.apply_int16(enc_, acc_);
+    }
+  }
+
+  EngineInfo info() const override {
+    return {"kernel", Backend::kKernel, false, false};
+  }
+
+ private:
+  maddness::EncodeScratch scratch_;
+  maddness::EncodedBatch enc_;
+  std::vector<std::int16_t> acc_;
+};
+
+/// Event-driven macro backend: same bits as the kernel, plus per-batch
+/// PPA accounting merged into ppa_report().
+class SimEngine : public ExecutionEngine {
+ public:
+  explicit SimEngine(const EngineOptions& opts) : accel_(opts.accel) {}
+
+  void run_batch(const ModelHandle& model,
+                 const maddness::QuantizedActivations& batch,
+                 std::vector<std::int16_t>& out) override {
+    maddness::QuantizedActivations staged;
+    const maddness::QuantizedActivations* input = &batch;
+    for (std::size_t s = 0; s < model.num_stages(); ++s) {
+      core::AcceleratorResult r = accel_.run(model.stage(s), *input);
+      reports_.push_back(std::move(r.report));
+      if (s + 1 < model.num_stages()) {
+        staged = stage_handoff(model.stage(s), model.stage(s + 1),
+                               r.outputs, input->rows);
+        input = &staged;
+      } else {
+        out = std::move(r.outputs);
+      }
+    }
+  }
+
+  EngineInfo info() const override {
+    return {"simulate", Backend::kSimulate, true, false};
+  }
+
+  core::PpaReport ppa_report() const override {
+    if (reports_.empty()) {
+      // Idle engine: its macro still exists — contribute the silicon
+      // (config echo + area/SRAM) with zeroed run-dependent fields.
+      core::PpaReport silicon = accel_.analytic_report(0);
+      silicon.freq_mhz = 0.0;
+      silicon.throughput_tops = 0.0;
+      silicon.token_interval_ns = 0.0;
+      silicon.tops_per_w = 0.0;
+      silicon.tops_per_mm2 = 0.0;
+      silicon.energy_per_op_fj = 0.0;
+      silicon.energy_decoder_share = 0.0;
+      silicon.energy_encoder_share = 0.0;
+      return silicon;
+    }
+    return core::merge_sequential_reports(reports_);
+  }
+
+ private:
+  core::Accelerator accel_;
+  std::vector<core::PpaReport> reports_;
+};
+
+/// Hardware-in-the-loop pacing: outputs from the kernel, then block
+/// until the modeled device's service time for the batch has elapsed —
+/// like a host thread waiting on a real macro. Back-to-back batches
+/// queue on the device; idle gaps don't accumulate credit.
+class PacedEngine : public ExecutionEngine {
+ public:
+  explicit PacedEngine(const EngineOptions& opts)
+      : pace_ns_(opts.device_ns_per_token > 0.0
+                     ? opts.device_ns_per_token
+                     : core::Accelerator(opts.accel)
+                           .analytic_report(0)
+                           .token_interval_ns),
+        device_free_(SteadyClock::now()) {
+    SSMA_CHECK_MSG(pace_ns_ > 0.0, "device pacing needs a token interval");
+  }
+
+  void run_batch(const ModelHandle& model,
+                 const maddness::QuantizedActivations& batch,
+                 std::vector<std::int16_t>& out) override {
+    const SteadyClock::time_point t_exec = SteadyClock::now();
+    kernel_.run_batch(model, batch, out);
+    // The device serves one stage pass per token per stage.
+    const double tokens =
+        static_cast<double>(batch.rows) *
+        static_cast<double>(model.num_stages());
+    device_free_ = std::max(device_free_, t_exec) +
+                   std::chrono::duration_cast<SteadyClock::duration>(
+                       std::chrono::duration<double, std::nano>(
+                           tokens * pace_ns_));
+    std::this_thread::sleep_until(device_free_);
+  }
+
+  EngineInfo info() const override {
+    return {"paced", Backend::kDevicePaced, false, true};
+  }
+
+ private:
+  KernelEngine kernel_;
+  double pace_ns_;
+  SteadyClock::time_point device_free_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionEngine> make_engine(const EngineOptions& opts) {
+  switch (opts.backend) {
+    case Backend::kKernel:
+      return std::make_unique<KernelEngine>();
+    case Backend::kSimulate:
+      return std::make_unique<SimEngine>(opts);
+    case Backend::kDevicePaced:
+      return std::make_unique<PacedEngine>(opts);
+  }
+  SSMA_CHECK_MSG(false, "unknown engine backend");
+  return nullptr;
+}
+
+}  // namespace ssma::engine

@@ -95,6 +95,10 @@ class Amm {
   static Amm load(std::istream& is);
   void save_file(const std::string& path) const;
   static Amm load_file(const std::string& path);
+  /// In-memory blob forms of save/load — what the model registry,
+  /// checkpoints and worker shards pass around.
+  std::string save_string() const;
+  static Amm load_string(const std::string& blob);
 
  private:
   /// Rebuilds the derived hot-path state (packed LUT bank + flattened

@@ -237,4 +237,15 @@ Amm Amm::load_file(const std::string& path) {
   return load(is);
 }
 
+std::string Amm::save_string() const {
+  std::ostringstream os;
+  save(os);
+  return os.str();
+}
+
+Amm Amm::load_string(const std::string& blob) {
+  std::istringstream is(blob);
+  return load(is);
+}
+
 }  // namespace ssma::maddness

@@ -117,6 +117,15 @@ const MaddnessConv2d& MaddnessNetwork::substituted_conv(
   return *registry_[i];
 }
 
+std::vector<const maddness::Amm*> MaddnessNetwork::substituted_amms()
+    const {
+  std::vector<const maddness::Amm*> amms;
+  amms.reserve(registry_.size());
+  for (const MaddnessConv2d* conv : registry_)
+    amms.push_back(&conv->amm());
+  return amms;
+}
+
 void MaddnessNetwork::fine_tune_classifier(const Tensor& images,
                                            const std::vector<int>& labels,
                                            std::size_t epochs, double lr,

@@ -48,6 +48,11 @@ class MaddnessNetwork {
   /// Access to a substituted conv (for driving the circuit simulator).
   const MaddnessConv2d& substituted_conv(std::size_t i) const;
 
+  /// The substituted convs' trained operators in network order — the
+  /// stage list engine::register_network_layers exports into a model
+  /// registry for served CNN-feature (patch-matmul) workloads.
+  std::vector<const maddness::Amm*> substituted_amms() const;
+
   /// Codebook-aware recovery step: re-trains the network's final Linear
   /// classifier on features produced by the *substituted* path (the
   /// cheap analogue of the codebook-aware training the MADDNESS line of

@@ -21,12 +21,18 @@ Batch Batcher::next_batch(RequestQueue& queue) const {
   batch.tokens = first.rows;
   batch.requests.push_back(std::move(first));
 
+  // Coalesce only requests pinned to the same model handle (pulled
+  // model-affine past other models' requests): a batch is one stitched
+  // matrix through one bank, and mixing versions would break the
+  // hot-swap bit-exactness contract (old in-flight requests finish on
+  // the old bank).
+  const void* model_key = batch.requests.front().model.get();
   const Clock::time_point deadline = Clock::now() + opts_.max_wait;
   while (batch.tokens < budget_) {
     InferenceRequest next;
-    const PopStatus st =
-        queue.pop_compatible(budget_ - batch.tokens, deadline, &next);
-    if (st != PopStatus::kOk) break;  // full / timeout / closed / too big
+    const PopStatus st = queue.pop_compatible(budget_ - batch.tokens,
+                                              deadline, &next, model_key);
+    if (st != PopStatus::kOk) break;  // full/timeout/closed/incompatible
     batch.tokens += next.rows;
     batch.requests.push_back(std::move(next));
   }

@@ -1,8 +1,12 @@
 // Dynamic batcher: coalesces queued requests into token batches. A batch
 // closes when it reaches `max_batch_tokens` (rounded down to the tile
 // alignment) or when `max_wait` has elapsed since its first request —
-// the classic throughput/latency dial of serving runtimes. FIFO order is
-// never violated: an oversized head request simply closes the batch.
+// the classic throughput/latency dial of serving runtimes. Batches are
+// model-affine: a batch only coalesces requests pinned to its first
+// request's model handle (never mixing models or bank versions), pulling
+// them past other models' queued requests — per-model FIFO is preserved,
+// and an oversized compatible request still closes the batch rather than
+// being skipped.
 #pragma once
 
 #include <chrono>

@@ -64,6 +64,13 @@ std::size_t LoadGenerator::first_row(std::uint64_t id) const {
          pool_.rows;
 }
 
+const std::string& LoadGenerator::model_ref(std::uint64_t id) const {
+  static const std::string kNone;
+  if (spec_.model_refs.empty()) return kNone;
+  return spec_.model_refs[static_cast<std::size_t>(
+      id % spec_.model_refs.size())];
+}
+
 std::vector<std::uint8_t> LoadGenerator::request_codes(
     std::uint64_t id) const {
   std::vector<std::uint8_t> codes;
@@ -104,9 +111,13 @@ LoadReport LoadGenerator::run_open_loop(InferenceServer& server,
     std::this_thread::sleep_until(at);
     // submit() may block on a full queue: that delay is part of the
     // latency the open-loop client observes.
-    pending.push_back({server.submit(request_codes(i),
-                                     spec_.rows_per_request),
-                       at});
+    const std::string& ref = model_ref(i);
+    pending.push_back(
+        {ref.empty()
+             ? server.submit(request_codes(i), spec_.rows_per_request)
+             : server.submit(ref, request_codes(i),
+                             spec_.rows_per_request),
+         at});
   }
 
   LatencyHistogram latency;
@@ -151,8 +162,12 @@ LoadReport LoadGenerator::run_closed_loop(InferenceServer& server,
         if (id >= spec_.total_requests) break;
         const Clock::time_point t0 = Clock::now();
         try {
+          const std::string& ref = model_ref(id);
           std::future<InferenceResult> fut =
-              server.submit(request_codes(id), spec_.rows_per_request);
+              ref.empty() ? server.submit(request_codes(id),
+                                          spec_.rows_per_request)
+                          : server.submit(ref, request_codes(id),
+                                          spec_.rows_per_request);
           const InferenceResult res = fut.get();
           per_client[static_cast<std::size_t>(c)].add(
               std::chrono::duration<double, std::nano>(res.completed_at -

@@ -20,6 +20,11 @@ namespace ssma::serve {
 struct LoadSpec {
   std::size_t total_requests = 1000;
   std::size_t rows_per_request = 1;
+  /// Model refs the stream round-robins over by request id (request i
+  /// targets model_refs[i % size]) — the multi-model interleave the
+  /// registry-dispatch bench uses. Empty = the v1 single-model path
+  /// ("default@latest").
+  std::vector<std::string> model_refs;
   /// Drives the Poisson arrival stream — and, when a run injects
   /// faults, the same seed should be handed to the FaultInjector so
   /// one number reproduces the whole scenario from a failure log.
@@ -58,6 +63,8 @@ class LoadGenerator {
   std::vector<std::uint8_t> request_codes(std::uint64_t id) const;
   /// First pool row used by request `id`.
   std::size_t first_row(std::uint64_t id) const;
+  /// Model ref request `id` targets (empty = the v1 default path).
+  const std::string& model_ref(std::uint64_t id) const;
 
   const LoadSpec& spec() const { return spec_; }
   std::uint64_t seed() const { return spec_.seed; }

@@ -81,7 +81,7 @@ void Metrics::mark_stop() {
   }
 }
 
-void Metrics::record_batch(std::size_t tokens,
+void Metrics::record_batch(const std::string& model, std::size_t tokens,
                            const std::vector<double>& queue_ns,
                            const std::vector<double>& total_ns) {
   SSMA_CHECK(queue_ns.size() == total_ns.size());
@@ -91,6 +91,13 @@ void Metrics::record_batch(std::size_t tokens,
   requests_ += queue_ns.size();
   for (double q : queue_ns) queue_latency_.add(q);
   for (double t : total_ns) total_latency_.add(t);
+  if (!model.empty()) {
+    PerModel& pm = per_model_[model];
+    pm.batches++;
+    pm.tokens += tokens;
+    pm.requests += total_ns.size();
+    for (double t : total_ns) pm.total_latency.add(t);
+  }
 }
 
 void Metrics::restore(std::size_t requests, std::size_t tokens,
@@ -126,7 +133,26 @@ MetricsSnapshot Metrics::snapshot() const {
   s.max_us = total_latency_.max_ns() * 1e-3;
   s.queue_p50_us = queue_latency_.percentile_ns(50) * 1e-3;
   s.queue_p99_us = queue_latency_.percentile_ns(99) * 1e-3;
+  s.per_model.reserve(per_model_.size());
+  for (const auto& kv : per_model_) {  // std::map: sorted by name
+    ModelMetricsSnapshot m;
+    m.model = kv.first;
+    m.requests = kv.second.requests;
+    m.tokens = kv.second.tokens;
+    m.batches = kv.second.batches;
+    m.p50_us = kv.second.total_latency.percentile_ns(50) * 1e-3;
+    m.p99_us = kv.second.total_latency.percentile_ns(99) * 1e-3;
+    m.mean_us = kv.second.total_latency.mean_ns() * 1e-3;
+    s.per_model.push_back(std::move(m));
+  }
   return s;
+}
+
+const ModelMetricsSnapshot* MetricsSnapshot::for_model(
+    const std::string& model) const {
+  for (const ModelMetricsSnapshot& m : per_model)
+    if (m.model == model) return &m;
+  return nullptr;
 }
 
 std::string MetricsSnapshot::render() const {
@@ -145,7 +171,17 @@ std::string MetricsSnapshot::render() const {
   t.add_row({"latency max [us]", TextTable::num(max_us, 1)});
   t.add_row({"queue p50 [us]", TextTable::num(queue_p50_us, 1)});
   t.add_row({"queue p99 [us]", TextTable::num(queue_p99_us, 1)});
-  return t.render();
+  std::string out = t.render();
+  if (!per_model.empty()) {
+    TextTable pm({"model", "requests", "tokens", "batches", "p50 [us]",
+                  "p99 [us]"});
+    for (const ModelMetricsSnapshot& m : per_model)
+      pm.add_row({m.model, std::to_string(m.requests),
+                  std::to_string(m.tokens), std::to_string(m.batches),
+                  TextTable::num(m.p50_us, 1), TextTable::num(m.p99_us, 1)});
+    out += "\n" + pm.render();
+  }
+  return out;
 }
 
 std::string MetricsSnapshot::json() const {
@@ -160,7 +196,16 @@ std::string MetricsSnapshot::json() const {
       << ",\"p50_us\":" << p50_us << ",\"p95_us\":" << p95_us
       << ",\"p99_us\":" << p99_us << ",\"mean_us\":" << mean_us
       << ",\"max_us\":" << max_us << ",\"queue_p50_us\":" << queue_p50_us
-      << ",\"queue_p99_us\":" << queue_p99_us << "}";
+      << ",\"queue_p99_us\":" << queue_p99_us << ",\"per_model\":[";
+  for (std::size_t i = 0; i < per_model.size(); ++i) {
+    const ModelMetricsSnapshot& m = per_model[i];
+    if (i) oss << ",";
+    oss << "{\"model\":\"" << m.model << "\",\"requests\":" << m.requests
+        << ",\"tokens\":" << m.tokens << ",\"batches\":" << m.batches
+        << ",\"p50_us\":" << m.p50_us << ",\"p99_us\":" << m.p99_us
+        << ",\"mean_us\":" << m.mean_us << "}";
+  }
+  oss << "]}";
   return oss.str();
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -39,6 +40,18 @@ class LatencyHistogram {
   double max_ns_ = 0.0;
 };
 
+/// Per-model slice of the serving counters (keyed by model name; all
+/// versions of a name aggregate into one row).
+struct ModelMetricsSnapshot {
+  std::string model;
+  std::size_t requests = 0;
+  std::size_t tokens = 0;
+  std::size_t batches = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+};
+
 /// Point-in-time view of the server's counters and distributions.
 struct MetricsSnapshot {
   std::size_t requests = 0;
@@ -60,6 +73,13 @@ struct MetricsSnapshot {
   double queue_p50_us = 0.0;
   double queue_p99_us = 0.0;
 
+  /// One row per served model name, sorted by name. Empty when the
+  /// server has served nothing yet.
+  std::vector<ModelMetricsSnapshot> per_model;
+
+  /// The row for `model` (nullptr when that model served nothing).
+  const ModelMetricsSnapshot* for_model(const std::string& model) const;
+
   std::string render() const;
   std::string json() const;
 };
@@ -74,26 +94,38 @@ class Metrics {
   void mark_stop();
 
   /// One drained batch: per-request queue/total latencies in ns.
-  void record_batch(std::size_t tokens,
+  /// `model` attributes the batch to a per-model slice (a batch is
+  /// always single-model; empty = unattributed, aggregate only).
+  void record_batch(const std::string& model, std::size_t tokens,
                     const std::vector<double>& queue_ns,
                     const std::vector<double>& total_ns);
 
   /// Seeds the lifetime counters from a recovered checkpoint so a
   /// restarted server's totals continue where the crashed run's
-  /// snapshot left off. Latency histograms restart empty — they
-  /// describe this incarnation only.
+  /// snapshot left off. Latency histograms AND the per-model slices
+  /// restart empty — both describe this incarnation only, so after a
+  /// restore the per-model rows sum to less than the restored
+  /// aggregate counters until new traffic arrives.
   void restore(std::size_t requests, std::size_t tokens,
                std::size_t batches);
 
   MetricsSnapshot snapshot() const;
 
  private:
+  struct PerModel {
+    std::size_t requests = 0;
+    std::size_t tokens = 0;
+    std::size_t batches = 0;
+    LatencyHistogram total_latency;
+  };
+
   mutable std::mutex mu_;
   std::size_t requests_ = 0;
   std::size_t tokens_ = 0;
   std::size_t batches_ = 0;
   LatencyHistogram total_latency_;
   LatencyHistogram queue_latency_;
+  std::map<std::string, PerModel> per_model_;
   Clock::time_point start_{};
   Clock::time_point stop_{};
   bool started_ = false;

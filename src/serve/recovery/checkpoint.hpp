@@ -1,9 +1,20 @@
 // Versioned, CRC-validated on-disk checkpoints of serving state.
 //
 // A checkpoint snapshots everything a restarted server needs that is
-// not in the request journal: the serialized Amm operator (each shard's
-// replica is reconstructed from exactly these bytes), the request-id
-// watermark, and the lifetime metrics counters. Writes are atomic —
+// not in the request journal: the serialized model registry (every
+// registered (name, version) bank — the restored server resolves
+// journal records against exactly these bytes), the request-id
+// watermark, and the lifetime metrics counters. Two record formats
+// coexist:
+//
+//   SSMACKP1 (v1) — a single anonymous Amm blob. Still loads; the
+//                   restore path adopts it as the implicitly-named
+//                   "default" model, version 1.
+//   SSMACKP2 (v2) — the registry section (multi-model, multi-version)
+//                   produced by ModelRegistry::save. Written whenever
+//                   `registry_blob` is non-empty.
+//
+// Writes are atomic —
 // payload to `checkpoint-NNNNNN.tmp`, then rename — so a crash during
 // a write never shadows the previous good version; the CRC frame in
 // the header catches torn files produced by non-atomic filesystems (or
@@ -21,14 +32,22 @@ namespace ssma::serve::recovery {
 
 class FaultInjector;
 
-/// What one checkpoint captures.
+/// What one checkpoint captures. Exactly one of `amm_blob` (v1 record)
+/// and `registry_blob` (v2 record) is non-empty; encode() picks the
+/// record format from which one is set, so v1 states re-encode
+/// byte-identically (golden-format guarantee).
 struct CheckpointState {
-  std::string amm_blob;  ///< Amm::save bytes (self-validating frame)
+  std::string amm_blob;  ///< v1: Amm::save bytes (self-validating frame)
+  /// v2: ModelRegistry::save bytes — every registered (name, version)
+  /// bank plus the latest pointers.
+  std::string registry_blob;
   std::uint64_t next_request_id = 0;  ///< admission id watermark
   std::uint64_t accepted_requests = 0;
   std::uint64_t completed_requests = 0;
   std::uint64_t tokens = 0;
   std::uint64_t batches = 0;
+
+  bool is_v1() const { return registry_blob.empty(); }
 };
 
 class CheckpointManager {

@@ -14,6 +14,7 @@ namespace {
 constexpr char kMagic[8] = {'S', 'S', 'M', 'A', 'J', 'N', 'L', '1'};
 constexpr std::uint8_t kAccepted = 1;
 constexpr std::uint8_t kCompleted = 2;
+constexpr std::uint8_t kAcceptedV2 = 3;  ///< model-tagged accept
 
 }  // namespace
 
@@ -70,6 +71,24 @@ void RequestJournal::append_accepted(
   append_record(payload.str());
 }
 
+void RequestJournal::append_accepted(
+    std::uint64_t id, const std::string& model,
+    std::uint64_t model_version, std::size_t rows,
+    const std::vector<std::uint8_t>& codes) {
+  std::ostringstream payload;
+  wire::put_u8(payload, kAcceptedV2);
+  wire::put_u64(payload, id);
+  wire::put_u64(payload, model.size());
+  payload.write(model.data(),
+                static_cast<std::streamsize>(model.size()));
+  wire::put_u64(payload, model_version);
+  wire::put_u64(payload, rows);
+  wire::put_u64(payload, codes.size());
+  payload.write(reinterpret_cast<const char*>(codes.data()),
+                static_cast<std::streamsize>(codes.size()));
+  append_record(payload.str());
+}
+
 void RequestJournal::append_completed(std::uint64_t id, int worker_id,
                                       std::uint32_t output_crc) {
   std::ostringstream payload;
@@ -104,9 +123,18 @@ JournalReplay RequestJournal::read(const std::string& path) {
     }
     std::istringstream body(payload);
     const std::uint8_t type = wire::get_u8(body);
-    if (type == kAccepted) {
+    if (type == kAccepted || type == kAcceptedV2) {
       AcceptedRecord rec;
       rec.id = wire::get_u64(body);
+      if (type == kAcceptedV2) {
+        rec.model.resize(static_cast<std::size_t>(wire::get_u64(body)));
+        body.read(rec.model.data(),
+                  static_cast<std::streamsize>(rec.model.size()));
+        SSMA_CHECK_MSG(body.gcount() == static_cast<std::streamsize>(
+                                            rec.model.size()),
+                       "journal accepted record underflow");
+        rec.model_version = wire::get_u64(body);
+      }
       rec.rows = static_cast<std::size_t>(wire::get_u64(body));
       rec.codes.resize(static_cast<std::size_t>(wire::get_u64(body)));
       body.read(reinterpret_cast<char*>(rec.codes.data()),

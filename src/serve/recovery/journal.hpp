@@ -31,6 +31,16 @@ struct AcceptedRecord {
   std::uint64_t id = 0;
   std::size_t rows = 0;
   std::vector<std::uint8_t> codes;  ///< rows x cols, row-major uint8
+  /// Model the request resolved to at admission. Empty on v1-era
+  /// records (pre-registry journals): replay maps those onto the
+  /// implicitly-named default model.
+  std::string model;
+  /// Exact bank version pinned at admission (0 on v1-era records).
+  /// Replay resolves this exact version, so a replayed request is
+  /// bit-exact even when the crash straddled a hot-swap: requests
+  /// admitted before the swap re-execute on the old bank, after it on
+  /// the new one.
+  std::uint64_t model_version = 0;
 };
 
 /// Everything a restarted server needs from the journal.
@@ -52,8 +62,15 @@ class RequestJournal {
   /// Opens (creating if needed) the journal at `path` for appending.
   explicit RequestJournal(const std::string& path);
 
-  /// WAL accept record — call before the request is enqueued.
+  /// WAL accept record — call before the request is enqueued. The
+  /// 3-argument form writes the v1 (model-less) record kept for
+  /// pre-registry compatibility.
   void append_accepted(std::uint64_t id, std::size_t rows,
+                       const std::vector<std::uint8_t>& codes);
+  /// Model-tagged accept record (v2): persists the (name, version) the
+  /// request pinned at admission.
+  void append_accepted(std::uint64_t id, const std::string& model,
+                       std::uint64_t model_version, std::size_t rows,
                        const std::vector<std::uint8_t>& codes);
   /// Ack record — call after the response future is fulfilled.
   void append_completed(std::uint64_t id, int worker_id,

@@ -49,13 +49,23 @@ bool RequestQueue::try_push(InferenceRequest&& req) {
 
 PopStatus RequestQueue::pop_compatible(std::size_t max_rows,
                                        Clock::time_point deadline,
-                                       InferenceRequest* out) {
+                                       InferenceRequest* out,
+                                       const void* model_key) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (!items_.empty()) {
-      if (items_.front().rows > max_rows) return PopStatus::kWouldExceed;
-      *out = std::move(items_.front());
-      items_.pop_front();
+    // Model-affine scan: the first request pinned to the forming
+    // batch's model (the plain head when no key is given). Per-model
+    // FIFO is preserved — candidates are considered in admission order
+    // — while other models' requests are left in place for the workers
+    // batching those models, so interleaved multi-model traffic does
+    // not fragment batches.
+    auto it = items_.begin();
+    if (model_key != nullptr)
+      while (it != items_.end() && it->model.get() != model_key) ++it;
+    if (it != items_.end()) {
+      if (it->rows > max_rows) return PopStatus::kWouldExceed;
+      *out = std::move(*it);
+      items_.erase(it);
       lock.unlock();
       not_full_.notify_one();
       return PopStatus::kOk;

@@ -10,9 +10,14 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <optional>
+#include <string>
 #include <vector>
+
+namespace ssma::engine {
+class ModelHandle;
+}  // namespace ssma::engine
 
 namespace ssma::serve {
 
@@ -26,18 +31,24 @@ using Clock = std::chrono::steady_clock;
 struct InferenceResult {
   std::uint64_t request_id = 0;
   std::size_t rows = 0;
-  /// rows x nout int16 accumulators, bit-exact vs Amm::apply_int16.
+  /// rows x nout int16 accumulators, bit-exact vs the model's
+  /// reference decode (Amm::apply_int16 / pipeline_reference_apply).
   std::vector<std::int16_t> outputs;
   int worker_id = -1;           ///< which shard served it
+  std::string model;            ///< model name that served the request
+  std::uint64_t model_version = 0;  ///< exact bank version used
   Clock::time_point completed_at{};  ///< set by the worker at fulfillment
 };
 
 /// One queued unit of work: `rows` quantized activation rows plus the
 /// promise the serving worker fulfills. Move-only (owns the promise).
+/// `model` is pinned at admission: the batch executes on exactly this
+/// bank even if a newer version is registered mid-flight.
 struct InferenceRequest {
   std::uint64_t id = 0;
   std::size_t rows = 0;
   std::vector<std::uint8_t> codes;  ///< rows x cols, row-major uint8
+  std::shared_ptr<const engine::ModelHandle> model;
   Clock::time_point enqueued_at{};
   std::promise<InferenceResult> result;
 };
@@ -45,7 +56,8 @@ struct InferenceRequest {
 /// Outcome of a budgeted pop (see RequestQueue::pop_compatible).
 enum class PopStatus {
   kOk,           ///< *out holds a request
-  kWouldExceed,  ///< head request is larger than the remaining budget
+  kWouldExceed,  ///< head is larger than the remaining budget, or pinned
+                 ///< to a different model than the forming batch
   kTimeout,      ///< deadline passed with no compatible request
   kClosed,       ///< queue closed and fully drained
 };
@@ -61,11 +73,16 @@ class RequestQueue {
   /// Non-blocking push; false when full or closed.
   bool try_push(InferenceRequest&& req);
 
-  /// Waits until the head request fits within `max_rows`, the deadline
-  /// passes, or the queue is closed and drained. FIFO order is preserved:
-  /// an oversized head is reported (kWouldExceed), never skipped.
+  /// Pops the first request pinned to `model_key` (any request when
+  /// null) once it fits within `max_rows`; waits until the deadline
+  /// passes or the queue is closed and drained otherwise. Model-affine:
+  /// requests for other models are skipped in place (their own batches
+  /// pick them up), so per-model FIFO is preserved while multi-model
+  /// interleave never fragments batches. An oversized first candidate
+  /// is reported (kWouldExceed), never skipped.
   PopStatus pop_compatible(std::size_t max_rows, Clock::time_point deadline,
-                           InferenceRequest* out);
+                           InferenceRequest* out,
+                           const void* model_key = nullptr);
 
   /// Blocking pop with no budget or deadline; kOk or kClosed.
   PopStatus pop_wait(InferenceRequest* out);

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "engine/pipeline.hpp"
 #include "serve/recovery/checkpoint.hpp"
 #include "serve/recovery/fault_injector.hpp"
 #include "serve/recovery/journal.hpp"
@@ -15,50 +16,68 @@ namespace ssma::serve {
 
 namespace {
 
-std::string serialize_amm(const maddness::Amm& amm) {
-  std::ostringstream blob;
-  amm.save(blob);
-  return blob.str();
+/// Folds the deprecated v1 ServerOptions shim fields into the engine
+/// options: a shim left at its default defers to `opts.engine`.
+engine::EngineOptions resolved_engine_options(const ServerOptions& opts) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  engine::EngineOptions eo = opts.engine;
+  if (opts.mode != engine::Backend::kKernel) eo.backend = opts.mode;
+  if (opts.device_ns_per_token != 0.0)
+    eo.device_ns_per_token = opts.device_ns_per_token;
+  const core::AcceleratorOptions dflt;
+  const core::AcceleratorOptions& a = opts.accel;
+  if (a.ndec != dflt.ndec || a.ns != dflt.ns ||
+      a.op.vdd != dflt.op.vdd || a.op.corner != dflt.op.corner ||
+      a.op.temp_c != dflt.op.temp_c)
+    eo.accel = a;
+  return eo;
+#pragma GCC diagnostic pop
+}
+
+std::shared_ptr<engine::ModelRegistry> registry_with_default(
+    const maddness::Amm& amm) {
+  auto registry = std::make_shared<engine::ModelRegistry>();
+  registry->register_model(engine::ModelRegistry::kDefaultModel, amm);
+  return registry;
 }
 
 }  // namespace
 
+InferenceServer::InferenceServer(const ServerOptions& opts)
+    : InferenceServer(std::make_shared<engine::ModelRegistry>(), opts) {}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 InferenceServer::InferenceServer(const maddness::Amm& amm,
                                  const ServerOptions& opts)
-    : InferenceServer(serialize_amm(amm), opts, 0) {}
+    : InferenceServer(registry_with_default(amm), opts) {}
+#pragma GCC diagnostic pop
 
-InferenceServer::InferenceServer(std::string amm_blob,
-                                 const ServerOptions& opts,
-                                 std::uint64_t first_request_id)
-    : amm_blob_(std::move(amm_blob)),
+InferenceServer::InferenceServer(
+    std::shared_ptr<engine::ModelRegistry> registry,
+    const ServerOptions& opts, std::uint64_t first_request_id)
+    : registry_(std::move(registry)),
       next_id_(first_request_id),
       recovery_(opts.recovery) {
   SSMA_CHECK(opts.num_workers >= 1);
-  std::istringstream is(amm_blob_);
-  const maddness::Amm amm = maddness::Amm::load(is);
-  cols_ = static_cast<std::size_t>(amm.cfg().total_dims());
-  nout_ = static_cast<std::size_t>(amm.lut().nout);
-  plan_ = core::plan_tiles(amm.cfg().ncodebooks, static_cast<int>(nout_),
-                           opts.accel.ns, opts.accel.ndec);
+  SSMA_CHECK(registry_ != nullptr);
   queue_ = std::make_unique<RequestQueue>(opts.queue_capacity);
   queue_->set_fault_injector(recovery_.fault);
 
   WorkerPoolOptions wopts;
   wopts.num_workers = opts.num_workers;
-  wopts.mode = opts.mode;
-  wopts.accel = opts.accel;
+  wopts.engine = resolved_engine_options(opts);
   wopts.batcher = opts.batcher;
-  wopts.device_ns_per_token = opts.device_ns_per_token;
   wopts.fault = recovery_.fault;
   wopts.journal = recovery_.journal;
-  wopts.checkpoints = recovery_.checkpoints;
   wopts.supervise = recovery_.supervise;
   wopts.max_respawns_per_shard = recovery_.max_respawns_per_shard;
-  pool_ = std::make_unique<WorkerPool>(amm_blob_, *queue_, metrics_,
-                                       wopts);
+  pool_ = std::make_unique<WorkerPool>(*queue_, metrics_, wopts);
   metrics_.mark_start();
-  // Startup checkpoint: guarantees the respawn and restore paths always
-  // have a version to program shards from.
+  // Startup checkpoint: guarantees the restore path always has a
+  // version to rebuild the registry from (even an empty one — new
+  // models checkpoint again at registration).
   maybe_checkpoint(accepted_.load(std::memory_order_relaxed),
                    /*force=*/true);
   pool_->start();
@@ -71,8 +90,20 @@ std::unique_ptr<InferenceServer> InferenceServer::restore(
   SSMA_CHECK_MSG(rs.has_checkpoint(),
                  "restore needs a valid checkpoint (the server writes "
                  "one at startup — was the checkpoint dir lost?)");
+  auto registry = std::make_shared<engine::ModelRegistry>();
+  if (rs.checkpoint.is_v1()) {
+    // v1 record: one anonymous operator — adopt it as the implicitly
+    // named default model, version 1.
+    if (!rs.checkpoint.amm_blob.empty())
+      registry->install(engine::ModelHandle::from_blob(
+          engine::ModelRegistry::kDefaultModel, 1,
+          rs.checkpoint.amm_blob));
+  } else {
+    std::istringstream is(rs.checkpoint.registry_blob);
+    registry->load(is);
+  }
   auto server = std::make_unique<InferenceServer>(
-      rs.checkpoint.amm_blob, opts, rs.next_request_id);
+      std::move(registry), opts, rs.next_request_id);
   server->accepted_.store(rs.checkpoint.accepted_requests,
                           std::memory_order_relaxed);
   server->metrics_.restore(rs.checkpoint.completed_requests,
@@ -85,6 +116,44 @@ std::unique_ptr<InferenceServer> InferenceServer::restore(
   return server;
 }
 
+std::uint64_t InferenceServer::register_model(const std::string& name,
+                                              const maddness::Amm& amm) {
+  return register_model(name, amm.save_string());
+}
+
+std::uint64_t InferenceServer::register_model(const std::string& name,
+                                              std::string blob) {
+  // Stage -> checkpoint -> publish -> checkpoint. The first checkpoint
+  // makes the bank durable before "@latest" traffic can pin (and
+  // journal) it, so replay after a crash always finds what a record
+  // references; the second makes the newest on-disk record carry the
+  // bumped latest pointer, so a restore after a completed swap resolves
+  // "@latest" to the new version. A crash between the two restores the
+  // old latest with the new version still explicitly resolvable — the
+  // swap simply didn't commit.
+  const std::uint64_t version =
+      registry_->register_model(name, std::move(blob), /*publish=*/false);
+  maybe_checkpoint(accepted_.load(std::memory_order_relaxed),
+                   /*force=*/true);
+  registry_->publish(name, version);
+  maybe_checkpoint(accepted_.load(std::memory_order_relaxed),
+                   /*force=*/true);
+  return version;
+}
+
+std::uint64_t InferenceServer::register_pipeline(
+    const std::string& name,
+    const std::vector<const maddness::Amm*>& stages) {
+  return register_model(name, engine::pipeline_blob(stages));
+}
+
+void InferenceServer::retire_model(const std::string& name,
+                                   std::uint64_t version) {
+  registry_->retire(name, version);
+  maybe_checkpoint(accepted_.load(std::memory_order_relaxed),
+                   /*force=*/true);
+}
+
 void InferenceServer::maybe_checkpoint(std::uint64_t accepted,
                                        bool force) {
   if (!recovery_.checkpoints) return;
@@ -93,7 +162,9 @@ void InferenceServer::maybe_checkpoint(std::uint64_t accepted,
     return;
   const MetricsSnapshot snap = metrics_.snapshot();
   recovery::CheckpointState st;
-  st.amm_blob = amm_blob_;
+  std::ostringstream blob;
+  registry_->save(blob);
+  st.registry_blob = blob.str();
   st.next_request_id = next_id_.load(std::memory_order_relaxed);
   st.accepted_requests = accepted;
   st.completed_requests = snap.requests;
@@ -102,21 +173,40 @@ void InferenceServer::maybe_checkpoint(std::uint64_t accepted,
   recovery_.checkpoints->write(st);
 }
 
+std::future<InferenceResult> InferenceServer::rejected(
+    const std::string& why) {
+  std::promise<InferenceResult> p;
+  p.set_exception(std::make_exception_ptr(ShutdownError(why)));
+  return p.get_future();
+}
+
 std::future<InferenceResult> InferenceServer::submit_with_id(
-    std::uint64_t id, std::vector<std::uint8_t> codes, std::size_t rows,
+    std::uint64_t id, engine::ModelRef model,
+    std::vector<std::uint8_t> codes, std::size_t rows,
     bool journal_accept) {
   SSMA_CHECK(rows >= 1);
-  SSMA_CHECK_MSG(codes.size() == rows * cols_,
-                 "submit payload must be rows x cols()");
+  SSMA_CHECK(model != nullptr);
+  SSMA_CHECK_MSG(codes.size() == rows * model->cols(),
+                 "submit payload must be rows x model cols ("
+                     << model->ref() << " expects " << model->cols()
+                     << " cols)");
+  // Typed rejection instead of journaling into (or blocking on) a
+  // queue that is being torn down. A submit that races shutdown() past
+  // this check is still safe: the closed queue refuses the push below.
+  if (draining_.load(std::memory_order_acquire))
+    return rejected("InferenceServer is shut down");
   // Write-ahead: the accept record lands before the request can be
-  // served, so a crash anywhere downstream can replay it.
+  // served, so a crash anywhere downstream can replay it — on exactly
+  // the (name, version) pinned here.
   if (journal_accept && recovery_.journal)
-    recovery_.journal->append_accepted(id, rows, codes);
+    recovery_.journal->append_accepted(id, model->name(),
+                                       model->version(), rows, codes);
 
   InferenceRequest req;
   req.id = id;
   req.rows = rows;
   req.codes = std::move(codes);
+  req.model = std::move(model);
   req.enqueued_at = Clock::now();
   std::future<InferenceResult> fut = req.result.get_future();
 
@@ -137,7 +227,7 @@ std::future<InferenceResult> InferenceServer::submit_with_id(
   if (!queue_->push(std::move(req))) {
     // Closed: the request was not consumed, fail its future here.
     req.result.set_exception(std::make_exception_ptr(
-        std::runtime_error("InferenceServer is shut down")));
+        ShutdownError("InferenceServer is shut down")));
     return fut;
   }
   // Cadence decides on this submit's own count (not a re-load, which
@@ -149,40 +239,83 @@ std::future<InferenceResult> InferenceServer::submit_with_id(
 }
 
 std::future<InferenceResult> InferenceServer::submit(
-    std::vector<std::uint8_t> codes, std::size_t rows) {
+    engine::ModelRef model, std::vector<std::uint8_t> codes,
+    std::size_t rows) {
   const std::uint64_t id =
       next_id_.fetch_add(1, std::memory_order_relaxed);
-  return submit_with_id(id, std::move(codes), rows,
+  return submit_with_id(id, std::move(model), std::move(codes), rows,
                         /*journal_accept=*/true);
+}
+
+std::future<InferenceResult> InferenceServer::submit(
+    const std::string& model_ref, std::vector<std::uint8_t> codes,
+    std::size_t rows) {
+  return submit(registry_->resolve(model_ref), std::move(codes), rows);
+}
+
+std::future<InferenceResult> InferenceServer::submit(
+    std::vector<std::uint8_t> codes, std::size_t rows) {
+  return submit(registry_->resolve(engine::ModelRegistry::kDefaultModel,
+                                   0),
+                std::move(codes), rows);
+}
+
+std::vector<std::future<InferenceResult>> InferenceServer::submit_batch(
+    const std::string& model_ref,
+    const maddness::QuantizedActivations& q,
+    std::size_t rows_per_request) {
+  SSMA_CHECK(rows_per_request >= 1);
+  const engine::ModelRef model = registry_->resolve(model_ref);
+  SSMA_CHECK_MSG(q.cols == model->cols(), "activation width mismatch");
+  std::vector<std::future<InferenceResult>> futures;
+  for (std::size_t r = 0; r < q.rows; r += rows_per_request) {
+    const std::size_t n = std::min(rows_per_request, q.rows - r);
+    std::vector<std::uint8_t> codes(q.row(r), q.row(r) + n * q.cols);
+    futures.push_back(submit(model, std::move(codes), n));
+  }
+  return futures;
 }
 
 std::vector<std::future<InferenceResult>> InferenceServer::submit_batch(
     const maddness::QuantizedActivations& q,
     std::size_t rows_per_request) {
-  SSMA_CHECK(rows_per_request >= 1);
-  SSMA_CHECK_MSG(q.cols == cols_, "activation width mismatch");
-  std::vector<std::future<InferenceResult>> futures;
-  for (std::size_t r = 0; r < q.rows; r += rows_per_request) {
-    const std::size_t n = std::min(rows_per_request, q.rows - r);
-    std::vector<std::uint8_t> codes(q.row(r), q.row(r) + n * cols_);
-    futures.push_back(submit(std::move(codes), n));
-  }
-  return futures;
+  return submit_batch(engine::ModelRegistry::kDefaultModel, q,
+                      rows_per_request);
 }
 
 std::vector<std::future<InferenceResult>> InferenceServer::replay(
     const std::vector<recovery::AcceptedRecord>& requests) {
   std::vector<std::future<InferenceResult>> futures;
   futures.reserve(requests.size());
-  for (const recovery::AcceptedRecord& rec : requests)
+  for (const recovery::AcceptedRecord& rec : requests) {
+    // v1-era records carry no model tag: they predate the registry and
+    // can only mean the implicitly-named default model.
+    const std::string& name = rec.model.empty()
+                                  ? engine::ModelRegistry::kDefaultModel
+                                  : rec.model;
+    engine::ModelRef model =
+        registry_->try_resolve(name, rec.model_version);
+    if (!model) {
+      std::promise<InferenceResult> p;
+      std::ostringstream oss;
+      oss << "replay: journaled request " << rec.id << " pinned model "
+          << name << "@" << rec.model_version
+          << " which the restored registry does not contain";
+      p.set_exception(std::make_exception_ptr(CheckError(oss.str())));
+      futures.push_back(p.get_future());
+      continue;
+    }
     // Already journaled by the crashed run — no second accept record.
-    futures.push_back(submit_with_id(rec.id, rec.codes, rec.rows,
+    futures.push_back(submit_with_id(rec.id, std::move(model), rec.codes,
+                                     rec.rows,
                                      /*journal_accept=*/false));
+  }
   return futures;
 }
 
 void InferenceServer::shutdown() {
   if (shut_down_) return;
+  draining_.store(true, std::memory_order_release);
   queue_->close();
   pool_->join();
   // Shards are gone; anything still queued (possible when shards died

@@ -1,34 +1,50 @@
-// InferenceServer — the public facade of the serving runtime. Owns the
-// bounded request queue, the metrics sink, and the sharded worker pool;
-// clients submit quantized activation rows and receive futures that
-// resolve to int16 outputs bit-exact vs Amm::apply_int16.
+// InferenceServer — the public facade of the serving runtime, v2: a
+// versioned multi-model registry fronting a backend-pluggable engine
+// pool. Clients register models (hot, under load), then submit
+// quantized activation rows against a model ref; futures resolve to
+// int16 outputs bit-exact vs the model's reference decode.
 //
-//   Amm amm = Amm::train(cfg, train_x, w);
-//   InferenceServer server(amm, {});            // spawns workers
-//   auto fut = server.submit(codes, nrows);     // blocks only when full
-//   InferenceResult r = fut.get();
-//   server.shutdown();                          // drain + join
+//   InferenceServer server(opts);                  // spawns workers
+//   server.register_model("embed", amm);           // -> version 1
+//   auto fut = server.submit("embed@latest", codes, rows);
+//   InferenceResult r = fut.get();                 // r.model_version == 1
+//   server.register_model("embed", retrained);     // -> v2, zero downtime
+//   server.shutdown();                             // drain + join
+//
+// Hot-swap semantics: submit() pins the resolved ModelHandle into the
+// request, so registering a new version never changes what an admitted
+// request computes — in-flight batches finish on the old bank (kept
+// alive by the shared_ptr pin), later submits resolve the new one.
 //
 // With ServerOptions::recovery wired up, the server write-ahead-journals
-// every accepted request, snapshots its state into versioned CRC-checked
-// checkpoints, supervises crashed worker shards back to life, and — after
-// a hard crash — restores from the latest checkpoint and replays the
-// journal's unacknowledged requests bit-exactly:
+// every accepted request (tagged with its pinned name@version),
+// snapshots the whole registry into versioned CRC-checked checkpoints,
+// supervises crashed worker shards back to life, and — after a hard
+// crash — restores from the latest checkpoint and replays the journal's
+// unacknowledged requests bit-exactly, each on the exact bank version
+// it originally pinned:
 //
 //   auto rs = recovery::recover_state(ckpts, journal_path);
 //   auto server = InferenceServer::restore(rs, opts);
 //   auto futs = server->replay(rs.journal.unacknowledged);
+//
+// v1 compatibility: the one-model constructor still compiles (it
+// registers its operator as "default" version 1 and the model-less
+// submit() resolves "default@latest"); ServerOptions keeps deprecated
+// mode/accel/device_ns_per_token shims that fold into `engine`.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
-#include "core/layer_mapping.hpp"
 #include "core/ppa_report.hpp"
-#include "maddness/amm.hpp"
+#include "engine/execution_engine.hpp"
+#include "engine/model_registry.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/worker_pool.hpp"
@@ -37,8 +53,16 @@ namespace ssma::serve {
 
 namespace recovery {
 struct AcceptedRecord;
+class CheckpointManager;
 struct RecoveredState;
 }  // namespace recovery
+
+/// What a future holds when a request is refused because the server is
+/// draining or shut down — a typed, immediate rejection, never a hang.
+class ShutdownError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Fault-tolerance wiring. All pointers are borrowed (not owned) and
 /// must outlive the server.
@@ -46,69 +70,128 @@ struct RecoveryOptions {
   /// Write-ahead journal: accept records before enqueue, ack records
   /// after fulfillment.
   recovery::RequestJournal* journal = nullptr;
-  /// Checkpoint store; the server writes version 1 at startup so a
-  /// crash at any later point can restore.
+  /// Checkpoint store; the server writes a version at startup and on
+  /// every model registration so a crash at any later point can
+  /// restore every bank a journaled request may reference.
   recovery::CheckpointManager* checkpoints = nullptr;
   /// Snapshot cadence: a checkpoint every N accepted requests
-  /// (0 = only the startup checkpoint).
+  /// (0 = only the startup/registration checkpoints).
   std::size_t checkpoint_every = 0;
   /// Deterministic fault hook, threaded through admission, the queue,
   /// the worker pool, and checkpoint writes.
   recovery::FaultInjector* fault = nullptr;
-  /// Supervise shards: respawn crashed workers from the latest
-  /// checkpoint and requeue their in-flight batch.
+  /// Supervise shards: respawn crashed workers and requeue their
+  /// in-flight batch.
   bool supervise = false;
   int max_respawns_per_shard = 3;
 };
 
+// The implicitly-defined ctors/assignments touch the deprecated shim
+// members; only direct field access at call sites should warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct ServerOptions {
   int num_workers = 4;
   std::size_t queue_capacity = 1024;  ///< requests; push blocks when full
   BatcherOptions batcher;
-  ExecutionMode mode = ExecutionMode::kKernel;
-  core::AcceleratorOptions accel;
-  /// kDevicePaced only: modeled device service time per token (0 = the
-  /// analytic model's average token interval for `accel`).
-  double device_ns_per_token = 0.0;
+  /// Backend + macro shape + pacing for every shard's private engine.
+  engine::EngineOptions engine;
   RecoveryOptions recovery;
+
+  // --- v1 compatibility shims. These fold into `engine` at server
+  // construction (a non-default shim value wins over the corresponding
+  // `engine` field); new code sets `engine` directly. ---
+  [[deprecated("use engine.backend")]] engine::Backend mode =
+      engine::Backend::kKernel;
+  [[deprecated("use engine.accel")]] core::AcceleratorOptions accel;
+  [[deprecated(
+      "use engine.device_ns_per_token")]] double device_ns_per_token = 0.0;
 };
+#pragma GCC diagnostic pop
 
 class InferenceServer {
  public:
-  /// Serializes the trained operator once and starts the worker pool;
-  /// each worker reconstructs a private replica from the blob.
-  InferenceServer(const maddness::Amm& amm, const ServerOptions& opts);
-  /// Starts from an already-serialized operator blob (the checkpoint
-  /// restore path). `first_request_id` seeds the admission watermark.
-  InferenceServer(std::string amm_blob, const ServerOptions& opts,
+  /// Starts the worker pool over an empty registry; register models
+  /// before (or while) submitting against them.
+  explicit InferenceServer(const ServerOptions& opts);
+  /// Starts over an existing registry (shared with other owners; e.g.
+  /// pre-populated offline or shared across servers).
+  /// `first_request_id` seeds the admission watermark — restore() passes
+  /// the recovered one so even the constructor's startup checkpoint
+  /// carries it.
+  InferenceServer(std::shared_ptr<engine::ModelRegistry> registry,
+                  const ServerOptions& opts,
                   std::uint64_t first_request_id = 0);
+  /// v1 shim: registers `amm` as "default" version 1 and starts.
+  [[deprecated(
+      "register models explicitly: InferenceServer(opts) + "
+      "register_model()")]]
+  InferenceServer(const maddness::Amm& amm, const ServerOptions& opts);
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Builds a server from recovered state: operator blob and id
-  /// watermark from the checkpoint, lifetime metrics counters restored.
-  /// Call replay() with the journal's unacknowledged requests next.
+  /// Builds a server from recovered state: the checkpoint's registry
+  /// (a v1 checkpoint's single blob becomes "default" version 1), id
+  /// watermark and lifetime metrics counters restored. Call replay()
+  /// with the journal's unacknowledged requests next.
   static std::unique_ptr<InferenceServer> restore(
       const recovery::RecoveredState& rs, const ServerOptions& opts);
 
-  /// Submits `rows` quantized activation rows (rows x cols(), row-major).
-  /// Blocks while the queue is full (backpressure). After shutdown() the
-  /// returned future holds a std::runtime_error.
+  // ------------------------------------------------------ registry
+  /// Registers a new version of `name` (atomic bump) and — when
+  /// checkpointing is wired — immediately checkpoints the registry, so
+  /// every admissible version is durable before it can be journaled.
+  /// Safe under full load: this is the zero-downtime hot-swap entry.
+  std::uint64_t register_model(const std::string& name,
+                               const maddness::Amm& amm);
+  std::uint64_t register_model(const std::string& name, std::string blob);
+  std::uint64_t register_pipeline(
+      const std::string& name,
+      const std::vector<const maddness::Amm*>& stages);
+  /// Makes (name, version) unresolvable; in-flight batches drain.
+  void retire_model(const std::string& name, std::uint64_t version);
+  engine::ModelRegistry& registry() { return *registry_; }
+  const engine::ModelRegistry& registry() const { return *registry_; }
+
+  // ----------------------------------------------------- admission
+  /// Submits `rows` quantized activation rows (rows x cols, row-major)
+  /// against `model_ref` ("name", "name@latest", or "name@N"); the
+  /// resolved handle is pinned for the request's lifetime. Blocks
+  /// while the queue is full (backpressure); during drain/shutdown the
+  /// returned future holds a ShutdownError instead of blocking.
+  /// Throws CheckError on an unknown model or a shape mismatch.
+  std::future<InferenceResult> submit(const std::string& model_ref,
+                                      std::vector<std::uint8_t> codes,
+                                      std::size_t rows = 1);
+  /// Same, against an already-resolved (pre-pinned) handle — the
+  /// hot-path form that skips the registry lookup.
+  std::future<InferenceResult> submit(engine::ModelRef model,
+                                      std::vector<std::uint8_t> codes,
+                                      std::size_t rows = 1);
+  /// v1 shim: submits against "default@latest".
   std::future<InferenceResult> submit(std::vector<std::uint8_t> codes,
                                       std::size_t rows = 1);
 
   /// Splits a pre-quantized matrix into per-request row slices and
   /// submits them all; the last request takes the remainder.
   std::vector<std::future<InferenceResult>> submit_batch(
+      const std::string& model_ref,
+      const maddness::QuantizedActivations& q,
+      std::size_t rows_per_request);
+  /// v1 shim: submit_batch against "default@latest".
+  std::vector<std::future<InferenceResult>> submit_batch(
       const maddness::QuantizedActivations& q,
       std::size_t rows_per_request);
 
   /// Re-submits journaled requests under their original ids (no new
-  /// accept records — they are already in the journal). Deterministic
-  /// decode makes the replayed outputs bit-identical to what the
-  /// crashed run would have produced.
+  /// accept records — they are already in the journal), each resolved
+  /// to the exact model version it pinned at admission (v1-era records
+  /// map to "default"). Deterministic decode makes the replayed
+  /// outputs bit-identical to what the crashed run would have
+  /// produced, even across a hot-swap boundary. A record whose version
+  /// is no longer in the registry fails its future with CheckError.
   std::vector<std::future<InferenceResult>> replay(
       const std::vector<recovery::AcceptedRecord>& requests);
 
@@ -117,39 +200,31 @@ class InferenceServer {
   /// fail with std::runtime_error. Idempotent.
   void shutdown();
 
-  /// Layer geometry the server was built for.
-  std::size_t cols() const { return cols_; }
-  std::size_t nout() const { return nout_; }
-  /// The macro tile plan every batch maps onto.
-  const core::TilePlan& plan() const { return plan_; }
-
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
   std::size_t queue_depth() const { return queue_->size(); }
   /// Shard respawns performed by the supervisor so far.
   int respawn_count() const { return pool_->respawn_count(); }
-  /// The serialized operator the shards replicate from.
-  const std::string& amm_blob() const { return amm_blob_; }
 
   /// Pool-aggregate PPA (merge of per-shard reports, idle shards
-  /// contributing silicon only). Only meaningful in
-  /// ExecutionMode::kSimulate — kernel/paced shards run no macro, so
-  /// the merge is default-empty there. Requires shutdown() first.
+  /// contributing silicon only). Only meaningful when the engine
+  /// backend collects PPA (kSimulate). Requires shutdown() first.
   core::PpaReport aggregate_report() const;
   const std::vector<std::size_t>& shard_tokens() const;
 
  private:
-  std::future<InferenceResult> submit_with_id(
-      std::uint64_t id, std::vector<std::uint8_t> codes, std::size_t rows,
-      bool journal_accept);
+  std::future<InferenceResult> submit_with_id(std::uint64_t id,
+                                              engine::ModelRef model,
+                                              std::vector<std::uint8_t> codes,
+                                              std::size_t rows,
+                                              bool journal_accept);
   /// Writes a checkpoint when `accepted` hits the cadence (or `force`).
   void maybe_checkpoint(std::uint64_t accepted, bool force);
+  static std::future<InferenceResult> rejected(const std::string& why);
 
-  std::size_t cols_ = 0;
-  std::size_t nout_ = 0;
-  core::TilePlan plan_;
-  std::string amm_blob_;
+  std::shared_ptr<engine::ModelRegistry> registry_;
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<bool> draining_{false};
   std::unique_ptr<RequestQueue> queue_;
   Metrics metrics_;
   std::unique_ptr<WorkerPool> pool_;

@@ -7,7 +7,6 @@
 #include <utility>
 
 #include "maddness/framing.hpp"
-#include "serve/recovery/checkpoint.hpp"
 #include "serve/recovery/fault_injector.hpp"
 #include "serve/recovery/journal.hpp"
 #include "util/check.hpp"
@@ -18,12 +17,9 @@ using recovery::FaultAction;
 using recovery::FaultKind;
 using recovery::FaultSite;
 
-WorkerPool::WorkerPool(std::string amm_blob, RequestQueue& queue,
-                       Metrics& metrics, const WorkerPoolOptions& opts)
-    : amm_blob_(std::move(amm_blob)),
-      queue_(queue),
-      metrics_(metrics),
-      opts_(opts) {
+WorkerPool::WorkerPool(RequestQueue& queue, Metrics& metrics,
+                       const WorkerPoolOptions& opts)
+    : queue_(queue), metrics_(metrics), opts_(opts) {
   SSMA_CHECK(opts.num_workers >= 1);
   SSMA_CHECK(opts.max_respawns_per_shard >= 0);
   shard_reports_.resize(static_cast<std::size_t>(opts.num_workers));
@@ -140,16 +136,11 @@ void WorkerPool::supervisor_main() {
       }
       slot.respawns++;
       respawns_total_.fetch_add(1, std::memory_order_relaxed);
-      // Reprogram the respawned shard from the latest checkpoint (the
-      // deployment path a real restart takes); the baked-in blob is
-      // the fallback when no checkpoint validates.
-      slot.respawn_blob.clear();
-      if (opts_.checkpoints) {
-        if (auto st = opts_.checkpoints->load_latest())
-          slot.respawn_blob = std::move(st->amm_blob);
-      }
       // Requeue before respawning so the new shard (or any live peer)
       // finds the orphaned work even if the queue is already closed.
+      // The orphans keep their pinned model handles: the respawned
+      // shard re-executes them on exactly the banks they resolved at
+      // admission, so the retried outputs are bit-identical.
       queue_.requeue_front(std::move(orphans));
       spawn_worker(w);
     }
@@ -168,42 +159,22 @@ core::PpaReport WorkerPool::aggregate_report() const {
 
 void WorkerPool::worker_main(int worker_id) {
   ShardSlot& slot = *slots_[static_cast<std::size_t>(worker_id)];
-  // Share-nothing replica: every shard deserializes its own operator
-  // from the blob — the same path a deployment uses to program a macro.
-  // A respawned shard programs from the latest checkpoint instead.
-  std::istringstream is(slot.respawn_blob.empty() ? amm_blob_
-                                                  : slot.respawn_blob);
-  const maddness::Amm amm = maddness::Amm::load(is);
-  core::Accelerator accel(opts_.accel);
+  // Private per-shard engine: backend scratch, PPA ledgers and pacing
+  // clocks are shard-local, so shards share nothing but the immutable
+  // model handles their requests pin.
+  const std::unique_ptr<engine::ExecutionEngine> eng =
+      engine::make_engine(opts_.engine);
   const Batcher batcher(opts_.batcher);
-  const auto cols = static_cast<std::size_t>(amm.cfg().total_dims());
-  const auto nout = static_cast<std::size_t>(amm.lut().nout);
   recovery::FaultInjector* fault = opts_.fault;
 
-  double pace_ns = 0.0;
-  if (opts_.mode == ExecutionMode::kDevicePaced) {
-    pace_ns = opts_.device_ns_per_token > 0.0
-                  ? opts_.device_ns_per_token
-                  : accel.analytic_report(0).token_interval_ns;
-    SSMA_CHECK_MSG(pace_ns > 0.0, "device pacing needs a token interval");
-  }
-  Clock::time_point device_free = Clock::now();
-
-  std::vector<core::PpaReport> batch_reports;
   std::vector<double> queue_ns, total_ns;
 
   // Steady-state hot-path buffers, owned by the shard for its whole
-  // life: the stitched activation matrix, the encoder's staging tile,
-  // the encode cache and the output accumulators all reuse their
-  // capacity across batches, so a shard at steady state performs no
-  // per-batch allocations on the encode/decode path (per-request
-  // response payloads are the only per-request allocation, and those
-  // are handed off to the client).
+  // life: the stitched activation matrix and the output accumulators
+  // reuse their capacity across batches (the engine holds the encode
+  // scratch), so a shard at steady state performs no per-batch
+  // allocations on the encode/decode path beyond response payloads.
   maddness::QuantizedActivations q;
-  q.cols = cols;
-  q.scale = amm.activation_scale();
-  maddness::EncodeScratch scratch;
-  maddness::EncodedBatch enc;
   std::vector<std::int16_t> out;
 
   // Polls `site`; returns true when the worker must abandon the batch
@@ -242,40 +213,32 @@ void WorkerPool::worker_main(int worker_id) {
     }
     const Clock::time_point t_exec = Clock::now();
 
+    // The batcher never mixes handles, so the whole batch runs on the
+    // first request's pinned model. Hold an owning pin for the scope of
+    // the batch: the requests' pins die inside the ack loop (set_value
+    // moves them out), and for a retired version they can be the last
+    // owners — the bank (and its name, read after the loop for the
+    // metrics attribution) must outlive them.
+    const engine::ModelRef model_pin = slot.in_flight.front().model;
+    const engine::ModelHandle& model = *model_pin;
+    const std::size_t cols = model.cols();
+    const std::size_t nout = model.nout();
+
     // Stitch the batch into one activation matrix; rows keep request
     // order, so outputs slice back out contiguously.
     q.rows = batch.tokens;
+    q.cols = cols;
+    q.scale = model.stage(0).activation_scale();
     q.codes.clear();
     for (const InferenceRequest& req : slot.in_flight) {
       SSMA_CHECK_MSG(req.codes.size() == req.rows * cols,
                      "request payload shape mismatch");
+      SSMA_CHECK_MSG(req.model.get() == &model,
+                     "batch mixed model handles");
       q.codes.insert(q.codes.end(), req.codes.begin(), req.codes.end());
     }
 
-    if (opts_.mode == ExecutionMode::kSimulate) {
-      core::AcceleratorResult r = accel.run(amm, q);
-      out = std::move(r.outputs);
-      batch_reports.push_back(std::move(r.report));
-    } else {
-      // Vectorized batch encode into the shard's reusable scratch, then
-      // the packed tier-dispatched LUT kernel. Both are bit-exact vs
-      // their references, so journal replay after a crash reproduces
-      // identical output CRCs regardless of which tier the recovering
-      // host dispatches to.
-      amm.encode_batch(q, scratch, enc);
-      amm.apply_int16(enc, out);
-      if (opts_.mode == ExecutionMode::kDevicePaced) {
-        // The batch occupies this shard's device for tokens * interval;
-        // back-to-back batches queue on the device, idle gaps don't
-        // accumulate credit.
-        device_free =
-            std::max(device_free, t_exec) +
-            std::chrono::duration_cast<Clock::duration>(
-                std::chrono::duration<double, std::nano>(
-                    static_cast<double>(batch.tokens) * pace_ns));
-        std::this_thread::sleep_until(device_free);
-      }
-    }
+    eng->run_batch(model, q, out);
 
     if (fatal_fault(FaultSite::kExecute)) {
       if (slot.in_flight.empty()) continue;
@@ -299,6 +262,8 @@ void WorkerPool::worker_main(int worker_id) {
       res.request_id = req.id;
       res.rows = req.rows;
       res.worker_id = worker_id;
+      res.model = model.name();
+      res.model_version = model.version();
       res.completed_at = t_done;
       res.outputs.assign(out.begin() + static_cast<std::ptrdiff_t>(
                                            row * nout),
@@ -320,31 +285,12 @@ void WorkerPool::worker_main(int worker_id) {
     }
     slot.in_flight.clear();
     shard_tokens_[static_cast<std::size_t>(worker_id)] += batch.tokens;
-    metrics_.record_batch(batch.tokens, queue_ns, total_ns);
+    metrics_.record_batch(model.name(), batch.tokens, queue_ns, total_ns);
   }
 
-  if (opts_.mode == ExecutionMode::kSimulate) {
-    if (batch_reports.empty()) {
-      // Idle shard: its macro still exists — contribute the silicon
-      // (config echo + area/SRAM) with zeroed run-dependent fields.
-      core::PpaReport silicon = accel.analytic_report(0);
-      silicon.freq_mhz = 0.0;
-      silicon.throughput_tops = 0.0;
-      silicon.token_interval_ns = 0.0;
-      silicon.tops_per_w = 0.0;
-      silicon.tops_per_mm2 = 0.0;
-      silicon.energy_per_op_fj = 0.0;
-      silicon.energy_decoder_share = 0.0;
-      silicon.energy_encoder_share = 0.0;
-      shard_reports_[static_cast<std::size_t>(worker_id)] = silicon;
-    } else {
-      // A shard that crashed and respawned reports only the batches of
-      // its final incarnation — the crash lost the earlier accounting,
-      // as it would on real silicon.
-      shard_reports_[static_cast<std::size_t>(worker_id)] =
-          core::merge_sequential_reports(batch_reports);
-    }
-  }
+  if (eng->info().collects_ppa)
+    shard_reports_[static_cast<std::size_t>(worker_id)] =
+        eng->ppa_report();
   report_exit(worker_id);
 }
 

@@ -1,19 +1,19 @@
-// Share-nothing worker pool: N threads, each owning a private
-// core::Accelerator and its own maddness::Amm replica (reconstructed from
-// the serialized operator, never shared), draining token batches from the
-// request queue and fulfilling the requests' futures. Results are
-// bit-exact and deterministic per request regardless of which shard
-// serves it — MADDNESS decode is row-independent, so any partition of
-// requests across workers yields identical outputs.
+// Sharded worker pool over the Engine API: N threads, each owning a
+// private engine::ExecutionEngine (created from the pool's
+// EngineOptions), draining token batches from the request queue and
+// fulfilling the requests' futures. Every request carries a pinned
+// ModelRef, so a worker computes each batch on exactly the bank the
+// request resolved at admission — results are bit-exact and
+// deterministic per request regardless of which shard serves it, and a
+// version hot-swap never retroactively changes an in-flight batch.
 //
 // Fault tolerance (opt-in via WorkerPoolOptions::supervise): each shard
 // parks its current batch in a per-shard in-flight slot before
 // executing it. A supervisor thread watches for shards that die at an
 // injected (or real) fault, joins the dead thread, pushes its
 // in-flight requests back to the head of the queue, and respawns the
-// shard from the latest checkpoint's operator blob. Because the kernel
-// is deterministic, the re-executed batch produces bit-identical
-// outputs — crash recovery is invisible to clients beyond latency.
+// shard with a fresh engine. Requeued requests keep their pinned model
+// handles, so crash recovery is invisible to clients beyond latency.
 #pragma once
 
 #include <atomic>
@@ -24,8 +24,8 @@
 #include <thread>
 #include <vector>
 
-#include "core/accelerator.hpp"
-#include "maddness/amm.hpp"
+#include "core/ppa_report.hpp"
+#include "engine/execution_engine.hpp"
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request_queue.hpp"
@@ -33,43 +33,25 @@
 namespace ssma::serve {
 
 namespace recovery {
-class CheckpointManager;
 class FaultInjector;
 class RequestJournal;
 }  // namespace recovery
 
-/// How a worker computes a batch.
-enum class ExecutionMode {
-  /// Software kernel (Amm::apply_int16): the hardware-exact reference
-  /// arithmetic at host speed. Default for throughput serving.
-  kKernel,
-  /// Full event-driven macro simulation (core::Accelerator::run): same
-  /// bits, plus per-batch PPA accounting merged into the pool report.
-  kSimulate,
-  /// Hardware-in-the-loop pacing: outputs come from the kernel, but the
-  /// worker then blocks until its private device's service time for the
-  /// batch has elapsed (`device_ns_per_token`), like a host thread
-  /// waiting on a real macro. Pool throughput then measures how well
-  /// the runtime overlaps N devices, independent of host core count.
-  kDevicePaced,
-};
+/// Backwards-compatible name for the backend selector that used to live
+/// here as an enum-switch; prefer engine::Backend in new code.
+using ExecutionMode [[deprecated("use engine::Backend")]] =
+    engine::Backend;
 
 struct WorkerPoolOptions {
   int num_workers = 4;
-  ExecutionMode mode = ExecutionMode::kKernel;
-  core::AcceleratorOptions accel;  ///< macro shape for kSimulate shards
+  /// Backend + macro shape + pacing for every shard's private engine.
+  engine::EngineOptions engine;
   BatcherOptions batcher;
-  /// kDevicePaced only: modeled device service time per token. 0 = use
-  /// the analytic model's average token interval for `accel`.
-  double device_ns_per_token = 0.0;
 
   // --- fault tolerance (none owned) ---
   recovery::FaultInjector* fault = nullptr;
   /// Ack records (request id + output CRC) are appended here.
   recovery::RequestJournal* journal = nullptr;
-  /// Respawned shards reprogram from the latest checkpoint here (the
-  /// baked-in blob is the fallback when absent or unreadable).
-  recovery::CheckpointManager* checkpoints = nullptr;
   /// Spawn the supervisor thread: detect dead shards, requeue their
   /// in-flight batch, respawn. Without it a crashed shard's in-flight
   /// futures fail at join().
@@ -81,9 +63,7 @@ struct WorkerPoolOptions {
 
 class WorkerPool {
  public:
-  /// `amm_blob` is the serialized trained operator (Amm::save); each
-  /// worker deserializes its own replica from it at start().
-  WorkerPool(std::string amm_blob, RequestQueue& queue, Metrics& metrics,
+  WorkerPool(RequestQueue& queue, Metrics& metrics,
              const WorkerPoolOptions& opts);
   ~WorkerPool();
 
@@ -104,8 +84,8 @@ class WorkerPool {
     return respawns_total_.load(std::memory_order_relaxed);
   }
 
-  /// Pool-aggregate PPA report. Only meaningful in kSimulate mode
-  /// (kernel/paced shards run no macro, so their reports stay
+  /// Pool-aggregate PPA report. Only meaningful when the engine backend
+  /// collects PPA (kSimulate — kernel/paced engines report
   /// default-empty). Valid after join().
   core::PpaReport aggregate_report() const;
   /// Per-shard reports, index == worker id. Valid after join().
@@ -128,7 +108,6 @@ class WorkerPool {
     std::thread thread;
     ShardStatus status = ShardStatus::kNotStarted;
     std::vector<InferenceRequest> in_flight;
-    std::string respawn_blob;  ///< checkpoint blob for the next respawn
     int respawns = 0;
   };
 
@@ -143,7 +122,6 @@ class WorkerPool {
   static void fail_requests(std::vector<InferenceRequest>& reqs,
                             const std::string& why);
 
-  std::string amm_blob_;
   RequestQueue& queue_;
   Metrics& metrics_;
   WorkerPoolOptions opts_;

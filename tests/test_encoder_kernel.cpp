@@ -23,6 +23,11 @@
 #include "serve/recovery/recovery.hpp"
 #include "serve/server.hpp"
 #include "serve_test_util.hpp"
+
+// These suites deliberately keep exercising the deprecated v1
+// one-model constructor — it is the compatibility shim under test.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 #include "util/rng.hpp"
 
 using namespace ssma;

@@ -1,24 +1,30 @@
-// Tests for the batched serving runtime: queue/batcher mechanics, the
+// Tests for the batched serving runtime on the v2 Engine API:
+// queue/batcher mechanics (including model-handle batching), the
 // central bit-exactness contract (threaded InferenceServer results ==
 // single-threaded Amm::apply_int16 for every request, under 4+ workers
-// and randomized multi-client arrival order), the simulate-mode PPA
-// aggregation, operator save/load round trips (the worker-replica
-// construction path), backpressure, shutdown semantics, metrics, and the
-// load generator's two arrival models.
+// and randomized multi-client arrival order), the engine-backend matrix
+// (kernel / simulate+PPA / device-paced), multi-model serving with
+// per-model metrics, operator save/load round trips, backpressure,
+// typed shutdown rejection, the deprecated v1 single-model shims, and
+// the load generator's two arrival models.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
 #include <set>
 #include <sstream>
 #include <thread>
 
 #include "core/ppa_report.hpp"
+#include "engine/execution_engine.hpp"
+#include "engine/model_registry.hpp"
 #include "maddness/amm.hpp"
 #include "serve/batcher.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/server.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace ssma::serve {
@@ -163,6 +169,46 @@ TEST(Batcher, OversizedRequestServedAlone) {
   EXPECT_EQ(b.tokens, 1u);
 }
 
+TEST(Batcher, ModelAffineCoalescingNeverMixesOrFragments) {
+  // Interleaved two-model traffic: batches must be single-model, full
+  // (affine pulls past the other model's requests), and per-model FIFO.
+  const Fixture f = Fixture::make();
+  const engine::ModelRef ma = engine::ModelHandle::from_amm("a", 1, f.amm);
+  const engine::ModelRef mb = engine::ModelHandle::from_amm("b", 1, f.amm);
+
+  RequestQueue q(64);
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    InferenceRequest req = make_request(i, 2, 4);
+    req.model = (i % 2 == 0) ? ma : mb;
+    ASSERT_TRUE(q.push(std::move(req)));
+  }
+  q.close();
+
+  BatcherOptions opts;
+  opts.max_batch_tokens = 6;  // three 2-row requests per batch
+  opts.max_wait = std::chrono::microseconds(0);
+  const Batcher batcher(opts);
+
+  std::uint64_t next_a = 0, next_b = 1;
+  std::size_t batches = 0;
+  for (;;) {
+    Batch b = batcher.next_batch(q);
+    if (b.empty()) break;
+    batches++;
+    EXPECT_EQ(b.tokens, 6u) << "affine batch under-filled";
+    const void* key = b.requests.front().model.get();
+    for (const InferenceRequest& r : b.requests) {
+      EXPECT_EQ(r.model.get(), key) << "batch mixed model handles";
+      std::uint64_t& next = key == ma.get() ? next_a : next_b;
+      EXPECT_EQ(r.id, next) << "per-model FIFO violated";
+      next += 2;
+    }
+  }
+  EXPECT_EQ(batches, 4u);  // 12 requests, 3 per batch, never mixed
+  EXPECT_EQ(next_a, 12u);
+  EXPECT_EQ(next_b, 13u);
+}
+
 TEST(Batcher, AlignmentRoundsBudgetDown) {
   BatcherOptions opts;
   opts.max_batch_tokens = 30;
@@ -193,8 +239,8 @@ TEST(LatencyHistogram, PercentilesWithinBucketError) {
 TEST(Metrics, CountsAndRates) {
   Metrics m;
   m.mark_start();
-  m.record_batch(6, {1e3, 2e3}, {5e3, 6e3});
-  m.record_batch(2, {1e3}, {2e3});
+  m.record_batch("a", 6, {1e3, 2e3}, {5e3, 6e3});
+  m.record_batch("b", 2, {1e3}, {2e3});
   m.mark_stop();
   const MetricsSnapshot s = m.snapshot();
   EXPECT_EQ(s.requests, 3u);
@@ -204,6 +250,16 @@ TEST(Metrics, CountsAndRates) {
   EXPECT_GT(s.wall_seconds, 0.0);
   EXPECT_GT(s.tokens_per_sec, 0.0);
   EXPECT_NE(s.json().find("\"tokens\":8"), std::string::npos);
+
+  // Per-model slices: one row per name, sorted, counters partitioned.
+  ASSERT_EQ(s.per_model.size(), 2u);
+  EXPECT_EQ(s.per_model[0].model, "a");
+  EXPECT_EQ(s.per_model[0].requests, 2u);
+  EXPECT_EQ(s.per_model[0].tokens, 6u);
+  ASSERT_NE(s.for_model("b"), nullptr);
+  EXPECT_EQ(s.for_model("b")->requests, 1u);
+  EXPECT_EQ(s.for_model("nope"), nullptr);
+  EXPECT_NE(s.json().find("\"per_model\""), std::string::npos);
 }
 
 // ------------------------------------------------- the central contract
@@ -215,7 +271,8 @@ TEST(InferenceServer, BitExactUnderWorkersAndRandomArrival) {
   opts.queue_capacity = 64;
   opts.batcher.max_batch_tokens = 16;
   opts.batcher.max_wait = std::chrono::microseconds(100);
-  InferenceServer server(f.amm, opts);
+  InferenceServer server(opts);
+  EXPECT_EQ(server.register_model("m", f.amm), 1u);
 
   // 4 client threads, each submitting a shuffled shard of the id space
   // with variable request sizes — arrival order is fully randomized.
@@ -243,7 +300,7 @@ TEST(InferenceServer, BitExactUnderWorkersAndRandomArrival) {
           r = (r + 1) % f.pool.rows;
         }
         issued[static_cast<std::size_t>(c)].push_back(
-            {server.submit(std::move(codes), rows), first, rows});
+            {server.submit("m", std::move(codes), rows), first, rows});
       }
     });
   }
@@ -273,16 +330,17 @@ TEST(InferenceServer, SimulateModeBitExactWithPpaAggregation) {
   const Fixture f = Fixture::make(4, 8, 64);
   ServerOptions opts;
   opts.num_workers = 4;
-  opts.mode = ExecutionMode::kSimulate;
-  opts.accel.ndec = 8;  // forces lane tiling (8 outputs need 1 pass of 8)
-  opts.accel.ns = 4;    // same for codebooks
+  opts.engine.backend = engine::Backend::kSimulate;
+  opts.engine.accel.ndec = 8;  // forces lane tiling (8 outs in 1 pass)
+  opts.engine.accel.ns = 4;    // same for codebooks
   opts.batcher.max_batch_tokens = 8;
-  InferenceServer server(f.amm, opts);
-  EXPECT_EQ(server.plan().tiles.size(), 1u);
+  InferenceServer server(opts);
+  server.register_model("m", f.amm);
 
   std::vector<std::future<InferenceResult>> futs;
   for (std::size_t id = 0; id < 24; ++id)
     futs.push_back(server.submit(
+        "m@latest",
         std::vector<std::uint8_t>(f.pool.row(id % f.pool.rows),
                                   f.pool.row(id % f.pool.rows) +
                                       f.pool.cols),
@@ -304,32 +362,34 @@ TEST(InferenceServer, SimulateModeBitExactWithPpaAggregation) {
 
   // Every shard's macro contributes its silicon — even one that never
   // received a batch — and the config echo survives idle shards.
-  core::Accelerator one(opts.accel);
+  core::Accelerator one(opts.engine.accel);
   EXPECT_NEAR(agg.core_mm2, 4.0 * one.analytic_report(0).core_mm2,
               1e-12);
-  EXPECT_EQ(agg.ndec, opts.accel.ndec);
-  EXPECT_EQ(agg.ns, opts.accel.ns);
+  EXPECT_EQ(agg.ndec, opts.engine.accel.ndec);
+  EXPECT_EQ(agg.ns, opts.engine.accel.ns);
 }
 
 TEST(InferenceServer, IdleShardsStillContributeSiliconToAggregate) {
   const Fixture f = Fixture::make(4, 8, 16);
   ServerOptions opts;
   opts.num_workers = 4;
-  opts.mode = ExecutionMode::kSimulate;
-  opts.accel.ns = 4;
-  opts.accel.ndec = 8;
-  InferenceServer server(f.amm, opts);
+  opts.engine.backend = engine::Backend::kSimulate;
+  opts.engine.accel.ns = 4;
+  opts.engine.accel.ndec = 8;
+  InferenceServer server(opts);
+  server.register_model("m", f.amm);
   // One request: at most one shard does work, three stay idle.
   auto fut = server.submit(
+      "m",
       std::vector<std::uint8_t>(f.pool.row(0), f.pool.row(0) + f.pool.cols),
       1);
   EXPECT_EQ(fut.get().outputs, f.expected(0, 1));
   server.shutdown();
 
   const core::PpaReport agg = server.aggregate_report();
-  core::Accelerator one(opts.accel);
+  core::Accelerator one(opts.engine.accel);
   EXPECT_NEAR(agg.core_mm2, 4.0 * one.analytic_report(0).core_mm2, 1e-12);
-  EXPECT_EQ(agg.ndec, opts.accel.ndec);
+  EXPECT_EQ(agg.ndec, opts.engine.accel.ndec);
   EXPECT_GT(agg.total_ops, 0);  // the busy shard's work is still there
 }
 
@@ -337,15 +397,17 @@ TEST(InferenceServer, DevicePacedBitExactAndEnforcesServiceTime) {
   const Fixture f = Fixture::make();
   ServerOptions opts;
   opts.num_workers = 1;
-  opts.mode = ExecutionMode::kDevicePaced;
-  opts.device_ns_per_token = 100'000.0;  // 100 us per token
+  opts.engine.backend = engine::Backend::kDevicePaced;
+  opts.engine.device_ns_per_token = 100'000.0;  // 100 us per token
   opts.batcher.max_batch_tokens = 8;
-  InferenceServer server(f.amm, opts);
+  InferenceServer server(opts);
+  server.register_model("m", f.amm);
 
   const Clock::time_point t0 = Clock::now();
   std::vector<std::future<InferenceResult>> futs;
   for (std::size_t id = 0; id < 32; ++id)
     futs.push_back(server.submit(
+        "m",
         std::vector<std::uint8_t>(f.pool.row(id % f.pool.rows),
                                   f.pool.row(id % f.pool.rows) +
                                       f.pool.cols),
@@ -363,11 +425,12 @@ TEST(InferenceServer, PacingForcesWorkAcrossMultipleShards) {
   const Fixture f = Fixture::make();
   ServerOptions opts;
   opts.num_workers = 4;
-  opts.mode = ExecutionMode::kDevicePaced;
-  opts.device_ns_per_token = 100'000.0;
+  opts.engine.backend = engine::Backend::kDevicePaced;
+  opts.engine.device_ns_per_token = 100'000.0;
   opts.batcher.max_batch_tokens = 4;
   opts.batcher.max_wait = std::chrono::microseconds(0);
-  InferenceServer server(f.amm, opts);
+  InferenceServer server(opts);
+  server.register_model("m", f.amm);
 
   // While one shard's device is busy (sleeping), queued requests must
   // wake the parked shards — a single worker draining everything would
@@ -375,6 +438,7 @@ TEST(InferenceServer, PacingForcesWorkAcrossMultipleShards) {
   std::vector<std::future<InferenceResult>> futs;
   for (std::size_t id = 0; id < 48; ++id)
     futs.push_back(server.submit(
+        "m",
         std::vector<std::uint8_t>(f.pool.row(id % f.pool.rows),
                                   f.pool.row(id % f.pool.rows) +
                                       f.pool.cols),
@@ -408,8 +472,10 @@ TEST(Amm, SaveLoadRoundTripDrivesIdenticalServing) {
   // from the original.
   ServerOptions opts;
   opts.num_workers = 2;
-  InferenceServer server(replica, opts);
+  InferenceServer server(opts);
+  server.register_model("replica", replica);
   auto fut = server.submit(
+      "replica",
       std::vector<std::uint8_t>(f.pool.row(3), f.pool.row(3) + f.pool.cols),
       1);
   EXPECT_EQ(fut.get().outputs, f.expected(3, 1));
@@ -423,11 +489,13 @@ TEST(InferenceServer, BackpressureTinyQueueStillServesEverything) {
   opts.num_workers = 2;
   opts.queue_capacity = 2;  // submit() must block and resume
   opts.batcher.max_batch_tokens = 4;
-  InferenceServer server(f.amm, opts);
+  InferenceServer server(opts);
+  server.register_model("m", f.amm);
 
   std::vector<std::future<InferenceResult>> futs;
   for (std::size_t id = 0; id < 64; ++id)
     futs.push_back(server.submit(
+        "m",
         std::vector<std::uint8_t>(f.pool.row(id % f.pool.rows),
                                   f.pool.row(id % f.pool.rows) +
                                       f.pool.cols),
@@ -436,24 +504,67 @@ TEST(InferenceServer, BackpressureTinyQueueStillServesEverything) {
     EXPECT_EQ(futs[id].get().outputs, f.expected(id % f.pool.rows, 1));
 }
 
-TEST(InferenceServer, SubmitAfterShutdownFailsTheFuture) {
+TEST(InferenceServer, SubmitAfterShutdownRejectsWithTypedError) {
   const Fixture f = Fixture::make();
   ServerOptions opts;
   opts.num_workers = 2;
-  InferenceServer server(f.amm, opts);
+  InferenceServer server(opts);
+  server.register_model("m", f.amm);
   server.shutdown();
   server.shutdown();  // idempotent
   auto fut = server.submit(
+      "m",
       std::vector<std::uint8_t>(f.pool.row(0), f.pool.row(0) + f.pool.cols),
       1);
-  EXPECT_THROW(fut.get(), std::runtime_error);
+  // The rejection is immediate (never blocks on the bounded queue) and
+  // typed: clients can distinguish drain from compute faults.
+  EXPECT_THROW(fut.get(), ShutdownError);
+}
+
+TEST(InferenceServer, SubmitRacingShutdownNeverWedges) {
+  // A client hammering submit() while another thread shuts the server
+  // down must get served-or-rejected promptly — the bounded-queue push
+  // must not park forever on a queue nobody will drain. A tiny queue
+  // plus slow device pacing makes admission block mid-run.
+  const Fixture f = Fixture::make();
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 1;
+  opts.engine.backend = engine::Backend::kDevicePaced;
+  opts.engine.device_ns_per_token = 200'000.0;
+  InferenceServer server(opts);
+  server.register_model("m", f.amm);
+  const engine::ModelRef model = server.registry().resolve("m");
+  std::atomic<std::size_t> outcomes{0};
+  std::thread client([&] {
+    for (std::size_t id = 0; id < 400; ++id) {
+      try {
+        auto fut = server.submit(
+            model,
+            std::vector<std::uint8_t>(f.pool.row(id % f.pool.rows),
+                                      f.pool.row(id % f.pool.rows) +
+                                          f.pool.cols),
+            1);
+        fut.get();
+      } catch (const std::runtime_error&) {
+        // rejected (ShutdownError) or failed at drain: both fine
+      }
+      outcomes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.shutdown();
+  client.join();  // would deadlock before the typed-rejection fix
+  EXPECT_EQ(outcomes.load(), 400u);
 }
 
 TEST(InferenceServer, SubmitBatchSlicesAMatrix) {
   const Fixture f = Fixture::make();
   ServerOptions opts;
   opts.num_workers = 4;
-  InferenceServer server(f.amm, opts);
+  InferenceServer server(opts);
+  server.register_model("m", f.amm);
+  const std::size_t nout = server.registry().resolve("m")->nout();
 
   maddness::QuantizedActivations q;
   q.rows = 37;  // deliberately not a multiple of the slice size
@@ -462,22 +573,141 @@ TEST(InferenceServer, SubmitBatchSlicesAMatrix) {
   for (std::size_t r = 0; r < q.rows; ++r)
     q.codes.insert(q.codes.end(), f.pool.row(r), f.pool.row(r) + f.pool.cols);
 
-  auto futs = server.submit_batch(q, 8);
+  auto futs = server.submit_batch("m", q, 8);
   ASSERT_EQ(futs.size(), 5u);  // 8+8+8+8+5
   const std::vector<std::int16_t> whole = f.amm.apply_int16(q);
   std::size_t row = 0;
   for (auto& fut : futs) {
     const InferenceResult res = fut.get();
     const std::vector<std::int16_t> want(
+        whole.begin() + static_cast<std::ptrdiff_t>(row * nout),
         whole.begin() +
-            static_cast<std::ptrdiff_t>(row * server.nout()),
-        whole.begin() + static_cast<std::ptrdiff_t>(
-                            (row + res.rows) * server.nout()));
+            static_cast<std::ptrdiff_t>((row + res.rows) * nout));
     EXPECT_EQ(res.outputs, want);
     row += res.rows;
   }
   EXPECT_EQ(row, q.rows);
 }
+
+// ----------------------------------------------- multi-model serving
+
+TEST(InferenceServer, TwoModelsServedConcurrentlyWithPerModelMetrics) {
+  // Two differently-shaped models behind one server: requests
+  // interleave freely, every response is bit-exact vs its own model's
+  // reference, batches never mix models, and the metrics split per
+  // model.
+  const Fixture fa = Fixture::make(4, 8);
+  const Fixture fb = Fixture::make(8, 16, 128);
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.batcher.max_batch_tokens = 8;
+  InferenceServer server(opts);
+  server.register_model("alpha", fa.amm);
+  server.register_model("beta", fb.amm);
+  EXPECT_EQ(server.registry().num_models(), 2u);
+
+  constexpr std::size_t kPerModel = 60;
+  std::vector<std::future<InferenceResult>> fa_futs, fb_futs;
+  for (std::size_t id = 0; id < kPerModel; ++id) {
+    fa_futs.push_back(server.submit(
+        "alpha",
+        std::vector<std::uint8_t>(fa.pool.row(id % fa.pool.rows),
+                                  fa.pool.row(id % fa.pool.rows) +
+                                      fa.pool.cols),
+        1));
+    fb_futs.push_back(server.submit(
+        "beta",
+        std::vector<std::uint8_t>(fb.pool.row(id % fb.pool.rows),
+                                  fb.pool.row(id % fb.pool.rows) +
+                                      fb.pool.cols),
+        1));
+  }
+  for (std::size_t id = 0; id < kPerModel; ++id) {
+    const InferenceResult ra = fa_futs[id].get();
+    EXPECT_EQ(ra.model, "alpha");
+    EXPECT_EQ(ra.model_version, 1u);
+    EXPECT_EQ(ra.outputs, fa.expected(id % fa.pool.rows, 1));
+    const InferenceResult rb = fb_futs[id].get();
+    EXPECT_EQ(rb.model, "beta");
+    EXPECT_EQ(rb.outputs, fb.expected(id % fb.pool.rows, 1));
+  }
+  server.shutdown();
+
+  const MetricsSnapshot s = server.metrics();
+  EXPECT_EQ(s.requests, 2 * kPerModel);
+  ASSERT_NE(s.for_model("alpha"), nullptr);
+  ASSERT_NE(s.for_model("beta"), nullptr);
+  EXPECT_EQ(s.for_model("alpha")->requests, kPerModel);
+  EXPECT_EQ(s.for_model("beta")->requests, kPerModel);
+  EXPECT_GT(s.for_model("alpha")->p50_us, 0.0);
+}
+
+TEST(InferenceServer, UnknownModelRefThrowsAtSubmit) {
+  const Fixture f = Fixture::make();
+  ServerOptions opts;
+  opts.num_workers = 1;
+  InferenceServer server(opts);
+  server.register_model("m", f.amm);
+  std::vector<std::uint8_t> codes(f.pool.row(0),
+                                  f.pool.row(0) + f.pool.cols);
+  EXPECT_THROW(server.submit("nope", codes, 1), CheckError);
+  EXPECT_THROW(server.submit("m@7", codes, 1), CheckError);
+  EXPECT_THROW(server.submit("m@bogus", codes, 1), CheckError);
+  // Shape mismatch is a caller bug, reported synchronously.
+  std::vector<std::uint8_t> short_codes(3, 0);
+  EXPECT_THROW(server.submit("m", short_codes, 1), CheckError);
+}
+
+// ---------------------------------------------- v1 compatibility shims
+
+// PR-4-era call sites must keep compiling (with deprecation warnings,
+// silenced here) and serving bit-exactly through the shims.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(InferenceServerV1Shim, OneModelConstructorAndModelessSubmit) {
+  const Fixture f = Fixture::make();
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.mode = ExecutionMode::kKernel;  // deprecated field + alias
+  InferenceServer server(f.amm, opts);  // deprecated one-model ctor
+
+  // The operator landed as "default" version 1; the model-less submit
+  // resolves it.
+  EXPECT_EQ(server.registry().latest_version("default"), 1u);
+  auto fut = server.submit(
+      std::vector<std::uint8_t>(f.pool.row(5), f.pool.row(5) + f.pool.cols),
+      1);
+  const InferenceResult res = fut.get();
+  EXPECT_EQ(res.model, "default");
+  EXPECT_EQ(res.outputs, f.expected(5, 1));
+}
+
+TEST(InferenceServerV1Shim, DeprecatedEngineFieldsFoldIntoEngineOptions) {
+  // The deprecated mode/accel/device_ns_per_token fields must still
+  // steer the engine: a paced server built through them enforces the
+  // modeled service time.
+  const Fixture f = Fixture::make();
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.mode = ExecutionMode::kDevicePaced;
+  opts.device_ns_per_token = 100'000.0;
+  InferenceServer server(f.amm, opts);
+
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::future<InferenceResult>> futs;
+  for (std::size_t id = 0; id < 16; ++id)
+    futs.push_back(server.submit(
+        std::vector<std::uint8_t>(f.pool.row(id % f.pool.rows),
+                                  f.pool.row(id % f.pool.rows) +
+                                      f.pool.cols),
+        1));
+  for (std::size_t id = 0; id < futs.size(); ++id)
+    EXPECT_EQ(futs[id].get().outputs, f.expected(id % f.pool.rows, 1));
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  EXPECT_GE(wall, 16 * 100e-6);
+}
+#pragma GCC diagnostic pop
 
 // ------------------------------------------------------- report merging
 
@@ -538,11 +768,13 @@ TEST(LoadGenerator, ClosedLoopServesExactlyTheSpec) {
   const Fixture f = Fixture::make();
   ServerOptions opts;
   opts.num_workers = 4;
-  InferenceServer server(f.amm, opts);
+  InferenceServer server(opts);
+  server.register_model("m", f.amm);
 
   LoadSpec spec;
   spec.total_requests = 120;
   spec.rows_per_request = 2;
+  spec.model_refs = {"m@latest"};
   LoadGenerator gen(f.pool, spec);
   // Payloads are a deterministic function of the request id.
   EXPECT_EQ(gen.request_codes(5), gen.request_codes(5));
@@ -563,9 +795,11 @@ TEST(LoadGenerator, OpenLoopPoissonCompletesAndMeasures) {
   const Fixture f = Fixture::make();
   ServerOptions opts;
   opts.num_workers = 4;
-  InferenceServer server(f.amm, opts);
+  InferenceServer server(opts);
+  server.register_model("m", f.amm);
 
   LoadSpec spec;
+  spec.model_refs = {"m"};
   spec.total_requests = 200;
   spec.rows_per_request = 1;
   LoadGenerator gen(f.pool, spec);

@@ -20,6 +20,11 @@
 #include "serve/server.hpp"
 #include "serve_test_util.hpp"
 
+// These suites deliberately keep exercising the deprecated v1
+// one-model constructor — it is the compatibility shim under test.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+
 namespace ssma::serve {
 namespace {
 
