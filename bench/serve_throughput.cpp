@@ -26,21 +26,35 @@
 // fractional throughput cost of multi-model dispatch — the v2 API's
 // acceptance gate is <= 2%.
 //
+// A third cell is the trace-overhead guard: when span tracing is
+// compiled in (SSMA_TRACE=ON), the dispatch cell is re-run with the
+// collector enabled vs disabled and the fractional throughput cost is
+// recorded as telemetry.trace_overhead_frac — the observability
+// acceptance gate is <= 3% enabled, and exactly 0 when compiled out.
+// With --trace-out=PATH the bench also serves a 2-stage pipeline model
+// under tracing and writes the Chrome trace-event JSON (load it at
+// ui.perfetto.dev) so every artifact run leaves a sample span tree.
+//
 //   build/bench/serve_throughput [--mode=paced|kernel|simulate]
 //                                [--device-ns=N]
 //                                [--requests=N] [--rows=N]
 //                                [--out=BENCH_serve.json]
+//                                [--trace-out=serve.trace.json]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_env.hpp"
 #include "engine/execution_engine.hpp"
+#include "engine/pipeline.hpp"
 #include "maddness/amm.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/server.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -76,6 +90,7 @@ int main(int argc, char** argv) {
   std::size_t rows_per_request = 16;
   double device_ns = 10'000.0;
   std::string out_path = "BENCH_serve.json";
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mode=simulate") == 0)
       mode = engine::Backend::kSimulate;
@@ -93,6 +108,8 @@ int main(int argc, char** argv) {
           std::strtoull(argv[i] + 7, nullptr, 10));
     else if (std::strncmp(argv[i], "--out=", 6) == 0)
       out_path = argv[i] + 6;
+    else if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
+      trace_out = argv[i] + 12;
     else {
       std::fprintf(stderr, "unknown arg: %s\n", argv[i]);
       return 1;
@@ -237,6 +254,102 @@ int main(int argc, char** argv) {
                single_rep.tokens_per_sec, multi_rep.tokens_per_sec,
                overhead_frac * 100.0);
 
+  // ---- trace-overhead guard: the dispatch cell re-run with the span
+  // collector on vs off. Best-of-3 per variant for the same reason as
+  // the dispatch sweep; the clamp at zero absorbs scheduler jitter when
+  // the two variants are within noise of each other.
+  double trace_overhead_frac = 0.0;
+#if defined(SSMA_TRACE_ENABLED)
+  {
+    auto& trace = telemetry::TraceSession::instance();
+    serve::LoadReport on_rep, off_rep;
+    for (int rep = 0; rep < 3; ++rep) {
+      for (int traced = 0; traced < 2; ++traced) {
+        if (traced) trace.enable();
+        serve::InferenceServer server(mopts);
+        server.register_model("m0", amm);
+        const serve::LoadReport r = dispatch_cell({"m0@latest"}, server);
+        if (traced) {
+          trace.disable();
+          trace.clear();
+          if (r.tokens_per_sec > on_rep.tokens_per_sec) on_rep = r;
+        } else if (r.tokens_per_sec > off_rep.tokens_per_sec) {
+          off_rep = r;
+        }
+      }
+    }
+    if (off_rep.tokens_per_sec > 0.0)
+      trace_overhead_frac = std::max(
+          0.0, 1.0 - on_rep.tokens_per_sec / off_rep.tokens_per_sec);
+    std::fprintf(stderr,
+                 "trace overhead: off %.0f tok/s, on %.0f tok/s, "
+                 "overhead %.2f%%\n",
+                 off_rep.tokens_per_sec, on_rep.tokens_per_sec,
+                 trace_overhead_frac * 100.0);
+  }
+
+  // ---- sample trace: serve a 2-stage pipeline under tracing so the
+  // exported span tree shows the full request lifecycle including the
+  // inter-stage epilogue (requantization handoff between stages).
+  if (!trace_out.empty()) {
+    maddness::Config c1;
+    c1.ncodebooks = 4;
+    const std::size_t d1 = static_cast<std::size_t>(c1.total_dims());
+    Matrix calib(256, d1);
+    for (std::size_t i = 0; i < calib.size(); ++i)
+      calib.data()[i] = static_cast<float>(rng.next_double(0, 220));
+    // Stage 1's output width must equal stage 2's input width.
+    Matrix w1(d1, d1);
+    for (std::size_t i = 0; i < w1.size(); ++i)
+      w1.data()[i] = static_cast<float>(rng.next_gaussian(0, 0.08));
+    Matrix mid;
+    const maddness::Amm s1 =
+        engine::train_chained_stage(c1, calib, w1, &mid);
+    maddness::Config c2;
+    c2.ncodebooks = 4;
+    Matrix w2(d1, 16);
+    for (std::size_t i = 0; i < w2.size(); ++i)
+      w2.data()[i] = static_cast<float>(rng.next_gaussian(0, 0.08));
+    const maddness::Amm s2 =
+        engine::train_chained_stage(c2, mid, w2, nullptr);
+
+    Matrix traffic(256, d1);
+    for (std::size_t i = 0; i < traffic.size(); ++i)
+      traffic.data()[i] = static_cast<float>(rng.next_double(0, 220));
+    const maddness::QuantizedActivations tpool =
+        maddness::quantize_activations(traffic, s1.activation_scale());
+
+    auto& trace = telemetry::TraceSession::instance();
+    trace.clear();
+    trace.set_ring_capacity(1 << 16);
+    trace.enable();
+    {
+      serve::InferenceServer server(mopts);
+      server.register_pipeline("pipe", {&s1, &s2});
+      serve::LoadSpec tspec;
+      tspec.total_requests = 256;
+      tspec.rows_per_request = rows_per_request;
+      tspec.model_refs = {"pipe@latest"};
+      serve::LoadGenerator tgen(tpool, tspec);
+      tgen.run_closed_loop(server, 8);
+      server.shutdown();
+    }
+    trace.disable();
+    std::ofstream os(trace_out);
+    if (!os.is_open()) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    os << trace.render_chrome_json();
+    trace.clear();
+    std::fprintf(stderr, "wrote %s\n", trace_out.c_str());
+  }
+#else
+  if (!trace_out.empty())
+    std::fprintf(stderr,
+                 "--trace-out ignored: built with -DSSMA_TRACE=OFF\n");
+#endif
+
   // Machine-readable result: one JSON object, written to the BENCH
   // artifact and echoed on stdout.
   std::string out = "{\"bench\":\"serve_throughput\",";
@@ -268,8 +381,19 @@ int main(int argc, char** argv) {
   out += ",\"single\":" + single_rep.json();
   out += ",\"interleaved_2_models\":" + multi_rep.json();
   char ov[48];
-  std::snprintf(ov, sizeof(ov), ",\"overhead_frac\":%.4f}}",
+  std::snprintf(ov, sizeof(ov), ",\"overhead_frac\":%.4f}",
                 overhead_frac);
   out += ov;
+  char tf[96];
+  std::snprintf(tf, sizeof(tf),
+                ",\"telemetry\":{\"trace_compiled_in\":%s,"
+                "\"trace_overhead_frac\":%.4f}}",
+#if defined(SSMA_TRACE_ENABLED)
+                "true",
+#else
+                "false",
+#endif
+                trace_overhead_frac);
+  out += tf;
   return benchenv::write_artifact(out_path, out) ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "engine/pipeline.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace ssma::engine {
@@ -36,18 +37,31 @@ class KernelEngine : public ExecutionEngine {
                  const maddness::QuantizedActivations& batch,
                  std::vector<std::int16_t>& out) override {
     const maddness::Amm& first = model.stage(0);
-    first.encode_batch(batch, scratch_, enc_);
+    {
+      SSMA_TRACE_SPAN(kEncode);
+      first.encode_batch(batch, scratch_, enc_);
+    }
     if (!model.is_pipeline()) {
+      SSMA_TRACE_SPAN(kLutAccumulate);
       first.apply_int16(enc_, out);
       return;
     }
-    first.apply_int16(enc_, acc_);
+    {
+      SSMA_TRACE_SPAN(kLutAccumulate);
+      first.apply_int16(enc_, acc_);
+    }
     for (std::size_t s = 1; s < model.num_stages(); ++s) {
       const maddness::Amm& prev = model.stage(s - 1);
       const maddness::Amm& cur = model.stage(s);
-      const maddness::QuantizedActivations qs =
-          stage_handoff(prev, cur, acc_, batch.rows);
-      cur.encode_batch(qs, scratch_, enc_);
+      const maddness::QuantizedActivations qs = [&] {
+        SSMA_TRACE_SPAN(kEpilogue);
+        return stage_handoff(prev, cur, acc_, batch.rows);
+      }();
+      {
+        SSMA_TRACE_SPAN(kEncode);
+        cur.encode_batch(qs, scratch_, enc_);
+      }
+      SSMA_TRACE_SPAN(kLutAccumulate);
       if (s + 1 == model.num_stages())
         cur.apply_int16(enc_, out);
       else
@@ -77,9 +91,15 @@ class SimEngine : public ExecutionEngine {
     maddness::QuantizedActivations staged;
     const maddness::QuantizedActivations* input = &batch;
     for (std::size_t s = 0; s < model.num_stages(); ++s) {
-      core::AcceleratorResult r = accel_.run(model.stage(s), *input);
+      core::AcceleratorResult r = [&] {
+        // The macro run folds encode + accumulate into one event-driven
+        // pass; attribute it to the accumulate stage.
+        SSMA_TRACE_SPAN(kLutAccumulate);
+        return accel_.run(model.stage(s), *input);
+      }();
       reports_.push_back(std::move(r.report));
       if (s + 1 < model.num_stages()) {
+        SSMA_TRACE_SPAN(kEpilogue);
         staged = stage_handoff(model.stage(s), model.stage(s + 1),
                                r.outputs, input->rows);
         input = &staged;
@@ -145,6 +165,7 @@ class PacedEngine : public ExecutionEngine {
                    std::chrono::duration_cast<SteadyClock::duration>(
                        std::chrono::duration<double, std::nano>(
                            tokens * pace_ns_));
+    SSMA_TRACE_SPAN(kDeviceWait);
     std::this_thread::sleep_until(device_free_);
   }
 

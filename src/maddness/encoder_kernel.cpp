@@ -2,6 +2,12 @@
 
 #include <algorithm>
 
+#if defined(SSMA_TRACE_ENABLED)
+#include <chrono>
+
+#include "telemetry/kernel_profile.hpp"
+#endif
+
 #include "util/check.hpp"
 #include "util/fixed_point.hpp"
 
@@ -226,6 +232,29 @@ void encode_batch_shell(const EncoderBank& bank, std::size_t rows,
         out.codes.data() + static_cast<std::size_t>(c) * rows);
 }
 
+#if defined(SSMA_TRACE_ENABLED)
+/// Records one encoder dispatch at scope exit — covers both the
+/// windowed early return and the staged-shell path. Bytes counted are
+/// the threshold-compare bytes the tree walk touches: kLevels per
+/// row x codebook.
+struct EncodeProfileScope {
+  int tier;
+  std::uint64_t rows;
+  std::uint64_t bytes;
+  std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+
+  ~EncodeProfileScope() {
+    telemetry::record_encode_dispatch(
+        tier, rows, bytes,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+  }
+};
+#endif
+
 }  // namespace
 
 void encode_batch_packed(const EncoderBank& bank,
@@ -237,6 +266,12 @@ void encode_batch_packed(const EncoderBank& bank,
   const std::uint8_t* src = q.codes.data();
   const std::size_t cols = q.cols;
   tier = clamp_available(tier);
+#if defined(SSMA_TRACE_ENABLED)
+  const EncodeProfileScope prof{
+      static_cast<int>(tier), q.rows,
+      static_cast<std::uint64_t>(q.rows) *
+          static_cast<std::uint64_t>(ncb) * EncoderBank::kLevels};
+#endif
   if (bank.windowed && tier != KernelTier::kScalar && q.rows > 0) {
     // SIMD tiers with an eligible bank skip the staging tile entirely:
     // per codebook, 16-byte window loads + pshufb pick the split bytes
@@ -285,6 +320,12 @@ void encode_batch_packed(const EncoderBank& bank, const Matrix& x,
   const float* src = x.data();
   const std::size_t cols = x.cols();
   tier = clamp_available(tier);
+#if defined(SSMA_TRACE_ENABLED)
+  const EncodeProfileScope prof{
+      static_cast<int>(tier), x.rows(),
+      static_cast<std::uint64_t>(x.rows()) *
+          static_cast<std::uint64_t>(ncb) * EncoderBank::kLevels};
+#endif
   encode_batch_shell(
       bank, x.rows(), tier, scratch, out,
       [&](std::size_t n, std::uint8_t* stage, std::size_t stride) {

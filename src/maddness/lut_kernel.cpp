@@ -4,6 +4,12 @@
 #include <cstdlib>
 #include <cstring>
 
+#if defined(SSMA_TRACE_ENABLED)
+#include <chrono>
+
+#include "telemetry/kernel_profile.hpp"
+#endif
+
 #include "ppa/tech_constants.hpp"
 #include "util/check.hpp"
 
@@ -194,6 +200,9 @@ void apply_lut_packed(const LutBankPacked& lut, const EncodedBatch& enc,
   // the scalar path (which handles any K, with codes range-checked by the
   // encoder that produced them).
   if (lut.nprotos != ppa::kProtosPerCodebook) tier = KernelTier::kScalar;
+#if defined(SSMA_TRACE_ENABLED)
+  const auto t0 = std::chrono::steady_clock::now();
+#endif
   switch (tier) {
     case KernelTier::kAvx2:
       detail::apply_packed_avx2(lut, enc, out.data());
@@ -205,6 +214,19 @@ void apply_lut_packed(const LutBankPacked& lut, const EncodedBatch& enc,
       detail::apply_packed_scalar(lut, enc, out.data());
       break;
   }
+#if defined(SSMA_TRACE_ENABLED)
+  // One gathered table byte per row x codebook x output column,
+  // attributed to the tier that actually ran (post clamp/fallback).
+  telemetry::record_lut_dispatch(
+      static_cast<int>(tier), enc.rows,
+      static_cast<std::uint64_t>(enc.rows) *
+          static_cast<std::uint64_t>(enc.ncodebooks) *
+          static_cast<std::uint64_t>(lut.nout),
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+#endif
 }
 
 std::vector<std::int16_t> apply_lut_packed(const LutBankPacked& lut,

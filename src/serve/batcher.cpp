@@ -1,5 +1,8 @@
 #include "serve/batcher.hpp"
 
+#include <algorithm>
+
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace ssma::serve {
@@ -21,6 +24,15 @@ Batch Batcher::next_batch(RequestQueue& queue) const {
   batch.tokens = first.rows;
   batch.requests.push_back(std::move(first));
 
+#if defined(SSMA_TRACE_ENABLED)
+  // The batch_form span starts here — after the first pop — so idle
+  // queue-park time is not billed as formation work. Recorded manually
+  // (not ScopedSpan) because the id range isn't known until the batch
+  // closes.
+  auto& trace = telemetry::TraceSession::instance();
+  const std::uint64_t t_form = trace.enabled() ? trace.now_ns() : 0;
+#endif
+
   // Coalesce only requests pinned to the same model handle (pulled
   // model-affine past other models' requests): a batch is one stitched
   // matrix through one bank, and mixing versions would break the
@@ -36,6 +48,19 @@ Batch Batcher::next_batch(RequestQueue& queue) const {
     batch.tokens += next.rows;
     batch.requests.push_back(std::move(next));
   }
+
+#if defined(SSMA_TRACE_ENABLED)
+  if (trace.enabled()) {
+    std::uint64_t lo = batch.requests.front().id;
+    std::uint64_t hi = lo;
+    for (const InferenceRequest& r : batch.requests) {
+      lo = std::min(lo, r.id);
+      hi = std::max(hi, r.id);
+    }
+    trace.record_span(telemetry::Stage::kBatchForm, t_form,
+                      trace.now_ns(), lo, hi);
+  }
+#endif
   return batch;
 }
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 #include <sstream>
 
+#include "telemetry/kernel_profile.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
 
@@ -17,6 +20,66 @@ constexpr double kRatio = 1.12;
 constexpr std::size_t kBuckets = 192;
 const double kLogRatio = std::log(kRatio);
 
+// Locale-independent %.9g — Prometheus values must render identically
+// across environments for the golden-file test.
+std::string prom_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void prom_header(std::ostringstream& oss, const std::string& name,
+                 const std::string& type, const std::string& help) {
+  oss << "# HELP " << name << " " << help << "\n";
+  oss << "# TYPE " << name << " " << type << "\n";
+}
+
+/// Cumulative-bucket histogram exposition in seconds. Only buckets that
+/// advance the cumulative count are emitted (plus +Inf), keeping the
+/// 192-bucket histograms readable.
+void prom_histogram(std::ostringstream& oss, const std::string& name,
+                    const LatencyHistogram& h, const std::string& help) {
+  prom_header(oss, name, "histogram", help);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+    if (h.bucket_count(i) == 0) continue;
+    cum += h.bucket_count(i);
+    const double upper = LatencyHistogram::bucket_upper_ns(i);
+    if (std::isinf(upper)) break;  // folded into +Inf below
+    oss << name << "_bucket{le=\"" << prom_num(upper * 1e-9) << "\"} "
+        << cum << "\n";
+  }
+  oss << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+  oss << name << "_sum " << prom_num(h.sum_ns() * 1e-9) << "\n";
+  oss << name << "_count " << h.count() << "\n";
+}
+
+/// Summary-style quantiles for the per-model slices (full histograms
+/// per model would dwarf the exposition).
+void prom_model_summary(std::ostringstream& oss, const std::string& name,
+                        const std::string& model,
+                        const LatencyHistogram& h) {
+  for (double q : {0.5, 0.99}) {
+    oss << name << "{model=\"" << model << "\",quantile=\"" << prom_num(q)
+        << "\"} " << prom_num(h.percentile_ns(q * 100.0) * 1e-9) << "\n";
+  }
+  oss << name << "_sum{model=\"" << model << "\"} "
+      << prom_num(h.sum_ns() * 1e-9) << "\n";
+  oss << name << "_count{model=\"" << model << "\"} " << h.count()
+      << "\n";
+}
+
+std::size_t occupancy_bucket_of(std::size_t tokens) {
+  // Power-of-two buckets: le 1, 2, 4, ..., 1024, +Inf.
+  std::size_t i = 0;
+  std::size_t bound = 1;
+  while (i + 1 < Metrics::kOccupancyBuckets && tokens > bound) {
+    bound <<= 1;
+    ++i;
+  }
+  return i;
+}
+
 }  // namespace
 
 LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
@@ -28,9 +91,15 @@ std::size_t LatencyHistogram::bucket_of(double ns) const {
   return std::min(b, kBuckets - 1);
 }
 
+double LatencyHistogram::bucket_upper_ns(std::size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return kBaseNs * std::pow(kRatio, static_cast<double>(i));
+}
+
 void LatencyHistogram::add(double ns) {
   ns = std::max(ns, 0.0);
   buckets_[bucket_of(ns)]++;
+  min_ns_ = count_ ? std::min(min_ns_, ns) : ns;
   count_++;
   sum_ns_ += ns;
   max_ns_ = std::max(max_ns_, ns);
@@ -39,6 +108,8 @@ void LatencyHistogram::add(double ns) {
 void LatencyHistogram::merge(const LatencyHistogram& other) {
   for (std::size_t i = 0; i < kBuckets; ++i)
     buckets_[i] += other.buckets_[i];
+  if (other.count_)
+    min_ns_ = count_ ? std::min(min_ns_, other.min_ns_) : other.min_ns_;
   count_ += other.count_;
   sum_ns_ += other.sum_ns_;
   max_ns_ = std::max(max_ns_, other.max_ns_);
@@ -51,16 +122,33 @@ double LatencyHistogram::mean_ns() const {
 double LatencyHistogram::percentile_ns(double p) const {
   SSMA_CHECK(p >= 0.0 && p <= 100.0);
   if (count_ == 0) return 0.0;
+  // The extremes are tracked exactly; a bucket midpoint would be off by
+  // up to half a bucket even after clamping.
+  if (p == 0.0) return min_ns_;
+  if (p == 100.0) return max_ns_;
   // Nearest-rank: smallest bucket whose cumulative count reaches rank.
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  const auto rank = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          std::ceil(p / 100.0 * static_cast<double>(count_))),
+      1);
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     cum += buckets_[i];
-    if (cum >= std::max<std::uint64_t>(rank, 1)) {
-      if (i == 0) return kBaseNs;
-      // Geometric midpoint of the bucket [base*r^(i-1), base*r^i).
-      return kBaseNs * std::pow(kRatio, static_cast<double>(i) - 0.5);
+    if (cum >= rank) {
+      double v;
+      if (i == 0) {
+        v = kBaseNs;  // sub-base bucket: clamp below resolves it
+      } else if (i == kBuckets - 1) {
+        v = max_ns_;  // clamp bucket has no meaningful midpoint
+      } else {
+        // Geometric midpoint of the bucket [base*r^(i-1), base*r^i).
+        v = kBaseNs * std::pow(kRatio, static_cast<double>(i) - 0.5);
+      }
+      // The observed extrema are exact; no estimate may leave them.
+      // Makes single-sample histograms exact at every p and bounds
+      // p=0/p=100 regardless of bucket shape (also post-merge, since
+      // merge folds min/max).
+      return std::clamp(v, min_ns_, max_ns_);
     }
   }
   return max_ns_;
@@ -89,6 +177,7 @@ void Metrics::record_batch(const std::string& model, std::size_t tokens,
   batches_++;
   tokens_ += tokens;
   requests_ += queue_ns.size();
+  occupancy_buckets_[occupancy_bucket_of(tokens)]++;
   for (double q : queue_ns) queue_latency_.add(q);
   for (double t : total_ns) total_latency_.add(t);
   if (!model.empty()) {
@@ -96,8 +185,22 @@ void Metrics::record_batch(const std::string& model, std::size_t tokens,
     pm.batches++;
     pm.tokens += tokens;
     pm.requests += total_ns.size();
-    for (double t : total_ns) pm.total_latency.add(t);
+    for (std::size_t i = 0; i < total_ns.size(); ++i) {
+      pm.total_latency.add(total_ns[i]);
+      pm.queue_latency.add(queue_ns[i]);
+      pm.service_latency.add(std::max(total_ns[i] - queue_ns[i], 0.0));
+    }
   }
+}
+
+void Metrics::record_journal_append(double ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_latency_.add(ns);
+}
+
+void Metrics::set_batch_budget(std::size_t tokens) {
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_budget_tokens_ = tokens;
 }
 
 void Metrics::restore(std::size_t requests, std::size_t tokens,
@@ -133,6 +236,9 @@ MetricsSnapshot Metrics::snapshot() const {
   s.max_us = total_latency_.max_ns() * 1e-3;
   s.queue_p50_us = queue_latency_.percentile_ns(50) * 1e-3;
   s.queue_p99_us = queue_latency_.percentile_ns(99) * 1e-3;
+  s.journal_appends = journal_latency_.count();
+  s.journal_p50_us = journal_latency_.percentile_ns(50) * 1e-3;
+  s.journal_p99_us = journal_latency_.percentile_ns(99) * 1e-3;
   s.per_model.reserve(per_model_.size());
   for (const auto& kv : per_model_) {  // std::map: sorted by name
     ModelMetricsSnapshot m;
@@ -143,6 +249,10 @@ MetricsSnapshot Metrics::snapshot() const {
     m.p50_us = kv.second.total_latency.percentile_ns(50) * 1e-3;
     m.p99_us = kv.second.total_latency.percentile_ns(99) * 1e-3;
     m.mean_us = kv.second.total_latency.mean_ns() * 1e-3;
+    m.queue_p50_us = kv.second.queue_latency.percentile_ns(50) * 1e-3;
+    m.queue_p99_us = kv.second.queue_latency.percentile_ns(99) * 1e-3;
+    m.service_p50_us = kv.second.service_latency.percentile_ns(50) * 1e-3;
+    m.service_p99_us = kv.second.service_latency.percentile_ns(99) * 1e-3;
     s.per_model.push_back(std::move(m));
   }
   return s;
@@ -171,6 +281,10 @@ std::string MetricsSnapshot::render() const {
   t.add_row({"latency max [us]", TextTable::num(max_us, 1)});
   t.add_row({"queue p50 [us]", TextTable::num(queue_p50_us, 1)});
   t.add_row({"queue p99 [us]", TextTable::num(queue_p99_us, 1)});
+  if (journal_appends) {
+    t.add_row({"journal p50 [us]", TextTable::num(journal_p50_us, 1)});
+    t.add_row({"journal p99 [us]", TextTable::num(journal_p99_us, 1)});
+  }
   std::string out = t.render();
   if (!per_model.empty()) {
     TextTable pm({"model", "requests", "tokens", "batches", "p50 [us]",
@@ -196,16 +310,159 @@ std::string MetricsSnapshot::json() const {
       << ",\"p50_us\":" << p50_us << ",\"p95_us\":" << p95_us
       << ",\"p99_us\":" << p99_us << ",\"mean_us\":" << mean_us
       << ",\"max_us\":" << max_us << ",\"queue_p50_us\":" << queue_p50_us
-      << ",\"queue_p99_us\":" << queue_p99_us << ",\"per_model\":[";
+      << ",\"queue_p99_us\":" << queue_p99_us
+      << ",\"journal_appends\":" << journal_appends
+      << ",\"journal_p50_us\":" << journal_p50_us
+      << ",\"journal_p99_us\":" << journal_p99_us << ",\"per_model\":[";
   for (std::size_t i = 0; i < per_model.size(); ++i) {
     const ModelMetricsSnapshot& m = per_model[i];
     if (i) oss << ",";
     oss << "{\"model\":\"" << m.model << "\",\"requests\":" << m.requests
         << ",\"tokens\":" << m.tokens << ",\"batches\":" << m.batches
         << ",\"p50_us\":" << m.p50_us << ",\"p99_us\":" << m.p99_us
-        << ",\"mean_us\":" << m.mean_us << "}";
+        << ",\"mean_us\":" << m.mean_us
+        << ",\"queue_p50_us\":" << m.queue_p50_us
+        << ",\"queue_p99_us\":" << m.queue_p99_us
+        << ",\"service_p50_us\":" << m.service_p50_us
+        << ",\"service_p99_us\":" << m.service_p99_us << "}";
   }
   oss << "]}";
+  return oss.str();
+}
+
+std::string Metrics::render_prometheus(const PromGauges& gauges) const {
+  std::ostringstream oss;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+
+    prom_header(oss, "ssma_requests_total", "counter",
+                "Requests fulfilled since start (or restored total).");
+    oss << "ssma_requests_total " << requests_ << "\n";
+    prom_header(oss, "ssma_tokens_total", "counter",
+                "Input rows (tokens) processed.");
+    oss << "ssma_tokens_total " << tokens_ << "\n";
+    prom_header(oss, "ssma_batches_total", "counter",
+                "Batches drained by the worker pool.");
+    oss << "ssma_batches_total " << batches_ << "\n";
+
+    prom_header(oss, "ssma_queue_depth", "gauge",
+                "Requests currently waiting in the admission queue.");
+    oss << "ssma_queue_depth " << gauges.queue_depth << "\n";
+    prom_header(oss, "ssma_queue_capacity", "gauge",
+                "Admission queue capacity.");
+    oss << "ssma_queue_capacity " << gauges.queue_capacity << "\n";
+    prom_header(oss, "ssma_workers", "gauge",
+                "Live worker shards.");
+    oss << "ssma_workers " << gauges.workers << "\n";
+    prom_header(oss, "ssma_worker_respawns_total", "counter",
+                "Worker shards respawned after a crash.");
+    oss << "ssma_worker_respawns_total " << gauges.worker_respawns
+        << "\n";
+    prom_header(oss, "ssma_trace_enabled", "gauge",
+                "1 when the span-tracing session is enabled.");
+    oss << "ssma_trace_enabled " << (gauges.trace_enabled ? 1 : 0)
+        << "\n";
+    prom_header(oss, "ssma_batch_budget_tokens", "gauge",
+                "Batcher token budget (occupancy denominator).");
+    oss << "ssma_batch_budget_tokens " << batch_budget_tokens_ << "\n";
+
+    prom_histogram(oss, "ssma_request_latency_seconds", total_latency_,
+                   "End-to-end latency, enqueue to fulfilled.");
+    prom_histogram(oss, "ssma_queue_wait_seconds", queue_latency_,
+                   "Time waiting in the queue before batch pickup.");
+    prom_histogram(oss, "ssma_journal_append_seconds", journal_latency_,
+                   "Write-ahead journal append (incl. flush).");
+
+    prom_header(oss, "ssma_batch_tokens", "histogram",
+                "Tokens per drained batch (occupancy).");
+    std::uint64_t cum = 0;
+    std::size_t bound = 1;
+    for (std::size_t i = 0; i < kOccupancyBuckets; ++i) {
+      cum += occupancy_buckets_[i];
+      if (i + 1 < kOccupancyBuckets) {
+        oss << "ssma_batch_tokens_bucket{le=\"" << bound << "\"} " << cum
+            << "\n";
+        bound <<= 1;
+      } else {
+        oss << "ssma_batch_tokens_bucket{le=\"+Inf\"} " << cum << "\n";
+      }
+    }
+    oss << "ssma_batch_tokens_sum " << tokens_ << "\n";
+    oss << "ssma_batch_tokens_count " << batches_ << "\n";
+
+    if (!per_model_.empty()) {
+      prom_header(oss, "ssma_model_requests_total", "counter",
+                  "Requests fulfilled per model.");
+      for (const auto& kv : per_model_)
+        oss << "ssma_model_requests_total{model=\"" << kv.first << "\"} "
+            << kv.second.requests << "\n";
+      prom_header(oss, "ssma_model_tokens_total", "counter",
+                  "Tokens processed per model.");
+      for (const auto& kv : per_model_)
+        oss << "ssma_model_tokens_total{model=\"" << kv.first << "\"} "
+            << kv.second.tokens << "\n";
+      prom_header(oss, "ssma_model_latency_seconds", "summary",
+                  "End-to-end latency per model.");
+      for (const auto& kv : per_model_)
+        prom_model_summary(oss, "ssma_model_latency_seconds", kv.first,
+                           kv.second.total_latency);
+      prom_header(oss, "ssma_model_queue_wait_seconds", "summary",
+                  "Queue wait per model.");
+      for (const auto& kv : per_model_)
+        prom_model_summary(oss, "ssma_model_queue_wait_seconds", kv.first,
+                           kv.second.queue_latency);
+      prom_header(oss, "ssma_model_service_seconds", "summary",
+                  "Service time (total minus queue wait) per model.");
+      for (const auto& kv : per_model_)
+        prom_model_summary(oss, "ssma_model_service_seconds", kv.first,
+                           kv.second.service_latency);
+    }
+  }
+
+  // Per-tier kernel dispatch counters (zero when tracing is compiled
+  // out or nothing ran). All tiers are enumerated statically so the
+  // exposition's shape does not depend on the host CPU.
+  const auto prof = telemetry::kernel_profile_snapshot();
+  struct KernelRow {
+    const char* name;
+    const char* help;
+    const telemetry::KernelCounters* tiers;
+  };
+  const KernelRow rows[] = {
+      {"ssma_kernel_lut", "LUT accumulate kernel dispatches", prof.lut},
+      {"ssma_kernel_encode", "Hash-tree encoder dispatches",
+       prof.encode},
+  };
+  for (const KernelRow& row : rows) {
+    const std::string base = row.name;
+    prom_header(oss, base + "_calls_total", "counter",
+                std::string(row.help) + " (calls).");
+    for (int t = 0; t < telemetry::kNumKernelTiers; ++t)
+      oss << base << "_calls_total{tier=\""
+          << telemetry::kernel_tier_label(t) << "\"} "
+          << row.tiers[t].calls << "\n";
+    prom_header(oss, base + "_rows_total", "counter",
+                std::string(row.help) + " (rows).");
+    for (int t = 0; t < telemetry::kNumKernelTiers; ++t)
+      oss << base << "_rows_total{tier=\""
+          << telemetry::kernel_tier_label(t) << "\"} " << row.tiers[t].rows
+          << "\n";
+    prom_header(oss, base + "_bytes_total", "counter",
+                std::string(row.help) + " (table bytes touched).");
+    for (int t = 0; t < telemetry::kNumKernelTiers; ++t)
+      oss << base << "_bytes_total{tier=\""
+          << telemetry::kernel_tier_label(t) << "\"} "
+          << row.tiers[t].bytes << "\n";
+    prom_header(oss, base + "_seconds_total", "counter",
+                std::string(row.help) + " (wall time).");
+    for (int t = 0; t < telemetry::kNumKernelTiers; ++t)
+      oss << base << "_seconds_total{tier=\""
+          << telemetry::kernel_tier_label(t) << "\"} "
+          << prom_num(static_cast<double>(row.tiers[t].ns) * 1e-9)
+          << "\n";
+  }
+
   return oss.str();
 }
 

@@ -1,9 +1,11 @@
 // Serving-side observability: thread-safe counters plus log-bucketed
 // latency histograms with percentile queries (p50/p95/p99), snapshotted
 // into a plain struct that renders as a text table or machine-readable
-// JSON for the bench sweeps.
+// JSON for the bench sweeps, or as a Prometheus-style text exposition
+// for scraping.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -16,8 +18,9 @@ namespace ssma::serve {
 
 /// Geometric-bucket latency histogram: buckets grow by a fixed ratio from
 /// 100 ns, so percentile error is bounded by the ratio (~6%) across nine
-/// decades without storing samples. Not thread-safe on its own; Metrics
-/// serializes access.
+/// decades without storing samples. Tracked min/max clamp the percentile
+/// estimate, making single-sample, p=0 and p=100 queries exact. Not
+/// thread-safe on its own; Metrics serializes access.
 class LatencyHistogram {
  public:
   LatencyHistogram();
@@ -26,10 +29,21 @@ class LatencyHistogram {
   void merge(const LatencyHistogram& other);
 
   std::size_t count() const { return count_; }
+  double sum_ns() const { return sum_ns_; }
   double mean_ns() const;
+  double min_ns() const { return count_ ? min_ns_ : 0.0; }
   double max_ns() const { return count_ ? max_ns_ : 0.0; }
-  /// Nearest-rank percentile (p in [0,100]), geometric bucket midpoint.
+  /// Nearest-rank percentile (p in [0,100]): geometric bucket midpoint,
+  /// clamped to the observed [min, max]. p=0 is the minimum sample,
+  /// p=100 the maximum; mid-range error is bounded by the bucket ratio
+  /// (~6%).
   double percentile_ns(double p) const;
+
+  /// Bucket internals, for cumulative (Prometheus) export.
+  std::size_t num_buckets() const { return buckets_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const { return buckets_[i]; }
+  /// Upper bound of bucket i in ns (+inf for the last, clamp bucket).
+  static double bucket_upper_ns(std::size_t i);
 
  private:
   std::size_t bucket_of(double ns) const;
@@ -37,6 +51,7 @@ class LatencyHistogram {
   std::vector<std::uint64_t> buckets_;
   std::size_t count_ = 0;
   double sum_ns_ = 0.0;
+  double min_ns_ = 0.0;
   double max_ns_ = 0.0;
 };
 
@@ -50,6 +65,11 @@ struct ModelMetricsSnapshot {
   double p50_us = 0.0;
   double p99_us = 0.0;
   double mean_us = 0.0;
+  // Queue wait vs. service (total minus queue) split, per request.
+  double queue_p50_us = 0.0;
+  double queue_p99_us = 0.0;
+  double service_p50_us = 0.0;
+  double service_p99_us = 0.0;
 };
 
 /// Point-in-time view of the server's counters and distributions.
@@ -72,6 +92,10 @@ struct MetricsSnapshot {
   // Time spent waiting in the queue before a worker picked the batch up.
   double queue_p50_us = 0.0;
   double queue_p99_us = 0.0;
+  // Write-ahead journal append (accepted + completed records).
+  std::size_t journal_appends = 0;
+  double journal_p50_us = 0.0;
+  double journal_p99_us = 0.0;
 
   /// One row per served model name, sorted by name. Empty when the
   /// server has served nothing yet.
@@ -84,10 +108,23 @@ struct MetricsSnapshot {
   std::string json() const;
 };
 
+/// Live values owned by the server, not the metrics sink, sampled at
+/// scrape time for the Prometheus exposition.
+struct PromGauges {
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t workers = 0;
+  std::size_t worker_respawns = 0;
+  bool trace_enabled = false;
+};
+
 /// Shared metrics sink. Workers record whole batches at a time, so the
 /// mutex is taken at batch granularity, not per token.
 class Metrics {
  public:
+  /// Batch-occupancy buckets: power-of-two token counts 1..1024, +Inf.
+  static constexpr std::size_t kOccupancyBuckets = 12;
+
   /// (Re)starts the wall clock; snapshot throughput is measured from here.
   void mark_start();
   /// Freezes the wall clock (e.g. at shutdown); idempotent.
@@ -100,6 +137,12 @@ class Metrics {
                     const std::vector<double>& queue_ns,
                     const std::vector<double>& total_ns);
 
+  /// One write-ahead journal append (accepted or completed record).
+  void record_journal_append(double ns);
+
+  /// The batcher's token budget, for occupancy-fraction reporting.
+  void set_batch_budget(std::size_t tokens);
+
   /// Seeds the lifetime counters from a recovered checkpoint so a
   /// restarted server's totals continue where the crashed run's
   /// snapshot left off. Latency histograms AND the per-model slices
@@ -111,12 +154,21 @@ class Metrics {
 
   MetricsSnapshot snapshot() const;
 
+  /// Prometheus text exposition (version 0.0.4): the counters and
+  /// histograms above plus the live gauges and the per-tier kernel
+  /// dispatch counters from telemetry. Deliberately excludes anything
+  /// wall-clock-derived (rates, uptime) so identical recorded traffic
+  /// renders byte-identical output — golden-file testable.
+  std::string render_prometheus(const PromGauges& gauges) const;
+
  private:
   struct PerModel {
     std::size_t requests = 0;
     std::size_t tokens = 0;
     std::size_t batches = 0;
     LatencyHistogram total_latency;
+    LatencyHistogram queue_latency;
+    LatencyHistogram service_latency;
   };
 
   mutable std::mutex mu_;
@@ -125,6 +177,9 @@ class Metrics {
   std::size_t batches_ = 0;
   LatencyHistogram total_latency_;
   LatencyHistogram queue_latency_;
+  LatencyHistogram journal_latency_;
+  std::array<std::uint64_t, kOccupancyBuckets> occupancy_buckets_{};
+  std::size_t batch_budget_tokens_ = 0;
   std::map<std::string, PerModel> per_model_;
   Clock::time_point start_{};
   Clock::time_point stop_{};

@@ -10,6 +10,7 @@
 #include "serve/recovery/fault_injector.hpp"
 #include "serve/recovery/journal.hpp"
 #include "serve/recovery/recovery.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace ssma::serve {
@@ -123,6 +124,7 @@ std::uint64_t InferenceServer::register_model(const std::string& name,
 
 std::uint64_t InferenceServer::register_model(const std::string& name,
                                               std::string blob) {
+  SSMA_TRACE_SPAN(kSwap);
   // Stage -> checkpoint -> publish -> checkpoint. The first checkpoint
   // makes the bank durable before "@latest" traffic can pin (and
   // journal) it, so replay after a crash always finds what a record
@@ -160,6 +162,7 @@ void InferenceServer::maybe_checkpoint(std::uint64_t accepted,
   if (!force && (recovery_.checkpoint_every == 0 ||
                  accepted % recovery_.checkpoint_every != 0))
     return;
+  SSMA_TRACE_SPAN(kCheckpoint);
   const MetricsSnapshot snap = metrics_.snapshot();
   recovery::CheckpointState st;
   std::ostringstream blob;
@@ -190,6 +193,7 @@ std::future<InferenceResult> InferenceServer::submit_with_id(
                  "submit payload must be rows x model cols ("
                      << model->ref() << " expects " << model->cols()
                      << " cols)");
+  SSMA_TRACE_SPAN_IDS(kAdmit, id, id);
   // Typed rejection instead of journaling into (or blocking on) a
   // queue that is being torn down. A submit that races shutdown() past
   // this check is still safe: the closed queue refuses the push below.
@@ -198,9 +202,17 @@ std::future<InferenceResult> InferenceServer::submit_with_id(
   // Write-ahead: the accept record lands before the request can be
   // served, so a crash anywhere downstream can replay it — on exactly
   // the (name, version) pinned here.
-  if (journal_accept && recovery_.journal)
-    recovery_.journal->append_accepted(id, model->name(),
-                                       model->version(), rows, codes);
+  if (journal_accept && recovery_.journal) {
+    const auto t0 = Clock::now();
+    {
+      SSMA_TRACE_SPAN_IDS(kJournalAppend, id, id);
+      recovery_.journal->append_accepted(id, model->name(),
+                                         model->version(), rows, codes);
+    }
+    metrics_.record_journal_append(
+        std::chrono::duration<double, std::nano>(Clock::now() - t0)
+            .count());
+  }
 
   InferenceRequest req;
   req.id = id;
@@ -285,6 +297,7 @@ std::vector<std::future<InferenceResult>> InferenceServer::submit_batch(
 
 std::vector<std::future<InferenceResult>> InferenceServer::replay(
     const std::vector<recovery::AcceptedRecord>& requests) {
+  SSMA_TRACE_SPAN(kReplay);
   std::vector<std::future<InferenceResult>> futures;
   futures.reserve(requests.size());
   for (const recovery::AcceptedRecord& rec : requests) {
@@ -328,6 +341,16 @@ void InferenceServer::shutdown() {
                            "to recover")));
   metrics_.mark_stop();
   shut_down_ = true;
+}
+
+std::string InferenceServer::render_prometheus() const {
+  PromGauges g;
+  g.queue_depth = queue_->size();
+  g.queue_capacity = queue_->capacity();
+  g.workers = static_cast<std::size_t>(pool_->num_workers());
+  g.worker_respawns = static_cast<std::size_t>(pool_->respawn_count());
+  g.trace_enabled = telemetry::TraceSession::instance().enabled();
+  return metrics_.render_prometheus(g);
 }
 
 core::PpaReport InferenceServer::aggregate_report() const {

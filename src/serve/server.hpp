@@ -201,6 +201,11 @@ class InferenceServer {
   void shutdown();
 
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  /// Prometheus text exposition: the metrics sink's counters and
+  /// histograms plus live gauges (queue depth/capacity, workers,
+  /// respawns, tracing state) sampled at call time. Serve this from a
+  /// /metrics endpoint or dump it periodically.
+  std::string render_prometheus() const;
   std::size_t queue_depth() const { return queue_->size(); }
   /// Shard respawns performed by the supervisor so far.
   int respawn_count() const { return pool_->respawn_count(); }

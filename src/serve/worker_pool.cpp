@@ -9,6 +9,7 @@
 #include "maddness/framing.hpp"
 #include "serve/recovery/fault_injector.hpp"
 #include "serve/recovery/journal.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace ssma::serve {
@@ -24,6 +25,7 @@ WorkerPool::WorkerPool(RequestQueue& queue, Metrics& metrics,
   SSMA_CHECK(opts.max_respawns_per_shard >= 0);
   shard_reports_.resize(static_cast<std::size_t>(opts.num_workers));
   shard_tokens_.assign(static_cast<std::size_t>(opts.num_workers), 0);
+  metrics_.set_batch_budget(Batcher(opts.batcher).budget_tokens());
   slots_.reserve(static_cast<std::size_t>(opts.num_workers));
   for (int w = 0; w < opts.num_workers; ++w)
     slots_.push_back(std::make_unique<ShardSlot>());
@@ -158,6 +160,7 @@ core::PpaReport WorkerPool::aggregate_report() const {
 }
 
 void WorkerPool::worker_main(int worker_id) {
+  SSMA_TRACE_SET_THREAD("shard-" + std::to_string(worker_id));
   ShardSlot& slot = *slots_[static_cast<std::size_t>(worker_id)];
   // Private per-shard engine: backend scratch, PPA ledgers and pacing
   // clocks are shard-local, so shards share nothing but the immutable
@@ -213,6 +216,21 @@ void WorkerPool::worker_main(int worker_id) {
     }
     const Clock::time_point t_exec = Clock::now();
 
+#if defined(SSMA_TRACE_ENABLED)
+    // Each request's queue_wait span closes the moment its batch is
+    // picked up — same t_exec the queue-latency metric uses.
+    auto& trace = telemetry::TraceSession::instance();
+    std::uint64_t id_lo = slot.in_flight.front().id;
+    std::uint64_t id_hi = id_lo;
+    for (const InferenceRequest& r : slot.in_flight) {
+      id_lo = std::min(id_lo, r.id);
+      id_hi = std::max(id_hi, r.id);
+      if (trace.enabled())
+        trace.record_span(telemetry::Stage::kQueueWait, r.enqueued_at,
+                          t_exec, r.id, r.id);
+    }
+#endif
+
     // The batcher never mixes handles, so the whole batch runs on the
     // first request's pinned model. Hold an owning pin for the scope of
     // the batch: the requests' pins die inside the ack loop (set_value
@@ -238,7 +256,12 @@ void WorkerPool::worker_main(int worker_id) {
       q.codes.insert(q.codes.end(), req.codes.begin(), req.codes.end());
     }
 
-    eng->run_batch(model, q, out);
+    {
+      // Engine-internal spans (encode/lut_accumulate/epilogue) inherit
+      // this batch's id range through the thread-local scope.
+      SSMA_TRACE_REQUEST_SCOPE(id_lo, id_hi);
+      eng->run_batch(model, q, out);
+    }
 
     if (fatal_fault(FaultSite::kExecute)) {
       if (slot.in_flight.empty()) continue;
@@ -254,6 +277,7 @@ void WorkerPool::worker_main(int worker_id) {
     // ack lands after the response — a crash in between re-executes
     // the request on recovery (at-least-once across restarts).
     const Clock::time_point t_done = Clock::now();
+    SSMA_TRACE_SPAN_IDS(kAck, id_lo, id_hi);
     queue_ns.clear();
     total_ns.clear();
     std::size_t row = 0;
@@ -280,8 +304,16 @@ void WorkerPool::worker_main(int worker_id) {
           res.outputs.data(), res.outputs.size() * sizeof(std::int16_t));
       const std::uint64_t req_id = req.id;
       req.result.set_value(std::move(res));
-      if (opts_.journal)
-        opts_.journal->append_completed(req_id, worker_id, out_crc);
+      if (opts_.journal) {
+        const Clock::time_point t_j = Clock::now();
+        {
+          SSMA_TRACE_SPAN_IDS(kJournalAppend, req_id, req_id);
+          opts_.journal->append_completed(req_id, worker_id, out_crc);
+        }
+        metrics_.record_journal_append(
+            std::chrono::duration<double, std::nano>(Clock::now() - t_j)
+                .count());
+      }
     }
     slot.in_flight.clear();
     shard_tokens_[static_cast<std::size_t>(worker_id)] += batch.tokens;

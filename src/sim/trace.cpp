@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "telemetry/chrome_trace.hpp"
 #include "util/check.hpp"
 
 namespace ssma::sim {
@@ -66,6 +67,41 @@ std::string TraceSink::render_vcd(const std::string& module) const {
     oss << "s" << r.value << " " << ids[r.signal] << "\n";
   }
   return oss.str();
+}
+
+std::string TraceSink::render_chrome_json(const std::string& module) const {
+  telemetry::ChromeTraceWriter writer(module);
+
+  // One track (tid) per signal, in first-appearance order so the UI
+  // layout matches the simulation's narrative order.
+  std::map<std::string, int> tids;
+  for (const Record& r : records_) {
+    if (tids.count(r.signal)) continue;
+    const int tid = static_cast<int>(tids.size()) + 1;
+    tids[r.signal] = tid;
+    writer.add_thread_name(tid, r.signal);
+  }
+
+  // A signal holds each value until its next transition: consecutive
+  // records per signal become complete events, the last an instant.
+  // SimTime is integer picoseconds; trace ts is microseconds.
+  constexpr double kUsPerPs = 1e-6;
+  std::map<std::string, const Record*> open;
+  for (const Record& r : records_) {
+    const auto it = open.find(r.signal);
+    if (it != open.end()) {
+      const Record* prev = it->second;
+      writer.add_complete(tids[r.signal], prev->value,
+                          static_cast<double>(prev->t) * kUsPerPs,
+                          static_cast<double>(r.t - prev->t) * kUsPerPs);
+    }
+    open[r.signal] = &r;
+  }
+  for (const auto& [signal, last] : open) {
+    writer.add_instant(tids[signal], last->value,
+                       static_cast<double>(last->t) * kUsPerPs);
+  }
+  return writer.render();
 }
 
 }  // namespace ssma::sim

@@ -35,6 +35,12 @@ class TraceSink {
   /// Value-change-dump rendering (timescale 1 ps, string-valued vars).
   std::string render_vcd(const std::string& module = "ssma") const;
 
+  /// Chrome trace-event JSON rendering (shared telemetry writer): one
+  /// track per signal, each value interval an "X" event named by the
+  /// value, the final record an instant. Opens in the same Perfetto UI
+  /// as the serving-side request traces.
+  std::string render_chrome_json(const std::string& module = "ssma") const;
+
  private:
   std::vector<Record> records_;
 };
