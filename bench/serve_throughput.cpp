@@ -35,23 +35,41 @@
 // under tracing and writes the Chrome trace-event JSON (load it at
 // ui.perfetto.dev) so every artifact run leaves a sample span tree.
 //
+// A fourth cell (paced mode only) is the overload cell: the TCP front
+// door driven through loopback NetClients at 2x the sustainable token
+// rate by two tenants — "gold" (high priority, 0.7x capacity) and
+// "free" (low priority, 1.3x capacity) — against a small admission
+// queue. It records per-tenant offered/ok/shed counts and ok-latency
+// percentiles. The SLO story it must show: gold keeps a bounded p99
+// and is essentially never shed, free absorbs the overload as typed
+// kQueueFull rejections, and every request gets exactly one ack.
+// --overload-gate turns those properties into a hard exit code for CI.
+//
 //   build/bench/serve_throughput [--mode=paced|kernel|simulate]
 //                                [--device-ns=N]
 //                                [--requests=N] [--rows=N]
 //                                [--out=BENCH_serve.json]
 //                                [--trace-out=serve.trace.json]
+//                                [--overload-gate]
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_env.hpp"
 #include "engine/execution_engine.hpp"
 #include "engine/pipeline.hpp"
 #include "maddness/amm.hpp"
+#include "net/server.hpp"
+#include "net/wire_protocol.hpp"
+#include "serve/admission.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/server.hpp"
 #include "telemetry/telemetry.hpp"
@@ -68,6 +86,129 @@ struct Cell {
   serve::LoadReport load;
   serve::MetricsSnapshot metrics;
 };
+
+/// One tenant's side of the overload cell: everything it sent and
+/// everything the wire acked back, plus ok-latency percentiles.
+struct TenantRun {
+  std::string tenant;
+  double target_rps = 0.0;
+  std::size_t sent = 0;
+  std::size_t ok = 0;
+  std::array<std::uint64_t, serve::kNumRejectReasons> rejects{};
+  std::size_t other_status = 0;  ///< internal errors (should be 0)
+  std::size_t acked = 0;         ///< responses received, any status
+  double actual_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+
+  std::uint64_t total_rejects() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t r : rejects) n += r;
+    return n;
+  }
+  std::string json() const {
+    char buf[256];
+    std::string s = "{\"tenant\":\"" + tenant + "\"";
+    std::snprintf(buf, sizeof(buf),
+                  ",\"target_rps\":%.1f,\"actual_rps\":%.1f,\"sent\":%zu,"
+                  "\"acked\":%zu,\"ok\":%zu,\"internal_errors\":%zu",
+                  target_rps, actual_rps, sent, acked, ok, other_status);
+    s += buf;
+    s += ",\"rejects\":{";
+    for (std::size_t r = 0; r < serve::kNumRejectReasons; ++r) {
+      if (r) s += ",";
+      s += "\"";
+      s += serve::reject_reason_name(static_cast<serve::RejectReason>(r));
+      s += "\":" + std::to_string(rejects[r]);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "},\"ok_p50_ms\":%.3f,\"ok_p99_ms\":%.3f}", p50_ms,
+                  p99_ms);
+    s += buf;
+    return s;
+  }
+};
+
+/// Open-loop tenant driver over one pipelined NetClient connection:
+/// a paced sender thread plus a receiver thread that classifies every
+/// ack by wire status. Latency is measured send()-to-ack per
+/// correlation id, so it includes queueing — the quantity the SLO
+/// bounds.
+void drive_tenant(std::uint16_t port, const std::string& tenant,
+                  std::uint8_t wire_priority, double rps, std::size_t n,
+                  std::size_t rows,
+                  const std::vector<std::uint8_t>& codes, TenantRun* out) {
+  using SteadyClock = std::chrono::steady_clock;
+  out->tenant = tenant;
+  out->target_rps = rps;
+
+  net::NetClient cli;
+  cli.connect("127.0.0.1", port);
+  // Release/acquire pairs on each slot order the timestamp write
+  // (before send) with the receiver's read (after the ack round-trip).
+  std::vector<std::atomic<std::int64_t>> sent_ns(n);
+  std::vector<double> ok_lat;
+  ok_lat.reserve(n);
+
+  std::thread rx([&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      net::RpcResponse resp;
+      if (!cli.recv_response(&resp)) return;  // lost acks -> acked < sent
+      const std::int64_t now_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              SteadyClock::now().time_since_epoch())
+              .count();
+      out->acked++;
+      if (resp.status == net::kStatusOk) {
+        out->ok++;
+        const std::int64_t t0 =
+            sent_ns[resp.correlation_id].load(std::memory_order_acquire);
+        ok_lat.push_back(static_cast<double>(now_ns - t0) / 1e6);
+      } else if (resp.status >= 1 &&
+                 resp.status <= serve::kNumRejectReasons) {
+        out->rejects[resp.status - 1]++;
+      } else {
+        out->other_status++;
+      }
+    }
+  });
+
+  const auto start = SteadyClock::now();
+  const auto interval = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(1e9 / rps));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::this_thread::sleep_until(
+        start + interval * static_cast<std::int64_t>(i));
+    net::RpcRequest req;
+    req.correlation_id = i;
+    req.tenant = tenant;
+    req.model_ref = "m";
+    req.priority = wire_priority;
+    req.rows = rows;
+    req.codes = codes;
+    sent_ns[i].store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         SteadyClock::now().time_since_epoch())
+                         .count(),
+                     std::memory_order_release);
+    cli.send(req);
+    out->sent++;
+  }
+  rx.join();
+  const double dur =
+      std::chrono::duration<double>(SteadyClock::now() - start).count();
+  out->actual_rps = dur > 0.0 ? static_cast<double>(out->sent) / dur : 0.0;
+  std::sort(ok_lat.begin(), ok_lat.end());
+  const auto pct = [&](double p) {
+    if (ok_lat.empty()) return 0.0;
+    const std::size_t idx = std::min(
+        ok_lat.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(ok_lat.size())));
+    return ok_lat[idx];
+  };
+  out->p50_ms = pct(0.50);
+  out->p99_ms = pct(0.99);
+  cli.close();
+}
 
 maddness::Amm train_operator(Rng& rng, int ncodebooks, int nout) {
   const std::size_t d = static_cast<std::size_t>(ncodebooks) * 9;
@@ -91,6 +232,7 @@ int main(int argc, char** argv) {
   double device_ns = 10'000.0;
   std::string out_path = "BENCH_serve.json";
   std::string trace_out;
+  bool overload_gate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mode=simulate") == 0)
       mode = engine::Backend::kSimulate;
@@ -110,6 +252,8 @@ int main(int argc, char** argv) {
       out_path = argv[i] + 6;
     else if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
       trace_out = argv[i] + 12;
+    else if (std::strcmp(argv[i], "--overload-gate") == 0)
+      overload_gate = true;
     else {
       std::fprintf(stderr, "unknown arg: %s\n", argv[i]);
       return 1;
@@ -350,6 +494,72 @@ int main(int argc, char** argv) {
                  "--trace-out ignored: built with -DSSMA_TRACE=OFF\n");
 #endif
 
+  // ---- overload cell: the TCP front door at 2x sustainable load.
+  // Paced mode only — it needs a known device capacity to overdrive.
+  // Capacity with the fixed pacing below: 2 workers x 1e9/100us =
+  // 20k tokens/s = 1250 req/s at 16 rows. Gold offers 0.7x that as the
+  // high-priority tenant, free offers 1.3x as low priority, against a
+  // 64-deep queue whose watermarks shed low traffic at depth 32 — so
+  // the queue (and gold's queueing delay) stays bounded no matter how
+  // hard free pushes.
+  TenantRun gold, free_tier;
+  bool overload_ran = false;
+  if (paced) {
+    constexpr double kOverloadDeviceNs = 100'000.0;
+    constexpr int kOverloadWorkers = 2;
+    constexpr std::size_t kOverloadRows = 16;
+    constexpr double kDurationS = 1.2;
+    const double capacity_rps = kOverloadWorkers * 1e9 /
+                                (kOverloadDeviceNs *
+                                 static_cast<double>(kOverloadRows));
+    const double gold_rps = 0.7 * capacity_rps;
+    const double free_rps = 1.3 * capacity_rps;
+
+    serve::ServerOptions oopts;
+    oopts.num_workers = kOverloadWorkers;
+    oopts.queue_capacity = 64;
+    oopts.engine.backend = engine::Backend::kDevicePaced;
+    oopts.engine.device_ns_per_token = kOverloadDeviceNs;
+    oopts.batcher.max_batch_tokens = 64;
+    oopts.batcher.max_wait = std::chrono::microseconds(200);
+    serve::InferenceServer server(oopts);
+    server.register_model("m", amm);
+
+    net::NetServerOptions nopts;
+    nopts.admission.tenants["gold"] =
+        serve::TenantConfig{0.0, 0.0, serve::Priority::kHigh};
+    nopts.admission.tenants["free"] =
+        serve::TenantConfig{0.0, 0.0, serve::Priority::kLow};
+    net::NetServer net(server, nopts);
+
+    // All requests reuse one payload; the cell measures admission and
+    // scheduling, not encode bandwidth.
+    std::vector<std::uint8_t> codes(
+        pool.row(0), pool.row(0) + kOverloadRows * pool.cols);
+    std::thread gold_thread(
+        drive_tenant, net.port(), "gold",
+        static_cast<std::uint8_t>(serve::Priority::kHigh), gold_rps,
+        static_cast<std::size_t>(gold_rps * kDurationS), kOverloadRows,
+        codes, &gold);
+    drive_tenant(net.port(), "free",
+                 static_cast<std::uint8_t>(serve::Priority::kLow),
+                 free_rps, static_cast<std::size_t>(free_rps * kDurationS),
+                 kOverloadRows, codes, &free_tier);
+    gold_thread.join();
+    net.stop();
+    server.shutdown();
+    overload_ran = true;
+
+    std::fprintf(stderr,
+                 "overload: gold %zu sent, %zu ok, %llu shed, p99 %.1f ms"
+                 " | free %zu sent, %zu ok, %llu shed\n",
+                 gold.sent, gold.ok,
+                 static_cast<unsigned long long>(gold.total_rejects()),
+                 gold.p99_ms, free_tier.sent, free_tier.ok,
+                 static_cast<unsigned long long>(
+                     free_tier.total_rejects()));
+  }
+
   // Machine-readable result: one JSON object, written to the BENCH
   // artifact and echoed on stdout.
   std::string out = "{\"bench\":\"serve_throughput\",";
@@ -387,7 +597,7 @@ int main(int argc, char** argv) {
   char tf[96];
   std::snprintf(tf, sizeof(tf),
                 ",\"telemetry\":{\"trace_compiled_in\":%s,"
-                "\"trace_overhead_frac\":%.4f}}",
+                "\"trace_overhead_frac\":%.4f}",
 #if defined(SSMA_TRACE_ENABLED)
                 "true",
 #else
@@ -395,5 +605,48 @@ int main(int argc, char** argv) {
 #endif
                 trace_overhead_frac);
   out += tf;
-  return benchenv::write_artifact(out_path, out) ? 0 : 1;
+  if (overload_ran) {
+    out += ",\"overload\":{\"queue_capacity\":64,\"workers\":2"
+           ",\"device_ns_per_token\":100000.0,\"rows_per_request\":16"
+           ",\"tenants\":[" +
+           gold.json() + "," + free_tier.json() + "]}";
+  } else {
+    out += ",\"overload\":null";
+  }
+  out += "}";
+  if (!benchenv::write_artifact(out_path, out)) return 1;
+
+  // ---- overload gate: turn the cell's SLO story into an exit code.
+  if (overload_gate) {
+    if (!overload_ran) {
+      std::fprintf(stderr,
+                   "overload gate: FAIL (cell only runs in paced mode)\n");
+      return 1;
+    }
+    bool ok = true;
+    const auto fail = [&](const char* what) {
+      std::fprintf(stderr, "overload gate: FAIL — %s\n", what);
+      ok = false;
+    };
+    // No lost acks, no untyped failures, on either tenant.
+    for (const TenantRun* t : {&gold, &free_tier}) {
+      if (t->acked != t->sent) fail("a tenant lost acks");
+      if (t->ok + t->total_rejects() != t->acked)
+        fail("acks do not partition into ok + typed rejections");
+      if (t->other_status != 0) fail("internal errors on the wire");
+    }
+    // Gold's SLO holds under 2x overload...
+    if (gold.sent == 0 ||
+        static_cast<double>(gold.ok) <
+            0.95 * static_cast<double>(gold.sent))
+      fail("gold ok-rate below 95%");
+    if (gold.p99_ms > 100.0) fail("gold ok p99 above 100 ms");
+    // ...because free absorbed the overload as typed sheds.
+    if (free_tier.rejects[static_cast<std::size_t>(
+            serve::RejectReason::kQueueFull)] == 0)
+      fail("free tier was never shed at the watermark");
+    std::fprintf(stderr, "overload gate: %s\n", ok ? "PASS" : "FAIL");
+    if (!ok) return 1;
+  }
+  return 0;
 }

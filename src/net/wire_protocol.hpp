@@ -1,0 +1,108 @@
+// Binary RPC protocol of the TCP front door. A message is one frame in
+// the library's standard checksummed framing (maddness/framing.hpp,
+// shared with the journal and checkpoints):
+//
+//   [u64 payload length][u32 CRC-32 of payload][payload bytes]
+//
+// written little-endian (util/wire.hpp helpers). The payload starts
+// with a fixed prelude:
+//
+//   [u8 version][u8 msg type][u64 correlation id]
+//
+// followed by per-type fields (strings are u32 length + raw bytes,
+// int16 arrays are little-endian byte pairs). Correlation ids are
+// chosen by the client and echoed verbatim, so responses can complete
+// out of order over one pipelined connection.
+//
+// Error handling has two tiers, split at the frame boundary:
+//   - a bad frame (oversized length word, CRC mismatch) means the byte
+//     stream itself can no longer be trusted — the server closes the
+//     connection;
+//   - a well-framed but malformed payload (bad version, truncated
+//     fields) is answered with a typed kMalformed rejection and the
+//     connection stays usable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace ssma::net {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+
+enum class MsgType : std::uint8_t {
+  kInferRequest = 1,
+  kInferResponse = 2,
+};
+
+/// Response status byte: 0 = ok, 1 + RejectReason for typed sheds,
+/// 255 = internal server error.
+inline constexpr std::uint8_t kStatusOk = 0;
+inline constexpr std::uint8_t kStatusInternalError = 255;
+inline std::uint8_t status_of(serve::RejectReason r) {
+  return static_cast<std::uint8_t>(1 + static_cast<std::uint8_t>(r));
+}
+
+struct RpcRequest {
+  std::uint64_t correlation_id = 0;
+  std::string tenant;     ///< admission identity; empty = anonymous
+  std::string model_ref;  ///< "name", "name@latest", "name@N"
+  /// Relative SLO deadline in milliseconds from server receipt;
+  /// 0 = no deadline. Relative so client/server clock skew is moot.
+  std::uint32_t deadline_ms = 0;
+  std::uint8_t priority = 1;  ///< serve::Priority value (clamped)
+  std::uint64_t rows = 0;
+  std::vector<std::uint8_t> codes;  ///< rows x model cols, row-major
+
+  /// Serializes prelude + fields into one framed message.
+  std::string encode() const;
+};
+
+struct RpcResponse {
+  std::uint64_t correlation_id = 0;
+  std::uint8_t status = kStatusOk;
+  std::string model;                ///< served model name (ok only)
+  std::uint64_t model_version = 0;  ///< exact bank version (ok only)
+  std::uint64_t rows = 0;
+  std::vector<std::int16_t> outputs;  ///< rows x nout (ok only)
+  std::string message;  ///< human-readable detail on non-ok
+
+  std::string encode() const;
+};
+
+/// Parse a frame payload (already CRC-validated). Returns false on any
+/// malformation — wrong version, wrong type, truncated or oversized
+/// fields — leaving *out in an unspecified state.
+bool parse_request(const std::string& payload, RpcRequest* out);
+bool parse_response(const std::string& payload, RpcResponse* out);
+
+/// Incremental frame splitter for a nonblocking socket: feed() raw
+/// bytes as they arrive, then drain complete frames with next(). The
+/// length word is bounded by `max_frame_bytes` so a corrupt or hostile
+/// peer cannot make the server buffer unbounded memory.
+class FrameDecoder {
+ public:
+  enum class Result {
+    kNeedMore,  ///< no complete frame buffered yet
+    kFrame,     ///< *payload holds one CRC-validated payload
+    kBad,       ///< oversized length or CRC mismatch — close the stream
+  };
+
+  explicit FrameDecoder(std::size_t max_frame_bytes);
+
+  void feed(const void* data, std::size_t n);
+  Result next(std::string* payload);
+
+  std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  const std::size_t max_frame_bytes_;
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+};
+
+}  // namespace ssma::net

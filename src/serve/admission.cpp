@@ -1,0 +1,102 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ssma::serve {
+
+AdmissionController::AdmissionController(const AdmissionOptions& opts)
+    : opts_(opts) {
+  SSMA_CHECK(opts.max_tracked_tenants >= 1);
+  for (double w : opts.shed_watermark) SSMA_CHECK(w > 0.0);
+}
+
+const TenantConfig& AdmissionController::config_for(
+    const std::string& tenant) const {
+  const auto it = opts_.tenants.find(tenant);
+  return it != opts_.tenants.end() ? it->second : opts_.default_tenant;
+}
+
+AdmissionController::Bucket& AdmissionController::bucket_for(
+    const std::string& tenant, const TenantConfig& cfg,
+    Clock::time_point now) {
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    Bucket b;
+    // A new (or evicted-and-returned) tenant starts with a full burst:
+    // bounded over-admit, but it means eviction never turns into a
+    // denial-of-service against a tenant that merely idled too long.
+    b.tokens = cfg.burst_tokens;
+    b.last_refill = now;
+    b.configured = opts_.tenants.count(tenant) != 0;
+    it = buckets_.emplace(tenant, std::move(b)).first;
+    if (!it->second.configured) {
+      lru_.push_front(tenant);
+      it->second.lru_it = lru_.begin();
+      // Bound memory: drop the least-recently-seen default-policy
+      // tenant. Configured tenants are never tracked in lru_, so their
+      // buckets are stable for the server's lifetime.
+      if (lru_.size() > opts_.max_tracked_tenants) {
+        buckets_.erase(lru_.back());
+        lru_.pop_back();
+        ++stats_.evicted_tenants;
+      }
+    }
+  } else if (!it->second.configured) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  }
+  Bucket& b = it->second;
+  const double dt =
+      std::chrono::duration<double>(now - b.last_refill).count();
+  if (dt > 0.0) {
+    b.tokens = std::min(cfg.burst_tokens,
+                        b.tokens + dt * cfg.tokens_per_sec);
+    b.last_refill = now;
+  }
+  return b;
+}
+
+AdmissionController::Outcome AdmissionController::admit(
+    const std::string& tenant, std::size_t rows, Clock::time_point now,
+    Clock::time_point deadline, std::size_t queue_depth,
+    std::size_t queue_capacity) {
+  const TenantConfig& cfg = config_for(tenant);
+  Outcome out;
+  out.priority = cfg.priority;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (deadline <= now) {
+    out.reason = RejectReason::kDeadlineExpired;
+    ++stats_.rejects[static_cast<std::size_t>(out.reason)];
+    return out;
+  }
+  const double watermark =
+      opts_.shed_watermark[static_cast<std::size_t>(cfg.priority)];
+  if (queue_capacity > 0 && static_cast<double>(queue_depth) >=
+                                watermark * static_cast<double>(
+                                                queue_capacity)) {
+    out.reason = RejectReason::kQueueFull;
+    ++stats_.rejects[static_cast<std::size_t>(out.reason)];
+    return out;
+  }
+  if (cfg.tokens_per_sec > 0.0) {
+    Bucket& b = bucket_for(tenant, cfg, now);
+    if (b.tokens < static_cast<double>(rows)) {
+      out.reason = RejectReason::kRateLimited;
+      ++stats_.rejects[static_cast<std::size_t>(out.reason)];
+      return out;
+    }
+    b.tokens -= static_cast<double>(rows);
+  }
+  out.admitted = true;
+  ++stats_.admitted;
+  return out;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ssma::serve

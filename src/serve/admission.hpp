@@ -1,0 +1,119 @@
+// Admission controller: the SLO-aware gate between ingress (network or
+// in-process) and the bounded request queue. Three checks, in order:
+//
+//   1. deadline   — a request whose SLO deadline already passed is
+//                   refused immediately (kDeadlineExpired); spending
+//                   queue capacity on it can only hurt other tenants.
+//   2. watermark  — each priority class owns a queue-depth watermark
+//                   (fraction of capacity). When the queue is deeper
+//                   than a class's watermark, that class is shed
+//                   (kQueueFull) while more urgent classes still pass —
+//                   graceful degradation instead of blocking everyone.
+//   3. token bucket — per-tenant rate limit in tokens (= activation
+//                   rows) per second with a burst cap, so one tenant
+//                   cannot monopolize the queue ahead of the watermark
+//                   check (kRateLimited).
+//
+// The controller is clock-injectable (tests drive refill
+// deterministically) and bounds its own memory: unconfigured tenants
+// are tracked LRU up to `max_tracked_tenants`, and an evicted tenant
+// that returns starts with a full burst — a bounded, documented
+// over-admit in exchange for O(1) state per active tenant.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "serve/request_queue.hpp"
+
+namespace ssma::serve {
+
+/// Per-tenant admission policy.
+struct TenantConfig {
+  /// Sustained token (activation-row) rate; <= 0 means unlimited (no
+  /// bucket is maintained for the tenant).
+  double tokens_per_sec = 0.0;
+  /// Bucket capacity: how many tokens a tenant can burst after idling.
+  double burst_tokens = 0.0;
+  /// SLO class stamped on the tenant's requests; also selects the shed
+  /// watermark.
+  Priority priority = Priority::kNormal;
+};
+
+struct AdmissionOptions {
+  /// Policy for tenants absent from `tenants` (default: unlimited,
+  /// normal priority — in-process callers keep working unconfigured).
+  TenantConfig default_tenant;
+  /// Explicit per-tenant policies; these tenants are never LRU-evicted.
+  std::map<std::string, TenantConfig> tenants;
+  /// Bound on bucket state for tenants using the default policy.
+  std::size_t max_tracked_tenants = 1024;
+  /// Shed watermarks as a fraction of queue capacity, indexed by
+  /// Priority. A request is refused (kQueueFull) when
+  /// queue_depth >= watermark * capacity. kHigh's default (> 1.0)
+  /// means "never shed by depth — rely on the bounded queue itself".
+  std::array<double, kNumPriorities> shed_watermark{1.01, 0.75, 0.5};
+};
+
+/// Monotonic counters; snapshot via AdmissionController::stats().
+struct AdmissionStats {
+  std::uint64_t admitted = 0;
+  std::array<std::uint64_t, kNumRejectReasons> rejects{};
+  std::uint64_t evicted_tenants = 0;
+};
+
+class AdmissionController {
+ public:
+  struct Outcome {
+    bool admitted = false;
+    /// Valid only when !admitted.
+    RejectReason reason = RejectReason::kQueueFull;
+    /// The tenant's SLO class (stamped whether or not admitted, so
+    /// rejects can be attributed per class).
+    Priority priority = Priority::kNormal;
+  };
+
+  explicit AdmissionController(const AdmissionOptions& opts);
+
+  /// Decide admission for `rows` tokens from `tenant` at time `now`
+  /// against the current queue depth/capacity. `deadline` is the
+  /// request's absolute SLO deadline (time_point::max() = none).
+  /// Thread-safe; tokens are debited only when the request is admitted.
+  Outcome admit(const std::string& tenant, std::size_t rows,
+                Clock::time_point now, Clock::time_point deadline,
+                std::size_t queue_depth, std::size_t queue_capacity);
+
+  /// The policy that would apply to `tenant` (configured or default).
+  const TenantConfig& config_for(const std::string& tenant) const;
+
+  AdmissionStats stats() const;
+  const AdmissionOptions& options() const { return opts_; }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    Clock::time_point last_refill{};
+    /// Position in lru_ (only meaningful for default-policy tenants).
+    std::list<std::string>::iterator lru_it;
+    bool configured = false;
+  };
+
+  // Caller holds mu_.
+  Bucket& bucket_for(const std::string& tenant, const TenantConfig& cfg,
+                     Clock::time_point now);
+
+  const AdmissionOptions opts_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Bucket> buckets_;
+  /// LRU order of default-policy tenants, most recent at the front.
+  std::list<std::string> lru_;
+  AdmissionStats stats_;
+};
+
+}  // namespace ssma::serve

@@ -15,12 +15,36 @@ Batcher::Batcher(const BatcherOptions& opts) : opts_(opts) {
   if (budget_ == 0) budget_ = opts.align_tokens;
 }
 
+namespace {
+
+// Fail a request whose SLO deadline passed before it reached a device:
+// typed rejection so the client (or wire layer) can tell "too late"
+// from a crash, and no device time is spent on it.
+void reject_expired(InferenceRequest&& req) {
+  req.fail(std::make_exception_ptr(RejectedError(
+      RejectReason::kDeadlineExpired,
+      "request " + std::to_string(req.id) +
+          " deadline expired before batch formation")));
+}
+
+}  // namespace
+
 Batch Batcher::next_batch(RequestQueue& queue) const {
   Batch batch;
 
   // First request: wait indefinitely (an idle worker parks here).
+  // Requests whose deadline already passed are dropped here with a
+  // typed rejection rather than anchoring a doomed batch.
   InferenceRequest first;
-  if (queue.pop_wait(&first) == PopStatus::kClosed) return batch;
+  for (;;) {
+    if (queue.pop_wait(&first) == PopStatus::kClosed) return batch;
+    if (first.deadline <= Clock::now()) {
+      reject_expired(std::move(first));
+      ++batch.expired;
+      continue;
+    }
+    break;
+  }
   batch.tokens = first.rows;
   batch.requests.push_back(std::move(first));
 
@@ -39,12 +63,29 @@ Batch Batcher::next_batch(RequestQueue& queue) const {
   // hot-swap bit-exactness contract (old in-flight requests finish on
   // the old bank).
   const void* model_key = batch.requests.front().model.get();
-  const Clock::time_point deadline = Clock::now() + opts_.max_wait;
+  const Clock::time_point start = Clock::now();
+  // SLO-aware wait: a batch anchored by a deadline-bearing request
+  // dispatches in time to meet it even if the token budget never fills.
+  const Clock::time_point deadline =
+      std::min(start + opts_.max_wait, batch.requests.front().deadline);
   while (batch.tokens < budget_) {
     InferenceRequest next;
-    const PopStatus st = queue.pop_compatible(budget_ - batch.tokens,
-                                              deadline, &next, model_key);
+    // Recompute the starvation bounds each pull: a request another
+    // model enqueued during this batch's wait still gets the full
+    // max_skip_age before it blocks coalescing. The deadline bound uses
+    // the batch's own close time — skipping a request that must
+    // dispatch before this batch closes would push it past its SLO.
+    const Clock::time_point now = Clock::now();
+    const PopStatus st = queue.pop_compatible(
+        budget_ - batch.tokens, deadline, &next, model_key,
+        /*no_skip_enqueued_before=*/now - opts_.max_skip_age,
+        /*no_skip_deadline_before=*/deadline);
     if (st != PopStatus::kOk) break;  // full/timeout/closed/incompatible
+    if (next.deadline <= now) {
+      reject_expired(std::move(next));
+      ++batch.expired;
+      continue;
+    }
     batch.tokens += next.rows;
     batch.requests.push_back(std::move(next));
   }

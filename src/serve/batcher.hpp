@@ -26,11 +26,21 @@ struct BatcherOptions {
   /// Rounds the token budget down to a multiple of this (e.g. the number
   /// of tokens the macro's tile plan pipelines per pass); 1 = no rounding.
   std::size_t align_tokens = 1;
+  /// Starvation bound for model-affine coalescing: the batcher never
+  /// pulls a compatible request past another model's request that has
+  /// been queued longer than this (or whose SLO deadline falls within
+  /// the batch wait window) — the batch closes instead, letting the
+  /// next pop_wait serve the aged head.
+  std::chrono::microseconds max_skip_age{2000};
 };
 
 struct Batch {
   std::vector<InferenceRequest> requests;
   std::size_t tokens = 0;
+  /// Requests dropped during formation because their SLO deadline had
+  /// already passed; each was failed with RejectedError
+  /// (kDeadlineExpired) before the batch was returned.
+  std::size_t expired = 0;
   bool empty() const { return requests.empty(); }
 };
 

@@ -42,8 +42,14 @@ std::string LoadReport::json() const {
   oss << "{\"seed\":" << seed << ",\"completed\":" << completed
       << ",\"tokens\":" << tokens
       << ",\"wall_seconds\":" << wall_seconds
-      << ",\"offered_rps\":" << offered_rps
-      << ",\"achieved_rps\":" << achieved_rps
+      << ",\"offered_rps\":";
+  // A closed-loop run has no offered rate; null reads as "not
+  // applicable" where 0.000 read as a measured zero.
+  if (open_loop)
+    oss << offered_rps;
+  else
+    oss << "null";
+  oss << ",\"achieved_rps\":" << achieved_rps
       << ",\"tokens_per_sec\":" << tokens_per_sec
       << ",\"p50_ms\":" << p50_ms << ",\"p95_ms\":" << p95_ms
       << ",\"p99_ms\":" << p99_ms << ",\"mean_ms\":" << mean_ms
@@ -139,6 +145,7 @@ LoadReport LoadGenerator::run_open_loop(InferenceServer& server,
   LoadReport r = finish_report(
       spec_, completed,
       std::chrono::duration<double>(last_done - start).count(), latency);
+  r.open_loop = true;
   r.offered_rps = requests_per_sec;
   return r;
 }

@@ -37,7 +37,10 @@ struct LoadReport {
   std::size_t completed = 0;
   std::size_t tokens = 0;
   double wall_seconds = 0.0;
-  double offered_rps = 0.0;  ///< open-loop target; 0 for closed-loop
+  /// True for open-loop runs; closed-loop runs have no offered rate, and
+  /// json() emits `"offered_rps": null` for them instead of a bogus 0.
+  bool open_loop = false;
+  double offered_rps = 0.0;  ///< open-loop target; meaningless otherwise
   double achieved_rps = 0.0;
   double tokens_per_sec = 0.0;
   // Client-observed end-to-end latency (intended arrival / submit time

@@ -198,6 +198,12 @@ void Metrics::record_journal_append(double ns) {
   journal_latency_.add(ns);
 }
 
+void Metrics::record_reject(RejectReason reason, std::size_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  rejects_[static_cast<std::size_t>(reason)] += n;
+}
+
 void Metrics::set_batch_budget(std::size_t tokens) {
   std::lock_guard<std::mutex> lock(mu_);
   batch_budget_tokens_ = tokens;
@@ -239,6 +245,8 @@ MetricsSnapshot Metrics::snapshot() const {
   s.journal_appends = journal_latency_.count();
   s.journal_p50_us = journal_latency_.percentile_ns(50) * 1e-3;
   s.journal_p99_us = journal_latency_.percentile_ns(99) * 1e-3;
+  for (std::size_t i = 0; i < kNumRejectReasons; ++i)
+    s.rejects[i] = static_cast<std::size_t>(rejects_[i]);
   s.per_model.reserve(per_model_.size());
   for (const auto& kv : per_model_) {  // std::map: sorted by name
     ModelMetricsSnapshot m;
@@ -256,6 +264,12 @@ MetricsSnapshot Metrics::snapshot() const {
     s.per_model.push_back(std::move(m));
   }
   return s;
+}
+
+std::size_t MetricsSnapshot::total_rejects() const {
+  std::size_t n = 0;
+  for (std::size_t r : rejects) n += r;
+  return n;
 }
 
 const ModelMetricsSnapshot* MetricsSnapshot::for_model(
@@ -285,6 +299,15 @@ std::string MetricsSnapshot::render() const {
     t.add_row({"journal p50 [us]", TextTable::num(journal_p50_us, 1)});
     t.add_row({"journal p99 [us]", TextTable::num(journal_p99_us, 1)});
   }
+  if (total_rejects()) {
+    for (std::size_t i = 0; i < kNumRejectReasons; ++i) {
+      if (!rejects[i]) continue;
+      t.add_row({std::string("rejects (") +
+                     reject_reason_name(static_cast<RejectReason>(i)) +
+                     ")",
+                 std::to_string(rejects[i])});
+    }
+  }
   std::string out = t.render();
   if (!per_model.empty()) {
     TextTable pm({"model", "requests", "tokens", "batches", "p50 [us]",
@@ -313,7 +336,13 @@ std::string MetricsSnapshot::json() const {
       << ",\"queue_p99_us\":" << queue_p99_us
       << ",\"journal_appends\":" << journal_appends
       << ",\"journal_p50_us\":" << journal_p50_us
-      << ",\"journal_p99_us\":" << journal_p99_us << ",\"per_model\":[";
+      << ",\"journal_p99_us\":" << journal_p99_us << ",\"rejects\":{";
+  for (std::size_t i = 0; i < kNumRejectReasons; ++i) {
+    if (i) oss << ",";
+    oss << "\"" << reject_reason_name(static_cast<RejectReason>(i))
+        << "\":" << rejects[i];
+  }
+  oss << "},\"per_model\":[";
   for (std::size_t i = 0; i < per_model.size(); ++i) {
     const ModelMetricsSnapshot& m = per_model[i];
     if (i) oss << ",";
@@ -345,6 +374,15 @@ std::string Metrics::render_prometheus(const PromGauges& gauges) const {
     prom_header(oss, "ssma_batches_total", "counter",
                 "Batches drained by the worker pool.");
     oss << "ssma_batches_total " << batches_ << "\n";
+    // All reasons enumerated statically: the exposition's shape never
+    // depends on which rejects have occurred (golden-file friendly, and
+    // rate() over an always-present series needs no counter resets).
+    prom_header(oss, "ssma_rejects_total", "counter",
+                "Requests refused, by typed rejection reason.");
+    for (std::size_t i = 0; i < kNumRejectReasons; ++i)
+      oss << "ssma_rejects_total{reason=\""
+          << reject_reason_name(static_cast<RejectReason>(i)) << "\"} "
+          << rejects_[i] << "\n";
 
     prom_header(oss, "ssma_queue_depth", "gauge",
                 "Requests currently waiting in the admission queue.");

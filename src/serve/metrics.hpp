@@ -96,6 +96,9 @@ struct MetricsSnapshot {
   std::size_t journal_appends = 0;
   double journal_p50_us = 0.0;
   double journal_p99_us = 0.0;
+  /// Typed load-shed/refusal counts, indexed by RejectReason.
+  std::array<std::size_t, kNumRejectReasons> rejects{};
+  std::size_t total_rejects() const;
 
   /// One row per served model name, sorted by name. Empty when the
   /// server has served nothing yet.
@@ -140,6 +143,10 @@ class Metrics {
   /// One write-ahead journal append (accepted or completed record).
   void record_journal_append(double ns);
 
+  /// `n` requests refused with the given typed reason (admission shed,
+  /// shutdown, expired deadline, ...).
+  void record_reject(RejectReason reason, std::size_t n = 1);
+
   /// The batcher's token budget, for occupancy-fraction reporting.
   void set_batch_budget(std::size_t tokens);
 
@@ -178,6 +185,7 @@ class Metrics {
   LatencyHistogram total_latency_;
   LatencyHistogram queue_latency_;
   LatencyHistogram journal_latency_;
+  std::array<std::uint64_t, kNumRejectReasons> rejects_{};
   std::array<std::uint64_t, kOccupancyBuckets> occupancy_buckets_{};
   std::size_t batch_budget_tokens_ = 0;
   std::map<std::string, PerModel> per_model_;

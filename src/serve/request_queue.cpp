@@ -8,6 +8,27 @@
 
 namespace ssma::serve {
 
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "unknown";
+}
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kShutdown: return "shutdown";
+    case RejectReason::kRateLimited: return "rate_limited";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kDeadlineExpired: return "deadline_expired";
+    case RejectReason::kUnknownModel: return "unknown_model";
+    case RejectReason::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
 RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
   SSMA_CHECK(capacity >= 1);
 }
@@ -47,10 +68,11 @@ bool RequestQueue::try_push(InferenceRequest&& req) {
   return true;
 }
 
-PopStatus RequestQueue::pop_compatible(std::size_t max_rows,
-                                       Clock::time_point deadline,
-                                       InferenceRequest* out,
-                                       const void* model_key) {
+PopStatus RequestQueue::pop_compatible(
+    std::size_t max_rows, Clock::time_point deadline,
+    InferenceRequest* out, const void* model_key,
+    Clock::time_point no_skip_enqueued_before,
+    Clock::time_point no_skip_deadline_before) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     // Model-affine scan: the first request pinned to the forming
@@ -60,8 +82,19 @@ PopStatus RequestQueue::pop_compatible(std::size_t max_rows,
     // batching those models, so interleaved multi-model traffic does
     // not fragment batches.
     auto it = items_.begin();
-    if (model_key != nullptr)
-      while (it != items_.end() && it->model.get() != model_key) ++it;
+    if (model_key != nullptr) {
+      while (it != items_.end() && it->model.get() != model_key) {
+        // Starvation guard: refuse to reach past another model's
+        // request once it has aged beyond the caller's skip bound or
+        // its SLO deadline is imminent. Without this, sustained
+        // hot-model traffic keeps the scan hopping over a cold model's
+        // head forever.
+        if (it->enqueued_at <= no_skip_enqueued_before ||
+            it->deadline <= no_skip_deadline_before)
+          return PopStatus::kWouldExceed;
+        ++it;
+      }
+    }
     if (it != items_.end()) {
       if (it->rows > max_rows) return PopStatus::kWouldExceed;
       *out = std::move(*it);
@@ -80,8 +113,16 @@ PopStatus RequestQueue::pop_wait(InferenceRequest* out) {
   std::unique_lock<std::mutex> lock(mu_);
   not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
   if (items_.empty()) return PopStatus::kClosed;
-  *out = std::move(items_.front());
-  items_.pop_front();
+  // Serve the oldest request of the most urgent class present. The
+  // scan is stable (first hit wins within a class) and short-circuits
+  // on kHigh — the common case under light load is still O(1).
+  auto best = items_.begin();
+  for (auto it = std::next(items_.begin());
+       it != items_.end() && best->priority != Priority::kHigh; ++it) {
+    if (it->priority < best->priority) best = it;
+  }
+  *out = std::move(*best);
+  items_.erase(best);
   lock.unlock();
   not_full_.notify_one();
   return PopStatus::kOk;

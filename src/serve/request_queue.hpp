@@ -9,9 +9,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,46 @@ class FaultInjector;
 }  // namespace recovery
 
 using Clock = std::chrono::steady_clock;
+
+/// SLO classes for multi-tenant admission. Lower value = more urgent:
+/// the queue serves the oldest request of the most urgent class first,
+/// and under overload the admission layer sheds the least urgent
+/// classes at progressively lower queue watermarks.
+enum class Priority : std::uint8_t {
+  kHigh = 0,
+  kNormal = 1,
+  kLow = 2,
+};
+inline constexpr std::size_t kNumPriorities = 3;
+const char* priority_name(Priority p);
+
+/// Why an admission-side component refused a request. Every refusal in
+/// the serving stack is typed with one of these — the future (and the
+/// network status byte) carries the reason, so clients distinguish
+/// "back off" (kRateLimited/kQueueFull) from "give up" (kShutdown,
+/// kUnknownModel) without string matching.
+enum class RejectReason : std::uint8_t {
+  kShutdown = 0,         ///< server draining or shut down
+  kRateLimited,          ///< tenant token bucket empty
+  kQueueFull,            ///< queue over this priority's shed watermark
+  kDeadlineExpired,      ///< SLO deadline passed before execution
+  kUnknownModel,         ///< model ref did not resolve
+  kMalformed,            ///< request failed shape/protocol validation
+};
+inline constexpr std::size_t kNumRejectReasons = 6;
+const char* reject_reason_name(RejectReason r);
+
+/// Typed load-shed/refusal error: what a rejected request's future
+/// holds, and what the RPC layer maps onto its status byte.
+class RejectedError : public std::runtime_error {
+ public:
+  RejectedError(RejectReason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+  RejectReason reason() const { return reason_; }
+
+ private:
+  RejectReason reason_;
+};
 
 /// What a fulfilled request resolves to.
 struct InferenceResult {
@@ -50,7 +92,36 @@ struct InferenceRequest {
   std::vector<std::uint8_t> codes;  ///< rows x cols, row-major uint8
   std::shared_ptr<const engine::ModelHandle> model;
   Clock::time_point enqueued_at{};
+  Priority priority = Priority::kNormal;
+  /// Absolute SLO deadline; max() means "no deadline". The batcher drops
+  /// requests whose deadline has already passed (typed kDeadlineExpired
+  /// rejection) instead of spending device time on a result nobody
+  /// will wait for.
+  Clock::time_point deadline = Clock::time_point::max();
+  std::string tenant;  ///< admission identity; empty = anonymous
+  /// Optional completion hook, invoked exactly once — from whichever
+  /// thread fulfills or fails the request — *before* the promise is
+  /// resolved. The network layer uses it to serialize the response
+  /// without parking a thread on the future. On success `res` is
+  /// non-null and `err` empty; on failure `res` is null and `err`
+  /// holds the exception (RejectedError for typed sheds).
+  std::function<void(const InferenceResult* res,
+                     const std::exception_ptr& err)>
+      on_done;
   std::promise<InferenceResult> result;
+
+  /// Resolve successfully: fires on_done, then the promise. Every
+  /// fulfillment in the serving stack goes through here so the net
+  /// layer never loses an ack.
+  void fulfill(InferenceResult&& res) {
+    if (on_done) on_done(&res, nullptr);
+    result.set_value(std::move(res));
+  }
+  /// Resolve with an error: fires on_done, then the promise.
+  void fail(const std::exception_ptr& err) {
+    if (on_done) on_done(nullptr, err);
+    result.set_exception(err);
+  }
 };
 
 /// Outcome of a budgeted pop (see RequestQueue::pop_compatible).
@@ -80,11 +151,25 @@ class RequestQueue {
   /// pick them up), so per-model FIFO is preserved while multi-model
   /// interleave never fragments batches. An oversized first candidate
   /// is reported (kWouldExceed), never skipped.
-  PopStatus pop_compatible(std::size_t max_rows, Clock::time_point deadline,
-                           InferenceRequest* out,
-                           const void* model_key = nullptr);
+  ///
+  /// Starvation guard: scanning past another model's request is only
+  /// allowed while that request is still "fresh". If a skipped request
+  /// was enqueued at or before `no_skip_enqueued_before`, or its SLO
+  /// deadline is at or before `no_skip_deadline_before`, the pop
+  /// returns kWouldExceed instead — closing the forming batch so the
+  /// next pop_wait serves the aged head. The defaults (time_point::min)
+  /// disable both bounds.
+  PopStatus pop_compatible(
+      std::size_t max_rows, Clock::time_point deadline,
+      InferenceRequest* out, const void* model_key = nullptr,
+      Clock::time_point no_skip_enqueued_before = Clock::time_point::min(),
+      Clock::time_point no_skip_deadline_before = Clock::time_point::min());
 
-  /// Blocking pop with no budget or deadline; kOk or kClosed.
+  /// Blocking pop with no budget or deadline; kOk or kClosed. Serves
+  /// the oldest request of the most urgent priority class present
+  /// (stable within a class), so high-priority tenants jump the line
+  /// exactly once — at batch-head selection — without reordering any
+  /// single tenant's stream.
   PopStatus pop_wait(InferenceRequest* out);
 
   /// Recovery path: puts a crashed shard's in-flight requests back at

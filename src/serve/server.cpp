@@ -176,17 +176,10 @@ void InferenceServer::maybe_checkpoint(std::uint64_t accepted,
   recovery_.checkpoints->write(st);
 }
 
-std::future<InferenceResult> InferenceServer::rejected(
-    const std::string& why) {
-  std::promise<InferenceResult> p;
-  p.set_exception(std::make_exception_ptr(ShutdownError(why)));
-  return p.get_future();
-}
-
 std::future<InferenceResult> InferenceServer::submit_with_id(
     std::uint64_t id, engine::ModelRef model,
     std::vector<std::uint8_t> codes, std::size_t rows,
-    bool journal_accept) {
+    bool journal_accept, SubmitExtras extras) {
   SSMA_CHECK(rows >= 1);
   SSMA_CHECK(model != nullptr);
   SSMA_CHECK_MSG(codes.size() == rows * model->cols(),
@@ -194,11 +187,41 @@ std::future<InferenceResult> InferenceServer::submit_with_id(
                      << model->ref() << " expects " << model->cols()
                      << " cols)");
   SSMA_TRACE_SPAN_IDS(kAdmit, id, id);
+
+  // The request is built before any admission check so every rejection
+  // path resolves through req.fail() — on_done always fires exactly
+  // once, which is what lets the network layer promise "no lost acks".
+  InferenceRequest req;
+  req.id = id;
+  req.rows = rows;
+  req.codes = std::move(codes);
+  req.model = std::move(model);
+  req.priority = extras.priority;
+  req.deadline = extras.deadline;
+  req.tenant = std::move(extras.tenant);
+  req.on_done = std::move(extras.on_done);
+  std::future<InferenceResult> fut = req.result.get_future();
+
+  const auto reject = [&](RejectReason reason,
+                          const std::string& why) {
+    metrics_.record_reject(reason);
+    req.fail(reason == RejectReason::kShutdown
+                 ? std::make_exception_ptr(ShutdownError(why))
+                 : std::make_exception_ptr(RejectedError(reason, why)));
+    return std::move(fut);
+  };
+
   // Typed rejection instead of journaling into (or blocking on) a
   // queue that is being torn down. A submit that races shutdown() past
   // this check is still safe: the closed queue refuses the push below.
   if (draining_.load(std::memory_order_acquire))
-    return rejected("InferenceServer is shut down");
+    return reject(RejectReason::kShutdown,
+                  "InferenceServer is shut down");
+  // Dead on arrival: refuse before the journal sees it — a replay
+  // would re-serve a request whose caller stopped waiting long ago.
+  if (req.deadline <= Clock::now())
+    return reject(RejectReason::kDeadlineExpired,
+                  "request deadline expired before admission");
   // Write-ahead: the accept record lands before the request can be
   // served, so a crash anywhere downstream can replay it — on exactly
   // the (name, version) pinned here.
@@ -206,21 +229,16 @@ std::future<InferenceResult> InferenceServer::submit_with_id(
     const auto t0 = Clock::now();
     {
       SSMA_TRACE_SPAN_IDS(kJournalAppend, id, id);
-      recovery_.journal->append_accepted(id, model->name(),
-                                         model->version(), rows, codes);
+      recovery_.journal->append_accepted(id, req.model->name(),
+                                         req.model->version(), rows,
+                                         req.codes);
     }
     metrics_.record_journal_append(
         std::chrono::duration<double, std::nano>(Clock::now() - t0)
             .count());
   }
 
-  InferenceRequest req;
-  req.id = id;
-  req.rows = rows;
-  req.codes = std::move(codes);
-  req.model = std::move(model);
   req.enqueued_at = Clock::now();
-  std::future<InferenceResult> fut = req.result.get_future();
 
   if (recovery_.fault) {
     const recovery::FaultAction act =
@@ -230,17 +248,27 @@ std::future<InferenceResult> InferenceServer::submit_with_id(
     } else if (act.kind != recovery::FaultKind::kNone) {
       // Simulated crash between accept and enqueue: the request is in
       // the journal but never reaches a worker. Recovery replays it.
-      req.result.set_exception(std::make_exception_ptr(std::runtime_error(
+      req.fail(std::make_exception_ptr(std::runtime_error(
           "injected fault: request accepted but lost before enqueue")));
       return fut;
     }
   }
 
-  if (!queue_->push(std::move(req))) {
+  if (extras.nonblocking) {
+    if (!queue_->try_push(std::move(req))) {
+      // try_push does not consume on failure; distinguish closed from
+      // full for the typed reason (a close racing in after the check
+      // still reads as full — both mean "back off", so that is fine).
+      return queue_->closed()
+                 ? reject(RejectReason::kShutdown,
+                          "InferenceServer is shut down")
+                 : reject(RejectReason::kQueueFull,
+                          "admission queue is full");
+    }
+  } else if (!queue_->push(std::move(req))) {
     // Closed: the request was not consumed, fail its future here.
-    req.result.set_exception(std::make_exception_ptr(
-        ShutdownError("InferenceServer is shut down")));
-    return fut;
+    return reject(RejectReason::kShutdown,
+                  "InferenceServer is shut down");
   }
   // Cadence decides on this submit's own count (not a re-load, which
   // concurrent submits could race past the multiple).
@@ -253,10 +281,17 @@ std::future<InferenceResult> InferenceServer::submit_with_id(
 std::future<InferenceResult> InferenceServer::submit(
     engine::ModelRef model, std::vector<std::uint8_t> codes,
     std::size_t rows) {
+  return submit(std::move(model), std::move(codes), rows,
+                SubmitExtras{});
+}
+
+std::future<InferenceResult> InferenceServer::submit(
+    engine::ModelRef model, std::vector<std::uint8_t> codes,
+    std::size_t rows, SubmitExtras extras) {
   const std::uint64_t id =
       next_id_.fetch_add(1, std::memory_order_relaxed);
   return submit_with_id(id, std::move(model), std::move(codes), rows,
-                        /*journal_accept=*/true);
+                        /*journal_accept=*/true, std::move(extras));
 }
 
 std::future<InferenceResult> InferenceServer::submit(
@@ -321,7 +356,8 @@ std::vector<std::future<InferenceResult>> InferenceServer::replay(
     // Already journaled by the crashed run — no second accept record.
     futures.push_back(submit_with_id(rec.id, std::move(model), rec.codes,
                                      rec.rows,
-                                     /*journal_accept=*/false));
+                                     /*journal_accept=*/false,
+                                     SubmitExtras{}));
   }
   return futures;
 }
@@ -335,7 +371,7 @@ void InferenceServer::shutdown() {
   // unsupervised) can never be served — fail those futures loudly.
   InferenceRequest leftover;
   while (queue_->pop_wait(&leftover) == PopStatus::kOk)
-    leftover.result.set_exception(std::make_exception_ptr(
+    leftover.fail(std::make_exception_ptr(
         std::runtime_error("server shut down with the request still "
                            "queued (crashed shards?); replay the journal "
                            "to recover")));

@@ -59,9 +59,32 @@ struct RecoveredState;
 
 /// What a future holds when a request is refused because the server is
 /// draining or shut down — a typed, immediate rejection, never a hang.
-class ShutdownError : public std::runtime_error {
+/// Now a RejectedError (reason() == kShutdown); kept as a distinct type
+/// so pre-admission catch sites keep compiling.
+class ShutdownError : public RejectedError {
  public:
-  using std::runtime_error::runtime_error;
+  explicit ShutdownError(const std::string& what)
+      : RejectedError(RejectReason::kShutdown, what) {}
+};
+
+/// Optional per-request admission context for submit(). The plain
+/// overloads are equivalent to passing a default-constructed one.
+struct SubmitExtras {
+  Priority priority = Priority::kNormal;
+  /// Absolute SLO deadline; max() = none. An already-expired deadline
+  /// is refused at submit (kDeadlineExpired) before it can be journaled.
+  Clock::time_point deadline = Clock::time_point::max();
+  /// Admission identity (metrics attribution; the admission controller
+  /// rate-limits by this upstream of submit()).
+  std::string tenant;
+  /// When true, a full queue is a typed kQueueFull rejection instead of
+  /// blocking the caller — the network event loop must never park in
+  /// submit().
+  bool nonblocking = false;
+  /// Completion hook copied onto the request; see
+  /// InferenceRequest::on_done. Fires for rejections too.
+  std::function<void(const InferenceResult*, const std::exception_ptr&)>
+      on_done;
 };
 
 /// Fault-tolerance wiring. All pointers are borrowed (not owned) and
@@ -170,6 +193,13 @@ class InferenceServer {
   std::future<InferenceResult> submit(engine::ModelRef model,
                                       std::vector<std::uint8_t> codes,
                                       std::size_t rows = 1);
+  /// Full-context form: priority class, SLO deadline, tenant identity,
+  /// non-blocking admission and a completion hook. The network front
+  /// end submits through here.
+  std::future<InferenceResult> submit(engine::ModelRef model,
+                                      std::vector<std::uint8_t> codes,
+                                      std::size_t rows,
+                                      SubmitExtras extras);
   /// v1 shim: submits against "default@latest".
   std::future<InferenceResult> submit(std::vector<std::uint8_t> codes,
                                       std::size_t rows = 1);
@@ -201,12 +231,19 @@ class InferenceServer {
   void shutdown();
 
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  /// Attribute a refusal decided upstream of submit() (e.g. the network
+  /// admission controller) to this server's reject counters, so one
+  /// exposition covers the whole front door.
+  void record_reject(RejectReason reason, std::size_t n = 1) {
+    metrics_.record_reject(reason, n);
+  }
   /// Prometheus text exposition: the metrics sink's counters and
   /// histograms plus live gauges (queue depth/capacity, workers,
   /// respawns, tracing state) sampled at call time. Serve this from a
   /// /metrics endpoint or dump it periodically.
   std::string render_prometheus() const;
   std::size_t queue_depth() const { return queue_->size(); }
+  std::size_t queue_capacity() const { return queue_->capacity(); }
   /// Shard respawns performed by the supervisor so far.
   int respawn_count() const { return pool_->respawn_count(); }
 
@@ -217,14 +254,12 @@ class InferenceServer {
   const std::vector<std::size_t>& shard_tokens() const;
 
  private:
-  std::future<InferenceResult> submit_with_id(std::uint64_t id,
-                                              engine::ModelRef model,
-                                              std::vector<std::uint8_t> codes,
-                                              std::size_t rows,
-                                              bool journal_accept);
+  std::future<InferenceResult> submit_with_id(
+      std::uint64_t id, engine::ModelRef model,
+      std::vector<std::uint8_t> codes, std::size_t rows,
+      bool journal_accept, SubmitExtras extras);
   /// Writes a checkpoint when `accepted` hits the cadence (or `force`).
   void maybe_checkpoint(std::uint64_t accepted, bool force);
-  static std::future<InferenceResult> rejected(const std::string& why);
 
   std::shared_ptr<engine::ModelRegistry> registry_;
   std::atomic<std::uint64_t> next_id_{0};

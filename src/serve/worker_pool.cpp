@@ -96,8 +96,7 @@ void WorkerPool::fail_requests(std::vector<InferenceRequest>& reqs,
   for (InferenceRequest& req : reqs) {
     std::ostringstream oss;
     oss << "request " << req.id << ": " << why;
-    req.result.set_exception(
-        std::make_exception_ptr(std::runtime_error(oss.str())));
+    req.fail(std::make_exception_ptr(std::runtime_error(oss.str())));
   }
   reqs.clear();
 }
@@ -205,6 +204,9 @@ void WorkerPool::worker_main(int worker_id) {
 
   for (;;) {
     Batch batch = batcher.next_batch(queue_);
+    if (batch.expired)
+      metrics_.record_reject(RejectReason::kDeadlineExpired,
+                             batch.expired);
     if (batch.empty()) break;  // queue closed and drained
     // Park the batch in the supervision slot before touching it: from
     // here until the ack completes, a crash leaves the requests
@@ -303,7 +305,7 @@ void WorkerPool::worker_main(int worker_id) {
       const std::uint32_t out_crc = maddness::crc32(
           res.outputs.data(), res.outputs.size() * sizeof(std::int16_t));
       const std::uint64_t req_id = req.id;
-      req.result.set_value(std::move(res));
+      req.fulfill(std::move(res));
       if (opts_.journal) {
         const Clock::time_point t_j = Clock::now();
         {

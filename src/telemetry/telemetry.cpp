@@ -64,6 +64,12 @@ const char* stage_name(Stage stage) {
       return "device_wait";
     case Stage::kReplay:
       return "replay";
+    case Stage::kNetRead:
+      return "net_read";
+    case Stage::kNetWrite:
+      return "net_write";
+    case Stage::kAdmitReject:
+      return "admit_reject";
   }
   return "unknown";
 }

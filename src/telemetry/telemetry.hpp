@@ -54,9 +54,12 @@ enum class Stage : std::uint8_t {
   kSwap,            ///< register_model version bump (hot-swap)
   kDeviceWait,      ///< paced backend: modeled device service time
   kReplay,          ///< journal replay re-admission
+  kNetRead,         ///< TCP front end: frame read + decode
+  kNetWrite,        ///< TCP front end: response serialize + write
+  kAdmitReject,     ///< admission controller shed a request
 };
 
-inline constexpr int kNumStages = 12;
+inline constexpr int kNumStages = 15;
 const char* stage_name(Stage stage);
 
 /// Sentinel for "no request id attached" (spans outside any request,

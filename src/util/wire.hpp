@@ -1,7 +1,11 @@
 // Little-endian wire helpers shared by every on-disk format in the
 // library (AMM operator blobs, serving checkpoints, the request
-// journal). Explicit byte order keeps the formats portable across
-// hosts; fixed-width reads fail loudly on truncated streams.
+// journal) and by the network RPC framing. Explicit byte order keeps
+// the formats portable across hosts; fixed-width reads fail loudly on
+// truncated streams, and fixed-width writes fail loudly when the sink
+// stream enters an error state (full disk, closed pipe) — a silent
+// short write would otherwise only surface as a CRC mismatch at read
+// time, far from the fault.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +19,9 @@ namespace ssma::wire {
 
 inline void put_u8(std::ostream& os, std::uint8_t v) {
   os.put(static_cast<char>(v));
+  SSMA_CHECK_MSG(os.good(),
+                 "wire write failed — sink stream entered an error "
+                 "state (full disk? closed socket?)");
 }
 
 inline void put_u32(std::ostream& os, std::uint32_t v) {

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <set>
+#include <sstream>
 
 #include "util/check.hpp"
 #include "util/fixed_point.hpp"
@@ -13,6 +14,7 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/wire.hpp"
 
 namespace ssma {
 namespace {
@@ -261,6 +263,58 @@ TEST(TextTable, RendersAlignedColumns) {
   EXPECT_NE(out.find("1.23"), std::string::npos);
   EXPECT_NE(out.find("50.0%"), std::string::npos);
   EXPECT_THROW(t.add_row({"only-one-cell"}), CheckError);
+}
+
+// Sink that accepts `budget` bytes, then reports failure — the
+// full-disk / closed-socket shape a wire writer must not paper over.
+class FailingStreambuf : public std::streambuf {
+ public:
+  explicit FailingStreambuf(std::size_t budget) : budget_(budget) {}
+  std::size_t written() const { return written_; }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (written_ >= budget_) return traits_type::eof();
+    ++written_;
+    return ch;
+  }
+
+ private:
+  std::size_t budget_;
+  std::size_t written_ = 0;
+};
+
+// Regression: wire::put_* used to swallow write failures — a full disk
+// or closed socket only surfaced as a CRC mismatch when the blob was
+// read back, far from the fault. The helpers must now throw at the
+// write site.
+TEST(Wire, PutFailsLoudlyWhenSinkRejectsBytes) {
+  FailingStreambuf sink(/*budget=*/2);  // dies mid-u32
+  std::ostream os(&sink);
+  EXPECT_THROW(wire::put_u32(os, 0xDEADBEEFu), CheckError);
+  EXPECT_EQ(sink.written(), 2u);  // failed at the third byte, loudly
+
+  FailingStreambuf sink64(/*budget=*/5);  // dies mid-u64
+  std::ostream os64(&sink64);
+  EXPECT_THROW(wire::put_u64(os64, 1), CheckError);
+
+  FailingStreambuf dead(/*budget=*/0);  // first byte already fails
+  std::ostream osd(&dead);
+  EXPECT_THROW(wire::put_u8(osd, 7), CheckError);
+}
+
+TEST(Wire, PutGetRoundTripStillWorks) {
+  std::stringstream ss;
+  wire::put_u8(ss, 0xAB);
+  wire::put_u32(ss, 0x01020304u);
+  wire::put_u64(ss, 0x0102030405060708ull);
+  wire::put_f32(ss, 1.5f);
+  wire::put_f64(ss, -2.25);
+  EXPECT_EQ(wire::get_u8(ss), 0xAB);
+  EXPECT_EQ(wire::get_u32(ss), 0x01020304u);
+  EXPECT_EQ(wire::get_u64(ss), 0x0102030405060708ull);
+  EXPECT_EQ(wire::get_f32(ss), 1.5f);
+  EXPECT_EQ(wire::get_f64(ss), -2.25);
 }
 
 }  // namespace
