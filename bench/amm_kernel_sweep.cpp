@@ -19,6 +19,12 @@
 // HashTree walk, packed kernel vs the reference accumulation) before
 // timing — a perf artifact from a wrong kernel is worse than none.
 //
+// A final fusion cell times a 3-stage chained pipeline through
+// engine::run_plan with the fused epilogue on and off (both checked
+// bit-exact vs pipeline_reference_apply on every tier first) and lands
+// in BENCH_roofline.json as the "fusion" object, including the
+// intermediate bytes per row the fused walk never writes.
+//
 //   build/bench/amm_kernel_sweep [--smoke] [--out=BENCH_amm_kernel.json]
 //                                [--min-ms=N]
 //
@@ -37,6 +43,9 @@
 #include <vector>
 
 #include "bench_env.hpp"
+#include "engine/execution_plan.hpp"
+#include "engine/model_registry.hpp"
+#include "engine/pipeline.hpp"
 #include "maddness/amm.hpp"
 #include "maddness/encoder_kernel.hpp"
 #include "maddness/lut_kernel.hpp"
@@ -97,6 +106,103 @@ Measure make_measure(std::size_t rows, int ncb, int nout, double sec) {
   m.rows_per_s = static_cast<double>(rows) / sec;
   m.lut_gbps = static_cast<double>(rows) * ncb * nout / sec / 1e9;
   return m;
+}
+
+/// Fused-vs-unfused pipeline cell: a 3-stage chained dense stack
+/// (d -> d -> d -> nout, widths chained so every interior boundary is
+/// ncb*9 wide) through engine::run_plan. Both walks are first checked
+/// bit-exact vs pipeline_reference_apply on every available LUT tier;
+/// the full run then times the runtime-selected tier and fills
+/// `fusion`. Returns false on a mismatch.
+bool run_fusion_cell(bool smoke, double min_ms,
+                     const std::vector<maddness::KernelTier>& tiers,
+                     telemetry::FusionRoofline& fusion) {
+  Rng rng(777);
+  const int ncb = smoke ? 4 : 32;
+  const std::size_t rows = smoke ? 48 : 512;
+  const std::size_t d = static_cast<std::size_t>(ncb) * 9;
+  const std::size_t last_nout = smoke ? 16 : 128;
+
+  Matrix calib(384, d);
+  for (std::size_t i = 0; i < calib.size(); ++i)
+    calib.data()[i] = static_cast<float>(rng.next_double(0, 200));
+  auto gauss = [&rng](std::size_t r, std::size_t c) {
+    Matrix m(r, c);
+    for (std::size_t i = 0; i < m.size(); ++i)
+      m.data()[i] = static_cast<float>(rng.next_gaussian(0, 0.08));
+    return m;
+  };
+  maddness::Config cfg;
+  cfg.ncodebooks = ncb;
+  std::vector<maddness::Amm> stages;
+  stages.reserve(3);  // the plan points into this vector: no realloc
+  Matrix mid0, mid1;
+  stages.push_back(
+      engine::train_chained_stage(cfg, calib, gauss(d, d), &mid0));
+  stages.push_back(
+      engine::train_chained_stage(cfg, mid0, gauss(d, d), &mid1));
+  stages.push_back(
+      engine::train_chained_stage(cfg, mid1, gauss(d, last_nout), nullptr));
+  const engine::ExecutionPlan plan = engine::ExecutionPlan::compile(stages);
+
+  Matrix fresh(rows, d);
+  for (std::size_t i = 0; i < fresh.size(); ++i)
+    fresh.data()[i] = static_cast<float>(rng.next_double(0, 200));
+  const maddness::QuantizedActivations q =
+      maddness::quantize_activations(fresh, stages[0].activation_scale());
+
+  const engine::ModelRef model = engine::ModelHandle::from_stages(
+      "fusion", 1, {&stages[0], &stages[1], &stages[2]});
+  const std::vector<std::int16_t> want =
+      engine::pipeline_reference_apply(*model, q);
+
+  engine::PlanScratch scratch;
+  std::vector<std::int16_t> out;
+  for (const maddness::KernelTier tier : tiers) {
+    for (const bool fused : {true, false}) {
+      engine::run_plan(plan, q, scratch, out, fused, tier);
+      if (out != want) {
+        std::fprintf(stderr,
+                     "FUSION MISMATCH: %s walk on tier %s differs from "
+                     "pipeline_reference_apply\n",
+                     fused ? "fused" : "unfused",
+                     maddness::kernel_tier_name(tier));
+        return false;
+      }
+    }
+  }
+  if (smoke) return true;
+
+  const maddness::KernelTier sel = maddness::select_kernel_tier();
+  const double fused_s = seconds_per_call(
+      [&] {
+        engine::run_plan(plan, q, scratch, out, /*fused=*/true, sel);
+        g_sink = static_cast<std::int16_t>(g_sink + out[0]);
+      },
+      min_ms);
+  const double unfused_s = seconds_per_call(
+      [&] {
+        engine::run_plan(plan, q, scratch, out, /*fused=*/false, sel);
+        g_sink = static_cast<std::int16_t>(g_sink + out[0]);
+      },
+      min_ms);
+  fusion.stages = 3;
+  fusion.tier = maddness::kernel_tier_name(sel);
+  fusion.rows = rows;
+  fusion.ncodebooks = static_cast<std::uint64_t>(ncb);
+  fusion.inter_cols = d;
+  fusion.bytes_avoided_per_row = plan.fused_bytes_avoided_per_row();
+  fusion.fused_rows_per_s = static_cast<double>(rows) / fused_s;
+  fusion.unfused_rows_per_s = static_cast<double>(rows) / unfused_s;
+  fusion.speedup = unfused_s / fused_s;
+  std::fprintf(stderr,
+               "fusion 3-stage ncb=%d inter=%zu rows=%zu  fused %.0f "
+               "rows/s  unfused %.0f rows/s  speedup %.2fx  "
+               "bytes-avoided/row %zu\n",
+               ncb, d, rows, fusion.fused_rows_per_s,
+               fusion.unfused_rows_per_s, fusion.speedup,
+               plan.fused_bytes_avoided_per_row());
+  return true;
 }
 
 }  // namespace
@@ -314,6 +420,9 @@ int main(int argc, char** argv) {
                  cell_e2e_speedup, encode_fraction);
   }
 
+  telemetry::FusionRoofline fusion;
+  if (!run_fusion_cell(smoke, min_ms, tiers, fusion)) return 2;
+
   if (smoke) {
     std::fprintf(stderr, "smoke ok (kernel tiers:");
     for (const maddness::KernelTier tier : tiers)
@@ -361,6 +470,7 @@ int main(int argc, char** argv) {
         /*d=*/0, static_cast<double>(kRoofRows * kRoofNcb * 4), sec,
         roof.cpu_ghz));
   }
+  roof.fusion = fusion;
   if (!benchenv::write_artifact(roofline_path, roof.json())) return 1;
 
   // Summary of the selected tiers' roofline position for the main

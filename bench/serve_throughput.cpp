@@ -45,12 +45,29 @@
 // kQueueFull rejections, and every request gets exactly one ack.
 // --overload-gate turns those properties into a hard exit code for CI.
 //
+// A fifth cell (kernel backend regardless of --mode) is the fused
+// execution plan cell: a 3-stage chained dense stack registered as one
+// pipeline model and served end-to-end, with the engine's fused
+// in-register stage handoff (EngineOptions::fused_pipeline) on vs off.
+// Alongside throughput it records the pipeline's accuracy — relative
+// Frobenius error of the served (dequantized) outputs against the exact
+// float chain relu(relu(x W0) W1) W2 — because a fusion that changed
+// numerics would be a bug: both walks are asserted bit-exact against
+// pipeline_reference_apply before timing. --fused-gate turns the
+// committed fused-vs-unfused speedup into a hard >= 1.3x exit code.
+//
+// A sixth cell serves a whole trained CNN end-to-end: a MaddnessNetwork
+// is registered via engine::register_network and every substituted
+// conv's patch matmul is routed through the server (forward_served),
+// reporting images/s next to the top-1 agreement with the exact float
+// network — accuracy next to latency for a real multi-layer workload.
+//
 //   build/bench/serve_throughput [--mode=paced|kernel|simulate]
 //                                [--device-ns=N]
 //                                [--requests=N] [--rows=N]
 //                                [--out=BENCH_serve.json]
 //                                [--trace-out=serve.trace.json]
-//                                [--overload-gate]
+//                                [--overload-gate] [--fused-gate]
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -67,6 +84,10 @@
 #include "engine/execution_engine.hpp"
 #include "engine/pipeline.hpp"
 #include "maddness/amm.hpp"
+#include "nn/dataset.hpp"
+#include "nn/maddness_network.hpp"
+#include "nn/network.hpp"
+#include "nn/trainer.hpp"
 #include "net/server.hpp"
 #include "net/wire_protocol.hpp"
 #include "serve/admission.hpp"
@@ -233,6 +254,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_serve.json";
   std::string trace_out;
   bool overload_gate = false;
+  bool fused_gate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mode=simulate") == 0)
       mode = engine::Backend::kSimulate;
@@ -254,6 +276,8 @@ int main(int argc, char** argv) {
       trace_out = argv[i] + 12;
     else if (std::strcmp(argv[i], "--overload-gate") == 0)
       overload_gate = true;
+    else if (std::strcmp(argv[i], "--fused-gate") == 0)
+      fused_gate = true;
     else {
       std::fprintf(stderr, "unknown arg: %s\n", argv[i]);
       return 1;
@@ -560,6 +584,229 @@ int main(int argc, char** argv) {
                      free_tier.total_rejects()));
   }
 
+  // ---- fused execution plan cell: a 3-stage chained stack (ncb=32,
+  // 288-wide interior boundaries, 128 final outputs) registered as one
+  // pipeline model and served through the kernel backend with
+  // EngineOptions::fused_pipeline on vs off. Best-of-3 alternating, like
+  // the dispatch sweep. Before timing, one request per variant is
+  // checked bit-exact against pipeline_reference_apply — the fusion
+  // claim is "same bits, fewer memory trips", so a numeric drift here
+  // must fail loudly, not show up as a benchmark delta.
+  double fused_speedup = 0.0;
+  double fused_rel_err = 0.0;
+  serve::LoadReport fused_rep, unfused_rep;
+  constexpr std::size_t kFusedRows = 64;
+  constexpr std::size_t kFusedRequests = 256;
+  {
+    Rng frng(777);
+    maddness::Config fcfg;
+    fcfg.ncodebooks = 32;
+    const std::size_t fd = static_cast<std::size_t>(fcfg.total_dims());
+    Matrix fcalib(384, fd);
+    for (std::size_t i = 0; i < fcalib.size(); ++i)
+      fcalib.data()[i] = static_cast<float>(frng.next_double(0, 200));
+    Matrix fw0(fd, fd), fw1(fd, fd), fw2(fd, 128);
+    for (Matrix* w : {&fw0, &fw1, &fw2})
+      for (std::size_t i = 0; i < w->size(); ++i)
+        w->data()[i] = static_cast<float>(frng.next_gaussian(0, 0.08));
+    Matrix mid0, mid1;
+    const maddness::Amm fs0 =
+        engine::train_chained_stage(fcfg, fcalib, fw0, &mid0);
+    const maddness::Amm fs1 =
+        engine::train_chained_stage(fcfg, mid0, fw1, &mid1);
+    const maddness::Amm fs2 =
+        engine::train_chained_stage(fcfg, mid1, fw2, nullptr);
+
+    Matrix ffresh(512, fd);
+    for (std::size_t i = 0; i < ffresh.size(); ++i)
+      ffresh.data()[i] = static_cast<float>(frng.next_double(0, 200));
+    const maddness::QuantizedActivations fpool =
+        maddness::quantize_activations(ffresh, fs0.activation_scale());
+
+    // Accuracy: served outputs (the final stage's dequantized
+    // accumulators) vs the exact float chain on the same inputs. The
+    // number includes the input-quantization step — the honest
+    // end-to-end approximation error a client of this model sees.
+    const engine::ModelRef fref =
+        engine::ModelHandle::from_stages("mlp", 1, {&fs0, &fs1, &fs2});
+    const std::vector<std::int16_t> facc =
+        engine::pipeline_reference_apply(*fref, fpool);
+    const Matrix fdeq = fs2.dequantize_result(facc, fpool.rows);
+    Matrix h0, h1, fexact;
+    gemm(ffresh, fw0, h0);
+    for (std::size_t i = 0; i < h0.size(); ++i)
+      h0.data()[i] = std::max(0.0f, h0.data()[i]);
+    gemm(h0, fw1, h1);
+    for (std::size_t i = 0; i < h1.size(); ++i)
+      h1.data()[i] = std::max(0.0f, h1.data()[i]);
+    gemm(h1, fw2, fexact);
+    fused_rel_err = frobenius_diff(fdeq, fexact) / frobenius(fexact);
+
+    serve::ServerOptions fopts;
+    fopts.num_workers = 2;
+    fopts.queue_capacity = 1024;
+    fopts.engine.backend = engine::Backend::kKernel;
+    fopts.batcher.max_batch_tokens = 256;
+    fopts.batcher.max_wait = std::chrono::microseconds(200);
+
+    // One-request bit-exactness probe per variant.
+    const std::size_t probe_rows = kFusedRows;
+    maddness::QuantizedActivations probe;
+    probe.rows = probe_rows;
+    probe.cols = fpool.cols;
+    probe.scale = fpool.scale;
+    probe.codes.assign(fpool.row(0), fpool.row(0) + probe_rows * fpool.cols);
+    const std::vector<std::int16_t> probe_want =
+        engine::pipeline_reference_apply(*fref, probe);
+    for (const bool fused_on : {true, false}) {
+      fopts.engine.fused_pipeline = fused_on;
+      serve::InferenceServer server(fopts);
+      server.register_pipeline("mlp", {&fs0, &fs1, &fs2});
+      auto fut = server.submit("mlp@latest", probe.codes, probe_rows);
+      const serve::InferenceResult got = fut.get();
+      server.shutdown();
+      if (got.outputs != probe_want) {
+        std::fprintf(stderr,
+                     "fused cell: %s walk diverged from "
+                     "pipeline_reference_apply\n",
+                     fused_on ? "fused" : "unfused");
+        return 1;
+      }
+    }
+
+    const auto fused_cell = [&](bool fused_on) {
+      fopts.engine.fused_pipeline = fused_on;
+      serve::InferenceServer server(fopts);
+      server.register_pipeline("mlp", {&fs0, &fs1, &fs2});
+      serve::LoadSpec fspec;
+      fspec.total_requests = kFusedRequests;
+      fspec.rows_per_request = kFusedRows;
+      fspec.model_refs = {"mlp@latest"};
+      serve::LoadGenerator gen(fpool, fspec);
+      const serve::LoadReport r = gen.run_closed_loop(server, kClients);
+      server.shutdown();
+      return r;
+    };
+    for (int rep = 0; rep < 3; ++rep) {
+      const serve::LoadReport f = fused_cell(true);
+      if (f.tokens_per_sec > fused_rep.tokens_per_sec) fused_rep = f;
+      const serve::LoadReport u = fused_cell(false);
+      if (u.tokens_per_sec > unfused_rep.tokens_per_sec) unfused_rep = u;
+    }
+    fused_speedup = unfused_rep.tokens_per_sec > 0.0
+                        ? fused_rep.tokens_per_sec /
+                              unfused_rep.tokens_per_sec
+                        : 0.0;
+    std::fprintf(stderr,
+                 "fused plan: 3-stage ncb=32  fused %.0f tok/s  unfused "
+                 "%.0f tok/s  speedup %.2fx  rel-err vs float %.4f\n",
+                 fused_rep.tokens_per_sec, unfused_rep.tokens_per_sec,
+                 fused_speedup, fused_rel_err);
+  }
+
+  // ---- CNN end-to-end cell: a trained MaddnessNetwork registered via
+  // engine::register_network, every substituted conv's patch matmul
+  // served (forward_served), images/s next to accuracy. The served path
+  // must be bit-exact vs the local LUT path; top-1 agreement vs the
+  // exact float network is the accuracy that sits beside the latency.
+  double cnn_images_per_s = 0.0;
+  double cnn_top1_agreement = 0.0;
+  std::size_t cnn_images = 0;
+  std::size_t cnn_segments = 0;
+  {
+    Rng crng(1);
+    nn::Dataset data = nn::make_synthetic_dataset(crng, 60, 8, 8);
+    nn::Network net;
+    net.emplace<nn::Conv2d>(3, 8, 3, 1, 1, crng);
+    net.emplace<nn::BatchNorm2d>(8);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::Conv2d>(8, 8, 3, 1, 1, crng);
+    net.emplace<nn::BatchNorm2d>(8);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::Flatten>();
+    net.emplace<nn::Linear>(8 * 8 * 8, 10, crng);
+    nn::TrainConfig tc;
+    tc.epochs = 4;
+    tc.batch_size = 20;
+    Rng trng(55);
+    nn::train(net, data, tc, trng);
+    std::vector<std::size_t> cidx(30);
+    for (std::size_t i = 0; i < cidx.size(); ++i) cidx[i] = i;
+    const nn::Tensor ccalib = nn::take_batch(data, cidx).first;
+    const nn::MaddnessNetwork mnet(net, ccalib);
+
+    auto registry = std::make_shared<engine::ModelRegistry>();
+    const std::vector<std::string> names =
+        engine::register_network(*registry, "cnn", mnet);
+    cnn_segments = names.size();
+    // Conv stacks don't shape-chain (the im2col hop is the client's),
+    // so segments map 1:1 onto substituted convs here.
+    if (names.size() != mnet.num_substituted_convs()) {
+      std::fprintf(stderr, "cnn cell: unexpected segment layout\n");
+      return 1;
+    }
+    serve::ServerOptions copts;
+    copts.num_workers = 2;
+    copts.queue_capacity = 1024;
+    copts.engine.backend = engine::Backend::kKernel;
+    copts.batcher.max_batch_tokens = 256;
+    copts.batcher.max_wait = std::chrono::microseconds(200);
+    serve::InferenceServer server(registry, copts);
+    const nn::MaddnessNetwork::ConvExecutor exec =
+        [&](std::size_t conv,
+            const maddness::QuantizedActivations& q) {
+          auto fut = server.submit(names[conv] + "@latest", q.codes,
+                                   q.rows);
+          return fut.get().outputs;
+        };
+
+    const std::size_t kImages = 20;
+    const auto argmax = [](const nn::Tensor& t) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < t.size(); ++i)
+        if (t[i] > t[best]) best = i;
+      return best;
+    };
+    std::size_t agree = 0;
+    bool bit_exact = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<nn::Tensor> served(kImages);
+    for (std::size_t i = 0; i < kImages; ++i) {
+      std::vector<std::size_t> one{i};
+      const nn::Tensor x = nn::take_batch(data, one).first;
+      served[i] = mnet.forward_served(x, exec);
+    }
+    const double serve_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    for (std::size_t i = 0; i < kImages; ++i) {
+      std::vector<std::size_t> one{i};
+      const nn::Tensor x = nn::take_batch(data, one).first;
+      const nn::Tensor local = mnet.forward(x, /*use_amm=*/true);
+      for (std::size_t k = 0; k < local.size(); ++k)
+        if (served[i][k] != local[k]) bit_exact = false;
+      const nn::Tensor exact = mnet.forward(x, /*use_amm=*/false);
+      if (argmax(served[i]) == argmax(exact)) ++agree;
+    }
+    server.shutdown();
+    if (!bit_exact) {
+      std::fprintf(stderr,
+                   "cnn cell: served network diverged from the local "
+                   "LUT forward pass\n");
+      return 1;
+    }
+    cnn_images = kImages;
+    cnn_images_per_s =
+        serve_s > 0.0 ? static_cast<double>(kImages) / serve_s : 0.0;
+    cnn_top1_agreement =
+        static_cast<double>(agree) / static_cast<double>(kImages);
+    std::fprintf(stderr,
+                 "cnn serve: %zu images via %zu served segments  %.1f "
+                 "images/s  top-1 agreement vs float %.2f\n",
+                 cnn_images, cnn_segments, cnn_images_per_s,
+                 cnn_top1_agreement);
+  }
+
   // Machine-readable result: one JSON object, written to the BENCH
   // artifact and echoed on stdout.
   std::string out = "{\"bench\":\"serve_throughput\",";
@@ -613,6 +860,27 @@ int main(int argc, char** argv) {
   } else {
     out += ",\"overload\":null";
   }
+  char fcell[160];
+  std::snprintf(fcell, sizeof(fcell),
+                ",\"fused_pipeline\":{\"stages\":3,\"ncodebooks\":32,"
+                "\"inter_cols\":288,\"nout\":128,\"workers\":2,"
+                "\"requests\":%zu,\"rows_per_request\":%zu",
+                kFusedRequests, kFusedRows);
+  out += fcell;
+  out += ",\"fused\":" + fused_rep.json();
+  out += ",\"unfused\":" + unfused_rep.json();
+  std::snprintf(fcell, sizeof(fcell),
+                ",\"speedup\":%.3f,\"relative_error_vs_float\":%.5f,"
+                "\"served_bit_exact_vs_reference\":true}",
+                fused_speedup, fused_rel_err);
+  out += fcell;
+  std::snprintf(fcell, sizeof(fcell),
+                ",\"cnn_serve\":{\"images\":%zu,\"segments\":%zu,"
+                "\"images_per_s\":%.2f,\"top1_agreement_vs_float\":%.3f,"
+                "\"served_bit_exact_vs_local_amm\":true}",
+                cnn_images, cnn_segments, cnn_images_per_s,
+                cnn_top1_agreement);
+  out += fcell;
   out += "}";
   if (!benchenv::write_artifact(out_path, out)) return 1;
 
@@ -647,6 +915,20 @@ int main(int argc, char** argv) {
       fail("free tier was never shed at the watermark");
     std::fprintf(stderr, "overload gate: %s\n", ok ? "PASS" : "FAIL");
     if (!ok) return 1;
+  }
+
+  // ---- fused gate: the fused execution plan must hold its committed
+  // advantage over the materializing walk on the served multi-stage
+  // cell (the bit-exactness probes above already hard-failed earlier).
+  if (fused_gate) {
+    if (fused_speedup < 1.3) {
+      std::fprintf(stderr,
+                   "fused gate: FAIL — served fused/unfused %.2fx, "
+                   "floor 1.3x\n",
+                   fused_speedup);
+      return 1;
+    }
+    std::fprintf(stderr, "fused gate: PASS (%.2fx)\n", fused_speedup);
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "engine/execution_plan.hpp"
 #include "engine/pipeline.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
@@ -26,47 +27,21 @@ namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
-/// Software-kernel backend: vectorized batch encode into reusable
-/// scratch, packed tier-dispatched LUT accumulate. Single-stage models
-/// pay zero steady-state allocations once capacities are established;
-/// pipeline stages additionally allocate per stage handoff (the
-/// dequantize/requantize matrices are built fresh each batch).
+/// Software-kernel backend: walks the model's compiled ExecutionPlan —
+/// vectorized batch encode into reusable scratch, packed
+/// tier-dispatched LUT accumulate, and (fused mode, the default)
+/// in-register stage handoffs for pipeline models. Zero steady-state
+/// allocations for single-stage AND fused pipeline batches once the
+/// PlanScratch capacities are established; the unfused walk keeps the
+/// legacy per-boundary materialization as a comparison baseline.
 class KernelEngine : public ExecutionEngine {
  public:
+  explicit KernelEngine(bool fused = true) : fused_(fused) {}
+
   void run_batch(const ModelHandle& model,
                  const maddness::QuantizedActivations& batch,
                  std::vector<std::int16_t>& out) override {
-    const maddness::Amm& first = model.stage(0);
-    {
-      SSMA_TRACE_SPAN(kEncode);
-      first.encode_batch(batch, scratch_, enc_);
-    }
-    if (!model.is_pipeline()) {
-      SSMA_TRACE_SPAN(kLutAccumulate);
-      first.apply_int16(enc_, out);
-      return;
-    }
-    {
-      SSMA_TRACE_SPAN(kLutAccumulate);
-      first.apply_int16(enc_, acc_);
-    }
-    for (std::size_t s = 1; s < model.num_stages(); ++s) {
-      const maddness::Amm& prev = model.stage(s - 1);
-      const maddness::Amm& cur = model.stage(s);
-      const maddness::QuantizedActivations qs = [&] {
-        SSMA_TRACE_SPAN(kEpilogue);
-        return stage_handoff(prev, cur, acc_, batch.rows);
-      }();
-      {
-        SSMA_TRACE_SPAN(kEncode);
-        cur.encode_batch(qs, scratch_, enc_);
-      }
-      SSMA_TRACE_SPAN(kLutAccumulate);
-      if (s + 1 == model.num_stages())
-        cur.apply_int16(enc_, out);
-      else
-        cur.apply_int16(enc_, acc_);
-    }
+    run_plan(model.plan(), batch, scratch_, out, fused_);
   }
 
   EngineInfo info() const override {
@@ -74,9 +49,8 @@ class KernelEngine : public ExecutionEngine {
   }
 
  private:
-  maddness::EncodeScratch scratch_;
-  maddness::EncodedBatch enc_;
-  std::vector<std::int16_t> acc_;
+  PlanScratch scratch_;
+  bool fused_;
 };
 
 /// Event-driven macro backend: same bits as the kernel, plus per-batch
@@ -94,12 +68,12 @@ class SimEngine : public ExecutionEngine {
       core::AcceleratorResult r = [&] {
         // The macro run folds encode + accumulate into one event-driven
         // pass; attribute it to the accumulate stage.
-        SSMA_TRACE_SPAN(kLutAccumulate);
+        SSMA_TRACE_SPAN_TAG(kLutAccumulate, s);
         return accel_.run(model.stage(s), *input);
       }();
       reports_.push_back(std::move(r.report));
       if (s + 1 < model.num_stages()) {
-        SSMA_TRACE_SPAN(kEpilogue);
+        SSMA_TRACE_SPAN_TAG(kEpilogue, s);
         staged = stage_handoff(model.stage(s), model.stage(s + 1),
                                r.outputs, input->rows);
         input = &staged;
@@ -143,7 +117,8 @@ class SimEngine : public ExecutionEngine {
 class PacedEngine : public ExecutionEngine {
  public:
   explicit PacedEngine(const EngineOptions& opts)
-      : pace_ns_(opts.device_ns_per_token > 0.0
+      : kernel_(opts.fused_pipeline),
+        pace_ns_(opts.device_ns_per_token > 0.0
                      ? opts.device_ns_per_token
                      : core::Accelerator(opts.accel)
                            .analytic_report(0)
@@ -184,7 +159,7 @@ class PacedEngine : public ExecutionEngine {
 std::unique_ptr<ExecutionEngine> make_engine(const EngineOptions& opts) {
   switch (opts.backend) {
     case Backend::kKernel:
-      return std::make_unique<KernelEngine>();
+      return std::make_unique<KernelEngine>(opts.fused_pipeline);
     case Backend::kSimulate:
       return std::make_unique<SimEngine>(opts);
     case Backend::kDevicePaced:

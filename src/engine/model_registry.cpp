@@ -81,6 +81,10 @@ ModelRef ModelHandle::from_blob(std::string name, std::uint64_t version,
     handle->stages_.push_back(maddness::Amm::load(is));
   }
   check_stage_chain(handle->stages_);
+  // Compile the execution descriptor once per handle: stages_ is
+  // immutable from here on, so the plan's stage pointers stay valid for
+  // the handle's lifetime.
+  handle->plan_ = ExecutionPlan::compile(handle->stages_);
   handle->blob_ = std::move(blob);
   return handle;
 }

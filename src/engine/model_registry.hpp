@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/execution_plan.hpp"
 #include "maddness/amm.hpp"
 
 namespace ssma::engine {
@@ -70,6 +71,11 @@ class ModelHandle {
   /// The single operator of a matmul-shaped model (stage 0 otherwise).
   const maddness::Amm& amm() const { return stages_.front(); }
 
+  /// The execution descriptor compiled at construction: stage chain +
+  /// fused-epilogue constants. Engines walk this instead of the raw
+  /// stage list (see engine/execution_plan.hpp).
+  const ExecutionPlan& plan() const { return plan_; }
+
   /// Request geometry: activation columns consumed per row (stage 0)
   /// and int16 outputs produced per row (final stage).
   std::size_t cols() const;
@@ -81,10 +87,15 @@ class ModelHandle {
 
  private:
   ModelHandle() = default;
+  // The plan points into stages_: handles must never be copied or
+  // moved out of their shared_ptr.
+  ModelHandle(const ModelHandle&) = delete;
+  ModelHandle& operator=(const ModelHandle&) = delete;
 
   std::string name_;
   std::uint64_t version_ = 0;
   std::vector<maddness::Amm> stages_;
+  ExecutionPlan plan_;
   std::string blob_;
 };
 

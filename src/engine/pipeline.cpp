@@ -62,4 +62,38 @@ std::vector<std::string> register_network_layers(
   return names;
 }
 
+std::vector<std::string> register_segments(
+    ModelRegistry& registry, const std::string& prefix,
+    const std::vector<const maddness::Amm*>& amms) {
+  std::vector<std::string> names;
+  std::size_t seg = 0;
+  std::size_t i = 0;
+  while (i < amms.size()) {
+    // Greedy maximal chaining run: extend while the next operator's
+    // input width equals this one's output width.
+    std::size_t j = i + 1;
+    while (j < amms.size() &&
+           static_cast<std::size_t>(amms[j]->cfg().total_dims()) ==
+               static_cast<std::size_t>(amms[j - 1]->lut().nout))
+      ++j;
+    std::string name = prefix + ".seg" + std::to_string(seg++);
+    if (j - i == 1) {
+      registry.register_model(name, *amms[i]);
+    } else {
+      registry.register_pipeline(
+          name, std::vector<const maddness::Amm*>(amms.begin() + i,
+                                                  amms.begin() + j));
+    }
+    names.push_back(std::move(name));
+    i = j;
+  }
+  return names;
+}
+
+std::vector<std::string> register_network(ModelRegistry& registry,
+                                          const std::string& prefix,
+                                          const nn::MaddnessNetwork& net) {
+  return register_segments(registry, prefix, net.substituted_amms());
+}
+
 }  // namespace ssma::engine

@@ -63,4 +63,26 @@ std::vector<std::string> register_network_layers(
     ModelRegistry& registry, const std::string& prefix,
     const nn::MaddnessNetwork& net);
 
+/// Registers a whole trained network for end-to-end serving through the
+/// fused ExecutionPlan: maximal runs of shape-chaining operators
+/// (stage[i+1].cfg().total_dims() == stage[i].lut().nout) become one
+/// pipeline model each — executed with fused in-register handoffs —
+/// and non-chaining operators become single-stage models. Models are
+/// named "<prefix>.segK" in network order; returns the names. Conv
+/// stacks generally don't shape-chain (a 3x3 layer consumes 9*C_in
+/// patch columns, not the C_out rows the previous layer produced — the
+/// im2col hop is the client's), so CNNs typically yield one segment per
+/// layer while dense train_chained_stage() stacks collapse into a
+/// single fused pipeline model.
+std::vector<std::string> register_network(ModelRegistry& registry,
+                                          const std::string& prefix,
+                                          const nn::MaddnessNetwork& net);
+
+/// The chaining core of register_network over an explicit operator
+/// list, for callers that assemble stage lists without a
+/// MaddnessNetwork (and for testing the segmentation directly).
+std::vector<std::string> register_segments(
+    ModelRegistry& registry, const std::string& prefix,
+    const std::vector<const maddness::Amm*>& amms);
+
 }  // namespace ssma::engine

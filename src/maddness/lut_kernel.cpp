@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #if defined(SSMA_TRACE_ENABLED)
 #include <chrono>
@@ -138,13 +139,19 @@ std::vector<std::int16_t> apply_lut_reference(
 
 namespace detail {
 
+namespace {
+
 // Blocked scalar kernel. Tile shape: kRowBlock rows x kOutBlock outputs.
 // Within a tile the working set is tiny — kRowBlock codes per codebook,
 // kOutBlock contiguous 16-byte tables, and a kRowBlock x kOutBlock int32
-// accumulator patch — so every LUT byte is read from L1.
-void apply_packed_scalar_rows(const LutBankPacked& lut,
-                              const EncodedBatch& enc, std::size_t row_lo,
-                              std::int16_t* out) {
+// accumulator patch — so every LUT byte is read from L1. The sink decides
+// what a finished accumulator row becomes: an int16 store (classic
+// accumulate) or the fused dequantize -> ReLU -> requantize handoff to
+// the next stage's uint8 activations — either way straight from the
+// L1-hot tile.
+template <class Sink>
+void scalar_rows_impl(const LutBankPacked& lut, const EncodedBatch& enc,
+                      std::size_t row_lo, Sink sink) {
   constexpr std::size_t kRowBlock = 32;
   constexpr int kOutBlock = 16;
   const int nout = lut.nout;
@@ -166,21 +173,61 @@ void apply_packed_scalar_rows(const LutBankPacked& lut,
             arow[j] += entry[static_cast<std::size_t>(j) * nk];
         }
       }
-      for (std::size_t i = 0; i < nb; ++i) {
-        std::int16_t* orow =
-            out + (n0 + i) * static_cast<std::size_t>(nout) + o0;
-        const std::int32_t* arow = acc + i * static_cast<std::size_t>(ob);
-        for (int j = 0; j < ob; ++j)
-          orow[j] = static_cast<std::int16_t>(
-              std::clamp<std::int32_t>(arow[j], -32768, 32767));
-      }
+      for (std::size_t i = 0; i < nb; ++i)
+        sink.row32(n0 + i, o0, ob,
+                   acc + i * static_cast<std::size_t>(ob));
     }
   }
+}
+
+struct StoreRowSink {
+  std::int16_t* out;
+  std::size_t nout;
+  void row32(std::size_t r, int o0, int ob, const std::int32_t* a) const {
+    std::int16_t* orow = out + r * nout + static_cast<std::size_t>(o0);
+    for (int j = 0; j < ob; ++j) orow[j] = saturate_acc16(a[j]);
+  }
+};
+
+struct FusedRowSink {
+  const LutBankPacked* lut;
+  std::uint8_t* dst;
+  float next_scale;
+  std::size_t nout;
+  void row32(std::size_t r, int o0, int ob, const std::int32_t* a) const {
+    std::uint8_t* drow = dst + r * nout + static_cast<std::size_t>(o0);
+    for (int j = 0; j < ob; ++j)
+      drow[j] = fused_requantize(saturate_acc16(a[j]),
+                                 packed_scale(*lut, o0 + j), next_scale);
+  }
+};
+
+}  // namespace
+
+void apply_packed_scalar_rows(const LutBankPacked& lut,
+                              const EncodedBatch& enc, std::size_t row_lo,
+                              std::int16_t* out) {
+  scalar_rows_impl(lut, enc, row_lo,
+                   StoreRowSink{out, static_cast<std::size_t>(lut.nout)});
 }
 
 void apply_packed_scalar(const LutBankPacked& lut, const EncodedBatch& enc,
                          std::int16_t* out) {
   apply_packed_scalar_rows(lut, enc, 0, out);
+}
+
+void apply_fused_scalar_rows(const LutBankPacked& lut,
+                             const EncodedBatch& enc,
+                             const FusedEpilogue& ep, std::size_t row_lo,
+                             std::uint8_t* dst) {
+  scalar_rows_impl(lut, enc, row_lo,
+                   FusedRowSink{&lut, dst, ep.next_scale,
+                                static_cast<std::size_t>(lut.nout)});
+}
+
+void apply_fused_scalar(const LutBankPacked& lut, const EncodedBatch& enc,
+                        const FusedEpilogue& ep, std::uint8_t* dst) {
+  apply_fused_scalar_rows(lut, enc, ep, 0, dst);
 }
 
 }  // namespace detail
@@ -217,6 +264,55 @@ void apply_lut_packed(const LutBankPacked& lut, const EncodedBatch& enc,
 #if defined(SSMA_TRACE_ENABLED)
   // One gathered table byte per row x codebook x output column,
   // attributed to the tier that actually ran (post clamp/fallback).
+  telemetry::record_lut_dispatch(
+      static_cast<int>(tier), enc.rows,
+      static_cast<std::uint64_t>(enc.rows) *
+          static_cast<std::uint64_t>(enc.ncodebooks) *
+          static_cast<std::uint64_t>(lut.nout),
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+#endif
+}
+
+void apply_lut_fused(const LutBankPacked& lut, const EncodedBatch& enc,
+                     const FusedEpilogue& ep, KernelTier tier,
+                     std::uint8_t* dst) {
+  SSMA_CHECK(enc.ncodebooks == lut.ncodebooks);
+  SSMA_CHECK(enc.codes.size() ==
+             enc.rows * static_cast<std::size_t>(enc.ncodebooks));
+  SSMA_CHECK(lut.q.size() == static_cast<std::size_t>(lut.ncodebooks) *
+                                 lut.nout * lut.nprotos);
+  SSMA_CHECK(lut.scales.size() >=
+             static_cast<std::size_t>(lut.per_column_scale ? lut.nout : 1));
+  SSMA_CHECK_MSG(ep.next_scale > 0.0f,
+                 "fused epilogue needs a positive activation scale");
+  if (enc.rows == 0 || lut.nout == 0) return;
+  while (!kernel_tier_available(tier))
+    tier = static_cast<KernelTier>(static_cast<int>(tier) - 1);
+  if (lut.nprotos != ppa::kProtosPerCodebook) tier = KernelTier::kScalar;
+  // The SIMD fused sinks bound their reciprocal-candidate error by one
+  // requantization step only when fl(1/next_scale) carries full float
+  // precision, i.e. next_scale is normal. Denormal scales (never produced
+  // by training on real data) take the divide-based reference path.
+  if (ep.next_scale < std::numeric_limits<float>::min())
+    tier = KernelTier::kScalar;
+#if defined(SSMA_TRACE_ENABLED)
+  const auto t0 = std::chrono::steady_clock::now();
+#endif
+  switch (tier) {
+    case KernelTier::kAvx2:
+      detail::apply_fused_avx2(lut, enc, ep, dst);
+      break;
+    case KernelTier::kSsse3:
+      detail::apply_fused_ssse3(lut, enc, ep, dst);
+      break;
+    case KernelTier::kScalar:
+      detail::apply_fused_scalar(lut, enc, ep, dst);
+      break;
+  }
+#if defined(SSMA_TRACE_ENABLED)
   telemetry::record_lut_dispatch(
       static_cast<int>(tier), enc.rows,
       static_cast<std::uint64_t>(enc.rows) *

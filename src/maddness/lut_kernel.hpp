@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "maddness/lut.hpp"
+#include "util/fixed_point.hpp"
 
 namespace ssma::maddness {
 
@@ -80,6 +81,28 @@ std::vector<std::int16_t> apply_lut_packed(const LutBankPacked& lut,
 void apply_lut_packed(const LutBankPacked& lut, const EncodedBatch& enc,
                       KernelTier tier, std::vector<std::int16_t>& out);
 
+/// Constants of the fused stage handoff: the saturated int16 accumulator
+/// dequantizes with the producing stage's LUT scales (carried by the
+/// packed bank itself), and requantizes with the consuming stage's
+/// calibrated activation scale. The [0, 255] saturation of the uint8
+/// requantization is the inter-layer ReLU + clip.
+struct FusedEpilogue {
+  float next_scale = 1.0f;
+};
+
+/// Fused kernel: identical int32-accumulate-then-saturate datapath, but
+/// instead of storing int16 accumulators each finished tile runs the
+/// stage handoff in-register — dequantize (this bank's scales), clamp at
+/// 0, requantize with `ep.next_scale` — and stores the next stage's
+/// uint8 activation rows to `dst` (rows x nout, row-major). Bit-exact vs
+/// apply_lut_packed + engine::stage_handoff: the per-element float math
+/// is the scalar reference sequence, applied while the tile is still hot
+/// (the int16 accumulators and the dequantized floats never touch
+/// memory).
+void apply_lut_fused(const LutBankPacked& lut, const EncodedBatch& enc,
+                     const FusedEpilogue& ep, KernelTier tier,
+                     std::uint8_t* dst);
+
 namespace detail {
 
 /// CPUID probe for `tier`, shared by the LUT and encoder dispatchers.
@@ -106,6 +129,47 @@ void apply_packed_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
 void apply_packed_scalar_rows(const LutBankPacked& lut,
                               const EncodedBatch& enc, std::size_t row_lo,
                               std::int16_t* out);
+
+/// The single saturation of the accumulate contract (int32 total ->
+/// int16), shared by every tier's store and fused paths.
+inline std::int16_t saturate_acc16(std::int32_t v) {
+  return static_cast<std::int16_t>(
+      v < -32768 ? -32768 : (v > 32767 ? 32767 : v));
+}
+
+/// Per-output dequantization scale of a packed bank (mirrors
+/// LutBank::scale for the accumulation layout).
+inline float packed_scale(const LutBankPacked& lut, int out) {
+  return lut.scales[lut.per_column_scale ? out : 0];
+}
+
+/// One element of the fused epilogue — EXACTLY the reference handoff:
+/// Amm::dequantize_result's float multiply, then quantize_activations'
+/// double divide + round-half-away + uint8 saturation. The math stays
+/// scalar on purpose: SIMD float rounding (round-to-even cvtps) would
+/// break the bit-exactness contract, and the fusion win is the removed
+/// memory traffic, not vectorized float arithmetic.
+inline std::uint8_t fused_requantize(std::int16_t acc, float lut_scale,
+                                     float next_scale) {
+  const float y = static_cast<float>(acc) * lut_scale;
+  const double v = static_cast<double>(y) / next_scale;
+  return saturate_uint8(round_half_away(v));
+}
+
+// Per-tier fused entry points, mirroring the packed ones: same tile
+// walk, the epilogue applied to each finished tile.
+void apply_fused_scalar(const LutBankPacked& lut, const EncodedBatch& enc,
+                        const FusedEpilogue& ep, std::uint8_t* dst);
+void apply_fused_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
+                       const FusedEpilogue& ep, std::uint8_t* dst);
+void apply_fused_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
+                      const FusedEpilogue& ep, std::uint8_t* dst);
+
+/// Scalar fused tail shared by the SIMD tiers: rows [row_lo, rows).
+void apply_fused_scalar_rows(const LutBankPacked& lut,
+                             const EncodedBatch& enc,
+                             const FusedEpilogue& ep, std::size_t row_lo,
+                             std::uint8_t* dst);
 
 }  // namespace detail
 

@@ -17,8 +17,15 @@
 //
 // unpack interleaves within each 128-bit lane, so accumulator lanes hold
 // rows permuted as {0..7,16..23} / {8..15,24..31}; the permutation is
-// undone for free inside the (already scalar) store loops.
+// undone for free inside the (already scalar) sink dispatch.
+//
+// The tile walk is templated over a sink: the store sink writes int16
+// accumulators (classic accumulate), the fused sink runs the stage
+// handoff (dequantize -> ReLU -> requantize) on each finished tile and
+// writes the next stage's uint8 activations — the accumulators never
+// reach memory.
 #include <algorithm>
+#include <cstring>
 
 #include "maddness/lut_kernel.hpp"
 
@@ -40,6 +47,114 @@ constexpr int kChunk = 256;
 inline int lane_row(int h, int i) {
   return (i & 7) + 8 * (2 * (i >> 3) + h);
 }
+
+/// Classic accumulate: int16 quads / elements land in the int16 output.
+struct StoreSink {
+  std::int16_t* out;
+  std::size_t nout;
+  /// `q` holds outputs o0..o0+3 of row `r` in its low 64 bits and of
+  /// row `r+1` in its high 64 bits.
+  void quad2(std::size_t r, int o0, __m128i q) const {
+    std::int16_t* d = out + r * nout + static_cast<std::size_t>(o0);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(d), q);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(d + nout),
+                     _mm_unpackhi_epi64(q, q));
+  }
+  void one16(std::size_t r, int o, std::int16_t v) const {
+    out[r * nout + static_cast<std::size_t>(o)] = v;
+  }
+  void one32(std::size_t r, int o, std::int32_t v) const {
+    one16(r, o, saturate_acc16(v));
+  }
+};
+
+/// Fused stage handoff: each finished int16 quad dequantizes, rectifies
+/// and requantizes in-register into the next stage's uint8 activation
+/// row — bit-identical to fused_requantize, without its double divide.
+///
+/// The reference computes r = clamp(round_half_away(fl64(y / s)), 0, 255)
+/// with y = float(acc) * col_scale (float) and s = next_scale (float).
+/// A gap lemma makes the divide avoidable: fl64(y/s) equals a half-
+/// integer m/2 (|m| <= 513, the only rounding boundaries the clamp can
+/// see) iff y/s equals it EXACTLY. Writing y = a*2^alpha, s = b*2^beta
+/// (a, b 24-bit significands), y/s - m/2 has a common denominator
+/// 2*b*2^beta and an integer numerator on the 2^min(alpha+1,beta) grid,
+/// so when nonzero |y/s - m/2| >= (m/2)*2^-49 — three orders beyond
+/// double's half-ulp (m/2)*2^-53. Hence rounding fl64(y/s) half-away
+/// is decided by EXACT real comparisons: r = k iff (k-0.5)*s <= y <
+/// (k+0.5)*s (for y >= 0; y < 0 clamps to 0 either way). Both bounds
+/// are exact doubles — (2k+-1)/2 needs 10 significand bits, s needs 24,
+/// their product 34 < 53.
+///
+/// So: one reciprocal multiply gives a candidate k within +-1 of the
+/// answer (|y*fl(1/s) - y/s| <= |y/s| * 2^-23 * 1.01 << 0.5 when 1/s is
+/// a normal float — the dispatcher downgrades denormal scales to the
+/// scalar tier), and one exact-boundary correction step lands it.
+struct FusedSink {
+  const LutBankPacked* lut;
+  std::uint8_t* dst;
+  float next_scale;
+  float inv_next;  ///< fl(1/next_scale); next_scale is a normal float
+  std::size_t nout;
+
+  /// Exact-boundary correction: c holds integral candidates in
+  /// [0, 255], y the dequantized values, sd double(next_scale). Moves
+  /// each candidate to the true rounding k (one step suffices), giving
+  /// values in [-1, 256] — integral, so cvttpd is exact.
+  static __m128i fixup(__m256d c, __m256d y, __m256d sd) {
+    const __m256d half = _mm256_set1_pd(0.5);
+    const __m256d one = _mm256_set1_pd(1.0);
+    const __m256d hi = _mm256_mul_pd(_mm256_add_pd(c, half), sd);
+    const __m256d lo = _mm256_mul_pd(_mm256_sub_pd(c, half), sd);
+    c = _mm256_add_pd(
+        c, _mm256_and_pd(_mm256_cmp_pd(y, hi, _CMP_GE_OQ), one));
+    c = _mm256_sub_pd(
+        c, _mm256_and_pd(_mm256_cmp_pd(y, lo, _CMP_LT_OQ), one));
+    return _mm256_cvttpd_epi32(c);
+  }
+
+  /// Requantizes rows r and r+1 (outputs o0..o0+3 each, packed in q's
+  /// two 64-bit halves) in one shot: the column scales, sign extension
+  /// and pack chain are shared across the row pair.
+  void quad2(std::size_t r, int o0, __m128i q) const {
+    const __m128 scales =
+        lut->per_column_scale
+            ? _mm_loadu_ps(lut->scales.data() + o0)
+            : _mm_set1_ps(lut->scales[0]);
+    const __m256 y = _mm256_mul_ps(
+        _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(q)),
+        _mm256_set_m128(scales, scales));
+    // Candidate quotients, clamped into [0, 255]. The clamp absorbs
+    // negatives and +-inf overflows (y finite, inv_next finite => no
+    // NaN); max-then-min also normalizes -0.0 to +0.0.
+    const __m256 qf = _mm256_min_ps(
+        _mm256_max_ps(_mm256_mul_ps(y, _mm256_set1_ps(inv_next)),
+                      _mm256_setzero_ps()),
+        _mm256_set1_ps(255.0f));
+    const __m256i c = _mm256_cvtps_epi32(qf);
+    const __m256d sd = _mm256_set1_pd(static_cast<double>(next_scale));
+    const __m128i r0 =
+        fixup(_mm256_cvtepi32_pd(_mm256_castsi256_si128(c)),
+              _mm256_cvtps_pd(_mm256_castps256_ps128(y)), sd);
+    const __m128i r1 =
+        fixup(_mm256_cvtepi32_pd(_mm256_extracti128_si256(c, 1)),
+              _mm256_cvtps_pd(_mm256_extractf128_ps(y, 1)), sd);
+    const __m128i p16 = _mm_packs_epi32(r0, r1);    // in [-1, 256]: exact
+    const __m128i p8 = _mm_packus_epi16(p16, p16);  // the [0, 255] clamp
+    std::uint8_t* d = dst + r * nout + static_cast<std::size_t>(o0);
+    const int b0 = _mm_cvtsi128_si32(p8);
+    const int b1 = _mm_extract_epi32(p8, 1);
+    std::memcpy(d, &b0, 4);
+    std::memcpy(d + nout, &b1, 4);
+  }
+  void one16(std::size_t r, int o, std::int16_t v) const {
+    dst[r * nout + static_cast<std::size_t>(o)] =
+        fused_requantize(v, packed_scale(*lut, o), next_scale);
+  }
+  void one32(std::size_t r, int o, std::int32_t v) const {
+    one16(r, o, saturate_acc16(v));
+  }
+};
 
 /// Accumulates codebooks [c0, c_end) of one (32-row, ob-output) tile
 /// into int16 accumulators. Codebooks are processed in pairs: the two
@@ -95,16 +210,11 @@ inline void accumulate_chunk(const LutBankPacked& lut,
   }
 }
 
-}  // namespace
-
-bool avx2_compiled_in() { return true; }
-
-void apply_packed_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
-                       std::int16_t* out) {
+template <class Sink>
+void avx2_impl(const LutBankPacked& lut, const EncodedBatch& enc,
+               std::size_t full, Sink sink) {
   const int nout = lut.nout;
   const int ncb = lut.ncodebooks;
-  const std::size_t rows = enc.rows;
-  const std::size_t full = rows - rows % kRowBlock;
   alignas(32) std::int16_t lanes[kRowBlock];
   for (std::size_t n0 = 0; n0 < full; n0 += kRowBlock) {
     for (int o0 = 0; o0 < nout; o0 += kOutBlock) {
@@ -117,8 +227,8 @@ void apply_packed_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
         accumulate_chunk(lut, enc, n0, o0, ob, 0, ncb, acc16);
         if (ob == kOutBlock) {
           // Full 4-output block: transpose the accumulators in-register
-          // to per-row (o0..o0+3) quads and store each as one 8-byte
-          // write — the scalar de-permute loop this replaces was a
+          // to per-row (o0..o0+3) quads and hand each to the sink as one
+          // 64-bit lane — the scalar de-permute loop this replaces was a
           // material fraction of the kernel at large nout.
           for (int h = 0; h < 2; ++h) {
             // acc16[j][h] int16 lanes hold rows 8h..8h+7 (lane 0) and
@@ -139,24 +249,9 @@ void apply_packed_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
                                       _mm256_unpackhi_epi32(t01h, t23h)};
             for (int g = 0; g < 4; ++g) {
               const std::size_t r = base + 2 * static_cast<std::size_t>(g);
-              const __m128i lo = _mm256_castsi256_si128(quads[g]);
-              const __m128i hi = _mm256_extracti128_si256(quads[g], 1);
-              _mm_storel_epi64(
-                  reinterpret_cast<__m128i*>(
-                      out + r * static_cast<std::size_t>(nout) + o0),
-                  lo);
-              _mm_storel_epi64(
-                  reinterpret_cast<__m128i*>(
-                      out + (r + 1) * static_cast<std::size_t>(nout) + o0),
-                  _mm_unpackhi_epi64(lo, lo));
-              _mm_storel_epi64(
-                  reinterpret_cast<__m128i*>(
-                      out + (r + 16) * static_cast<std::size_t>(nout) + o0),
-                  hi);
-              _mm_storel_epi64(
-                  reinterpret_cast<__m128i*>(
-                      out + (r + 17) * static_cast<std::size_t>(nout) + o0),
-                  _mm_unpackhi_epi64(hi, hi));
+              sink.quad2(r, o0, _mm256_castsi256_si128(quads[g]));
+              sink.quad2(r + 16, o0,
+                         _mm256_extracti128_si256(quads[g], 1));
             }
           }
         } else {
@@ -165,8 +260,8 @@ void apply_packed_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
               _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
                                  acc16[j][h]);
               for (int i = 0; i < 16; ++i)
-                out[(n0 + lane_row(h, i)) * static_cast<std::size_t>(nout) +
-                    o0 + j] = lanes[i];
+                sink.one16(n0 + static_cast<std::size_t>(lane_row(h, i)),
+                           o0 + j, lanes[i]);
             }
         }
       } else {
@@ -178,26 +273,44 @@ void apply_packed_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
           accumulate_chunk(lut, enc, n0, o0, ob, c0,
                            std::min(ncb, c0 + kChunk), acc16);
           // Widen lane-for-lane (vectorizable); the row permutation is
-          // resolved by the final store below.
+          // resolved by the final sink dispatch below.
           for (int j = 0; j < ob; ++j)
             for (int h = 0; h < 2; ++h) {
               _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
                                  acc16[j][h]);
-              std::int32_t* dst = acc32[j] + h * 16;
-              for (int i = 0; i < 16; ++i) dst[i] += lanes[i];
+              std::int32_t* dst32 = acc32[j] + h * 16;
+              for (int i = 0; i < 16; ++i) dst32[i] += lanes[i];
             }
         }
         for (int j = 0; j < ob; ++j)
           for (int h = 0; h < 2; ++h)
             for (int i = 0; i < 16; ++i)
-              out[(n0 + lane_row(h, i)) * static_cast<std::size_t>(nout) +
-                  o0 + j] =
-                  static_cast<std::int16_t>(std::clamp<std::int32_t>(
-                      acc32[j][h * 16 + i], -32768, 32767));
+              sink.one32(n0 + static_cast<std::size_t>(lane_row(h, i)),
+                         o0 + j, acc32[j][h * 16 + i]);
       }
     }
   }
+}
+
+}  // namespace
+
+bool avx2_compiled_in() { return true; }
+
+void apply_packed_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
+                       std::int16_t* out) {
+  const std::size_t full = enc.rows - enc.rows % kRowBlock;
+  avx2_impl(lut, enc, full,
+            StoreSink{out, static_cast<std::size_t>(lut.nout)});
   apply_packed_scalar_rows(lut, enc, full, out);
+}
+
+void apply_fused_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
+                      const FusedEpilogue& ep, std::uint8_t* dst) {
+  const std::size_t full = enc.rows - enc.rows % kRowBlock;
+  avx2_impl(lut, enc, full,
+            FusedSink{&lut, dst, ep.next_scale, 1.0f / ep.next_scale,
+                      static_cast<std::size_t>(lut.nout)});
+  apply_fused_scalar_rows(lut, enc, ep, full, dst);
 }
 
 #else  // !defined(__AVX2__)
@@ -209,6 +322,11 @@ void apply_packed_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
   // Unreachable: the dispatcher never selects a tier whose
   // *_compiled_in() probe is false. Fall back defensively anyway.
   apply_packed_scalar(lut, enc, out);
+}
+
+void apply_fused_avx2(const LutBankPacked& lut, const EncodedBatch& enc,
+                      const FusedEpilogue& ep, std::uint8_t* dst) {
+  apply_fused_scalar(lut, enc, ep, dst);
 }
 
 #endif

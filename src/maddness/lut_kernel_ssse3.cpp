@@ -3,7 +3,14 @@
 // rows; sign extension uses the SSE2 unpack+arithmetic-shift idiom since
 // pmovsxbw is SSE4.1. Same chunked int16 -> int32 -> saturate-once
 // contract, bit-identical to the reference kernel.
+//
+// The tile walk is templated over a sink: the store sink writes int16
+// accumulators (classic accumulate), the fused sink runs the stage
+// handoff (dequantize -> ReLU -> requantize) on each finished tile and
+// writes the next stage's uint8 activations — the accumulators never
+// reach memory.
 #include <algorithm>
+#include <cstring>
 
 #include "maddness/lut_kernel.hpp"
 
@@ -15,17 +22,111 @@ namespace ssma::maddness::detail {
 
 #if defined(__SSSE3__)
 
-bool ssse3_compiled_in() { return true; }
+namespace {
 
-void apply_packed_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
-                        std::int16_t* out) {
-  constexpr std::size_t kRowBlock = 16;
-  constexpr int kOutBlock = 4;
-  constexpr int kChunk = 256;
+constexpr std::size_t kRowBlock = 16;
+constexpr int kOutBlock = 4;
+constexpr int kChunk = 256;
+
+/// Classic accumulate: int16 quads / elements land in the int16 output.
+struct StoreSink {
+  std::int16_t* out;
+  std::size_t nout;
+  /// `q` holds outputs o0..o0+3 of row `r` in its low 64 bits and of
+  /// row `r+1` in its high 64 bits.
+  void quad2(std::size_t r, int o0, __m128i q) const {
+    std::int16_t* d = out + r * nout + static_cast<std::size_t>(o0);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(d), q);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(d + nout),
+                     _mm_unpackhi_epi64(q, q));
+  }
+  void one16(std::size_t r, int o, std::int16_t v) const {
+    out[r * nout + static_cast<std::size_t>(o)] = v;
+  }
+  void one32(std::size_t r, int o, std::int32_t v) const {
+    one16(r, o, saturate_acc16(v));
+  }
+};
+
+/// Fused stage handoff: each finished int16 quad dequantizes, rectifies
+/// and requantizes in-register into the next stage's uint8 activation
+/// row, bit-identical to fused_requantize without its double divide:
+/// a reciprocal multiply proposes a candidate within +-1 and one
+/// exact-boundary comparison step corrects it. See the AVX2 tier's
+/// FusedSink for the gap-lemma argument that makes the boundary
+/// comparisons ((k +- 0.5) * next_scale, exact in double) decide the
+/// reference's round-half-away of fl64(y / next_scale) exactly. All
+/// vector ops used here are SSE2-level, so the SSSE3 tier qualifies.
+struct FusedSink {
+  const LutBankPacked* lut;
+  std::uint8_t* dst;
+  float next_scale;
+  float inv_next;  ///< fl(1/next_scale); next_scale is a normal float
+  std::size_t nout;
+
+  /// Exact-boundary correction for one pair of lanes: c integral in
+  /// [0, 255], y the dequantized pair, sd double(next_scale). Result is
+  /// integral in [-1, 256], so cvttpd is exact.
+  static __m128i fixup(__m128d c, __m128d y, __m128d sd) {
+    const __m128d half = _mm_set1_pd(0.5);
+    const __m128d one = _mm_set1_pd(1.0);
+    const __m128d hi = _mm_mul_pd(_mm_add_pd(c, half), sd);
+    const __m128d lo = _mm_mul_pd(_mm_sub_pd(c, half), sd);
+    c = _mm_add_pd(c, _mm_and_pd(_mm_cmpge_pd(y, hi), one));
+    c = _mm_sub_pd(c, _mm_and_pd(_mm_cmplt_pd(y, lo), one));
+    return _mm_cvttpd_epi32(c);
+  }
+
+  /// Four lanes: candidates from one reciprocal multiply (clamped to
+  /// [0, 255]; the clamp absorbs negatives and +-inf overflows, and no
+  /// lane can be NaN since inv_next is finite), then per-pair fixup.
+  __m128i quad(__m128 y) const {
+    const __m128 qf = _mm_min_ps(
+        _mm_max_ps(_mm_mul_ps(y, _mm_set1_ps(inv_next)),
+                   _mm_setzero_ps()),
+        _mm_set1_ps(255.0f));
+    const __m128i c = _mm_cvtps_epi32(qf);
+    const __m128d sd = _mm_set1_pd(static_cast<double>(next_scale));
+    return _mm_unpacklo_epi64(
+        fixup(_mm_cvtepi32_pd(c), _mm_cvtps_pd(y), sd),
+        fixup(_mm_cvtepi32_pd(_mm_srli_si128(c, 8)),
+              _mm_cvtps_pd(_mm_movehl_ps(y, y)), sd));
+  }
+
+  /// Requantizes rows r and r+1 (outputs o0..o0+3 each, packed in q's
+  /// two 64-bit halves) in one shot: the column scales, sign extension
+  /// and pack chain are shared across the row pair.
+  void quad2(std::size_t r, int o0, __m128i q) const {
+    const __m128 scales =
+        lut->per_column_scale
+            ? _mm_loadu_ps(lut->scales.data() + o0)
+            : _mm_set1_ps(lut->scales[0]);
+    const __m128i w_lo = _mm_srai_epi32(_mm_unpacklo_epi16(q, q), 16);
+    const __m128i w_hi = _mm_srai_epi32(_mm_unpackhi_epi16(q, q), 16);
+    const __m128i r0 = quad(_mm_mul_ps(_mm_cvtepi32_ps(w_lo), scales));
+    const __m128i r1 = quad(_mm_mul_ps(_mm_cvtepi32_ps(w_hi), scales));
+    const __m128i p16 = _mm_packs_epi32(r0, r1);     // in [-1, 256]: exact
+    const __m128i p8 = _mm_packus_epi16(p16, p16);   // the [0, 255] clamp
+    std::uint8_t* d = dst + r * nout + static_cast<std::size_t>(o0);
+    const int b0 = _mm_cvtsi128_si32(p8);
+    const int b1 = _mm_cvtsi128_si32(_mm_srli_si128(p8, 4));
+    std::memcpy(d, &b0, 4);
+    std::memcpy(d + nout, &b1, 4);
+  }
+  void one16(std::size_t r, int o, std::int16_t v) const {
+    dst[r * nout + static_cast<std::size_t>(o)] =
+        fused_requantize(v, packed_scale(*lut, o), next_scale);
+  }
+  void one32(std::size_t r, int o, std::int32_t v) const {
+    one16(r, o, saturate_acc16(v));
+  }
+};
+
+template <class Sink>
+void ssse3_impl(const LutBankPacked& lut, const EncodedBatch& enc,
+                std::size_t full, Sink sink) {
   const int nout = lut.nout;
   const int ncb = lut.ncodebooks;
-  const std::size_t rows = enc.rows;
-  const std::size_t full = rows - rows % kRowBlock;
   alignas(16) std::int16_t lanes[kRowBlock];
   const __m128i zero = _mm_setzero_si128();
   for (std::size_t n0 = 0; n0 < full; n0 += kRowBlock) {
@@ -85,9 +186,10 @@ void apply_packed_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
         for (int j = 0; j < ob; ++j) acc16[j][0] = acc16[j][1] = zero;
         accumulate_chunk(0, ncb, acc16);
         if (ob == kOutBlock) {
-          // Transpose to per-row output quads and store 8 bytes per row
-          // (see the AVX2 tier) — acc16[j][h] holds rows 8h..8h+7 in
-          // order, so the unpacked quads come out row-sequential.
+          // Transpose to per-row output quads and hand each to the sink
+          // as one 64-bit lane (see the AVX2 tier) — acc16[j][h] holds
+          // rows 8h..8h+7 in order, so the unpacked quads come out
+          // row-sequential.
           for (int h = 0; h < 2; ++h) {
             const std::size_t base = n0 + 8 * static_cast<std::size_t>(h);
             const __m128i t01l =
@@ -102,17 +204,9 @@ void apply_packed_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
                                       _mm_unpackhi_epi32(t01l, t23l),
                                       _mm_unpacklo_epi32(t01h, t23h),
                                       _mm_unpackhi_epi32(t01h, t23h)};
-            for (int g = 0; g < 4; ++g) {
-              const std::size_t r = base + 2 * static_cast<std::size_t>(g);
-              _mm_storel_epi64(
-                  reinterpret_cast<__m128i*>(
-                      out + r * static_cast<std::size_t>(nout) + o0),
-                  quads[g]);
-              _mm_storel_epi64(
-                  reinterpret_cast<__m128i*>(
-                      out + (r + 1) * static_cast<std::size_t>(nout) + o0),
-                  _mm_unpackhi_epi64(quads[g], quads[g]));
-            }
+            for (int g = 0; g < 4; ++g)
+              sink.quad2(base + 2 * static_cast<std::size_t>(g), o0,
+                         quads[g]);
           }
         } else {
           for (int j = 0; j < ob; ++j)
@@ -120,8 +214,9 @@ void apply_packed_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
               _mm_store_si128(reinterpret_cast<__m128i*>(lanes),
                               acc16[j][h]);
               for (int i = 0; i < 8; ++i)
-                out[(n0 + h * 8 + i) * static_cast<std::size_t>(nout) +
-                    o0 + j] = lanes[i];
+                sink.one16(n0 + static_cast<std::size_t>(h) * 8 +
+                               static_cast<std::size_t>(i),
+                           o0 + j, lanes[i]);
             }
         }
       } else {
@@ -134,19 +229,37 @@ void apply_packed_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
             for (int h = 0; h < 2; ++h) {
               _mm_store_si128(reinterpret_cast<__m128i*>(lanes),
                               acc16[j][h]);
-              std::int32_t* dst = acc32[j] + h * 8;
-              for (int i = 0; i < 8; ++i) dst[i] += lanes[i];
+              std::int32_t* dst32 = acc32[j] + h * 8;
+              for (int i = 0; i < 8; ++i) dst32[i] += lanes[i];
             }
         }
         for (int j = 0; j < ob; ++j)
           for (std::size_t i = 0; i < kRowBlock; ++i)
-            out[(n0 + i) * static_cast<std::size_t>(nout) + o0 + j] =
-                static_cast<std::int16_t>(
-                    std::clamp<std::int32_t>(acc32[j][i], -32768, 32767));
+            sink.one32(n0 + i, o0 + j, acc32[j][i]);
       }
     }
   }
+}
+
+}  // namespace
+
+bool ssse3_compiled_in() { return true; }
+
+void apply_packed_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
+                        std::int16_t* out) {
+  const std::size_t full = enc.rows - enc.rows % kRowBlock;
+  ssse3_impl(lut, enc, full,
+             StoreSink{out, static_cast<std::size_t>(lut.nout)});
   apply_packed_scalar_rows(lut, enc, full, out);
+}
+
+void apply_fused_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
+                       const FusedEpilogue& ep, std::uint8_t* dst) {
+  const std::size_t full = enc.rows - enc.rows % kRowBlock;
+  ssse3_impl(lut, enc, full,
+             FusedSink{&lut, dst, ep.next_scale, 1.0f / ep.next_scale,
+                       static_cast<std::size_t>(lut.nout)});
+  apply_fused_scalar_rows(lut, enc, ep, full, dst);
 }
 
 #else  // !defined(__SSSE3__)
@@ -156,6 +269,11 @@ bool ssse3_compiled_in() { return false; }
 void apply_packed_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
                         std::int16_t* out) {
   apply_packed_scalar(lut, enc, out);
+}
+
+void apply_fused_ssse3(const LutBankPacked& lut, const EncodedBatch& enc,
+                       const FusedEpilogue& ep, std::uint8_t* dst) {
+  apply_fused_scalar(lut, enc, ep, dst);
 }
 
 #endif

@@ -60,6 +60,32 @@ Tensor MaddnessConv2d::forward(const Tensor& x) const {
   return out;
 }
 
+Tensor MaddnessConv2d::forward_with(const Tensor& x,
+                                    const ApplyFn& apply) const {
+  SSMA_CHECK(x.c() == in_ch_);
+  const std::size_t oh = conv_out_dim(x.h(), 3, stride_, pad_);
+  const std::size_t ow = conv_out_dim(x.w(), 3, stride_, pad_);
+  const Matrix cols = im2col(x, 3, stride_, pad_);
+  // Quantize with the operator's calibrated activation scale — the
+  // executor sees exactly the rows Amm::apply would encode, so a remote
+  // apply_int16 on the same operator reproduces forward() bit-for-bit.
+  const maddness::QuantizedActivations q =
+      maddness::quantize_activations(cols, amm_->activation_scale());
+  const std::vector<std::int16_t> acc = apply(q);
+  SSMA_CHECK_MSG(acc.size() == cols.rows() * out_ch_,
+                 "conv executor returned wrong accumulator shape");
+  const Matrix y = amm_->dequantize_result(acc, cols.rows());
+
+  Tensor out(x.n(), out_ch_, oh, ow);
+  std::size_t row = 0;
+  for (std::size_t n = 0; n < x.n(); ++n)
+    for (std::size_t oy = 0; oy < oh; ++oy)
+      for (std::size_t ox = 0; ox < ow; ++ox, ++row)
+        for (std::size_t o = 0; o < out_ch_; ++o)
+          out.at(n, o, oy, ox) = y(row, o) + bias_[o];
+  return out;
+}
+
 Tensor MaddnessConv2d::forward_exact(const Tensor& x) const {
   SSMA_CHECK(x.c() == in_ch_);
   const std::size_t oh = conv_out_dim(x.h(), 3, stride_, pad_);

@@ -5,7 +5,9 @@
 // through exactly the INT8/int16 arithmetic the macro implements.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "maddness/amm.hpp"
 #include "nn/layers.hpp"
@@ -36,6 +38,14 @@ class MaddnessConv2d {
   /// Exact float forward with the same (folded) weights, for accuracy
   /// comparisons.
   Tensor forward_exact(const Tensor& x) const;
+
+  /// Forward pass with the patch matmul delegated: `apply` maps the
+  /// quantized im2col patch rows to int16 accumulators (rows x out_ch)
+  /// — e.g. a serving round-trip to this layer's registered model.
+  /// Bit-exact vs forward() when the executor runs the same operator.
+  using ApplyFn = std::function<std::vector<std::int16_t>(
+      const maddness::QuantizedActivations&)>;
+  Tensor forward_with(const Tensor& x, const ApplyFn& apply) const;
 
  private:
   std::size_t in_ch_, out_ch_;

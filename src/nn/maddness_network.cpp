@@ -111,6 +111,39 @@ Tensor MaddnessNetwork::forward(const Tensor& x, bool use_amm) const {
   return run_stages(stages_, x, use_amm);
 }
 
+Tensor MaddnessNetwork::run_stages_served(const std::vector<Stage>& stages,
+                                          const Tensor& x,
+                                          const ConvExecutor& exec) const {
+  Tensor y = x;
+  for (const auto& s : stages) {
+    if (s.mconv) {
+      // registry_ holds the substituted convs in training order (the
+      // same order substituted_amms() exports); recover this stage's
+      // executor index from it.
+      std::size_t idx = 0;
+      while (idx < registry_.size() && registry_[idx] != s.mconv.get())
+        ++idx;
+      SSMA_CHECK(idx < registry_.size());
+      y = s.mconv->forward_with(
+          y, [&](const maddness::QuantizedActivations& q) {
+            return exec(idx, q);
+          });
+    } else if (s.is_residual) {
+      Tensor body = run_stages_served(s.residual_body, y, exec);
+      SSMA_CHECK(body.same_shape(y));
+      for (std::size_t i = 0; i < y.size(); ++i) y[i] += body[i];
+    } else {
+      y = s.borrowed->forward(y, /*train=*/false);
+    }
+  }
+  return y;
+}
+
+Tensor MaddnessNetwork::forward_served(const Tensor& x,
+                                       const ConvExecutor& exec) const {
+  return run_stages_served(stages_, x, exec);
+}
+
 const MaddnessConv2d& MaddnessNetwork::substituted_conv(
     std::size_t i) const {
   SSMA_CHECK(i < registry_.size());

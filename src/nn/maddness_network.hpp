@@ -9,6 +9,7 @@
 // source network, which must outlive this object.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -42,6 +43,17 @@ class MaddnessNetwork {
   /// Forward pass; `use_amm` selects the LUT path vs the exact float
   /// path (identical layer structure, BN already folded in both).
   Tensor forward(const Tensor& x, bool use_amm) const;
+
+  /// Forward pass with every substituted conv's patch matmul delegated
+  /// to `exec(conv_idx, q)` — conv_idx matches substituted_amms() /
+  /// register_network_layers order, q is the layer's quantized im2col
+  /// batch, and the return is the int16 accumulators. Serving each
+  /// layer through a model registry this way reproduces
+  /// forward(x, /*use_amm=*/true) bit-for-bit: the network runs
+  /// end-to-end with all LUT compute behind the executor.
+  using ConvExecutor = std::function<std::vector<std::int16_t>(
+      std::size_t, const maddness::QuantizedActivations&)>;
+  Tensor forward_served(const Tensor& x, const ConvExecutor& exec) const;
 
   std::size_t num_substituted_convs() const { return nconvs_; }
 
@@ -78,6 +90,8 @@ class MaddnessNetwork {
       std::size_t& nconvs, std::vector<const MaddnessConv2d*>& registry);
   static Tensor run_stages(const std::vector<Stage>& stages, const Tensor& x,
                            bool use_amm);
+  Tensor run_stages_served(const std::vector<Stage>& stages,
+                           const Tensor& x, const ConvExecutor& exec) const;
 
   std::vector<Stage> stages_;
   std::size_t nconvs_ = 0;

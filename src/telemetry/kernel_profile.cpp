@@ -166,6 +166,18 @@ std::string RooflineEntry::json() const {
   return oss.str();
 }
 
+std::string FusionRoofline::json() const {
+  std::ostringstream oss;
+  oss << "{\"stages\": " << stages << ", \"tier\": \"" << tier
+      << "\", \"rows\": " << rows << ", \"ncodebooks\": " << ncodebooks
+      << ", \"inter_cols\": " << inter_cols
+      << ", \"bytes_avoided_per_row\": " << bytes_avoided_per_row
+      << ", \"fused_rows_per_s\": " << format_double(fused_rows_per_s)
+      << ", \"unfused_rows_per_s\": " << format_double(unfused_rows_per_s)
+      << ", \"speedup\": " << format_double(speedup) << "}";
+  return oss.str();
+}
+
 std::string RooflineReport::json() const {
   std::ostringstream oss;
   oss << "{\n  \"cpu_ghz\": " << format_double(cpu_ghz)
@@ -176,7 +188,9 @@ std::string RooflineReport::json() const {
     if (i + 1 < entries.size()) oss << ",";
     oss << "\n";
   }
-  oss << "  ]\n}\n";
+  oss << "  ]";
+  if (fusion.stages >= 2) oss << ",\n  \"fusion\": " << fusion.json();
+  oss << "\n}\n";
   return oss.str();
 }
 

@@ -81,10 +81,31 @@ struct RooflineEntry {
   std::string json() const;
 };
 
+/// Measured effect of the fused pipeline epilogue (engine/execution_plan):
+/// one chained-stage shape run with in-register handoffs vs the
+/// materializing walk, plus the intermediate traffic the fusion removes
+/// (ExecutionPlan::fused_bytes_avoided_per_row — int16 accumulator +
+/// dequantized float write/read per interior boundary).
+struct FusionRoofline {
+  std::uint64_t stages = 0;  ///< 0 = not measured
+  std::string tier;
+  std::uint64_t rows = 0;
+  std::uint64_t ncodebooks = 0;
+  std::uint64_t inter_cols = 0;  ///< width of each interior boundary
+  std::uint64_t bytes_avoided_per_row = 0;
+  double fused_rows_per_s = 0.0;
+  double unfused_rows_per_s = 0.0;
+  double speedup = 0.0;
+
+  std::string json() const;
+};
+
 struct RooflineReport {
   double cpu_ghz = 0.0;
   std::string headline_cell;  ///< e.g. "rows=256 ncb=32 nout=128"
   std::vector<RooflineEntry> entries;
+  /// Included in json() when fusion.stages >= 2.
+  FusionRoofline fusion;
 
   std::string json() const;
 };

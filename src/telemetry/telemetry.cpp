@@ -139,7 +139,10 @@ void SpanRecorder::push(const SpanEvent& ev) {
   s.w[1].store(ev.t_end_ns, std::memory_order_relaxed);
   s.w[2].store(ev.id_lo, std::memory_order_relaxed);
   s.w[3].store(ev.id_hi, std::memory_order_relaxed);
-  s.w[4].store(static_cast<std::uint64_t>(ev.stage),
+  // Stage enum in the low byte, 24-bit tag above it — one payload word
+  // keeps the slot layout (and the seqlock protocol) unchanged.
+  s.w[4].store(static_cast<std::uint64_t>(ev.stage) |
+                   (static_cast<std::uint64_t>(ev.tag & kNoSpanTag) << 8),
                std::memory_order_relaxed);
   s.seq.store(q + 2, std::memory_order_release);
   head_.store(h + 1, std::memory_order_release);
@@ -161,7 +164,8 @@ bool read_slot(const std::atomic<std::uint64_t>& seq,
     ev->t_end_ns = v[1];
     ev->id_lo = v[2];
     ev->id_hi = v[3];
-    ev->stage = static_cast<Stage>(v[4]);
+    ev->stage = static_cast<Stage>(v[4] & 0xFF);
+    ev->tag = static_cast<std::uint32_t>((v[4] >> 8) & kNoSpanTag);
     return true;
   }
   return false;
@@ -246,7 +250,8 @@ std::shared_ptr<SpanRecorder> TraceSession::thread_recorder() {
 
 void TraceSession::record_span(Stage stage, std::uint64_t t_begin_ns,
                                std::uint64_t t_end_ns,
-                               std::uint64_t id_lo, std::uint64_t id_hi) {
+                               std::uint64_t id_lo, std::uint64_t id_hi,
+                               std::uint32_t tag) {
   if (!enabled()) return;
   SpanRecorder* rec = nullptr;
   if (t_slot.recorder &&
@@ -262,14 +267,16 @@ void TraceSession::record_span(Stage stage, std::uint64_t t_begin_ns,
   ev.id_lo = id_lo;
   ev.id_hi = id_hi;
   ev.stage = stage;
+  ev.tag = tag;
   rec->push(ev);
 }
 
 void TraceSession::record_span(Stage stage, TraceClock::time_point begin,
                                TraceClock::time_point end,
-                               std::uint64_t id_lo, std::uint64_t id_hi) {
+                               std::uint64_t id_lo, std::uint64_t id_hi,
+                               std::uint32_t tag) {
   if (!enabled()) return;
-  record_span(stage, to_ns(begin), to_ns(end), id_lo, id_hi);
+  record_span(stage, to_ns(begin), to_ns(end), id_lo, id_hi, tag);
 }
 
 std::vector<TraceSession::TrackEvents> TraceSession::collect() const {
@@ -306,8 +313,17 @@ std::string TraceSession::render_chrome_json() const {
           args.push_back(ChromeTraceWriter::num_arg("req_hi", ev.id_hi));
         }
       }
+      // Tagged spans render as "<stage>/<tag>" (one Perfetto aggregation
+      // row per pipeline layer) with the tag duplicated as a numeric arg.
+      std::string name = stage_name(ev.stage);
+      if (ev.tag != kNoSpanTag) {
+        name += '/';
+        name += std::to_string(ev.tag);
+        args.push_back(ChromeTraceWriter::num_arg(
+            "stage_idx", static_cast<std::uint64_t>(ev.tag)));
+      }
       writer.add_complete(
-          tid, stage_name(ev.stage),
+          tid, name,
           static_cast<double>(ev.t_begin_ns) * 1e-3,
           static_cast<double>(ev.t_end_ns - ev.t_begin_ns) * 1e-3, args);
     }
@@ -334,10 +350,11 @@ std::uint64_t RequestScope::current_lo() { return t_scope_lo; }
 std::uint64_t RequestScope::current_hi() { return t_scope_hi; }
 
 ScopedSpan::ScopedSpan(Stage stage, std::uint64_t id_lo,
-                       std::uint64_t id_hi)
+                       std::uint64_t id_hi, std::uint32_t tag)
     : id_lo_(id_lo),
       id_hi_(id_hi),
       stage_(stage),
+      tag_(tag),
       active_(TraceSession::instance().enabled()) {
   if (active_) t_begin_ns_ = TraceSession::instance().now_ns();
 }
@@ -346,7 +363,7 @@ ScopedSpan::~ScopedSpan() {
   if (!active_) return;
   auto& session = TraceSession::instance();
   session.record_span(stage_, t_begin_ns_, session.now_ns(), id_lo_,
-                      id_hi_);
+                      id_hi_, tag_);
 }
 
 }  // namespace ssma::telemetry

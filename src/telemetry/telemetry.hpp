@@ -66,16 +66,25 @@ const char* stage_name(Stage stage);
 /// e.g. an idle checkpoint). 0 is a real request id.
 inline constexpr std::uint64_t kNoRequestId = ~std::uint64_t{0};
 
+/// Sentinel for "no stage tag attached". Tags are 24-bit: they ride in
+/// the same seqlock payload word as the stage enum.
+inline constexpr std::uint32_t kNoSpanTag = 0xFFFFFFu;
+
 /// One closed span. Timestamps are nanoseconds since the session epoch.
 /// [id_lo, id_hi] is the request-id range the span covers (a batch span
 /// covers every request stitched into the batch; single-request spans
-/// have id_lo == id_hi; kNoRequestId both when unattributed).
+/// have id_lo == id_hi; kNoRequestId both when unattributed). `tag`
+/// disambiguates repeated spans of one stage — pipeline engines tag
+/// kEncode/kLutAccumulate/kEpilogue with the plan stage index so
+/// Perfetto shows per-layer time ("epilogue/2") instead of one merged
+/// row.
 struct SpanEvent {
   std::uint64_t t_begin_ns = 0;
   std::uint64_t t_end_ns = 0;
   std::uint64_t id_lo = kNoRequestId;
   std::uint64_t id_hi = kNoRequestId;
   Stage stage = Stage::kAdmit;
+  std::uint32_t tag = kNoSpanTag;
 };
 
 /// Fixed-capacity single-writer ring buffer of SpanEvents. The owner
@@ -160,13 +169,15 @@ class TraceSession {
   void set_thread_track(std::string name);
 
   /// Records a closed span on the calling thread's track. No-op when
-  /// the session is disabled.
+  /// the session is disabled. `tag` (24-bit, kNoSpanTag = untagged)
+  /// distinguishes repeated spans of one stage, e.g. per-layer epilogue
+  /// time in a pipeline model.
   void record_span(Stage stage, std::uint64_t t_begin_ns,
                    std::uint64_t t_end_ns, std::uint64_t id_lo,
-                   std::uint64_t id_hi);
+                   std::uint64_t id_hi, std::uint32_t tag = kNoSpanTag);
   void record_span(Stage stage, TraceClock::time_point begin,
                    TraceClock::time_point end, std::uint64_t id_lo,
-                   std::uint64_t id_hi);
+                   std::uint64_t id_hi, std::uint32_t tag = kNoSpanTag);
 
   /// One thread's snapshot: track name, live events (oldest first) and
   /// the total pushed count (pushed - events.size() = lost to wrap).
@@ -230,7 +241,12 @@ class ScopedSpan {
   explicit ScopedSpan(Stage stage)
       : ScopedSpan(stage, RequestScope::current_lo(),
                    RequestScope::current_hi()) {}
-  ScopedSpan(Stage stage, std::uint64_t id_lo, std::uint64_t id_hi);
+  /// Tagged span, ids from the RequestScope (see SpanEvent::tag).
+  ScopedSpan(Stage stage, std::uint32_t tag)
+      : ScopedSpan(stage, RequestScope::current_lo(),
+                   RequestScope::current_hi(), tag) {}
+  ScopedSpan(Stage stage, std::uint64_t id_lo, std::uint64_t id_hi,
+             std::uint32_t tag = kNoSpanTag);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -241,6 +257,7 @@ class ScopedSpan {
   std::uint64_t id_lo_;
   std::uint64_t id_hi_;
   Stage stage_;
+  std::uint32_t tag_;
   bool active_;
 };
 
@@ -266,6 +283,14 @@ class ScopedSpan {
       ssma_trace_span_, __LINE__)(::ssma::telemetry::Stage::stage, (id_lo), \
                                   (id_hi))
 
+/// Scoped span tagged with a small integer (e.g. the pipeline stage
+/// index), ids from the RequestScope. The exported trace names the span
+/// "<stage>/<tag>" so repeated stages aggregate per tag in Perfetto.
+#define SSMA_TRACE_SPAN_TAG(stage, tag)                                \
+  ::ssma::telemetry::ScopedSpan SSMA_TRACE_CAT(ssma_trace_span_,       \
+                                               __LINE__)(             \
+      ::ssma::telemetry::Stage::stage, static_cast<std::uint32_t>(tag))
+
 /// Records a span closed elsewhere (begin/end are TraceClock
 /// time_points or ns-since-epoch u64s).
 #define SSMA_TRACE_RECORD(stage, begin, end, id_lo, id_hi)       \
@@ -285,6 +310,7 @@ class ScopedSpan {
 
 #define SSMA_TRACE_SPAN(stage) ((void)0)
 #define SSMA_TRACE_SPAN_IDS(stage, id_lo, id_hi) ((void)0)
+#define SSMA_TRACE_SPAN_TAG(stage, tag) ((void)0)
 #define SSMA_TRACE_RECORD(stage, begin, end, id_lo, id_hi) ((void)0)
 #define SSMA_TRACE_SET_THREAD(name) ((void)0)
 #define SSMA_TRACE_REQUEST_SCOPE(id_lo, id_hi) ((void)0)

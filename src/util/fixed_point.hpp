@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 
 namespace ssma {
 
@@ -23,9 +24,16 @@ inline std::uint8_t saturate_uint8(long long v) {
 }
 
 /// Round-half-away-from-zero to the nearest integer (what hardware
-/// quantizers typically implement).
+/// quantizers typically implement). Values beyond the long long range
+/// saturate: every caller clamps to a narrow integer range next, so
+/// only the sign has to survive (the raw cast would be UB and, on x86,
+/// collapse huge positives to LLONG_MIN).
 inline long long round_half_away(double x) {
-  return static_cast<long long>(x >= 0.0 ? x + 0.5 : x - 0.5);
+  const double r = x >= 0.0 ? x + 0.5 : x - 0.5;
+  constexpr double kTwo63 = 9223372036854775808.0;  // 2^63
+  if (r >= kTwo63) return std::numeric_limits<long long>::max();
+  if (r < -kTwo63) return std::numeric_limits<long long>::min();
+  return static_cast<long long>(r);
 }
 
 /// 16-bit two's-complement wraparound addition — the semantics of the

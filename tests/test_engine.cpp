@@ -333,6 +333,50 @@ TEST(Pipeline, StageHandoffRejectsShapeMismatch) {
                CheckError);
 }
 
+TEST(Pipeline, FusedEngineOptionMatchesUnfusedBitExact) {
+  // EngineOptions::fused_pipeline only chooses whether interior stage
+  // boundaries run in-register or materialize — never the bits.
+  const PipelineFixture f = PipelineFixture::make();
+  const ModelRef model =
+      ModelHandle::from_stages("mlp", 1, {&f.stage0, &f.stage1});
+  const std::vector<std::int16_t> want =
+      pipeline_reference_apply(*model, f.pool);
+  for (const bool fused : {true, false}) {
+    EngineOptions opts;
+    opts.backend = Backend::kKernel;
+    opts.fused_pipeline = fused;
+    const auto eng = make_engine(opts);
+    std::vector<std::int16_t> out;
+    eng->run_batch(*model, f.pool, out);
+    EXPECT_EQ(out, want) << (fused ? "fused" : "unfused")
+                         << " kernel walk diverged";
+  }
+}
+
+TEST(Pipeline, RegisterSegmentsCollapsesChainsAndSplitsAtBreaks) {
+  const PipelineFixture f = PipelineFixture::make();
+  // stage0 (36 -> 36) chains into stage1 (36 -> 12); a second stage0
+  // cannot consume 12 outputs, so the run breaks there.
+  ModelRegistry reg;
+  const std::vector<std::string> names = register_segments(
+      reg, "mlp", {&f.stage0, &f.stage1, &f.stage0});
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"mlp.seg0", "mlp.seg1"}));
+
+  const ModelRef seg0 = reg.resolve("mlp.seg0");
+  EXPECT_TRUE(seg0->is_pipeline());
+  EXPECT_EQ(seg0->num_stages(), 2u);
+  const ModelRef seg1 = reg.resolve("mlp.seg1");
+  EXPECT_FALSE(seg1->is_pipeline());
+
+  // The collapsed segment serves the chained pair bit-exactly through
+  // its fused plan.
+  const auto eng = make_engine(EngineOptions{});
+  std::vector<std::int16_t> out;
+  eng->run_batch(*seg0, f.pool, out);
+  EXPECT_EQ(out, pipeline_reference_apply(*seg0, f.pool));
+}
+
 // ------------------------------------------- MaddnessNetwork export
 
 TEST(Pipeline, RegisterNetworkLayersServesConvPatchesBitExact) {
@@ -384,6 +428,15 @@ TEST(Pipeline, RegisterNetworkLayersServesConvPatchesBitExact) {
     EXPECT_EQ(out, amm.apply_int16(patches))
         << names[i] << " diverged from the network's operator";
   }
+
+  // register_network on the same net: 3x3 conv shapes never chain
+  // (conv1 consumes 9*8 patch columns, conv0 produced 8 channels), so
+  // each layer becomes its own single-stage segment.
+  ModelRegistry seg_reg;
+  EXPECT_EQ(register_network(seg_reg, "cnn", mnet),
+            (std::vector<std::string>{"cnn.seg0", "cnn.seg1"}));
+  EXPECT_FALSE(seg_reg.resolve("cnn.seg0")->is_pipeline());
+  EXPECT_FALSE(seg_reg.resolve("cnn.seg1")->is_pipeline());
 }
 
 }  // namespace

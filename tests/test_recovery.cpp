@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "engine/model_registry.hpp"
+#include "engine/pipeline.hpp"
 #include "maddness/framing.hpp"
 #include "serve/recovery/checkpoint.hpp"
 #include "serve/recovery/fault_injector.hpp"
@@ -816,6 +817,169 @@ TEST(Recovery, HardCrashReplayAcrossHotSwapBoundaryIsBitExact) {
     const maddness::Amm& bank = pre_swap ? old_fx.amm : new_fx.amm;
     const auto want = expected_on(
         bank, old_fx.codes_for(pre_swap ? id : id - kBeforeSwap), 1);
+    EXPECT_EQ(it->second,
+              maddness::crc32(want.data(),
+                              want.size() * sizeof(std::int16_t)))
+        << "acknowledged output CRC mismatch for request " << id;
+  }
+}
+
+// Two 2-stage dense pipelines with identical shapes (36 -> 36 -> 12)
+// but different trained banks: the hot-swap pair for the pipeline
+// replay test. Served through the fused ExecutionPlan (the server's
+// default engine), so replay exercises the fused interior handoff.
+struct SwapPipelines {
+  maddness::Amm old_s0, old_s1, new_s0, new_s1;
+  maddness::QuantizedActivations pool;
+
+  static SwapPipelines make(std::uint64_t seed) {
+    SwapPipelines p;
+    const auto train = [](std::uint64_t s, maddness::Amm* s0,
+                          maddness::Amm* s1) {
+      Rng rng(s);
+      Matrix calib(384, 36);
+      for (std::size_t i = 0; i < calib.size(); ++i)
+        calib.data()[i] = static_cast<float>(rng.next_double(0, 200));
+      Matrix w0(36, 36), w1(36, 12);
+      for (std::size_t i = 0; i < w0.size(); ++i)
+        w0.data()[i] = static_cast<float>(rng.next_gaussian(0, 0.08));
+      for (std::size_t i = 0; i < w1.size(); ++i)
+        w1.data()[i] = static_cast<float>(rng.next_gaussian(0, 0.08));
+      maddness::Config cfg;
+      cfg.ncodebooks = 4;
+      Matrix mid;
+      *s0 = engine::train_chained_stage(cfg, calib, w0, &mid);
+      *s1 = engine::train_chained_stage(cfg, mid, w1, nullptr);
+    };
+    train(seed, &p.old_s0, &p.old_s1);
+    train(seed + 1000003, &p.new_s0, &p.new_s1);
+    Rng rng(seed + 7);
+    Matrix fresh(64, 36);
+    for (std::size_t i = 0; i < fresh.size(); ++i)
+      fresh.data()[i] = static_cast<float>(rng.next_double(0, 200));
+    p.pool = maddness::quantize_activations(fresh,
+                                            p.old_s0.activation_scale());
+    return p;
+  }
+
+  std::vector<std::uint8_t> codes_for(std::size_t id) const {
+    const std::size_t r = id % pool.rows;
+    return std::vector<std::uint8_t>(pool.row(r),
+                                     pool.row(r) + pool.cols);
+  }
+};
+
+TEST(Recovery, PipelineReplayAcrossHotSwapIsBitExactThroughFusedPlan) {
+  const std::uint64_t seed = test_seed();
+  SCOPED_TRACE(seed_trace(seed));
+  const SwapPipelines px = SwapPipelines::make(seed);
+  // Reference handles mirroring the server's two registered versions;
+  // pipeline_reference_apply is the materializing scalar oracle the
+  // fused serve path must match bit for bit.
+  const engine::ModelRef ref_v1 = engine::ModelHandle::from_stages(
+      "pipe", 1, {&px.old_s0, &px.old_s1});
+  const engine::ModelRef ref_v2 = engine::ModelHandle::from_stages(
+      "pipe", 2, {&px.new_s0, &px.new_s1});
+  const auto expected_on = [&](const engine::ModelHandle& model,
+                               const std::vector<std::uint8_t>& codes,
+                               std::size_t rows) {
+    maddness::QuantizedActivations q;
+    q.rows = rows;
+    q.cols = px.pool.cols;
+    q.scale = px.pool.scale;
+    q.codes = codes;
+    return engine::pipeline_reference_apply(model, q);
+  };
+
+  TmpDir dir("pipeswap");
+  const std::string journal_path = dir.file("requests.jnl");
+  constexpr std::size_t kBeforeSwap = 10;
+  constexpr std::size_t kAfterSwap = 10;
+  {
+    FaultInjector fault(seed);
+    CheckpointManager ckpts(dir.str(), &fault);
+    RequestJournal journal(journal_path);
+    FaultPlan kill;
+    kill.site = FaultSite::kExecute;
+    kill.kind = FaultKind::kKillShard;
+    kill.fire_at = 3;
+    fault.arm(kill);
+
+    ServerOptions opts;
+    opts.num_workers = 1;
+    opts.queue_capacity = 4 * (kBeforeSwap + kAfterSwap);
+    opts.batcher.max_batch_tokens = 2;
+    opts.batcher.max_wait = std::chrono::microseconds(0);
+    opts.recovery.fault = &fault;
+    opts.recovery.journal = &journal;
+    opts.recovery.checkpoints = &ckpts;
+    opts.recovery.supervise = false;
+    InferenceServer server(opts);
+    server.register_pipeline("pipe", {&px.old_s0, &px.old_s1});
+
+    std::vector<std::future<InferenceResult>> futs;
+    for (std::size_t id = 0; id < kBeforeSwap; ++id)
+      futs.push_back(server.submit("pipe", px.codes_for(id), 1));
+    EXPECT_EQ(server.register_pipeline("pipe", {&px.new_s0, &px.new_s1}),
+              2u);
+    for (std::size_t id = 0; id < kAfterSwap; ++id)
+      futs.push_back(server.submit("pipe", px.codes_for(id), 1));
+    server.shutdown();
+    std::size_t failed = 0;
+    for (auto& fut : futs) {
+      try {
+        fut.get();
+      } catch (const std::runtime_error&) {
+        failed++;
+      }
+    }
+    EXPECT_GT(failed, 0u) << "the crash should strand requests";
+  }
+
+  // ----- restart: replay every stranded request on its pinned bank -----
+  CheckpointManager ckpts(dir.str());
+  const auto rs = recovery::recover_state(ckpts, journal_path);
+  ASSERT_TRUE(rs.has_checkpoint());
+  ASSERT_FALSE(rs.journal.unacknowledged.empty());
+
+  RequestJournal journal(journal_path);
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.recovery.journal = &journal;
+  opts.recovery.checkpoints = &ckpts;
+  auto server = InferenceServer::restore(rs, opts);
+  EXPECT_EQ(server->registry().latest_version("pipe"), 2u);
+  EXPECT_TRUE(server->registry().resolve("pipe@1")->is_pipeline());
+
+  auto futs = server->replay(rs.journal.unacknowledged);
+  ASSERT_EQ(futs.size(), rs.journal.unacknowledged.size());
+  std::size_t replayed_new = 0;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const AcceptedRecord& rec = rs.journal.unacknowledged[i];
+    const bool pre_swap = rec.id < kBeforeSwap;
+    EXPECT_EQ(rec.model_version, pre_swap ? 1u : 2u)
+        << "journal lost the pinned version for request " << rec.id;
+    const InferenceResult res = futs[i].get();
+    EXPECT_EQ(res.model_version, rec.model_version);
+    const engine::ModelHandle& model = pre_swap ? *ref_v1 : *ref_v2;
+    EXPECT_EQ(res.outputs, expected_on(model, rec.codes, rec.rows))
+        << "replayed pipeline request " << rec.id
+        << " diverged from its pinned banks";
+    if (!pre_swap) replayed_new++;
+  }
+  EXPECT_EQ(replayed_new, kAfterSwap);
+  server->shutdown();
+
+  // Ack CRCs audit both sides of the boundary against the reference.
+  const auto after = RequestJournal::read(journal_path);
+  EXPECT_TRUE(after.unacknowledged.empty());
+  for (std::size_t id = 0; id < kBeforeSwap + kAfterSwap; ++id) {
+    const auto it = after.completed_crc.find(id);
+    ASSERT_NE(it, after.completed_crc.end()) << "request " << id;
+    const bool pre_swap = id < kBeforeSwap;
+    const auto want = expected_on(
+        pre_swap ? *ref_v1 : *ref_v2,
+        px.codes_for(pre_swap ? id : id - kBeforeSwap), 1);
     EXPECT_EQ(it->second,
               maddness::crc32(want.data(),
                               want.size() * sizeof(std::int16_t)))

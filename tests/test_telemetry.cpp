@@ -373,6 +373,46 @@ TEST(TraceSessionTest, ChromeJsonSchema) {
   EXPECT_TRUE(contains(json, "\"req_hi\":45"));
 }
 
+TEST(TraceSessionTest, TaggedSpansRoundTripAndRenderPerStageNames) {
+  SessionGuard guard;
+  auto& session = TraceSession::instance();
+  session.enable();
+  session.set_thread_track("shard-0");
+  // The fused pipeline walk tags kEncode/kLutAccumulate/kEpilogue with
+  // the pipeline stage index; the tag must survive the seqlock word
+  // packing next to the stage enum and come back verbatim.
+  session.record_span(Stage::kEpilogue, 1000, 2000, 7, 7, /*tag=*/0);
+  session.record_span(Stage::kEpilogue, 3000, 4000, 7, 7, /*tag=*/1);
+  session.record_span(Stage::kLutAccumulate, 5000, 6000, 7, 7,
+                      /*tag=*/2);
+  // Largest representable tag (24-bit field minus the sentinel).
+  session.record_span(Stage::kEncode, 7000, 8000, 7, 7,
+                      telemetry::kNoSpanTag - 1);
+  session.record_span(Stage::kAck, 9000, 9500, 7, 7);  // untagged
+  session.disable();
+
+  const auto tracks = session.collect();
+  ASSERT_EQ(tracks.size(), 1u);
+  ASSERT_EQ(tracks[0].events.size(), 5u);
+  EXPECT_EQ(tracks[0].events[0].tag, 0u);
+  EXPECT_EQ(tracks[0].events[1].tag, 1u);
+  EXPECT_EQ(tracks[0].events[2].tag, 2u);
+  EXPECT_EQ(tracks[0].events[3].tag, telemetry::kNoSpanTag - 1);
+  EXPECT_EQ(tracks[0].events[4].tag, telemetry::kNoSpanTag);
+
+  // Chrome JSON names tagged spans "<stage>/<tag>" (one Perfetto
+  // aggregation row per pipeline layer) and duplicates the tag as a
+  // numeric arg; untagged spans keep the bare stage name.
+  const std::string json = session.render_chrome_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_TRUE(contains(json, "\"name\":\"epilogue/0\""));
+  EXPECT_TRUE(contains(json, "\"name\":\"epilogue/1\""));
+  EXPECT_TRUE(contains(json, "\"name\":\"lut_accumulate/2\""));
+  EXPECT_TRUE(contains(json, "\"stage_idx\":1"));
+  EXPECT_TRUE(contains(json, "\"name\":\"ack\""));
+  EXPECT_FALSE(contains(json, "\"name\":\"ack/"));
+}
+
 // --------------------------------------------------- kernel profiling
 
 TEST(KernelProfileTest, DispatchCountersAccumulateAndReset) {
@@ -668,6 +708,9 @@ TEST(ServeTelemetryTest, LifecycleSpansUnderDelayChaos) {
       if (ev.stage == Stage::kAck)
         for (std::uint64_t id = ev.id_lo; id <= ev.id_hi; ++id)
           ack_covered[id] = true;
+      // The fused walk tags its kernel-stage spans with the pipeline
+      // stage index; a 2-stage pipe only has boundary 0.
+      if (ev.stage == Stage::kEpilogue) EXPECT_EQ(ev.tag, 0u);
     }
     if (track.track.rfind("shard-", 0) == 0) {
       shard_tracks.insert(track.track);
@@ -701,7 +744,11 @@ TEST(ServeTelemetryTest, LifecycleSpansUnderDelayChaos) {
   // The same run renders as loadable Chrome JSON.
   const std::string json = session.render_chrome_json();
   EXPECT_TRUE(json_balanced(json));
-  EXPECT_TRUE(contains(json, "\"name\":\"epilogue\""));
+  // Epilogue spans come from the fused plan walk and carry the
+  // pipeline stage index as their tag: a 2-stage pipe has exactly one
+  // interior boundary, so every epilogue span renders as "epilogue/0".
+  EXPECT_TRUE(contains(json, "\"name\":\"epilogue/0\""));
+  EXPECT_FALSE(contains(json, "\"name\":\"epilogue\""));
   EXPECT_TRUE(contains(json, "\"name\":\"queue_wait\""));
   EXPECT_TRUE(contains(json, "\"shard-0\""));
 }
