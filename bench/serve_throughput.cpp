@@ -62,12 +62,24 @@
 // reporting images/s next to the top-1 agreement with the exact float
 // network — accuracy next to latency for a real multi-layer workload.
 //
+// A seventh, gate-only check (--failover-gate) runs the distributed-HA
+// pair once: a sync-acked leader with journal + checkpoints +
+// ReplicationLog, a ReplicaApplier follower, a short load, then
+// promotion — the gate passes iff promote() completes with a clean
+// audit (no CRC mismatches, no replay failures) and the first
+// post-promotion response is bit-exact against the fault-free
+// reference. The full cadence x ack-mode sweep lives in
+// bench/replication_failover.cpp; this is the cheap CI smoke.
+//
 //   build/bench/serve_throughput [--mode=paced|kernel|simulate]
 //                                [--device-ns=N]
 //                                [--requests=N] [--rows=N]
 //                                [--out=BENCH_serve.json]
 //                                [--trace-out=serve.trace.json]
 //                                [--overload-gate] [--fused-gate]
+//                                [--failover-gate]
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -75,6 +87,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -92,6 +105,10 @@
 #include "net/wire_protocol.hpp"
 #include "serve/admission.hpp"
 #include "serve/load_generator.hpp"
+#include "serve/recovery/checkpoint.hpp"
+#include "serve/recovery/journal.hpp"
+#include "serve/replication/replica_applier.hpp"
+#include "serve/replication/replication.hpp"
 #include "serve/server.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/matrix.hpp"
@@ -255,6 +272,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   bool overload_gate = false;
   bool fused_gate = false;
+  bool failover_gate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mode=simulate") == 0)
       mode = engine::Backend::kSimulate;
@@ -278,6 +296,8 @@ int main(int argc, char** argv) {
       overload_gate = true;
     else if (std::strcmp(argv[i], "--fused-gate") == 0)
       fused_gate = true;
+    else if (std::strcmp(argv[i], "--failover-gate") == 0)
+      failover_gate = true;
     else {
       std::fprintf(stderr, "unknown arg: %s\n", argv[i]);
       return 1;
@@ -929,6 +949,93 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "fused gate: PASS (%.2fx)\n", fused_speedup);
+  }
+
+  // ---- failover gate: one sync-acked leader/follower pair, promoted
+  // after a short load; promotion must audit clean and the first
+  // post-promotion response must be bit-exact. Kernel backend — the
+  // gate checks the HA protocol, not device pacing.
+  if (failover_gate) {
+    namespace repl = serve::replication;
+    const auto scratch =
+        std::filesystem::temp_directory_path() /
+        ("ssma-failover-gate-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(scratch);
+    bool ok = true;
+    {
+      serve::recovery::CheckpointManager ckpts(
+          (scratch / "leader-ckpts").string());
+      serve::recovery::RequestJournal journal(
+          (scratch / "leader.jnl").string());
+      repl::ReplicationOptions ropts;
+      ropts.ack_mode = repl::AckMode::kSync;
+      ropts.ack_timeout = std::chrono::milliseconds(10000);
+      repl::ReplicationLog log(journal, &ckpts, ropts);
+
+      serve::ServerOptions gopts;
+      gopts.num_workers = 2;
+      gopts.queue_capacity = 1024;
+      gopts.engine.backend = engine::Backend::kKernel;
+      gopts.recovery.journal = &journal;
+      gopts.recovery.checkpoints = &ckpts;
+      gopts.recovery.checkpoint_every = 8;
+      gopts.recovery.replication = &log;
+      serve::InferenceServer leader(gopts);
+      leader.register_model("m", amm);
+
+      repl::ApplierOptions aopts;
+      aopts.leader_port = log.port();
+      aopts.dir = (scratch / "follower").string();
+      aopts.server = gopts;
+      aopts.checkpoint_every = 8;
+      repl::ReplicaApplier applier(aopts);
+      if (!log.wait_follower(1, std::chrono::milliseconds(10000))) {
+        std::fprintf(stderr, "failover gate: follower never connected\n");
+        ok = false;
+      }
+      constexpr std::size_t kGateRows = 4;
+      std::vector<std::uint8_t> gate_codes(
+          pool.row(0), pool.row(0) + kGateRows * pool.cols);
+      maddness::QuantizedActivations gq;
+      gq.rows = kGateRows;
+      gq.cols = pool.cols;
+      gq.scale = pool.scale;
+      gq.codes = gate_codes;
+      const std::vector<std::int16_t> gate_want = amm.apply_int16(gq);
+      if (ok) {
+        for (std::size_t i = 0; i < 32; ++i)
+          leader.submit("m", gate_codes, kGateRows).get();
+        leader.shutdown();
+        if (!applier.wait_caught_up(journal.durable_seq(),
+                                    std::chrono::milliseconds(10000))) {
+          std::fprintf(stderr, "failover gate: follower never caught up\n");
+          ok = false;
+        }
+      }
+      if (ok) {
+        log.stop();
+        repl::PromotionReport rep;
+        std::unique_ptr<serve::InferenceServer> promoted =
+            applier.promote(&rep);
+        if (rep.crc_mismatches != 0 || rep.replay_failures != 0) {
+          std::fprintf(stderr, "failover gate: promotion audit failed\n");
+          ok = false;
+        }
+        const serve::InferenceResult first =
+            promoted->submit("m", gate_codes, kGateRows).get();
+        promoted->shutdown();
+        if (first.outputs != gate_want) {
+          std::fprintf(
+              stderr,
+              "failover gate: first promoted response not bit-exact\n");
+          ok = false;
+        }
+      }
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(scratch, ec);
+    std::fprintf(stderr, "failover gate: %s\n", ok ? "PASS" : "FAIL");
+    if (!ok) return 1;
   }
   return 0;
 }

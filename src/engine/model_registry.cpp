@@ -322,4 +322,33 @@ void ModelRegistry::load(std::istream& is) {
   }
 }
 
+void ModelRegistry::merge(std::istream& is) {
+  const std::uint64_t nmodels = wire::get_u64(is);
+  SSMA_CHECK_MSG(nmodels <= 4096, "implausible registry model count");
+  for (std::uint64_t m = 0; m < nmodels; ++m) {
+    std::string name(static_cast<std::size_t>(wire::get_u64(is)), '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name.size()));
+    SSMA_CHECK_MSG(is.good(), "registry decode underflow");
+    const std::uint64_t latest = wire::get_u64(is);
+    const std::uint64_t nversions = wire::get_u64(is);
+    SSMA_CHECK_MSG(nversions >= 1 && nversions <= 65536,
+                   "implausible version count for model " << name);
+    for (std::uint64_t v = 0; v < nversions; ++v) {
+      const std::uint64_t version = wire::get_u64(is);
+      std::string blob(static_cast<std::size_t>(wire::get_u64(is)), '\0');
+      is.read(blob.data(), static_cast<std::streamsize>(blob.size()));
+      SSMA_CHECK_MSG(is.good(), "registry decode underflow");
+      if (!try_resolve(name, version))
+        install(ModelHandle::from_blob(name, version, std::move(blob)));
+    }
+    // Same latest-pointer fidelity as load(): the stream is
+    // authoritative, newer than anything this registry was built from.
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = models_.find(name);
+    if (it != models_.end() &&
+        (latest == 0 || it->second.versions.count(latest)))
+      it->second.latest = latest;
+  }
+}
+
 }  // namespace ssma::engine

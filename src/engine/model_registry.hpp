@@ -165,6 +165,14 @@ class ModelRegistry {
   void save(std::ostream& os) const;
   /// Installs every model from a save() stream into this registry.
   void load(std::istream& is);
+  /// Applies a save() stream to a registry that may already hold some
+  /// of it: versions already installed are skipped (no re-decode, live
+  /// pins untouched), missing ones installed, and the stream's latest
+  /// pointers honored exactly — including a latest left behind a newer
+  /// staged-but-unpublished version, so a replication follower applying
+  /// successive leader checkpoints resolves "@latest" exactly as the
+  /// leader's own restore would.
+  void merge(std::istream& is);
 
  private:
   struct Entry {

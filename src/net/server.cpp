@@ -11,10 +11,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace ssma::net {
 
@@ -481,16 +483,65 @@ void NetClient::connect(const std::string& host, std::uint16_t port,
   fd_ = fd;
 }
 
+void NetClient::connect_with_retry(const std::string& host,
+                                   std::uint16_t port,
+                                   std::size_t max_attempts,
+                                   std::chrono::milliseconds backoff_base,
+                                   std::chrono::milliseconds backoff_cap,
+                                   std::uint64_t jitter_seed,
+                                   std::size_t max_frame_bytes) {
+  SSMA_CHECK_MSG(max_attempts >= 1, "need at least one connect attempt");
+  Rng rng(jitter_seed);
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      connect(host, port, max_frame_bytes);
+      return;
+    } catch (const CheckError&) {
+      if (attempt + 1 >= max_attempts) throw;
+    }
+    // Capped exponential backoff; the seeded jitter (up to half the
+    // step) decorrelates reconnect storms deterministically.
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(backoff_base.count());
+    const std::uint64_t cap =
+        static_cast<std::uint64_t>(backoff_cap.count());
+    std::uint64_t delay =
+        std::min(cap, base << std::min<std::size_t>(attempt, 20));
+    delay += rng.next_below(delay / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+}
+
 void NetClient::send(const RpcRequest& req) {
   const std::string bytes = req.encode();
   std::lock_guard<std::mutex> lock(send_mu_);
   SSMA_CHECK_MSG(fd_ >= 0, "NetClient not connected");
+  SSMA_CHECK_MSG(!broken_.load(std::memory_order_acquire),
+                 "NetClient stream poisoned by an earlier partial "
+                 "write; close() and reconnect");
   std::size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
                              MSG_NOSIGNAL);
     if (n < 0 && errno == EINTR) continue;
-    SSMA_CHECK_MSG(n > 0, "send failed: " << std::strerror(errno));
+    if (n <= 0) {
+      const int err = errno;
+      if (off > 0) {
+        // Partial frame already on the wire: the server's decoder is
+        // mid-frame, so any retried send would interleave a fresh
+        // frame into the torn one and desync the whole stream. Poison
+        // the connection (shutdown, not close — a concurrent
+        // recv_response may still hold the fd) so every later op
+        // fails loudly until the caller reconnects.
+        broken_.store(true, std::memory_order_release);
+        ::shutdown(fd_, SHUT_RDWR);
+      }
+      SSMA_CHECK_MSG(false, "send failed"
+                                << (off > 0 ? " mid-frame (connection "
+                                              "poisoned; reconnect)"
+                                            : "")
+                                << ": " << std::strerror(err));
+    }
     off += static_cast<std::size_t>(n);
   }
 }
@@ -498,6 +549,9 @@ void NetClient::send(const RpcRequest& req) {
 bool NetClient::recv_response(RpcResponse* out) {
   std::lock_guard<std::mutex> lock(recv_mu_);
   SSMA_CHECK_MSG(fd_ >= 0, "NetClient not connected");
+  SSMA_CHECK_MSG(!broken_.load(std::memory_order_acquire),
+                 "NetClient stream poisoned by an earlier partial "
+                 "write; close() and reconnect");
   std::string payload;
   char buf[64 * 1024];
   for (;;) {
@@ -527,6 +581,7 @@ void NetClient::close() {
     fd_ = -1;
   }
   decoder_.reset();
+  broken_.store(false, std::memory_order_release);
 }
 
 }  // namespace ssma::net

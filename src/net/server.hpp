@@ -29,6 +29,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -170,7 +171,22 @@ class NetClient {
   /// Throws CheckError when the connection fails.
   void connect(const std::string& host, std::uint16_t port,
                std::size_t max_frame_bytes = 16u << 20);
+  /// Like connect(), but retries up to `max_attempts` times with
+  /// capped exponential backoff and deterministic seeded jitter —
+  /// reconnect hardening for servers that restart (or followers that
+  /// promote) underneath the client. Throws the last connect error
+  /// once the attempts are exhausted.
+  void connect_with_retry(const std::string& host, std::uint16_t port,
+                          std::size_t max_attempts,
+                          std::chrono::milliseconds backoff_base,
+                          std::chrono::milliseconds backoff_cap,
+                          std::uint64_t jitter_seed,
+                          std::size_t max_frame_bytes = 16u << 20);
   /// Writes one encoded request; throws CheckError on a broken socket.
+  /// A send that fails after a partial write poisons the connection
+  /// (the peer's decoder is mid-frame, so retrying a fresh frame would
+  /// desync the stream): the socket is shut down and every later
+  /// send/recv throws until close() + reconnect.
   void send(const RpcRequest& req);
   /// Blocks for the next response frame (responses may arrive out of
   /// submission order — match by correlation_id). Returns false on a
@@ -179,11 +195,16 @@ class NetClient {
   bool recv_response(RpcResponse* out);
   void close();
 
+  /// True when a partial-write failure poisoned the stream (see
+  /// send()); the only way forward is close() + reconnect.
+  bool broken() const { return broken_.load(std::memory_order_acquire); }
+
  private:
   int fd_ = -1;
   std::mutex send_mu_;
   std::mutex recv_mu_;
   std::unique_ptr<FrameDecoder> decoder_;
+  std::atomic<bool> broken_{false};
 };
 
 }  // namespace ssma::net

@@ -134,6 +134,36 @@ std::string RpcResponse::encode() const {
   return framed(os.str());
 }
 
+std::string ReplMessage::encode() const {
+  std::ostringstream os;
+  wire::put_u8(os, kWireVersion);
+  wire::put_u8(os, static_cast<std::uint8_t>(type));
+  wire::put_u64(os, arg);
+  wire::put_u64(os, arg2);
+  wire::put_u64(os, bytes.size());
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return framed(os.str());
+}
+
+bool parse_repl(const std::string& payload, ReplMessage* out) {
+  Cursor c(payload);
+  std::uint8_t version = 0, type = 0;
+  if (!c.u8(&version) || version != kWireVersion) return false;
+  if (!c.u8(&type) ||
+      type < static_cast<std::uint8_t>(MsgType::kReplHello) ||
+      type > static_cast<std::uint8_t>(MsgType::kReplReject))
+    return false;
+  out->type = static_cast<MsgType>(type);
+  if (!c.u64(&out->arg)) return false;
+  if (!c.u64(&out->arg2)) return false;
+  std::uint64_t n = 0;
+  if (!c.u64(&n)) return false;
+  std::vector<std::uint8_t> body;
+  if (!c.bytes(&body, n)) return false;
+  out->bytes.assign(body.begin(), body.end());
+  return c.done();
+}
+
 bool parse_request(const std::string& payload, RpcRequest* out) {
   Cursor c(payload);
   if (!parse_prelude(c, MsgType::kInferRequest, &out->correlation_id))

@@ -37,6 +37,13 @@ inline constexpr std::uint8_t kWireVersion = 1;
 enum class MsgType : std::uint8_t {
   kInferRequest = 1,
   kInferResponse = 2,
+
+  // --- replication stream (leader <-> follower), same framing ---
+  kReplHello = 10,       ///< follower -> leader: resume handshake
+  kReplRecord = 11,      ///< leader -> follower: one journal record
+  kReplCheckpoint = 12,  ///< leader -> follower: one checkpoint file
+  kReplAck = 13,         ///< follower -> leader: durable high-water mark
+  kReplReject = 14,      ///< leader -> follower: typed refusal + close
 };
 
 /// Response status byte: 0 = ok, 1 + RejectReason for typed sheds,
@@ -74,11 +81,32 @@ struct RpcResponse {
   std::string encode() const;
 };
 
+/// One message of the replication stream. The prelude's correlation-id
+/// slot carries `arg`; `arg2` and `bytes` follow in the body. Field
+/// meaning by type:
+///   kReplHello:      arg = follower durable journal seq,
+///                    arg2 = follower newest checkpoint version
+///   kReplRecord:     arg = journal seq, bytes = raw record payload
+///                    (the framed blob's contents, leader-byte-exact)
+///   kReplCheckpoint: arg = checkpoint version, bytes = whole file
+///   kReplAck:        arg = follower durable journal seq
+///   kReplReject:     arg = serve::RejectReason value, bytes = detail
+struct ReplMessage {
+  MsgType type = MsgType::kReplHello;
+  std::uint64_t arg = 0;
+  std::uint64_t arg2 = 0;
+  std::string bytes;
+
+  std::string encode() const;
+};
+
 /// Parse a frame payload (already CRC-validated). Returns false on any
 /// malformation — wrong version, wrong type, truncated or oversized
 /// fields — leaving *out in an unspecified state.
 bool parse_request(const std::string& payload, RpcRequest* out);
 bool parse_response(const std::string& payload, RpcResponse* out);
+/// Accepts any kRepl* type; rejects infer request/response preludes.
+bool parse_repl(const std::string& payload, ReplMessage* out);
 
 /// Incremental frame splitter for a nonblocking socket: feed() raw
 /// bytes as they arrive, then drain complete frames with next(). The

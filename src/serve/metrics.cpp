@@ -401,6 +401,54 @@ std::string Metrics::render_prometheus(const PromGauges& gauges) const {
                 "1 when the span-tracing session is enabled.");
     oss << "ssma_trace_enabled " << (gauges.trace_enabled ? 1 : 0)
         << "\n";
+    if (gauges.repl_role != 0) {
+      prom_header(oss, "ssma_repl_role", "gauge",
+                  "Replication role: 1 streaming leader, 2 promoted "
+                  "follower.");
+      oss << "ssma_repl_role " << gauges.repl_role << "\n";
+      if (gauges.repl_role == 1) {
+        prom_header(oss, "ssma_repl_leader_seq", "gauge",
+                    "Newest locally durable journal sequence number.");
+        oss << "ssma_repl_leader_seq " << gauges.repl_leader_seq << "\n";
+        prom_header(oss, "ssma_repl_replicated_seq", "gauge",
+                    "Replication watermark (max follower ack).");
+        oss << "ssma_repl_replicated_seq " << gauges.repl_replicated_seq
+            << "\n";
+        prom_header(oss, "ssma_repl_followers", "gauge",
+                    "Handshaken live follower connections.");
+        oss << "ssma_repl_followers " << gauges.repl_followers << "\n";
+        prom_header(oss, "ssma_repl_lag_records", "gauge",
+                    "Durable records not yet past the watermark.");
+        oss << "ssma_repl_lag_records " << gauges.repl_lag_records
+            << "\n";
+        prom_header(oss, "ssma_repl_lag_bytes", "gauge",
+                    "Journal bytes not yet past the watermark.");
+        oss << "ssma_repl_lag_bytes " << gauges.repl_lag_bytes << "\n";
+        prom_header(oss, "ssma_repl_lag_seconds", "gauge",
+                    "Age of the oldest unreplicated record.");
+        oss << "ssma_repl_lag_seconds " << gauges.repl_lag_seconds
+            << "\n";
+        prom_header(oss, "ssma_repl_checkpoints_shipped_total",
+                    "counter", "Checkpoint files shipped to followers.");
+        oss << "ssma_repl_checkpoints_shipped_total "
+            << gauges.repl_checkpoints_shipped << "\n";
+        prom_header(oss, "ssma_repl_sync_degraded_total", "counter",
+                    "Acked-write watermark waits that timed out and "
+                    "degraded to async.");
+        oss << "ssma_repl_sync_degraded_total "
+            << gauges.repl_sync_degraded << "\n";
+      } else {
+        prom_header(oss, "ssma_repl_applied_records", "gauge",
+                    "Accepted records replayed into the standby before "
+                    "promotion.");
+        oss << "ssma_repl_applied_records "
+            << gauges.repl_applied_records << "\n";
+        prom_header(oss, "ssma_repl_apply_rate_hz", "gauge",
+                    "Follower apply rate over the streaming phase.");
+        oss << "ssma_repl_apply_rate_hz " << gauges.repl_apply_rate_hz
+            << "\n";
+      }
+    }
     prom_header(oss, "ssma_batch_budget_tokens", "gauge",
                 "Batcher token budget (occupancy denominator).");
     oss << "ssma_batch_budget_tokens " << batch_budget_tokens_ << "\n";

@@ -119,6 +119,21 @@ struct PromGauges {
   std::size_t workers = 0;
   std::size_t worker_respawns = 0;
   bool trace_enabled = false;
+  /// Replication block, rendered only when repl_role != 0 (the role is
+  /// structural server config, not runtime data, so golden expositions
+  /// of non-replicated servers keep their shape). 1 = streaming
+  /// leader, 2 = promoted follower.
+  int repl_role = 0;
+  std::uint64_t repl_leader_seq = 0;
+  std::uint64_t repl_replicated_seq = 0;
+  std::size_t repl_followers = 0;
+  std::uint64_t repl_lag_records = 0;
+  std::uint64_t repl_lag_bytes = 0;
+  double repl_lag_seconds = 0.0;
+  std::uint64_t repl_checkpoints_shipped = 0;
+  std::uint64_t repl_sync_degraded = 0;
+  std::uint64_t repl_applied_records = 0;  ///< promoted follower only
+  double repl_apply_rate_hz = 0.0;         ///< promoted follower only
 };
 
 /// Shared metrics sink. Workers record whole batches at a time, so the

@@ -1,5 +1,6 @@
 #include "serve/recovery/fault_injector.hpp"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -15,6 +16,8 @@ const char* to_string(FaultSite site) {
     case FaultSite::kExecute: return "execute";
     case FaultSite::kAck: return "ack";
     case FaultSite::kCheckpointWrite: return "checkpoint_write";
+    case FaultSite::kReplSend: return "repl_send";
+    case FaultSite::kReplRecv: return "repl_recv";
   }
   return "?";
 }
@@ -26,6 +29,10 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kDelay: return "delay";
     case FaultKind::kDropBeforeAck: return "drop_before_ack";
     case FaultKind::kTornCheckpoint: return "torn_checkpoint";
+    case FaultKind::kDropMessage: return "drop_message";
+    case FaultKind::kTornMessage: return "torn_message";
+    case FaultKind::kDupMessage: return "dup_message";
+    case FaultKind::kKillProcess: return "kill_process";
   }
   return "?";
 }
@@ -57,8 +64,47 @@ void FaultInjector::arm_random_delays(std::size_t count,
   }
 }
 
+void FaultInjector::arm_named(const std::string& name,
+                              std::uint64_t fire_at, bool repeat) {
+  FaultPlan plan;
+  plan.fire_at = fire_at;
+  plan.repeat = repeat;
+  if (name == "repl_send_drop") {
+    plan.site = FaultSite::kReplSend;
+    plan.kind = FaultKind::kDropMessage;
+  } else if (name == "repl_recv_torn") {
+    // A torn record is simulated where it is produced: the leader sends
+    // half a frame and cuts the connection, so the follower's decoder
+    // observes the mid-record tear.
+    plan.site = FaultSite::kReplSend;
+    plan.kind = FaultKind::kTornMessage;
+  } else if (name == "repl_delay") {
+    plan.site = FaultSite::kReplSend;
+    plan.kind = FaultKind::kDelay;
+    plan.delay = std::chrono::microseconds(500);
+  } else if (name == "repl_dup") {
+    plan.site = FaultSite::kReplSend;
+    plan.kind = FaultKind::kDupMessage;
+  } else {
+    SSMA_CHECK_MSG(false, "unknown named fault site: " << name);
+  }
+  arm(plan);
+}
+
+void FaultInjector::arm_network_chaos(std::size_t count,
+                                      std::uint64_t max_fire_at) {
+  SSMA_CHECK(max_fire_at >= 1);
+  static const char* const kNames[] = {"repl_send_drop", "repl_recv_torn",
+                                       "repl_delay", "repl_dup"};
+  // Offset the stream from arm_random_delays so arming both kinds of
+  // chaos from one seed does not correlate their fire points.
+  Rng rng(seed_ ^ 0x9e3779b97f4a7c15ull);
+  for (std::size_t i = 0; i < count; ++i)
+    arm_named(kNames[rng.next_below(4)], 1 + rng.next_below(max_fire_at));
+}
+
 FaultAction FaultInjector::poll(FaultSite site, int worker_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   const auto s = static_cast<std::size_t>(site);
   const std::uint64_t n = ++site_polls_[s];
   for (std::size_t i = 0; i < plans_.size(); ++i) {
@@ -73,6 +119,13 @@ FaultAction FaultInjector::poll(FaultSite site, int worker_id) {
     oss << to_string(p.kind) << "@" << to_string(site) << " poll#" << n
         << " worker=" << worker_id;
     fired_log_.push_back(oss.str());
+    if (p.kind == FaultKind::kKillProcess) {
+      // Executed here, not by the caller: every existing poll site
+      // supports a whole-process crash with zero per-site changes —
+      // the cross-process failover matrix relies on that coverage.
+      lock.unlock();
+      std::_Exit(9);
+    }
     return {p.kind, p.delay};
   }
   return {};

@@ -26,7 +26,11 @@ enum class FaultSite {
   kExecute,          ///< worker: outputs computed, before the ack stage
   kAck,              ///< worker: entering the (atomic) ack stage
   kCheckpointWrite,  ///< CheckpointManager::write
+  kReplSend,         ///< leader: replication message about to be sent
+  kReplRecv,         ///< follower: replication record received,
+                     ///< before it is persisted
 };
+inline constexpr std::size_t kNumFaultSites = 8;
 
 /// What happens when a plan fires.
 enum class FaultKind {
@@ -36,6 +40,13 @@ enum class FaultKind {
   kDropBeforeAck,  ///< discard the computed batch unacked (worker
                    ///< survives; the batch is requeued and re-executed)
   kTornCheckpoint, ///< checkpoint file truncated mid-payload
+  kDropMessage,    ///< network: message silently not delivered
+  kTornMessage,    ///< network: half a frame sent, then the connection
+                   ///< cut (mid-record stream tear)
+  kDupMessage,     ///< network: message delivered twice
+  kKillProcess,    ///< whole-process crash (std::_Exit) — the
+                   ///< cross-process failover matrix kills leaders with
+                   ///< this at any site; poll() itself executes it
 };
 
 const char* to_string(FaultSite site);
@@ -74,6 +85,17 @@ class FaultInjector {
   void arm_random_delays(std::size_t count, std::uint64_t max_fire_at,
                          std::chrono::microseconds max_delay);
 
+  /// Arms one of the named network fault sites the replication chaos
+  /// tests use ("repl_send_drop", "repl_recv_torn", "repl_delay",
+  /// "repl_dup") at the `fire_at`-th poll. Throws CheckError on an
+  /// unknown name. Same deterministic poll-count semantics as arm().
+  void arm_named(const std::string& name, std::uint64_t fire_at,
+                 bool repeat = false);
+
+  /// Arms `count` seed-derived faults across the named network sites —
+  /// reproducible replication chaos from SSMA_TEST_SEED.
+  void arm_network_chaos(std::size_t count, std::uint64_t max_fire_at);
+
   /// Advances the site counter and returns the action to apply now
   /// (kNone almost always). Thread-safe; deterministic in the sequence
   /// of polls.
@@ -92,7 +114,7 @@ class FaultInjector {
   mutable std::mutex mu_;
   std::vector<FaultPlan> plans_;
   std::vector<bool> consumed_;
-  std::uint64_t site_polls_[6] = {0, 0, 0, 0, 0, 0};
+  std::uint64_t site_polls_[kNumFaultSites] = {};
   std::uint64_t fired_ = 0;
   std::vector<std::string> fired_log_;
 };

@@ -38,16 +38,34 @@ RequestJournal::RequestJournal(const std::string& path) : path_(path) {
   SSMA_CHECK_MSG(prefix_ok || have < 8,
                  "not an SSMA journal: " << path);
   const bool fresh = have < 8;
+  if (!fresh) {
+    // Seed the sequence counter from the existing records so a
+    // recovered leader keeps handing out file positions a resuming
+    // follower can trust. A torn tail is not a record: seq_/bytes_
+    // stop at the last whole frame (append re-extends from there —
+    // append mode writes after the torn bytes, which read() skips, so
+    // sequence numbers stay consistent with read order).
+    std::ifstream is(path, std::ios::binary);
+    is.ignore(8);
+    std::string payload;
+    std::streampos last_good = is.tellg();
+    while (maddness::try_read_framed_blob(is, &payload)) {
+      ++seq_;
+      last_good = is.tellg();
+    }
+    bytes_ = static_cast<std::uint64_t>(last_good);
+  }
   os_.open(path, fresh ? std::ios::binary | std::ios::trunc
                        : std::ios::binary | std::ios::app);
   SSMA_CHECK_MSG(os_.is_open(), "cannot open journal " << path);
   if (fresh) {
     os_.write(kMagic, sizeof(kMagic));
     os_.flush();
+    bytes_ = 8;
   }
 }
 
-void RequestJournal::append_record(const std::string& payload) {
+std::uint64_t RequestJournal::append_record(const std::string& payload) {
   std::lock_guard<std::mutex> lock(mu_);
   maddness::write_framed_blob(os_, payload);
   // Flush every record: the journal is only useful if it survives the
@@ -56,9 +74,32 @@ void RequestJournal::append_record(const std::string& payload) {
   // same-host reader immediately.)
   os_.flush();
   SSMA_CHECK_MSG(os_.good(), "journal append failure on " << path_);
+  const std::uint64_t seq = ++seq_;
+  bytes_ += 12 + payload.size();  // frame = len(8) + crc(4) + payload
+  if (hook_) hook_(seq, bytes_);
+  return seq;
 }
 
-void RequestJournal::append_accepted(
+std::uint64_t RequestJournal::append_raw(const std::string& payload) {
+  return append_record(payload);
+}
+
+std::uint64_t RequestJournal::durable_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+std::uint64_t RequestJournal::durable_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+void RequestJournal::set_commit_hook(CommitHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hook_ = std::move(hook);
+}
+
+std::uint64_t RequestJournal::append_accepted(
     std::uint64_t id, std::size_t rows,
     const std::vector<std::uint8_t>& codes) {
   std::ostringstream payload;
@@ -68,10 +109,10 @@ void RequestJournal::append_accepted(
   wire::put_u64(payload, codes.size());
   payload.write(reinterpret_cast<const char*>(codes.data()),
                 static_cast<std::streamsize>(codes.size()));
-  append_record(payload.str());
+  return append_record(payload.str());
 }
 
-void RequestJournal::append_accepted(
+std::uint64_t RequestJournal::append_accepted(
     std::uint64_t id, const std::string& model,
     std::uint64_t model_version, std::size_t rows,
     const std::vector<std::uint8_t>& codes) {
@@ -86,17 +127,57 @@ void RequestJournal::append_accepted(
   wire::put_u64(payload, codes.size());
   payload.write(reinterpret_cast<const char*>(codes.data()),
                 static_cast<std::streamsize>(codes.size()));
-  append_record(payload.str());
+  return append_record(payload.str());
 }
 
-void RequestJournal::append_completed(std::uint64_t id, int worker_id,
-                                      std::uint32_t output_crc) {
+std::uint64_t RequestJournal::append_completed(std::uint64_t id,
+                                               int worker_id,
+                                               std::uint32_t output_crc) {
   std::ostringstream payload;
   wire::put_u8(payload, kCompleted);
   wire::put_u64(payload, id);
   wire::put_u32(payload, static_cast<std::uint32_t>(worker_id));
   wire::put_u32(payload, output_crc);
-  append_record(payload.str());
+  return append_record(payload.str());
+}
+
+bool RequestJournal::parse_record(const std::string& payload,
+                                  ParsedRecord* out) {
+  std::istringstream body(payload);
+  std::uint8_t type = 0;
+  try {
+    type = wire::get_u8(body);
+    if (type == kAccepted || type == kAcceptedV2) {
+      out->is_accepted = true;
+      AcceptedRecord& rec = out->accepted;
+      rec.id = wire::get_u64(body);
+      if (type == kAcceptedV2) {
+        rec.model.resize(static_cast<std::size_t>(wire::get_u64(body)));
+        body.read(rec.model.data(),
+                  static_cast<std::streamsize>(rec.model.size()));
+        if (body.gcount() !=
+            static_cast<std::streamsize>(rec.model.size()))
+          return false;
+        rec.model_version = wire::get_u64(body);
+      }
+      rec.rows = static_cast<std::size_t>(wire::get_u64(body));
+      rec.codes.resize(static_cast<std::size_t>(wire::get_u64(body)));
+      body.read(reinterpret_cast<char*>(rec.codes.data()),
+                static_cast<std::streamsize>(rec.codes.size()));
+      return body.gcount() ==
+             static_cast<std::streamsize>(rec.codes.size());
+    }
+    if (type == kCompleted) {
+      out->is_accepted = false;
+      out->completed_id = wire::get_u64(body);
+      wire::get_u32(body);  // worker id: informational only
+      out->completed_crc = wire::get_u32(body);
+      return body.good() || body.eof();
+    }
+  } catch (const std::exception&) {
+    return false;  // wire::get_* underflow on a truncated payload
+  }
+  return false;  // unknown record type
 }
 
 JournalReplay RequestJournal::read(const std::string& path) {

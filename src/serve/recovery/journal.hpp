@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -57,24 +58,55 @@ struct JournalReplay {
   bool torn_tail = false;
 };
 
+/// One record decoded in isolation — what a replication follower needs
+/// to interpret a streamed record payload without re-reading the file.
+struct ParsedRecord {
+  bool is_accepted = false;  ///< accepted (v1 or v2) vs completed
+  AcceptedRecord accepted;   ///< valid when is_accepted
+  std::uint64_t completed_id = 0;    ///< valid when !is_accepted
+  std::uint32_t completed_crc = 0;   ///< valid when !is_accepted
+};
+
 class RequestJournal {
  public:
+  /// Notified after every record becomes durable (post-flush, while the
+  /// append lock is held): (seq, file_bytes). Replication's sender tails
+  /// the file on this signal. Keep the hook cheap and non-reentrant.
+  using CommitHook =
+      std::function<void(std::uint64_t seq, std::uint64_t file_bytes)>;
+
   /// Opens (creating if needed) the journal at `path` for appending.
+  /// Scans any existing records so durable_seq() continues the file's
+  /// 1-based record count.
   explicit RequestJournal(const std::string& path);
 
   /// WAL accept record — call before the request is enqueued. The
   /// 3-argument form writes the v1 (model-less) record kept for
-  /// pre-registry compatibility.
-  void append_accepted(std::uint64_t id, std::size_t rows,
-                       const std::vector<std::uint8_t>& codes);
+  /// pre-registry compatibility. Returns the record's sequence number
+  /// (1-based position in the file), the unit of replication acking.
+  std::uint64_t append_accepted(std::uint64_t id, std::size_t rows,
+                                const std::vector<std::uint8_t>& codes);
   /// Model-tagged accept record (v2): persists the (name, version) the
   /// request pinned at admission.
-  void append_accepted(std::uint64_t id, const std::string& model,
-                       std::uint64_t model_version, std::size_t rows,
-                       const std::vector<std::uint8_t>& codes);
+  std::uint64_t append_accepted(std::uint64_t id, const std::string& model,
+                                std::uint64_t model_version,
+                                std::size_t rows,
+                                const std::vector<std::uint8_t>& codes);
   /// Ack record — call after the response future is fulfilled.
-  void append_completed(std::uint64_t id, int worker_id,
-                        std::uint32_t output_crc);
+  std::uint64_t append_completed(std::uint64_t id, int worker_id,
+                                 std::uint32_t output_crc);
+  /// Appends an already-serialized record payload verbatim — the
+  /// replication follower persists streamed leader records through
+  /// here, keeping its file a byte-prefix of the leader's.
+  std::uint64_t append_raw(const std::string& payload);
+
+  /// Sequence number of the newest durable record (0 = none yet).
+  std::uint64_t durable_seq() const;
+  /// File size in bytes after the newest durable record.
+  std::uint64_t durable_bytes() const;
+
+  /// Installs (or clears, with nullptr) the post-append notification.
+  void set_commit_hook(CommitHook hook);
 
   const std::string& path() const { return path_; }
 
@@ -82,12 +114,19 @@ class RequestJournal {
   /// yields an empty replay.
   static JournalReplay read(const std::string& path);
 
+  /// Decodes one record payload (the framed blob's contents). Returns
+  /// false on an unknown type or truncated fields.
+  static bool parse_record(const std::string& payload, ParsedRecord* out);
+
  private:
-  void append_record(const std::string& payload);
+  std::uint64_t append_record(const std::string& payload);
 
   std::string path_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::ofstream os_;
+  std::uint64_t seq_ = 0;    ///< records durable so far
+  std::uint64_t bytes_ = 0;  ///< file size after the last record
+  CommitHook hook_;
 };
 
 }  // namespace ssma::serve::recovery

@@ -1,0 +1,436 @@
+#include "serve/replication/replication.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "maddness/framing.hpp"
+#include "net/wire_protocol.hpp"
+#include "serve/replication/socket_util.hpp"
+#include "serve/request_queue.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
+
+namespace ssma::serve::replication {
+
+using net::FrameDecoder;
+using net::MsgType;
+using net::ReplMessage;
+
+const char* to_string(AckMode mode) {
+  switch (mode) {
+    case AckMode::kAsync:
+      return "async";
+    case AckMode::kWindow:
+      return "window";
+    case AckMode::kSync:
+      return "sync";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Blocking frame receive: drains the decoder, refilling from the
+/// socket as needed. False on peer close, socket error, or a bad frame.
+bool recv_frame(int fd, FrameDecoder& dec, std::string* payload) {
+  for (;;) {
+    switch (dec.next(payload)) {
+      case FrameDecoder::Result::kFrame:
+        return true;
+      case FrameDecoder::Result::kBad:
+        return false;
+      case FrameDecoder::Result::kNeedMore:
+        break;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    dec.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+/// Reads the journal frame starting at byte `*pos`; advances *pos past
+/// it on success.
+bool read_frame_at(std::ifstream& is, std::uint64_t* pos,
+                   std::string* payload) {
+  is.clear();
+  is.seekg(static_cast<std::streamoff>(*pos));
+  if (!is || !maddness::try_read_framed_blob(is, payload)) return false;
+  *pos += 12 + payload->size();  // u64 len + u32 crc + payload
+  return true;
+}
+
+}  // namespace
+
+ReplicationLog::ReplicationLog(recovery::RequestJournal& journal,
+                               recovery::CheckpointManager* checkpoints,
+                               const ReplicationOptions& opts)
+    : journal_(journal), checkpoints_(checkpoints), opts_(opts) {
+  leader_seq_ = journal_.durable_seq();
+  leader_bytes_ = journal_.durable_bytes();
+  // Pre-existing records are untracked for byte/age lag (no append
+  // timestamps exist for them); the record-count lag still covers them.
+  replicated_bytes_ = leader_bytes_;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  SSMA_CHECK_MSG(listen_fd_ >= 0, "replication: socket() failed");
+  int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  SSMA_CHECK_MSG(::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) == 1, "replication: bad listen host: " + opts_.host);
+  SSMA_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) == 0, "replication: bind failed on " + opts_.host);
+  SSMA_CHECK_MSG(::listen(listen_fd_, 8) == 0, "replication: listen failed");
+  socklen_t len = sizeof(addr);
+  SSMA_CHECK_MSG(::getsockname(listen_fd_,
+                           reinterpret_cast<sockaddr*>(&addr), &len) == 0, "replication: getsockname failed");
+  port_ = ntohs(addr.sin_port);
+
+  journal_.set_commit_hook([this](std::uint64_t seq, std::uint64_t bytes) {
+    on_commit(seq, bytes);
+  });
+  accept_thread_ = std::thread([this] { accept_main(); });
+}
+
+ReplicationLog::~ReplicationLog() { stop(); }
+
+void ReplicationLog::on_commit(std::uint64_t seq, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  leader_seq_ = seq;
+  leader_bytes_ = bytes;
+  pending_.push_back({seq, bytes, std::chrono::steady_clock::now()});
+  cv_.notify_all();
+}
+
+void ReplicationLog::accept_main() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down
+    }
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    followers_.emplace_back(std::make_unique<Follower>());
+    Follower* f = followers_.back().get();
+    f->fd = fd;
+    f->session = std::thread([this, f] { session_main(f); });
+  }
+}
+
+std::uint64_t ReplicationLog::newest_valid_checkpoint() {
+  if (!checkpoints_) return 0;
+  const auto versions = checkpoints_->versions();
+  for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+    bool valid;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto cached = ckpt_valid_.find(*it);
+      if (cached != ckpt_valid_.end()) {
+        if (cached->second) return *it;
+        continue;
+      }
+    }
+    try {
+      (void)recovery::CheckpointManager::load_file(
+          checkpoints_->path_of(*it));
+      valid = true;
+    } catch (const std::exception&) {
+      valid = false;  // torn (e.g. injected kTornCheckpoint) — skip
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    ckpt_valid_[*it] = valid;
+    if (valid) return *it;
+  }
+  return 0;
+}
+
+bool ReplicationLog::faulted_send(Follower* f, const std::string& frame,
+                                  bool* sent) {
+  SSMA_TRACE_SPAN(kReplSend);
+  *sent = false;
+  int dup = 1;
+  if (opts_.fault) {
+    const auto action = opts_.fault->poll(recovery::FaultSite::kReplSend);
+    switch (action.kind) {
+      case recovery::FaultKind::kDelay:
+        std::this_thread::sleep_for(action.delay);
+        break;
+      case recovery::FaultKind::kDropMessage: {
+        // Silently not delivered: the stream position advances, the
+        // follower detects the sequence gap and reconnects with its
+        // real high-water mark — the dropped record is re-streamed.
+        std::lock_guard<std::mutex> lk(mu_);
+        ++dropped_sends_;
+        *sent = true;
+        return true;
+      }
+      case recovery::FaultKind::kTornMessage: {
+        // Half a frame, then cut: the follower's decoder sees a torn
+        // stream and reconnects.
+        (void)send_all(f->fd, frame.data(), frame.size() / 2);
+        ::shutdown(f->fd, SHUT_RDWR);
+        std::lock_guard<std::mutex> lk(mu_);
+        ++torn_sends_;
+        return false;
+      }
+      case recovery::FaultKind::kDupMessage: {
+        dup = 2;
+        std::lock_guard<std::mutex> lk(mu_);
+        ++dup_sends_;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (int i = 0; i < dup; ++i) {
+    if (!send_all(f->fd, frame.data(), frame.size())) return false;
+    std::lock_guard<std::mutex> lk(mu_);
+    bytes_sent_ += frame.size();
+  }
+  *sent = true;
+  return true;
+}
+
+bool ReplicationLog::ship_checkpoints(Follower* f) {
+  const std::uint64_t v = newest_valid_checkpoint();
+  if (v == 0 || v <= f->shipped_ckpt) return true;
+  std::ifstream is(checkpoints_->path_of(v), std::ios::binary);
+  if (!is) return true;  // raced a cleanup; next round retries
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  ReplMessage m;
+  m.type = MsgType::kReplCheckpoint;
+  m.arg = v;
+  m.bytes = std::move(bytes);
+  bool sent = false;
+  // A dropped checkpoint cannot be gap-detected from sequence numbers
+  // the way records are, so treat drop like a torn stream: cut the
+  // connection and let the reconnect handshake re-ship it.
+  if (!faulted_send(f, m.encode(), &sent) || !sent) {
+    ::shutdown(f->fd, SHUT_RDWR);
+    return false;
+  }
+  f->shipped_ckpt = v;
+  std::lock_guard<std::mutex> lk(mu_);
+  ++checkpoints_shipped_;
+  return true;
+}
+
+void ReplicationLog::session_main(Follower* f) {
+  FrameDecoder dec(opts_.max_frame_bytes);
+  std::string payload;
+  ReplMessage hello;
+  bool ok = recv_frame(f->fd, dec, &payload) &&
+            net::parse_repl(payload, &hello) &&
+            hello.type == MsgType::kReplHello;
+  if (ok && hello.arg > journal_.durable_seq()) {
+    // The follower claims records this leader never wrote: it has
+    // diverged (e.g. promoted, or paired with a different leader) and
+    // must not be silently rewound.
+    ReplMessage rej;
+    rej.type = MsgType::kReplReject;
+    rej.arg = static_cast<std::uint64_t>(RejectReason::kStaleFollower);
+    rej.bytes = "follower seq " + std::to_string(hello.arg) +
+                " ahead of leader seq " +
+                std::to_string(journal_.durable_seq());
+    const std::string frame = rej.encode();
+    (void)send_all(f->fd, frame.data(), frame.size());
+    std::lock_guard<std::mutex> lk(mu_);
+    ++rejected_followers_;
+    ok = false;
+  }
+
+  std::uint64_t next_seq = hello.arg + 1;
+  std::uint64_t pos = 8;  // past the journal magic
+  std::ifstream is;
+  if (ok) {
+    f->shipped_ckpt = hello.arg2;
+    if (!ship_checkpoints(f)) ok = false;
+  }
+  if (ok) {
+    is.open(journal_.path(), std::ios::binary);
+    // Skip the frames the follower already has.
+    for (std::uint64_t i = 0; ok && i < hello.arg; ++i)
+      ok = read_frame_at(is, &pos, &payload);
+  }
+  if (ok) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      f->ready = true;
+      f->acked_seq = hello.arg;
+      replicated_seq_ = std::max(replicated_seq_, hello.arg);
+      cv_.notify_all();
+    }
+    f->reader = std::thread([this, f] { reader_main(f); });
+
+    for (;;) {
+      std::uint64_t target;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        // The timeout doubles as the checkpoint-discovery poll: model
+        // registrations checkpoint without journaling a record.
+        cv_.wait_for(lk, std::chrono::milliseconds(50), [&] {
+          return stopping_ || leader_seq_ >= next_seq;
+        });
+        if (stopping_) break;
+        target = leader_seq_;
+      }
+      if (!ship_checkpoints(f)) break;
+      bool broken = false;
+      while (next_seq <= target && !broken) {
+        // The record is durable (leader_seq_ covers it), so the frame
+        // is fully on disk; retry briefly against fs visibility jitter.
+        bool have = false;
+        for (int attempt = 0; attempt < 100 && !have; ++attempt) {
+          have = read_frame_at(is, &pos, &payload);
+          if (!have)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (!have) {
+          broken = true;
+          break;
+        }
+        ReplMessage rec;
+        rec.type = MsgType::kReplRecord;
+        rec.arg = next_seq;
+        rec.bytes = payload;
+        bool sent = false;
+        if (!faulted_send(f, rec.encode(), &sent)) {
+          broken = true;
+          break;
+        }
+        ++next_seq;
+        std::lock_guard<std::mutex> lk(mu_);
+        ++records_sent_;
+      }
+      if (broken) break;
+    }
+  }
+
+  ::shutdown(f->fd, SHUT_RDWR);
+  if (f->reader.joinable()) f->reader.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  ::close(f->fd);
+  f->fd = -1;
+  f->ready = false;
+  f->done = true;
+  cv_.notify_all();
+}
+
+void ReplicationLog::reader_main(Follower* f) {
+  FrameDecoder dec(opts_.max_frame_bytes);
+  std::string payload;
+  ReplMessage m;
+  while (recv_frame(f->fd, dec, &payload)) {
+    if (!net::parse_repl(payload, &m) || m.type != MsgType::kReplAck)
+      break;
+    std::lock_guard<std::mutex> lk(mu_);
+    f->acked_seq = std::max(f->acked_seq, m.arg);
+    if (f->acked_seq > replicated_seq_) {
+      replicated_seq_ = f->acked_seq;
+      while (!pending_.empty() && pending_.front().seq <= replicated_seq_) {
+        replicated_bytes_ = pending_.front().bytes;
+        pending_.pop_front();
+      }
+      cv_.notify_all();
+    }
+  }
+  // Wake the sender so a half-dead connection (peer gone, sends still
+  // buffering) is torn down promptly.
+  ::shutdown(f->fd, SHUT_RDWR);
+}
+
+bool ReplicationLog::wait_follower(std::size_t n,
+                                   std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return cv_.wait_for(lk, timeout, [&] {
+    std::size_t ready = 0;
+    for (const auto& f : followers_)
+      if (f->ready) ++ready;
+    return ready >= n;
+  });
+}
+
+bool ReplicationLog::wait_acked(std::uint64_t seq) {
+  if (opts_.ack_mode == AckMode::kAsync) return true;
+  const std::uint64_t target =
+      opts_.ack_mode == AckMode::kSync
+          ? seq
+          : (seq > opts_.window ? seq - opts_.window : 0);
+  if (target == 0) return true;
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool ok = cv_.wait_for(lk, opts_.ack_timeout, [&] {
+    return stopping_ || replicated_seq_ >= target;
+  });
+  if (!ok) ++sync_degraded_;
+  return ok;
+}
+
+ReplicationStats ReplicationLog::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ReplicationStats s;
+  s.leader_seq = leader_seq_;
+  s.replicated_seq = replicated_seq_;
+  for (const auto& f : followers_)
+    if (f->ready) ++s.followers;
+  s.records_sent = records_sent_;
+  s.bytes_sent = bytes_sent_;
+  s.checkpoints_shipped = checkpoints_shipped_;
+  s.rejected_followers = rejected_followers_;
+  s.sync_degraded = sync_degraded_;
+  s.dropped_sends = dropped_sends_;
+  s.torn_sends = torn_sends_;
+  s.dup_sends = dup_sends_;
+  s.lag_records =
+      leader_seq_ > replicated_seq_ ? leader_seq_ - replicated_seq_ : 0;
+  s.lag_bytes = leader_bytes_ > replicated_bytes_
+                    ? leader_bytes_ - replicated_bytes_
+                    : 0;
+  if (!pending_.empty()) {
+    s.lag_ns = std::chrono::duration<double, std::nano>(
+                   std::chrono::steady_clock::now() - pending_.front().at)
+                   .count();
+  }
+  return s;
+}
+
+void ReplicationLog::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  journal_.set_commit_hook(nullptr);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& f : followers_)
+      if (f->fd >= 0) ::shutdown(f->fd, SHUT_RDWR);
+  }
+  for (auto& f : followers_)
+    if (f->session.joinable()) f->session.join();
+}
+
+}  // namespace ssma::serve::replication

@@ -25,6 +25,8 @@ const char* reject_reason_name(RejectReason r) {
     case RejectReason::kDeadlineExpired: return "deadline_expired";
     case RejectReason::kUnknownModel: return "unknown_model";
     case RejectReason::kMalformed: return "malformed";
+    case RejectReason::kReplicaNotReady: return "replica_not_ready";
+    case RejectReason::kStaleFollower: return "stale_follower";
   }
   return "unknown";
 }

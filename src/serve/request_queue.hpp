@@ -53,8 +53,12 @@ enum class RejectReason : std::uint8_t {
   kDeadlineExpired,      ///< SLO deadline passed before execution
   kUnknownModel,         ///< model ref did not resolve
   kMalformed,            ///< request failed shape/protocol validation
+  kReplicaNotReady,      ///< follower promotion attempted before the
+                         ///< standby received its first checkpoint
+  kStaleFollower,        ///< follower journal is ahead of the leader's
+                         ///< (diverged history) — cannot resume
 };
-inline constexpr std::size_t kNumRejectReasons = 6;
+inline constexpr std::size_t kNumRejectReasons = 8;
 const char* reject_reason_name(RejectReason r);
 
 /// Typed load-shed/refusal error: what a rejected request's future
@@ -99,6 +103,10 @@ struct InferenceRequest {
   /// will wait for.
   Clock::time_point deadline = Clock::time_point::max();
   std::string tenant;  ///< admission identity; empty = anonymous
+  /// Journal sequence number of this request's accept record (0 = not
+  /// journaled). The worker's ack path holds the response until the
+  /// replication watermark covers this seq — the acked-write guarantee.
+  std::uint64_t wal_seq = 0;
   /// Optional completion hook, invoked exactly once — from whichever
   /// thread fulfills or fails the request — *before* the promise is
   /// resolved. The network layer uses it to serialize the response

@@ -10,6 +10,7 @@
 #include "serve/recovery/fault_injector.hpp"
 #include "serve/recovery/journal.hpp"
 #include "serve/recovery/recovery.hpp"
+#include "serve/replication/replication.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
@@ -72,6 +73,7 @@ InferenceServer::InferenceServer(
   wopts.batcher = opts.batcher;
   wopts.fault = recovery_.fault;
   wopts.journal = recovery_.journal;
+  wopts.replication = recovery_.replication;
   wopts.supervise = recovery_.supervise;
   wopts.max_respawns_per_shard = recovery_.max_respawns_per_shard;
   pool_ = std::make_unique<WorkerPool>(*queue_, metrics_, wopts);
@@ -229,9 +231,11 @@ std::future<InferenceResult> InferenceServer::submit_with_id(
     const auto t0 = Clock::now();
     {
       SSMA_TRACE_SPAN_IDS(kJournalAppend, id, id);
-      recovery_.journal->append_accepted(id, req.model->name(),
-                                         req.model->version(), rows,
-                                         req.codes);
+      // The record's sequence number rides on the request: the worker
+      // ack path gates on it when replication enforces sync/window
+      // acked-write semantics.
+      req.wal_seq = recovery_.journal->append_accepted(
+          id, req.model->name(), req.model->version(), rows, req.codes);
     }
     metrics_.record_journal_append(
         std::chrono::duration<double, std::nano>(Clock::now() - t0)
@@ -379,6 +383,40 @@ void InferenceServer::shutdown() {
   shut_down_ = true;
 }
 
+void InferenceServer::attach_recovery(
+    recovery::RequestJournal* journal,
+    recovery::CheckpointManager* checkpoints,
+    std::size_t checkpoint_every) {
+  recovery_.journal = journal;
+  recovery_.checkpoints = checkpoints;
+  recovery_.checkpoint_every = checkpoint_every;
+  pool_->set_journal(journal);
+  // First checkpoint under new ownership: the promoted leader's newest
+  // on-disk version carries its current registry and counters.
+  maybe_checkpoint(accepted_.load(std::memory_order_relaxed),
+                   /*force=*/true);
+}
+
+void InferenceServer::ensure_id_watermark(std::uint64_t min_next_id) {
+  std::uint64_t cur = next_id_.load(std::memory_order_relaxed);
+  while (cur < min_next_id &&
+         !next_id_.compare_exchange_weak(cur, min_next_id,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+void InferenceServer::set_replication(replication::ReplicationLog* repl) {
+  recovery_.replication = repl;
+  pool_->set_replication(repl);
+}
+
+void InferenceServer::note_promotion(std::uint64_t applied_records,
+                                     double apply_rate_hz) {
+  promotion_.promoted = true;
+  promotion_.applied = applied_records;
+  promotion_.apply_rate_hz = apply_rate_hz;
+}
+
 std::string InferenceServer::render_prometheus() const {
   PromGauges g;
   g.queue_depth = queue_->size();
@@ -386,6 +424,23 @@ std::string InferenceServer::render_prometheus() const {
   g.workers = static_cast<std::size_t>(pool_->num_workers());
   g.worker_respawns = static_cast<std::size_t>(pool_->respawn_count());
   g.trace_enabled = telemetry::TraceSession::instance().enabled();
+  if (recovery_.replication) {
+    const replication::ReplicationStats rs =
+        recovery_.replication->stats();
+    g.repl_role = 1;  // streaming leader
+    g.repl_leader_seq = rs.leader_seq;
+    g.repl_replicated_seq = rs.replicated_seq;
+    g.repl_followers = rs.followers;
+    g.repl_lag_records = rs.lag_records;
+    g.repl_lag_bytes = rs.lag_bytes;
+    g.repl_lag_seconds = rs.lag_ns / 1e9;
+    g.repl_checkpoints_shipped = rs.checkpoints_shipped;
+    g.repl_sync_degraded = rs.sync_degraded;
+  } else if (promotion_.promoted) {
+    g.repl_role = 2;  // promoted follower
+    g.repl_applied_records = promotion_.applied;
+    g.repl_apply_rate_hz = promotion_.apply_rate_hz;
+  }
   return metrics_.render_prometheus(g);
 }
 

@@ -57,6 +57,10 @@ class CheckpointManager;
 struct RecoveredState;
 }  // namespace recovery
 
+namespace replication {
+class ReplicationLog;
+}  // namespace replication
+
 /// What a future holds when a request is refused because the server is
 /// draining or shut down — a typed, immediate rejection, never a hang.
 /// Now a RejectedError (reason() == kShutdown); kept as a distinct type
@@ -103,6 +107,12 @@ struct RecoveryOptions {
   /// Deterministic fault hook, threaded through admission, the queue,
   /// the worker pool, and checkpoint writes.
   recovery::FaultInjector* fault = nullptr;
+  /// Leader-side replication endpoint (journal streaming + checkpoint
+  /// shipping). When set, the worker ack path enforces its ack mode:
+  /// a response is not acknowledged until the request's journal record
+  /// is replicated past the configured watermark (sync/window), making
+  /// follower promotion zero-RPO for acked writes.
+  replication::ReplicationLog* replication = nullptr;
   /// Supervise shards: respawn crashed workers and requeue their
   /// in-flight batch.
   bool supervise = false;
@@ -230,6 +240,28 @@ class InferenceServer {
   /// fail with std::runtime_error. Idempotent.
   void shutdown();
 
+  // ------------------------------------------------- promotion hooks
+  /// Wires journal + checkpoint store into a running server that was
+  /// built without them — the replication promotion path: a warm
+  /// standby is restored recovery-less (its records are the leader's),
+  /// then owns the follower's stores the moment it becomes the leader.
+  /// Writes a checkpoint immediately so the new leader is durable from
+  /// its first accepted request. Pointers are borrowed, as in
+  /// RecoveryOptions.
+  void attach_recovery(recovery::RequestJournal* journal,
+                       recovery::CheckpointManager* checkpoints,
+                       std::size_t checkpoint_every);
+  /// Raises the admission id watermark to at least `min_next_id` (never
+  /// lowers it) — a promoted follower must not reuse ids the old leader
+  /// handed out.
+  void ensure_id_watermark(std::uint64_t min_next_id);
+  /// Installs (or clears) the leader-side replication endpoint on a
+  /// running server; workers pick it up on their next batch.
+  void set_replication(replication::ReplicationLog* repl);
+  /// Records that this server was promoted from a follower (surfaced
+  /// as ssma_repl_role 2 plus apply counters in the exposition).
+  void note_promotion(std::uint64_t applied_records, double apply_rate_hz);
+
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
   /// Attribute a refusal decided upstream of submit() (e.g. the network
   /// admission controller) to this server's reject counters, so one
@@ -270,6 +302,13 @@ class InferenceServer {
   std::unique_ptr<WorkerPool> pool_;
   RecoveryOptions recovery_;
   bool shut_down_ = false;
+  /// Set once by note_promotion(); read by render_prometheus.
+  struct PromotionInfo {
+    bool promoted = false;
+    std::uint64_t applied = 0;
+    double apply_rate_hz = 0.0;
+  };
+  PromotionInfo promotion_;
 };
 
 }  // namespace ssma::serve

@@ -9,6 +9,7 @@
 #include "maddness/framing.hpp"
 #include "serve/recovery/fault_injector.hpp"
 #include "serve/recovery/journal.hpp"
+#include "serve/replication/replication.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
@@ -21,6 +22,8 @@ using recovery::FaultSite;
 WorkerPool::WorkerPool(RequestQueue& queue, Metrics& metrics,
                        const WorkerPoolOptions& opts)
     : queue_(queue), metrics_(metrics), opts_(opts) {
+  journal_.store(opts.journal, std::memory_order_relaxed);
+  replication_.store(opts.replication, std::memory_order_relaxed);
   SSMA_CHECK(opts.num_workers >= 1);
   SSMA_CHECK(opts.max_respawns_per_shard >= 0);
   shard_reports_.resize(static_cast<std::size_t>(opts.num_workers));
@@ -274,6 +277,18 @@ void WorkerPool::worker_main(int worker_id) {
       return;
     }
 
+    // Acked-write gate: with replication in sync/window mode, hold the
+    // whole batch's acks until its newest journal record is replicated
+    // past the watermark. One wait covers every request in the batch
+    // (records are sequenced, so the max dominates). A timed-out wait
+    // degrades to async for this batch — counted, never wedged.
+    if (auto* repl = replication_.load(std::memory_order_acquire)) {
+      std::uint64_t max_seq = 0;
+      for (const InferenceRequest& r : slot.in_flight)
+        max_seq = std::max(max_seq, r.wal_seq);
+      if (max_seq > 0) repl->wait_acked(max_seq);
+    }
+
     // Ack stage. Atomic in-process: promises fulfill exactly once, so
     // faults are only injected before it, never inside it. The journal
     // ack lands after the response — a crash in between re-executes
@@ -306,11 +321,11 @@ void WorkerPool::worker_main(int worker_id) {
           res.outputs.data(), res.outputs.size() * sizeof(std::int16_t));
       const std::uint64_t req_id = req.id;
       req.fulfill(std::move(res));
-      if (opts_.journal) {
+      if (auto* journal = journal_.load(std::memory_order_acquire)) {
         const Clock::time_point t_j = Clock::now();
         {
           SSMA_TRACE_SPAN_IDS(kJournalAppend, req_id, req_id);
-          opts_.journal->append_completed(req_id, worker_id, out_crc);
+          journal->append_completed(req_id, worker_id, out_crc);
         }
         metrics_.record_journal_append(
             std::chrono::duration<double, std::nano>(Clock::now() - t_j)

@@ -37,6 +37,10 @@ class FaultInjector;
 class RequestJournal;
 }  // namespace recovery
 
+namespace replication {
+class ReplicationLog;
+}  // namespace replication
+
 /// Backwards-compatible name for the backend selector that used to live
 /// here as an enum-switch; prefer engine::Backend in new code.
 using ExecutionMode [[deprecated("use engine::Backend")]] =
@@ -52,6 +56,10 @@ struct WorkerPoolOptions {
   recovery::FaultInjector* fault = nullptr;
   /// Ack records (request id + output CRC) are appended here.
   recovery::RequestJournal* journal = nullptr;
+  /// When set, the ack stage first waits for the batch's journal
+  /// records to replicate past the configured watermark (sync/window
+  /// acked-write semantics).
+  replication::ReplicationLog* replication = nullptr;
   /// Spawn the supervisor thread: detect dead shards, requeue their
   /// in-flight batch, respawn. Without it a crashed shard's in-flight
   /// futures fail at join().
@@ -79,6 +87,17 @@ class WorkerPool {
 
   int num_workers() const { return opts_.num_workers; }
   const WorkerPoolOptions& options() const { return opts_; }
+
+  /// Swap the ack journal on a running pool (promotion attaches the
+  /// follower's journal while workers serve). Workers load it per
+  /// record, so the switch takes effect on the next ack.
+  void set_journal(recovery::RequestJournal* journal) {
+    journal_.store(journal, std::memory_order_release);
+  }
+  /// Same, for the leader-side replication ack gate.
+  void set_replication(replication::ReplicationLog* repl) {
+    replication_.store(repl, std::memory_order_release);
+  }
   /// Total shard respawns performed by the supervisor.
   int respawn_count() const {
     return respawns_total_.load(std::memory_order_relaxed);
@@ -125,6 +144,10 @@ class WorkerPool {
   RequestQueue& queue_;
   Metrics& metrics_;
   WorkerPoolOptions opts_;
+  /// Live views of opts_.journal / opts_.replication, swappable while
+  /// workers run (see set_journal / set_replication).
+  std::atomic<recovery::RequestJournal*> journal_{nullptr};
+  std::atomic<replication::ReplicationLog*> replication_{nullptr};
   std::vector<std::unique_ptr<ShardSlot>> slots_;
   std::thread supervisor_;
   std::mutex sup_mu_;

@@ -70,6 +70,12 @@ const char* stage_name(Stage stage) {
       return "net_write";
     case Stage::kAdmitReject:
       return "admit_reject";
+    case Stage::kReplSend:
+      return "repl_send";
+    case Stage::kReplApply:
+      return "repl_apply";
+    case Stage::kPromotion:
+      return "promotion";
   }
   return "unknown";
 }

@@ -57,9 +57,13 @@ enum class Stage : std::uint8_t {
   kNetRead,         ///< TCP front end: frame read + decode
   kNetWrite,        ///< TCP front end: response serialize + write
   kAdmitReject,     ///< admission controller shed a request
+  kReplSend,        ///< leader: replication record/checkpoint send
+  kReplApply,       ///< follower: record persisted + replayed into the
+                    ///< warm standby
+  kPromotion,       ///< follower: seal -> drain -> serving transition
 };
 
-inline constexpr int kNumStages = 15;
+inline constexpr int kNumStages = 18;
 const char* stage_name(Stage stage);
 
 /// Sentinel for "no request id attached" (spans outside any request,
