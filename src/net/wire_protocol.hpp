@@ -85,7 +85,9 @@ struct RpcResponse {
 /// slot carries `arg`; `arg2` and `bytes` follow in the body. Field
 /// meaning by type:
 ///   kReplHello:      arg = follower durable journal seq,
-///                    arg2 = follower newest checkpoint version
+///                    arg2 = follower newest checkpoint version,
+///                    bytes = u64 follower durable journal byte offset
+///                    (optional; lets the leader seek the resume point)
 ///   kReplRecord:     arg = journal seq, bytes = raw record payload
 ///                    (the framed blob's contents, leader-byte-exact)
 ///   kReplCheckpoint: arg = checkpoint version, bytes = whole file

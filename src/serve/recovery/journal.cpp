@@ -1,6 +1,7 @@
 #include "serve/recovery/journal.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <sstream>
 
 #include "maddness/framing.hpp"
@@ -41,18 +42,32 @@ RequestJournal::RequestJournal(const std::string& path) : path_(path) {
   if (!fresh) {
     // Seed the sequence counter from the existing records so a
     // recovered leader keeps handing out file positions a resuming
-    // follower can trust. A torn tail is not a record: seq_/bytes_
-    // stop at the last whole frame (append re-extends from there —
-    // append mode writes after the torn bytes, which read() skips, so
-    // sequence numbers stay consistent with read order).
-    std::ifstream is(path, std::ios::binary);
-    is.ignore(8);
-    std::string payload;
-    std::streampos last_good = is.tellg();
-    while (maddness::try_read_framed_blob(is, &payload)) {
-      ++seq_;
+    // follower can trust. A torn tail — the half-written record of the
+    // crash itself — is not a record: truncate the file back to the
+    // last whole frame before reopening for append. (Append mode would
+    // otherwise write new records AFTER the torn bytes; readers stop at
+    // the first bad frame, so every post-restart record would be
+    // invisible to recovery and a resuming follower could never stream
+    // past the tear.)
+    std::streampos last_good;
+    std::streampos end;
+    {
+      std::ifstream is(path, std::ios::binary);
+      is.ignore(8);
+      std::string payload;
       last_good = is.tellg();
+      while (maddness::try_read_framed_blob(is, &payload)) {
+        ++seq_;
+        last_good = is.tellg();
+      }
+      is.clear();
+      is.seekg(0, std::ios::end);
+      end = is.tellg();
     }
+    if (end > last_good)
+      std::filesystem::resize_file(
+          path, static_cast<std::uintmax_t>(
+                    static_cast<std::streamoff>(last_good)));
     bytes_ = static_cast<std::uint64_t>(last_good);
   }
   os_.open(path, fresh ? std::ios::binary | std::ios::trunc

@@ -12,7 +12,9 @@
 //
 // Records are individually CRC-framed (maddness/framing.hpp); a torn
 // tail — the half-written record of the crash itself — is detected and
-// dropped, never misparsed. Guarantees are at-least-once across
+// dropped, never misparsed: read() stops at the last whole frame, and
+// reopening truncates the file back to it so subsequent appends extend
+// a clean byte stream. Guarantees are at-least-once across
 // restarts: a crash between fulfilling a response and journaling its
 // completion re-executes that request on recovery.
 #pragma once

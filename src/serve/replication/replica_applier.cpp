@@ -16,6 +16,7 @@
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/wire.hpp"
 
 namespace ssma::serve::replication {
 
@@ -245,6 +246,14 @@ void ReplicaApplier::session(int fd) {
   hello.type = MsgType::kReplHello;
   hello.arg = journal_->durable_seq();
   hello.arg2 = ckpt_version_;
+  {
+    // Durable byte offset: our journal is a byte-prefix of the
+    // leader's, so this lets the leader seek straight to our resume
+    // point instead of re-scanning `arg` frames on every reconnect.
+    std::ostringstream hb;
+    wire::put_u64(hb, journal_->durable_bytes());
+    hello.bytes = hb.str();
+  }
   const std::string frame = hello.encode();
   if (send_all(fd, frame.data(), frame.size())) {
     FrameDecoder dec(opts_.max_frame_bytes);

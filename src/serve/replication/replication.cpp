@@ -7,6 +7,8 @@
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <sstream>
+#include <utility>
 
 #include "maddness/framing.hpp"
 #include "net/wire_protocol.hpp"
@@ -14,6 +16,7 @@
 #include "serve/request_queue.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
+#include "util/wire.hpp"
 
 namespace ssma::serve::replication {
 
@@ -109,6 +112,27 @@ void ReplicationLog::on_commit(std::uint64_t seq, std::uint64_t bytes) {
   std::lock_guard<std::mutex> lk(mu_);
   leader_seq_ = seq;
   leader_bytes_ = bytes;
+  // pending_ only feeds the lag gauges; never let it grow one entry
+  // per request for the process lifetime when nothing is draining it.
+  bool any_ready = false;
+  for (const auto& f : followers_)
+    if (f->ready) {
+      any_ready = true;
+      break;
+    }
+  if (!any_ready && pending_.size() > 1) {
+    // No handshaken follower to advance the watermark: keep only the
+    // oldest entry (the lag_ns anchor) until one connects.
+    pending_.erase(pending_.begin() + 1, pending_.end());
+  } else if (pending_.size() >= kMaxPending) {
+    // Follower connected but deeply lagged: drop every other interior
+    // entry. The byte/ns gauges coarsen; memory stays bounded.
+    std::deque<Pending> thinned;
+    for (std::size_t i = 0; i < pending_.size(); ++i)
+      if (i == 0 || i + 1 == pending_.size() || i % 2 == 0)
+        thinned.push_back(pending_[i]);
+    pending_.swap(thinned);
+  }
   pending_.push_back({seq, bytes, std::chrono::steady_clock::now()});
   cv_.notify_all();
 }
@@ -173,9 +197,11 @@ bool ReplicationLog::faulted_send(Follower* f, const std::string& frame,
         std::this_thread::sleep_for(action.delay);
         break;
       case recovery::FaultKind::kDropMessage: {
-        // Silently not delivered: the stream position advances, the
-        // follower detects the sequence gap and reconnects with its
-        // real high-water mark — the dropped record is re-streamed.
+        // Silently not delivered: the stream position advances, and the
+        // drop heals either when the follower detects the sequence gap
+        // on the next record and reconnects with its real high-water
+        // mark, or — if traffic stops — when the idle resend rewinds to
+        // the follower's ack mark and re-offers it.
         std::lock_guard<std::mutex> lk(mu_);
         ++dropped_sends_;
         *sent = true;
@@ -267,9 +293,25 @@ void ReplicationLog::session_main(Follower* f) {
   }
   if (ok) {
     is.open(journal_.path(), std::ios::binary);
-    // Skip the frames the follower already has.
-    for (std::uint64_t i = 0; ok && i < hello.arg; ++i)
-      ok = read_frame_at(is, &pos, &payload);
+    // Resume point: the follower's journal is a byte-prefix of ours,
+    // so the durable byte offset it reports in the hello IS the
+    // leader-file offset of its next frame — seek there directly
+    // instead of re-scanning hello.arg frames (O(journal) per
+    // reconnect adds up to O(journal^2) under reconnect churn). An
+    // empty/implausible offset falls back to the sequential skip.
+    std::uint64_t follower_bytes = 0;
+    if (hello.bytes.size() == 8) {
+      std::istringstream hb(hello.bytes);
+      follower_bytes = wire::get_u64(hb);
+    }
+    if (follower_bytes >= 8 && follower_bytes <= journal_.durable_bytes() &&
+        (hello.arg > 0 || follower_bytes == 8)) {
+      pos = follower_bytes;
+    } else {
+      // Skip the frames the follower already has.
+      for (std::uint64_t i = 0; ok && i < hello.arg; ++i)
+        ok = read_frame_at(is, &pos, &payload);
+    }
   }
   if (ok) {
     {
@@ -281,8 +323,20 @@ void ReplicationLog::session_main(Follower* f) {
     }
     f->reader = std::thread([this, f] { reader_main(f); });
 
-    for (;;) {
+    // Sent-but-unacked frames (seq -> file offset of the frame). A
+    // dropped send is normally healed by the follower spotting the
+    // sequence gap on the NEXT record; when traffic stops there is no
+    // next record, so after `resend_after` of quiet the sender rewinds
+    // to the follower's ack mark and re-offers (the follower re-acks
+    // duplicates idempotently).
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> unacked;
+    constexpr std::size_t kMaxUnackedTracked = 65536;
+    auto last_activity = std::chrono::steady_clock::now();
+
+    bool broken = false;
+    while (!broken) {
       std::uint64_t target;
+      std::uint64_t acked;
       {
         std::unique_lock<std::mutex> lk(mu_);
         // The timeout doubles as the checkpoint-discovery poll: model
@@ -292,12 +346,32 @@ void ReplicationLog::session_main(Follower* f) {
         });
         if (stopping_) break;
         target = leader_seq_;
+        acked = f->acked_seq;
+      }
+      while (!unacked.empty() && unacked.front().first <= acked) {
+        unacked.pop_front();
+        last_activity = std::chrono::steady_clock::now();
       }
       if (!ship_checkpoints(f)) break;
-      bool broken = false;
+      if (next_seq > target && !unacked.empty() &&
+          std::chrono::steady_clock::now() - last_activity >
+              opts_.resend_after) {
+        if (unacked.front().first != acked + 1) {
+          // The rewind point aged out of the tracked window (cap hit):
+          // resync through the reconnect handshake instead.
+          break;
+        }
+        next_seq = unacked.front().first;
+        pos = unacked.front().second;
+        unacked.clear();
+        last_activity = std::chrono::steady_clock::now();
+        std::lock_guard<std::mutex> lk(mu_);
+        ++idle_resends_;
+      }
       while (next_seq <= target && !broken) {
         // The record is durable (leader_seq_ covers it), so the frame
         // is fully on disk; retry briefly against fs visibility jitter.
+        const std::uint64_t frame_pos = pos;
         bool have = false;
         for (int attempt = 0; attempt < 100 && !have; ++attempt) {
           have = read_frame_at(is, &pos, &payload);
@@ -317,11 +391,13 @@ void ReplicationLog::session_main(Follower* f) {
           broken = true;
           break;
         }
+        if (unacked.size() == kMaxUnackedTracked) unacked.pop_front();
+        unacked.emplace_back(next_seq, frame_pos);
+        last_activity = std::chrono::steady_clock::now();
         ++next_seq;
         std::lock_guard<std::mutex> lk(mu_);
         ++records_sent_;
       }
-      if (broken) break;
     }
   }
 
@@ -361,12 +437,17 @@ void ReplicationLog::reader_main(Follower* f) {
 bool ReplicationLog::wait_follower(std::size_t n,
                                    std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lk(mu_);
-  return cv_.wait_for(lk, timeout, [&] {
+  const auto ready_count = [&] {
     std::size_t ready = 0;
     for (const auto& f : followers_)
       if (f->ready) ++ready;
-    return ready >= n;
-  });
+    return ready;
+  };
+  ++waiters_;
+  (void)cv_.wait_for(lk, timeout,
+                     [&] { return stopping_ || ready_count() >= n; });
+  if (--waiters_ == 0) cv_.notify_all();
+  return ready_count() >= n;
 }
 
 bool ReplicationLog::wait_acked(std::uint64_t seq) {
@@ -377,9 +458,11 @@ bool ReplicationLog::wait_acked(std::uint64_t seq) {
           : (seq > opts_.window ? seq - opts_.window : 0);
   if (target == 0) return true;
   std::unique_lock<std::mutex> lk(mu_);
+  ++waiters_;
   const bool ok = cv_.wait_for(lk, opts_.ack_timeout, [&] {
     return stopping_ || replicated_seq_ >= target;
   });
+  if (--waiters_ == 0) cv_.notify_all();
   if (!ok) ++sync_degraded_;
   return ok;
 }
@@ -399,6 +482,7 @@ ReplicationStats ReplicationLog::stats() const {
   s.dropped_sends = dropped_sends_;
   s.torn_sends = torn_sends_;
   s.dup_sends = dup_sends_;
+  s.idle_resends = idle_resends_;
   s.lag_records =
       leader_seq_ > replicated_seq_ ? leader_seq_ - replicated_seq_ : 0;
   s.lag_bytes = leader_bytes_ > replicated_bytes_
@@ -409,6 +493,7 @@ ReplicationStats ReplicationLog::stats() const {
                    std::chrono::steady_clock::now() - pending_.front().at)
                    .count();
   }
+  s.pending_entries = pending_.size();
   return s;
 }
 
@@ -431,6 +516,11 @@ void ReplicationLog::stop() {
   }
   for (auto& f : followers_)
     if (f->session.joinable()) f->session.join();
+  // Drain in-flight wait_acked()/wait_follower() callers: they wake on
+  // stopping_ and leave promptly, but destruction must not pull
+  // mu_/cv_ out from under a waiter still inside cv_.wait_for.
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return waiters_ == 0; });
 }
 
 }  // namespace ssma::serve::replication

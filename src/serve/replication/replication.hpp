@@ -70,6 +70,11 @@ struct ReplicationOptions {
   /// Watermark wait bound before an ack degrades to async (liveness
   /// under follower death; counted in stats().sync_degraded).
   std::chrono::milliseconds ack_timeout{2000};
+  /// Idle heartbeat-resend: when the stream has been quiet this long
+  /// with sent-but-unacked records outstanding, re-offer them from the
+  /// follower's ack mark. Heals a dropped last record that no follow-up
+  /// traffic would ever gap-detect.
+  std::chrono::milliseconds resend_after{250};
   std::size_t max_frame_bytes = 256u << 20;
   /// Polled at kReplSend before every outbound message. Borrowed.
   recovery::FaultInjector* fault = nullptr;
@@ -88,10 +93,14 @@ struct ReplicationStats {
   std::uint64_t dropped_sends = 0;    ///< injected kDropMessage fires
   std::uint64_t torn_sends = 0;       ///< injected kTornMessage fires
   std::uint64_t dup_sends = 0;        ///< injected kDupMessage fires
+  std::uint64_t idle_resends = 0;     ///< quiet-stream rewind re-offers
   std::uint64_t lag_records = 0;      ///< leader_seq - replicated_seq
   std::uint64_t lag_bytes = 0;        ///< journal bytes past watermark
   /// Age of the oldest unreplicated record (0 when fully caught up).
   double lag_ns = 0.0;
+  /// Lag-gauge bookkeeping entries currently held (bounded; see
+  /// ReplicationLog::pending_).
+  std::size_t pending_entries = 0;
 };
 
 /// Leader-side replication endpoint. Construction binds the listener
@@ -123,8 +132,10 @@ class ReplicationLog {
   ReplicationStats stats() const;
 
   /// Seals the stream: stops accepting, closes every follower
-  /// connection and joins all threads. Idempotent; the destructor
-  /// calls it.
+  /// connection, joins all threads and drains any in-flight
+  /// wait_acked()/wait_follower() callers (they return once stopping
+  /// is observed, so destruction cannot race a waiter). Idempotent;
+  /// the destructor calls it.
   void stop();
 
  private:
@@ -168,13 +179,21 @@ class ReplicationLog {
   std::uint64_t replicated_seq_ = 0;
   std::uint64_t replicated_bytes_ = 0;
   /// (seq, file bytes after it, append time) of records not yet past
-  /// the watermark — the source of the bytes/ns lag gauges.
+  /// the watermark — feeds the bytes/ns lag gauges only, so it is kept
+  /// bounded: with no handshaken follower only the oldest entry is
+  /// retained, and a deeply lagged follower gets thinned interior
+  /// entries (gauges coarsen, memory stays O(kMaxPending)).
   struct Pending {
     std::uint64_t seq;
     std::uint64_t bytes;
     std::chrono::steady_clock::time_point at;
   };
+  static constexpr std::size_t kMaxPending = 8192;
   std::deque<Pending> pending_;
+  /// Threads currently blocked in wait_acked()/wait_follower(); stop()
+  /// drains them before returning so destruction cannot race a waiter
+  /// still inside cv_.wait_for on mu_/cv_.
+  std::size_t waiters_ = 0;
   std::list<std::unique_ptr<Follower>> followers_;
   std::map<std::uint64_t, bool> ckpt_valid_;  ///< load_file result cache
 
@@ -187,6 +206,7 @@ class ReplicationLog {
   std::uint64_t dropped_sends_ = 0;
   std::uint64_t torn_sends_ = 0;
   std::uint64_t dup_sends_ = 0;
+  std::uint64_t idle_resends_ = 0;
 };
 
 }  // namespace ssma::serve::replication

@@ -240,6 +240,44 @@ TEST(Journal, TornTailIsDroppedNotMisparsed) {
   EXPECT_FALSE(none.torn_tail);
 }
 
+TEST(Journal, ReopenTruncatesTornTailSoNewAppendsStayReadable) {
+  TmpDir dir("jnlreopen");
+  const std::string path = dir.file("requests.jnl");
+  {
+    RequestJournal jnl(path);
+    jnl.append_accepted(0, 1, {1, 2, 3, 4});
+    jnl.append_accepted(1, 1, {5, 6, 7, 8});
+  }
+  // Crash tail: half of record 2 on disk.
+  const std::string whole = slurp(path);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(whole.data(),
+             static_cast<std::streamsize>(whole.size() - 7));
+  }
+  // Reopening truncates back to the last whole frame — appending after
+  // the torn bytes would hide every post-restart record behind the
+  // tear (readers stop at the first bad frame) and break the
+  // follower's byte-prefix resume.
+  {
+    RequestJournal jnl(path);
+    EXPECT_EQ(jnl.durable_seq(), 1u);
+    EXPECT_EQ(jnl.durable_bytes(),
+              static_cast<std::uint64_t>(
+                  std::filesystem::file_size(path)));
+    jnl.append_accepted(9, 1, {9, 9, 9, 9});
+    EXPECT_EQ(jnl.durable_bytes(),
+              static_cast<std::uint64_t>(
+                  std::filesystem::file_size(path)));
+  }
+  const auto replay = RequestJournal::read(path);
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.accepted, 2u);
+  ASSERT_EQ(replay.unacknowledged.size(), 2u);
+  EXPECT_EQ(replay.unacknowledged[0].id, 0u);
+  EXPECT_EQ(replay.unacknowledged[1].id, 9u);
+}
+
 TEST(Journal, TornMagicIsRewrittenForeignFileIsRefused) {
   TmpDir dir("jnlmagic");
   // Crash during journal creation: fewer than 8 magic bytes on disk.
