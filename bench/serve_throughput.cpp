@@ -62,7 +62,14 @@
 // reporting images/s next to the top-1 agreement with the exact float
 // network — accuracy next to latency for a real multi-layer workload.
 //
-// A seventh, gate-only check (--failover-gate) runs the distributed-HA
+// A seventh cell is the shadow-rollout overhead guard: the dispatch
+// cell re-run with a RolloutManager mirroring the serving traffic
+// through an identically-trained staged bank on a spare engine. The
+// hot path only pays the try-lock batch tap, so the committed budget
+// is tight: shadow.overhead_frac must stay <= 5% (--shadow-gate turns
+// that, plus zero drift on the identical bank, into an exit code).
+//
+// An eighth, gate-only check (--failover-gate) runs the distributed-HA
 // pair once: a sync-acked leader with journal + checkpoints +
 // ReplicationLog, a ReplicaApplier follower, a short load, then
 // promotion — the gate passes iff promote() completes with a clean
@@ -77,7 +84,7 @@
 //                                [--out=BENCH_serve.json]
 //                                [--trace-out=serve.trace.json]
 //                                [--overload-gate] [--fused-gate]
-//                                [--failover-gate]
+//                                [--shadow-gate] [--failover-gate]
 #include <unistd.h>
 
 #include <algorithm>
@@ -109,6 +116,7 @@
 #include "serve/recovery/journal.hpp"
 #include "serve/replication/replica_applier.hpp"
 #include "serve/replication/replication.hpp"
+#include "serve/rollout/rollout.hpp"
 #include "serve/server.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/matrix.hpp"
@@ -272,6 +280,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   bool overload_gate = false;
   bool fused_gate = false;
+  bool shadow_gate = false;
   bool failover_gate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mode=simulate") == 0)
@@ -296,6 +305,8 @@ int main(int argc, char** argv) {
       overload_gate = true;
     else if (std::strcmp(argv[i], "--fused-gate") == 0)
       fused_gate = true;
+    else if (std::strcmp(argv[i], "--shadow-gate") == 0)
+      shadow_gate = true;
     else if (std::strcmp(argv[i], "--failover-gate") == 0)
       failover_gate = true;
     else {
@@ -537,6 +548,86 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--trace-out ignored: built with -DSSMA_TRACE=OFF\n");
 #endif
+
+  // ---- shadow-rollout overhead: the dispatch cell re-run with a
+  // RolloutManager mirroring every served batch through an
+  // identically-trained staged bank on a spare engine. Only the
+  // try-lock batch tap rides the hot path, so the committed budget is
+  // tight (<= 5%). min_shadow_rows is effectively infinite: the cell
+  // measures steady-state mirroring cost, never the promote path. The
+  // identical bank doubles as a correctness probe — any drift row means
+  // the shadow compare itself is broken.
+  //
+  // This cell decides a 5% gate, so it needs more statistical care than
+  // the ranking sweeps: each run is ~30x the sweep workload (a
+  // milliseconds-long run on a shared host is a scheduler lottery), 7
+  // alternating reps per variant, and the committed number is the gap
+  // between the per-variant MEDIANS, clamped at zero — medians because
+  // the heavily oversubscribed closed loop leaves every individual run
+  // with fat tails in both directions. Simulate mode keeps its shrunken
+  // workload — the event-driven macro is too slow to scale up.
+  const auto shadow_cell = [&](serve::InferenceServer& server) {
+    serve::LoadSpec sspec = spec;
+    if (!simulate)
+      sspec.total_requests =
+          std::max<std::size_t>(8 * total_requests, 8192);
+    sspec.model_refs = {"m0@latest"};
+    serve::LoadGenerator gen(pool, sspec);
+    const serve::LoadReport r = gen.run_closed_loop(server, 2 * kClients);
+    server.shutdown();
+    return r;
+  };
+  serve::LoadReport shadow_base_rep, shadow_on_rep;
+  serve::rollout::RolloutReport shadow_rollout_rep;
+  std::vector<double> shadow_base_tps, shadow_on_tps;
+  for (int rep = 0; rep < 7; ++rep) {
+    {
+      serve::InferenceServer server(mopts);
+      server.register_model("m0", amm);
+      const serve::LoadReport r = shadow_cell(server);
+      shadow_base_tps.push_back(r.tokens_per_sec);
+      if (r.tokens_per_sec > shadow_base_rep.tokens_per_sec)
+        shadow_base_rep = r;
+    }
+    {
+      serve::InferenceServer server(mopts);
+      server.register_model("m0", amm);
+      const std::uint64_t staged =
+          server.stage_model("m0", amm.save_string());
+      serve::rollout::RolloutOptions ropts;
+      ropts.shadow_every = 1;
+      ropts.min_shadow_rows = ~std::size_t{0} >> 1;
+      ropts.engine = mopts.engine;
+      serve::rollout::RolloutManager mgr(server, ropts);
+      mgr.shadow_existing("m0", staged);
+      mgr.start();
+      const serve::LoadReport r = shadow_cell(server);
+      mgr.stop();
+      const serve::rollout::RolloutReport rr = mgr.report("m0");
+      shadow_on_tps.push_back(r.tokens_per_sec);
+      if (r.tokens_per_sec > shadow_on_rep.tokens_per_sec) {
+        shadow_on_rep = r;
+        shadow_rollout_rep = rr;
+      }
+    }
+  }
+  const auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v.empty() ? 0.0 : v[v.size() / 2];
+  };
+  const double shadow_base_med = median(shadow_base_tps);
+  const double shadow_on_med = median(shadow_on_tps);
+  const double shadow_overhead_frac =
+      shadow_base_med > 0.0
+          ? std::max(0.0, 1.0 - shadow_on_med / shadow_base_med)
+          : 0.0;
+  std::fprintf(stderr,
+               "shadow rollout: plain %.0f tok/s, mirrored %.0f tok/s "
+               "(medians), overhead %.2f%%  (%zu rows shadowed, "
+               "%zu drifted)\n",
+               shadow_base_med, shadow_on_med,
+               shadow_overhead_frac * 100.0, shadow_rollout_rep.shadow_rows,
+               shadow_rollout_rep.drift_rows);
 
   // ---- overload cell: the TCP front door at 2x sustainable load.
   // Paced mode only — it needs a known device capacity to overdrive.
@@ -872,6 +963,17 @@ int main(int argc, char** argv) {
 #endif
                 trace_overhead_frac);
   out += tf;
+  char sh[192];
+  std::snprintf(sh, sizeof(sh),
+                ",\"shadow\":{\"workers\":4,\"max_batch_tokens\":64,"
+                "\"shadow_rows\":%zu,\"shadow_batches\":%zu,"
+                "\"drift_rows\":%zu,\"overhead_frac\":%.4f",
+                shadow_rollout_rep.shadow_rows,
+                shadow_rollout_rep.shadow_batches,
+                shadow_rollout_rep.drift_rows, shadow_overhead_frac);
+  out += sh;
+  out += ",\"baseline\":" + shadow_base_rep.json();
+  out += ",\"mirrored\":" + shadow_on_rep.json() + "}";
   if (overload_ran) {
     out += ",\"overload\":{\"queue_capacity\":64,\"workers\":2"
            ",\"device_ns_per_token\":100000.0,\"rows_per_request\":16"
@@ -949,6 +1051,25 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "fused gate: PASS (%.2fx)\n", fused_speedup);
+  }
+
+  // ---- shadow gate: mirroring a canary must not tax the serving path,
+  // and an identically-trained candidate must compare drift-free.
+  if (shadow_gate) {
+    bool ok = true;
+    const auto fail = [&](const char* what) {
+      std::fprintf(stderr, "shadow gate: FAIL — %s\n", what);
+      ok = false;
+    };
+    if (shadow_rollout_rep.shadow_rows == 0)
+      fail("shadow executor never mirrored a batch");
+    if (shadow_rollout_rep.drift_rows != 0)
+      fail("identical staged bank reported drift");
+    if (shadow_overhead_frac > 0.05)
+      fail("mirroring overhead above the 5% budget");
+    std::fprintf(stderr, "shadow gate: %s (overhead %.2f%%)\n",
+                 ok ? "PASS" : "FAIL", shadow_overhead_frac * 100.0);
+    if (!ok) return 1;
   }
 
   // ---- failover gate: one sync-acked leader/follower pair, promoted

@@ -159,7 +159,35 @@ void ModelRegistry::publish(const std::string& name,
   SSMA_CHECK_MSG(it != models_.end() &&
                      it->second.versions.count(version),
                  "publish of unregistered " << name << "@" << version);
-  it->second.latest = std::max(it->second.latest, version);
+  // A publish must move "@latest" forward. Re-publishing the current
+  // latest (double publish) or a superseded version is a rollout-logic
+  // bug — fail loud instead of silently doing nothing.
+  SSMA_CHECK_MSG(version > it->second.latest,
+                 "publish of " << name << "@" << version
+                               << " does not advance latest (currently @"
+                               << it->second.latest
+                               << "): already published?");
+  it->second.latest = version;
+}
+
+void ModelRegistry::discard_staged(const std::string& name,
+                                   std::uint64_t version) {
+  ModelRef doomed;  // destruct outside the lock, as in retire()
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(name);
+  SSMA_CHECK_MSG(it != models_.end(), "unknown model " << name);
+  Entry& entry = it->second;
+  const auto vit = entry.versions.find(version);
+  SSMA_CHECK_MSG(vit != entry.versions.end(),
+                 "unknown version " << name << "@" << version);
+  SSMA_CHECK_MSG(version > entry.latest,
+                 "discard_staged of published " << name << "@" << version
+                                                << " (latest is @"
+                                                << entry.latest
+                                                << "): use retire()");
+  doomed = std::move(vit->second);
+  entry.versions.erase(vit);
+  if (entry.versions.empty()) models_.erase(it);
 }
 
 std::uint64_t ModelRegistry::register_pipeline(
@@ -225,6 +253,12 @@ void ModelRegistry::retire(const std::string& name,
   const auto vit = entry.versions.find(version);
   SSMA_CHECK_MSG(vit != entry.versions.end(),
                  "unknown version " << name << "@" << version);
+  // Retiring a staged-but-never-published version through this path
+  // would silently skip the rollout bookkeeping; direct it explicitly.
+  SSMA_CHECK_MSG(version <= entry.latest,
+                 "retire of never-published "
+                     << name << "@" << version << " (latest is @"
+                     << entry.latest << "): use discard_staged()");
   doomed = std::move(vit->second);
   entry.versions.erase(vit);
   if (entry.versions.empty()) {

@@ -128,10 +128,18 @@ class ModelRegistry {
       const std::string& name,
       const std::vector<const maddness::Amm*>& stages);
 
-  /// Bumps `latest` to at least `version` (the second half of a
+  /// Advances `latest` to `version` (the second half of a
   /// register_model(..., publish=false)). Throws CheckError when the
-  /// version was never installed.
+  /// version was never installed OR does not advance latest — a double
+  /// publish of the same version fails loud rather than silently
+  /// no-opping.
   void publish(const std::string& name, std::uint64_t version);
+
+  /// Drops a staged-but-never-published version — the rollback path of
+  /// a rollout. Throws CheckError when the version is unknown or has
+  /// been published (published versions go through retire()). Pinned
+  /// handles are unaffected.
+  void discard_staged(const std::string& name, std::uint64_t version);
 
   /// Installs an exact (name, version) handle — the checkpoint-restore
   /// path. `latest` becomes the highest installed version.
@@ -147,10 +155,11 @@ class ModelRegistry {
   ModelRef try_resolve(const std::string& name,
                        std::uint64_t version) const;
 
-  /// Makes (name, version) unresolvable. Pinned handles are unaffected
-  /// — in-flight batches drain on the retired bank. Retiring `latest`
-  /// moves `latest` to the highest remaining version (a name with no
-  /// versions left is dropped entirely).
+  /// Makes a published (name, version) unresolvable. Pinned handles are
+  /// unaffected — in-flight batches drain on the retired bank. Retiring
+  /// `latest` moves `latest` to the highest remaining version (a name
+  /// with no versions left is dropped entirely). Throws CheckError for
+  /// a never-published staged version — use discard_staged().
   void retire(const std::string& name, std::uint64_t version);
 
   std::vector<std::string> names() const;

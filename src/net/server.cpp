@@ -14,6 +14,7 @@
 #include <thread>
 #include <utility>
 
+#include "serve/rollout/rollout.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -260,8 +261,68 @@ void NetServer::send_reject(Conn& c, std::uint64_t corr,
   stats_.rejects[static_cast<std::size_t>(reason)]++;
 }
 
+void NetServer::handle_admin(Conn& c, const std::string& payload) {
+  AdminRequest req;
+  AdminResponse resp;
+  if (!parse_admin_request(payload, &req)) {
+    resp.status = 1;
+    resp.body = "unparseable admin payload";
+    enqueue_response(c, resp.encode());
+    return;
+  }
+  resp.correlation_id = req.correlation_id;
+  serve::rollout::RolloutManager* rollout =
+      rollout_.load(std::memory_order_acquire);
+  try {
+    switch (req.op) {
+      case 0: {  // rollout_status
+        SSMA_CHECK_MSG(rollout, "no rollout manager attached");
+        std::string body;
+        if (req.target.empty()) {
+          for (const serve::rollout::RolloutReport& r : rollout->reports())
+            body += r.to_text() + "\n";
+        } else {
+          body = rollout->report(req.target).to_text();
+        }
+        resp.body = std::move(body);
+        break;
+      }
+      case 1:  // rollout_promote
+        SSMA_CHECK_MSG(rollout, "no rollout manager attached");
+        rollout->force_promote(req.target);
+        resp.body = rollout->report(req.target).to_text();
+        break;
+      case 2:  // rollout_rollback
+        SSMA_CHECK_MSG(rollout, "no rollout manager attached");
+        rollout->force_rollback(req.target);
+        resp.body = rollout->report(req.target).to_text();
+        break;
+      case 3:  // compact_journal
+        resp.arg = server_.compact_journal();
+        break;
+      default:
+        resp.status = 1;
+        resp.body = "unknown admin op";
+        break;
+    }
+  } catch (const CheckError& e) {
+    resp.status = 1;
+    resp.arg = 0;
+    resp.body = e.what();
+  }
+  enqueue_response(c, resp.encode());
+}
+
 void NetServer::handle_frame(std::uint64_t id, Conn& c,
                              const std::string& payload) {
+  // Admin frames share the front door but never touch admission or the
+  // inference queue; dispatch on the prelude type byte before
+  // committing to the request parse.
+  if (peek_msg_type(payload) ==
+      static_cast<std::uint8_t>(MsgType::kAdminRequest)) {
+    handle_admin(c, payload);
+    return;
+  }
   RpcRequest req;
   if (!parse_request(payload, &req)) {
     send_reject(c, req.correlation_id, serve::RejectReason::kMalformed,
@@ -512,8 +573,13 @@ void NetClient::connect_with_retry(const std::string& host,
   }
 }
 
-void NetClient::send(const RpcRequest& req) {
-  const std::string bytes = req.encode();
+void NetClient::send(const RpcRequest& req) { send_bytes(req.encode()); }
+
+void NetClient::send_admin(const AdminRequest& req) {
+  send_bytes(req.encode());
+}
+
+void NetClient::send_bytes(const std::string& bytes) {
   std::lock_guard<std::mutex> lock(send_mu_);
   SSMA_CHECK_MSG(fd_ >= 0, "NetClient not connected");
   SSMA_CHECK_MSG(!broken_.load(std::memory_order_acquire),
@@ -546,21 +612,16 @@ void NetClient::send(const RpcRequest& req) {
   }
 }
 
-bool NetClient::recv_response(RpcResponse* out) {
+bool NetClient::recv_payload(std::string* payload) {
   std::lock_guard<std::mutex> lock(recv_mu_);
   SSMA_CHECK_MSG(fd_ >= 0, "NetClient not connected");
   SSMA_CHECK_MSG(!broken_.load(std::memory_order_acquire),
                  "NetClient stream poisoned by an earlier partial "
                  "write; close() and reconnect");
-  std::string payload;
   char buf[64 * 1024];
   for (;;) {
-    const FrameDecoder::Result r = decoder_->next(&payload);
-    if (r == FrameDecoder::Result::kFrame) {
-      SSMA_CHECK_MSG(parse_response(payload, out),
-                     "malformed response payload");
-      return true;
-    }
+    const FrameDecoder::Result r = decoder_->next(payload);
+    if (r == FrameDecoder::Result::kFrame) return true;
     SSMA_CHECK_MSG(r != FrameDecoder::Result::kBad,
                    "corrupt response frame (CRC/length)");
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
@@ -573,6 +634,22 @@ bool NetClient::recv_response(RpcResponse* out) {
     }
     decoder_->feed(buf, static_cast<std::size_t>(n));
   }
+}
+
+bool NetClient::recv_response(RpcResponse* out) {
+  std::string payload;
+  if (!recv_payload(&payload)) return false;
+  SSMA_CHECK_MSG(parse_response(payload, out),
+                 "malformed response payload");
+  return true;
+}
+
+bool NetClient::recv_admin(AdminResponse* out) {
+  std::string payload;
+  if (!recv_payload(&payload)) return false;
+  SSMA_CHECK_MSG(parse_admin_response(payload, out),
+                 "malformed admin response payload");
+  return true;
 }
 
 void NetClient::close() {

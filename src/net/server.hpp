@@ -42,6 +42,10 @@
 #include "serve/admission.hpp"
 #include "serve/server.hpp"
 
+namespace ssma::serve::rollout {
+class RolloutManager;
+}  // namespace ssma::serve::rollout
+
 namespace ssma::net {
 
 struct NetServerOptions {
@@ -98,6 +102,15 @@ class NetServer {
     return admission_.stats();
   }
 
+  /// Wires the operational admin plane (kAdminRequest frames) to a
+  /// rollout manager. Borrowed; must outlive the NetServer or be
+  /// detached with nullptr first. Without it, rollout admin ops answer
+  /// a typed failure (compact_journal still works — it only needs the
+  /// inference server).
+  void set_rollout(serve::rollout::RolloutManager* rollout) {
+    rollout_.store(rollout, std::memory_order_release);
+  }
+
  private:
   struct Conn {
     int fd = -1;
@@ -113,6 +126,10 @@ class NetServer {
   void accept_ready();
   void conn_readable(std::uint64_t id, Conn& c);
   void handle_frame(std::uint64_t id, Conn& c, const std::string& payload);
+  /// Admin-plane dispatch (rollout status/overrides, compaction). Runs
+  /// synchronously on the loop thread — admin ops are rare and cheap
+  /// relative to the inference path.
+  void handle_admin(Conn& c, const std::string& payload);
   /// Serialize + enqueue a typed rejection on the loop thread.
   void send_reject(Conn& c, std::uint64_t corr,
                    serve::RejectReason reason, const std::string& msg);
@@ -127,6 +144,7 @@ class NetServer {
   serve::InferenceServer& server_;
   const NetServerOptions opts_;
   serve::AdmissionController admission_;
+  std::atomic<serve::rollout::RolloutManager*> rollout_{nullptr};
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
@@ -188,11 +206,15 @@ class NetClient {
   /// desync the stream): the socket is shut down and every later
   /// send/recv throws until close() + reconnect.
   void send(const RpcRequest& req);
+  /// Writes one admin-plane operation; same failure semantics as send().
+  void send_admin(const AdminRequest& req);
   /// Blocks for the next response frame (responses may arrive out of
   /// submission order — match by correlation_id). Returns false on a
   /// clean peer close at a frame boundary; throws CheckError on a
   /// corrupt frame or mid-frame disconnect.
   bool recv_response(RpcResponse* out);
+  /// Blocks for the next admin response frame.
+  bool recv_admin(AdminResponse* out);
   void close();
 
   /// True when a partial-write failure poisoned the stream (see
@@ -200,6 +222,11 @@ class NetClient {
   bool broken() const { return broken_.load(std::memory_order_acquire); }
 
  private:
+  void send_bytes(const std::string& bytes);
+  /// Reads socket bytes into the decoder until one frame payload is
+  /// complete; false on a clean close at a frame boundary.
+  bool recv_payload(std::string* payload);
+
   int fd_ = -1;
   std::mutex send_mu_;
   std::mutex recv_mu_;

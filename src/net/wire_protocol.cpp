@@ -151,7 +151,7 @@ bool parse_repl(const std::string& payload, ReplMessage* out) {
   if (!c.u8(&version) || version != kWireVersion) return false;
   if (!c.u8(&type) ||
       type < static_cast<std::uint8_t>(MsgType::kReplHello) ||
-      type > static_cast<std::uint8_t>(MsgType::kReplReject))
+      type > static_cast<std::uint8_t>(MsgType::kReplBase))
     return false;
   out->type = static_cast<MsgType>(type);
   if (!c.u64(&out->arg)) return false;
@@ -161,6 +161,47 @@ bool parse_repl(const std::string& payload, ReplMessage* out) {
   std::vector<std::uint8_t> body;
   if (!c.bytes(&body, n)) return false;
   out->bytes.assign(body.begin(), body.end());
+  return c.done();
+}
+
+std::string AdminRequest::encode() const {
+  std::ostringstream os;
+  wire::put_u8(os, kWireVersion);
+  wire::put_u8(os, static_cast<std::uint8_t>(MsgType::kAdminRequest));
+  wire::put_u64(os, correlation_id);
+  wire::put_u8(os, op);
+  put_string(os, target);
+  return framed(os.str());
+}
+
+std::string AdminResponse::encode() const {
+  std::ostringstream os;
+  wire::put_u8(os, kWireVersion);
+  wire::put_u8(os, static_cast<std::uint8_t>(MsgType::kAdminResponse));
+  wire::put_u64(os, correlation_id);
+  wire::put_u8(os, status);
+  wire::put_u64(os, arg);
+  put_string(os, body);
+  return framed(os.str());
+}
+
+bool parse_admin_request(const std::string& payload, AdminRequest* out) {
+  Cursor c(payload);
+  if (!parse_prelude(c, MsgType::kAdminRequest, &out->correlation_id))
+    return false;
+  if (!c.u8(&out->op)) return false;
+  if (!c.str(&out->target)) return false;
+  return c.done();
+}
+
+bool parse_admin_response(const std::string& payload,
+                          AdminResponse* out) {
+  Cursor c(payload);
+  if (!parse_prelude(c, MsgType::kAdminResponse, &out->correlation_id))
+    return false;
+  if (!c.u8(&out->status)) return false;
+  if (!c.u64(&out->arg)) return false;
+  if (!c.str(&out->body)) return false;
   return c.done();
 }
 

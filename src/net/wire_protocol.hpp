@@ -44,6 +44,12 @@ enum class MsgType : std::uint8_t {
   kReplCheckpoint = 12,  ///< leader -> follower: one checkpoint file
   kReplAck = 13,         ///< follower -> leader: durable high-water mark
   kReplReject = 14,      ///< leader -> follower: typed refusal + close
+  kReplBase = 15,        ///< leader -> follower: compaction base to
+                         ///< adopt before the first streamed record
+
+  // --- operational admin plane (rollout control, compaction) ---
+  kAdminRequest = 20,
+  kAdminResponse = 21,
 };
 
 /// Response status byte: 0 = ok, 1 + RejectReason for typed sheds,
@@ -93,11 +99,37 @@ struct RpcResponse {
 ///   kReplCheckpoint: arg = checkpoint version, bytes = whole file
 ///   kReplAck:        arg = follower durable journal seq
 ///   kReplReject:     arg = serve::RejectReason value, bytes = detail
+///   kReplBase:       arg = compaction base seq, arg2 = base virtual
+///                    byte offset (fresh follower adopts both)
 struct ReplMessage {
   MsgType type = MsgType::kReplHello;
   std::uint64_t arg = 0;
   std::uint64_t arg2 = 0;
   std::string bytes;
+
+  std::string encode() const;
+};
+
+/// One operation of the admin plane. Ops:
+///   0 = rollout_status   (target = model name, "" = all)
+///   1 = rollout_promote  (target = model name)
+///   2 = rollout_rollback (target = model name)
+///   3 = compact_journal  (target ignored)
+struct AdminRequest {
+  std::uint64_t correlation_id = 0;
+  std::uint8_t op = 0;
+  std::string target;
+
+  std::string encode() const;
+};
+
+/// status: 0 = ok, nonzero = typed failure (body holds the detail).
+/// `arg` is op-specific (compact_journal: records pruned).
+struct AdminResponse {
+  std::uint64_t correlation_id = 0;
+  std::uint8_t status = 0;
+  std::uint64_t arg = 0;
+  std::string body;
 
   std::string encode() const;
 };
@@ -109,6 +141,15 @@ bool parse_request(const std::string& payload, RpcRequest* out);
 bool parse_response(const std::string& payload, RpcResponse* out);
 /// Accepts any kRepl* type; rejects infer request/response preludes.
 bool parse_repl(const std::string& payload, ReplMessage* out);
+bool parse_admin_request(const std::string& payload, AdminRequest* out);
+bool parse_admin_response(const std::string& payload, AdminResponse* out);
+
+/// The message type byte of a framed payload (the prelude's second
+/// byte), or 0 when the payload is too short — lets a server dispatch
+/// on type before committing to a full per-type parse.
+inline std::uint8_t peek_msg_type(const std::string& payload) {
+  return payload.size() >= 2 ? static_cast<std::uint8_t>(payload[1]) : 0;
+}
 
 /// Incremental frame splitter for a nonblocking socket: feed() raw
 /// bytes as they arrive, then drain complete frames with next(). The

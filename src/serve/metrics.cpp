@@ -209,12 +209,39 @@ void Metrics::set_batch_budget(std::size_t tokens) {
   batch_budget_tokens_ = tokens;
 }
 
+void Metrics::record_shadow(const std::string& model, std::size_t rows,
+                            std::size_t drift_rows,
+                            std::int64_t max_abs_drift, double live_ns,
+                            double shadow_ns) {
+  SSMA_CHECK(drift_rows <= rows);
+  std::lock_guard<std::mutex> lock(mu_);
+  ShadowSlice& s = shadow_[model];
+  s.model = model;
+  s.rows += rows;
+  s.batches++;
+  s.drift_rows += drift_rows;
+  s.max_abs_drift = std::max(s.max_abs_drift, max_abs_drift);
+  s.live_ns_sum += live_ns;
+  s.shadow_ns_sum += shadow_ns;
+}
+
 void Metrics::restore(std::size_t requests, std::size_t tokens,
                       std::size_t batches) {
   std::lock_guard<std::mutex> lock(mu_);
   requests_ = requests;
   tokens_ = tokens;
   batches_ = batches;
+}
+
+void Metrics::restore(std::size_t requests, std::size_t tokens,
+                      std::size_t batches,
+                      const std::vector<ShadowSlice>& shadow) {
+  std::lock_guard<std::mutex> lock(mu_);
+  requests_ = requests;
+  tokens_ = tokens;
+  batches_ = batches;
+  shadow_.clear();
+  for (const ShadowSlice& s : shadow) shadow_[s.model] = s;
 }
 
 MetricsSnapshot Metrics::snapshot() const {
@@ -263,6 +290,9 @@ MetricsSnapshot Metrics::snapshot() const {
     m.service_p99_us = kv.second.service_latency.percentile_ns(99) * 1e-3;
     s.per_model.push_back(std::move(m));
   }
+  s.shadow.reserve(shadow_.size());
+  for (const auto& kv : shadow_)  // std::map: sorted by name
+    s.shadow.push_back(kv.second);
   return s;
 }
 
@@ -503,6 +533,41 @@ std::string Metrics::render_prometheus(const PromGauges& gauges) const {
       for (const auto& kv : per_model_)
         prom_model_summary(oss, "ssma_model_service_seconds", kv.first,
                            kv.second.service_latency);
+    }
+
+    // Shadow-rollout block: present only once a rollout has mirrored
+    // traffic (same shape-stability rule as the per-model slices).
+    if (!shadow_.empty()) {
+      prom_header(oss, "ssma_shadow_rows_total", "counter",
+                  "Rows mirrored through the staged candidate bank.");
+      for (const auto& kv : shadow_)
+        oss << "ssma_shadow_rows_total{model=\"" << kv.first << "\"} "
+            << kv.second.rows << "\n";
+      prom_header(oss, "ssma_shadow_batches_total", "counter",
+                  "Shadow comparison batches per model.");
+      for (const auto& kv : shadow_)
+        oss << "ssma_shadow_batches_total{model=\"" << kv.first << "\"} "
+            << kv.second.batches << "\n";
+      prom_header(oss, "ssma_shadow_drift_rows_total", "counter",
+                  "Mirrored rows whose outputs diverged from live.");
+      for (const auto& kv : shadow_)
+        oss << "ssma_shadow_drift_rows_total{model=\"" << kv.first
+            << "\"} " << kv.second.drift_rows << "\n";
+      prom_header(oss, "ssma_shadow_max_abs_drift", "gauge",
+                  "Worst per-element |live - shadow| accumulator delta.");
+      for (const auto& kv : shadow_)
+        oss << "ssma_shadow_max_abs_drift{model=\"" << kv.first << "\"} "
+            << kv.second.max_abs_drift << "\n";
+      prom_header(oss, "ssma_shadow_seconds_total", "counter",
+                  "Service time of compared rows, live vs shadow bank.");
+      for (const auto& kv : shadow_) {
+        oss << "ssma_shadow_seconds_total{model=\"" << kv.first
+            << "\",side=\"live\"} "
+            << prom_num(kv.second.live_ns_sum * 1e-9) << "\n";
+        oss << "ssma_shadow_seconds_total{model=\"" << kv.first
+            << "\",side=\"shadow\"} "
+            << prom_num(kv.second.shadow_ns_sum * 1e-9) << "\n";
+      }
     }
   }
 

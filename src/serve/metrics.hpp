@@ -72,6 +72,20 @@ struct ModelMetricsSnapshot {
   double service_p99_us = 0.0;
 };
 
+/// Per-model shadow-execution slice: rows mirrored through a staged
+/// candidate bank, drift vs the live bank, and the live/shadow latency
+/// split. Exact counters only (no histograms), so a slice round-trips
+/// through checkpoint restore losslessly.
+struct ShadowSlice {
+  std::string model;
+  std::size_t rows = 0;
+  std::size_t batches = 0;
+  std::size_t drift_rows = 0;  ///< rows whose outputs diverged
+  std::int64_t max_abs_drift = 0;  ///< worst per-element |live - shadow|
+  double live_ns_sum = 0.0;    ///< live-bank service time, mirrored rows
+  double shadow_ns_sum = 0.0;  ///< candidate-bank service time
+};
+
 /// Point-in-time view of the server's counters and distributions.
 struct MetricsSnapshot {
   std::size_t requests = 0;
@@ -103,6 +117,10 @@ struct MetricsSnapshot {
   /// One row per served model name, sorted by name. Empty when the
   /// server has served nothing yet.
   std::vector<ModelMetricsSnapshot> per_model;
+
+  /// One row per shadowed model name, sorted by name. Empty unless a
+  /// rollout has mirrored traffic through a staged candidate.
+  std::vector<ShadowSlice> shadow;
 
   /// The row for `model` (nullptr when that model served nothing).
   const ModelMetricsSnapshot* for_model(const std::string& model) const;
@@ -165,6 +183,14 @@ class Metrics {
   /// The batcher's token budget, for occupancy-fraction reporting.
   void set_batch_budget(std::size_t tokens);
 
+  /// One shadow-mirrored comparison batch for `model`: `rows` mirrored,
+  /// `drift_rows` of them diverged, `max_abs_drift` the worst
+  /// per-element |live - shadow| seen in the batch, plus the live and
+  /// shadow service times of the compared rows.
+  void record_shadow(const std::string& model, std::size_t rows,
+                     std::size_t drift_rows, std::int64_t max_abs_drift,
+                     double live_ns, double shadow_ns);
+
   /// Seeds the lifetime counters from a recovered checkpoint so a
   /// restarted server's totals continue where the crashed run's
   /// snapshot left off. Latency histograms AND the per-model slices
@@ -173,6 +199,12 @@ class Metrics {
   /// aggregate counters until new traffic arrives.
   void restore(std::size_t requests, std::size_t tokens,
                std::size_t batches);
+  /// As above, additionally reseeding the per-model shadow slices —
+  /// they are exact counters, so unlike the latency histograms they
+  /// survive a restore losslessly.
+  void restore(std::size_t requests, std::size_t tokens,
+               std::size_t batches,
+               const std::vector<ShadowSlice>& shadow);
 
   MetricsSnapshot snapshot() const;
 
@@ -204,6 +236,7 @@ class Metrics {
   std::array<std::uint64_t, kOccupancyBuckets> occupancy_buckets_{};
   std::size_t batch_budget_tokens_ = 0;
   std::map<std::string, PerModel> per_model_;
+  std::map<std::string, ShadowSlice> shadow_;
   Clock::time_point start_{};
   Clock::time_point stop_{};
   bool started_ = false;

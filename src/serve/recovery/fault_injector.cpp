@@ -18,6 +18,7 @@ const char* to_string(FaultSite site) {
     case FaultSite::kCheckpointWrite: return "checkpoint_write";
     case FaultSite::kReplSend: return "repl_send";
     case FaultSite::kReplRecv: return "repl_recv";
+    case FaultSite::kShadowCompare: return "shadow_compare";
   }
   return "?";
 }
@@ -85,6 +86,12 @@ void FaultInjector::arm_named(const std::string& name,
   } else if (name == "repl_dup") {
     plan.site = FaultSite::kReplSend;
     plan.kind = FaultKind::kDupMessage;
+  } else if (name == "shadow_drift") {
+    // Injected model-quality regression: the rollout controller counts
+    // every row of a faulted comparison as drifted, driving the error
+    // budget over and forcing an auto-rollback.
+    plan.site = FaultSite::kShadowCompare;
+    plan.kind = FaultKind::kDropMessage;
   } else {
     SSMA_CHECK_MSG(false, "unknown named fault site: " << name);
   }

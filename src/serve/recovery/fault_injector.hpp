@@ -29,8 +29,9 @@ enum class FaultSite {
   kReplSend,         ///< leader: replication message about to be sent
   kReplRecv,         ///< follower: replication record received,
                      ///< before it is persisted
+  kShadowCompare,    ///< rollout: candidate-vs-live drift comparison
 };
-inline constexpr std::size_t kNumFaultSites = 8;
+inline constexpr std::size_t kNumFaultSites = 9;
 
 /// What happens when a plan fires.
 enum class FaultKind {

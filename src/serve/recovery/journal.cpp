@@ -16,6 +16,32 @@ constexpr char kMagic[8] = {'S', 'S', 'M', 'A', 'J', 'N', 'L', '1'};
 constexpr std::uint8_t kAccepted = 1;
 constexpr std::uint8_t kCompleted = 2;
 constexpr std::uint8_t kAcceptedV2 = 3;  ///< model-tagged accept
+/// Compaction marker: the first frame of a compacted file, carrying the
+/// (base_seq, base_bytes) the pruned prefix occupied. Not a record — it
+/// has no sequence number and is skipped by read().
+constexpr std::uint8_t kCompacted = 4;
+
+/// Marker payload: type byte + base_seq + base_bytes.
+std::string encode_marker(std::uint64_t base_seq,
+                          std::uint64_t base_bytes) {
+  std::ostringstream payload;
+  wire::put_u8(payload, kCompacted);
+  wire::put_u64(payload, base_seq);
+  wire::put_u64(payload, base_bytes);
+  return payload.str();
+}
+
+bool parse_marker(const std::string& payload, std::uint64_t* base_seq,
+                  std::uint64_t* base_bytes) {
+  if (payload.size() != 17 ||
+      static_cast<std::uint8_t>(payload[0]) != kCompacted)
+    return false;
+  std::istringstream body(payload);
+  wire::get_u8(body);
+  *base_seq = wire::get_u64(body);
+  *base_bytes = wire::get_u64(body);
+  return true;
+}
 
 }  // namespace
 
@@ -56,7 +82,24 @@ RequestJournal::RequestJournal(const std::string& path) : path_(path) {
       is.ignore(8);
       std::string payload;
       last_good = is.tellg();
+      bool first = true;
       while (maddness::try_read_framed_blob(is, &payload)) {
+        if (first) {
+          first = false;
+          std::uint64_t bs = 0, bb = 0;
+          // A compacted file leads with its marker frame: adopt the
+          // base so sequence numbers and virtual offsets continue the
+          // pre-compaction addressing.
+          if (parse_marker(payload, &bs, &bb)) {
+            base_seq_ = bs;
+            base_bytes_ = bb;
+            seq_ = bs;
+            header_bytes_ = static_cast<std::uint64_t>(is.tellg());
+            generation_ = 1;
+            last_good = is.tellg();
+            continue;
+          }
+        }
         ++seq_;
         last_good = is.tellg();
       }
@@ -68,7 +111,8 @@ RequestJournal::RequestJournal(const std::string& path) : path_(path) {
       std::filesystem::resize_file(
           path, static_cast<std::uintmax_t>(
                     static_cast<std::streamoff>(last_good)));
-    bytes_ = static_cast<std::uint64_t>(last_good);
+    bytes_ = base_bytes_ +
+             (static_cast<std::uint64_t>(last_good) - header_bytes_);
   }
   os_.open(path, fresh ? std::ios::binary | std::ios::trunc
                        : std::ios::binary | std::ios::app);
@@ -107,6 +151,102 @@ std::uint64_t RequestJournal::durable_seq() const {
 std::uint64_t RequestJournal::durable_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return bytes_;
+}
+
+RequestJournal::CompactionInfo RequestJournal::compaction_info() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {base_seq_, base_bytes_, header_bytes_, generation_};
+}
+
+std::uint64_t RequestJournal::compact(std::uint64_t max_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t bound = std::min(max_seq, seq_);
+  if (bound <= base_seq_) return 0;
+  os_.flush();
+
+  // Scan the live file: one payload per surviving record, plus the set
+  // of ids with a completion record ANYWHERE in the journal (a prefix
+  // record's ack may live past the prune point; pruning the accept but
+  // keeping the ack is fine — read() tolerates an ack with no accept).
+  std::vector<std::string> payloads;
+  std::unordered_map<std::uint64_t, bool> completed;
+  {
+    std::ifstream is(path_, std::ios::binary);
+    SSMA_CHECK_MSG(is.is_open(), "cannot reopen journal " << path_);
+    is.ignore(static_cast<std::streamsize>(header_bytes_));
+    std::string payload;
+    while (maddness::try_read_framed_blob(is, &payload))
+      payloads.push_back(payload);
+  }
+  SSMA_CHECK_MSG(payloads.size() == seq_ - base_seq_,
+                 "journal " << path_ << " holds " << payloads.size()
+                            << " records, expected " << seq_ - base_seq_);
+  for (const std::string& p : payloads) {
+    ParsedRecord rec;
+    if (parse_record(p, &rec) && !rec.is_accepted)
+      completed[rec.completed_id] = true;
+  }
+
+  // Longest fully-acknowledged prefix ending at or before the bound.
+  std::uint64_t new_base = base_seq_;
+  std::uint64_t new_base_bytes = base_bytes_;
+  for (std::uint64_t s = base_seq_ + 1; s <= bound; ++s) {
+    const std::string& p = payloads[s - base_seq_ - 1];
+    ParsedRecord rec;
+    SSMA_CHECK_MSG(parse_record(p, &rec),
+                   "unparsable journal record " << s << " in " << path_);
+    if (rec.is_accepted && !completed.count(rec.accepted.id)) break;
+    new_base = s;
+    new_base_bytes += 12 + p.size();
+  }
+  if (new_base <= base_seq_) return 0;
+  const std::uint64_t pruned = new_base - base_seq_;
+
+  // Atomic rewrite: magic + marker + surviving frames into a temp file,
+  // rename over the original. A crash leaves old or new, never a mix.
+  const std::string marker = encode_marker(new_base, new_base_bytes);
+  const std::string tmp = path_ + ".compact";
+  {
+    std::ofstream ns(tmp, std::ios::binary | std::ios::trunc);
+    SSMA_CHECK_MSG(ns.is_open(), "cannot open " << tmp);
+    ns.write(kMagic, sizeof(kMagic));
+    maddness::write_framed_blob(ns, marker);
+    for (std::uint64_t s = new_base + 1; s <= seq_; ++s)
+      maddness::write_framed_blob(ns, payloads[s - base_seq_ - 1]);
+    ns.flush();
+    SSMA_CHECK_MSG(ns.good(), "compaction write failure on " << tmp);
+  }
+  os_.close();
+  std::filesystem::rename(tmp, path_);
+  os_.open(path_, std::ios::binary | std::ios::app);
+  SSMA_CHECK_MSG(os_.is_open(), "cannot reopen journal " << path_);
+  base_seq_ = new_base;
+  base_bytes_ = new_base_bytes;
+  header_bytes_ = 8 + 12 + marker.size();
+  ++generation_;
+  // seq_/bytes_ are virtual and unchanged: appends, the commit hook and
+  // the replication handshake keep their pre-compaction addressing.
+  return pruned;
+}
+
+void RequestJournal::adopt_base(std::uint64_t base_seq,
+                                std::uint64_t base_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SSMA_CHECK_MSG(seq_ == 0 && base_seq_ == 0,
+                 "adopt_base on non-empty journal " << path_
+                                                    << " (durable seq "
+                                                    << seq_ << ")");
+  SSMA_CHECK(base_seq >= 1 && base_bytes >= 8);
+  const std::string marker = encode_marker(base_seq, base_bytes);
+  maddness::write_framed_blob(os_, marker);
+  os_.flush();
+  SSMA_CHECK_MSG(os_.good(), "journal append failure on " << path_);
+  base_seq_ = base_seq;
+  base_bytes_ = base_bytes;
+  seq_ = base_seq;
+  bytes_ = base_bytes;
+  header_bytes_ = 8 + 12 + marker.size();
+  ++generation_;
 }
 
 void RequestJournal::set_commit_hook(CommitHook hook) {
@@ -207,6 +347,7 @@ JournalReplay RequestJournal::read(const std::string& path) {
 
   std::vector<AcceptedRecord> accepted;
   std::string payload;
+  bool first = true;
   for (;;) {
     const std::streampos frame_start = is.tellg();
     if (!maddness::try_read_framed_blob(is, &payload)) {
@@ -216,6 +357,14 @@ JournalReplay RequestJournal::read(const std::string& path) {
       is.seekg(0, std::ios::end);
       replay.torn_tail = frame_start >= 0 && is.tellg() > frame_start;
       break;
+    }
+    if (first) {
+      first = false;
+      std::uint64_t bs = 0, bb = 0;
+      if (parse_marker(payload, &bs, &bb)) {
+        replay.compacted_through = bs;
+        continue;
+      }
     }
     std::istringstream body(payload);
     const std::uint8_t type = wire::get_u8(body);

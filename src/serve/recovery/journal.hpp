@@ -58,6 +58,9 @@ struct JournalReplay {
   std::uint64_t max_id = 0;
   /// True when the file ended in a half-written record (crash tail).
   bool torn_tail = false;
+  /// Records pruned by compaction: the file's first surviving record
+  /// has sequence number compacted_through + 1 (0 = never compacted).
+  std::uint64_t compacted_through = 0;
 };
 
 /// One record decoded in isolation — what a replication follower needs
@@ -104,8 +107,41 @@ class RequestJournal {
 
   /// Sequence number of the newest durable record (0 = none yet).
   std::uint64_t durable_seq() const;
-  /// File size in bytes after the newest durable record.
+  /// Virtual size in bytes after the newest durable record. "Virtual"
+  /// means as-if-never-compacted: compaction prunes leading records
+  /// from the physical file but leaves this addressing untouched, so
+  /// sequence numbers and byte offsets stay stable across compactions
+  /// (the replication handshake depends on that).
   std::uint64_t durable_bytes() const;
+
+  /// Compaction view: the pruned prefix and the virtual->physical
+  /// mapping of the current file incarnation. `generation` bumps every
+  /// time the physical file is rewritten, so a tailing reader knows to
+  /// reopen its stream.
+  struct CompactionInfo {
+    std::uint64_t base_seq = 0;      ///< records pruned from the front
+    std::uint64_t base_bytes = 8;    ///< virtual offset of the first
+                                     ///< surviving byte
+    std::uint64_t header_bytes = 8;  ///< physical offset of that byte
+    std::uint64_t generation = 0;    ///< physical-rewrite counter
+  };
+  CompactionInfo compaction_info() const;
+
+  /// Prunes the longest journal prefix that (a) ends at or before
+  /// `max_seq` and (b) contains only acknowledged work — every accepted
+  /// record in it has a completion record somewhere in the journal.
+  /// Callers derive `max_seq` from their durability horizon (slowest
+  /// follower ack / newest durable checkpoint). The file is atomically
+  /// rewritten (temp + rename) with a marker frame carrying the new
+  /// base, so a crash mid-compaction leaves either the old or the new
+  /// file, never a hybrid. Returns the number of records pruned.
+  std::uint64_t compact(std::uint64_t max_seq);
+
+  /// Seeds an EMPTY journal with a compaction base shipped by a leader:
+  /// the file becomes byte-identical to the leader's compacted header,
+  /// and subsequent append_raw records keep it a byte-suffix match.
+  /// Throws CheckError when this journal already holds records.
+  void adopt_base(std::uint64_t base_seq, std::uint64_t base_bytes);
 
   /// Installs (or clears, with nullptr) the post-append notification.
   void set_commit_hook(CommitHook hook);
@@ -126,8 +162,12 @@ class RequestJournal {
   std::string path_;
   mutable std::mutex mu_;
   std::ofstream os_;
-  std::uint64_t seq_ = 0;    ///< records durable so far
-  std::uint64_t bytes_ = 0;  ///< file size after the last record
+  std::uint64_t seq_ = 0;    ///< records durable so far (incl. pruned)
+  std::uint64_t bytes_ = 0;  ///< VIRTUAL size after the last record
+  std::uint64_t base_seq_ = 0;      ///< see CompactionInfo
+  std::uint64_t base_bytes_ = 8;
+  std::uint64_t header_bytes_ = 8;
+  std::uint64_t generation_ = 0;
   CommitHook hook_;
 };
 

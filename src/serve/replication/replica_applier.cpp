@@ -274,6 +274,18 @@ void ReplicaApplier::session(int fd) {
         if (!handle_checkpoint(m)) break;
       } else if (m.type == MsgType::kReplRecord) {
         if (!handle_record(m, fd)) break;
+      } else if (m.type == MsgType::kReplBase) {
+        // Compacted leader, fresh follower: adopt the compaction base
+        // so our file is byte-identical to the leader's compacted
+        // header, then ack it as our durable mark. adopt_base throws if
+        // we already hold records — the leader only sends this to a
+        // follower that handshook with seq 0.
+        journal_->adopt_base(m.arg, m.arg2);
+        ReplMessage ack;
+        ack.type = MsgType::kReplAck;
+        ack.arg = m.arg;
+        const std::string af = ack.encode();
+        if (!send_all(fd, af.data(), af.size())) break;
       } else {
         break;
       }

@@ -60,16 +60,47 @@ bool recv_frame(int fd, FrameDecoder& dec, std::string* payload) {
   }
 }
 
-/// Reads the journal frame starting at byte `*pos`; advances *pos past
-/// it on success.
-bool read_frame_at(std::ifstream& is, std::uint64_t* pos,
-                   std::string* payload) {
-  is.clear();
-  is.seekg(static_cast<std::streamoff>(*pos));
-  if (!is || !maddness::try_read_framed_blob(is, payload)) return false;
-  *pos += 12 + payload->size();  // u64 len + u32 crc + payload
-  return true;
-}
+/// Tails a journal file by VIRTUAL byte offset (the stable addressing
+/// that survives compaction): translates to a physical seek through the
+/// journal's CompactionInfo and reopens the stream whenever compaction
+/// rewrites the file (generation bump).
+class JournalTailer {
+ public:
+  explicit JournalTailer(recovery::RequestJournal& journal)
+      : journal_(journal), info_(journal.compaction_info()) {
+    is_.open(journal_.path(), std::ios::binary);
+  }
+
+  const recovery::RequestJournal::CompactionInfo& info() const {
+    return info_;
+  }
+
+  /// Reads the frame at virtual offset `*vpos`; advances *vpos past it
+  /// on success. False on a not-yet-visible frame or an offset behind
+  /// the compaction horizon.
+  bool read_at(std::uint64_t* vpos, std::string* payload) {
+    const auto now = journal_.compaction_info();
+    if (now.generation != info_.generation) {
+      info_ = now;
+      is_.close();
+      is_.open(journal_.path(), std::ios::binary);
+    }
+    if (*vpos < info_.base_bytes) return false;
+    const std::uint64_t phys =
+        *vpos - info_.base_bytes + info_.header_bytes;
+    is_.clear();
+    is_.seekg(static_cast<std::streamoff>(phys));
+    if (!is_ || !maddness::try_read_framed_blob(is_, payload))
+      return false;
+    *vpos += 12 + payload->size();  // u64 len + u32 crc + payload
+    return true;
+  }
+
+ private:
+  recovery::RequestJournal& journal_;
+  recovery::RequestJournal::CompactionInfo info_;
+  std::ifstream is_;
+};
 
 }  // namespace
 
@@ -283,34 +314,72 @@ void ReplicationLog::session_main(Follower* f) {
     ++rejected_followers_;
     ok = false;
   }
+  JournalTailer tail(journal_);
+  if (ok && hello.arg > 0 && hello.arg < tail.info().base_seq) {
+    // The follower's resume point was pruned by compaction while it was
+    // disconnected (compaction only waits for CONNECTED followers'
+    // acks). Its prefix can no longer be served byte-exact: refuse
+    // loudly rather than rewind it.
+    ReplMessage rej;
+    rej.type = MsgType::kReplReject;
+    rej.arg = static_cast<std::uint64_t>(RejectReason::kStaleFollower);
+    rej.bytes = "follower seq " + std::to_string(hello.arg) +
+                " behind compaction horizon " +
+                std::to_string(tail.info().base_seq);
+    const std::string frame = rej.encode();
+    (void)send_all(f->fd, frame.data(), frame.size());
+    std::lock_guard<std::mutex> lk(mu_);
+    ++rejected_followers_;
+    ok = false;
+  }
 
   std::uint64_t next_seq = hello.arg + 1;
-  std::uint64_t pos = 8;  // past the journal magic
-  std::ifstream is;
+  std::uint64_t pos = 8;  // VIRTUAL offset past the journal magic
   if (ok) {
     f->shipped_ckpt = hello.arg2;
     if (!ship_checkpoints(f)) ok = false;
   }
-  if (ok) {
-    is.open(journal_.path(), std::ios::binary);
+  if (ok && hello.arg == 0 && tail.info().base_seq > 0) {
+    // Fresh follower joining a compacted leader: its journal cannot be
+    // a byte-prefix of ours (the prefix is gone), so ship the
+    // compaction base first. The follower adopts it (adopt_base) and
+    // its file becomes byte-identical to our compacted header; records
+    // then stream from the first surviving one.
+    ReplMessage base;
+    base.type = MsgType::kReplBase;
+    base.arg = tail.info().base_seq;
+    base.arg2 = tail.info().base_bytes;
+    bool sent = false;
+    if (!faulted_send(f, base.encode(), &sent) || !sent) {
+      ::shutdown(f->fd, SHUT_RDWR);
+      ok = false;
+    } else {
+      next_seq = tail.info().base_seq + 1;
+      pos = tail.info().base_bytes;
+    }
+  } else if (ok) {
     // Resume point: the follower's journal is a byte-prefix of ours,
-    // so the durable byte offset it reports in the hello IS the
-    // leader-file offset of its next frame — seek there directly
-    // instead of re-scanning hello.arg frames (O(journal) per
-    // reconnect adds up to O(journal^2) under reconnect churn). An
-    // empty/implausible offset falls back to the sequential skip.
+    // so the durable VIRTUAL byte offset it reports in the hello IS
+    // the offset of its next frame — seek there directly instead of
+    // re-scanning hello.arg frames (O(journal) per reconnect adds up
+    // to O(journal^2) under reconnect churn). An empty/implausible
+    // offset falls back to the sequential skip.
     std::uint64_t follower_bytes = 0;
     if (hello.bytes.size() == 8) {
       std::istringstream hb(hello.bytes);
       follower_bytes = wire::get_u64(hb);
     }
-    if (follower_bytes >= 8 && follower_bytes <= journal_.durable_bytes() &&
+    if (follower_bytes >= tail.info().base_bytes &&
+        follower_bytes <= journal_.durable_bytes() &&
         (hello.arg > 0 || follower_bytes == 8)) {
       pos = follower_bytes;
     } else {
-      // Skip the frames the follower already has.
-      for (std::uint64_t i = 0; ok && i < hello.arg; ++i)
-        ok = read_frame_at(is, &pos, &payload);
+      // Skip the frames the follower already has, starting from the
+      // first surviving record.
+      pos = tail.info().base_bytes;
+      for (std::uint64_t i = tail.info().base_seq;
+           ok && i < hello.arg; ++i)
+        ok = tail.read_at(&pos, &payload);
     }
   }
   if (ok) {
@@ -374,7 +443,7 @@ void ReplicationLog::session_main(Follower* f) {
         const std::uint64_t frame_pos = pos;
         bool have = false;
         for (int attempt = 0; attempt < 100 && !have; ++attempt) {
-          have = read_frame_at(is, &pos, &payload);
+          have = tail.read_at(&pos, &payload);
           if (!have)
             std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }
@@ -448,6 +517,18 @@ bool ReplicationLog::wait_follower(std::size_t n,
                      [&] { return stopping_ || ready_count() >= n; });
   if (--waiters_ == 0) cv_.notify_all();
   return ready_count() >= n;
+}
+
+std::uint64_t ReplicationLog::min_follower_ack() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  bool any = false;
+  std::uint64_t min_ack = ~std::uint64_t{0};
+  for (const auto& f : followers_) {
+    if (!f->ready) continue;
+    any = true;
+    min_ack = std::min(min_ack, f->acked_seq);
+  }
+  return any ? min_ack : replicated_seq_;
 }
 
 bool ReplicationLog::wait_acked(std::uint64_t seq) {

@@ -129,6 +129,13 @@ class ReplicationLog {
   /// returns true immediately.
   bool wait_acked(std::uint64_t seq);
 
+  /// The slowest handshaken follower's durable ack mark — the journal
+  /// compaction bound: records at or below it are replicated
+  /// everywhere, so pruning them can never strand a connected
+  /// follower's resume point. With no handshaken follower, the
+  /// historical watermark (replicated_seq) is returned.
+  std::uint64_t min_follower_ack() const;
+
   ReplicationStats stats() const;
 
   /// Seals the stream: stops accepting, closes every follower

@@ -145,6 +145,36 @@ std::uint64_t InferenceServer::register_model(const std::string& name,
   return version;
 }
 
+std::uint64_t InferenceServer::stage_model(const std::string& name,
+                                           std::string blob) {
+  const std::uint64_t version =
+      registry_->register_model(name, std::move(blob), /*publish=*/false);
+  // Durable (and replicated, via checkpoint shipping) before any shadow
+  // batch can reference the staged bank — same invariant as the first
+  // half of register_model's stage->checkpoint->publish->checkpoint.
+  maybe_checkpoint(accepted_.load(std::memory_order_relaxed),
+                   /*force=*/true);
+  return version;
+}
+
+void InferenceServer::promote_model(const std::string& name,
+                                    std::uint64_t version) {
+  SSMA_TRACE_SPAN(kSwap);
+  registry_->publish(name, version);
+  // The promotion decision is a durability event: force a checkpoint so
+  // the bumped latest pointer survives a crash and replicates through
+  // the checkpoint-shipping stream.
+  maybe_checkpoint(accepted_.load(std::memory_order_relaxed),
+                   /*force=*/true);
+}
+
+void InferenceServer::discard_model(const std::string& name,
+                                    std::uint64_t version) {
+  registry_->discard_staged(name, version);
+  maybe_checkpoint(accepted_.load(std::memory_order_relaxed),
+                   /*force=*/true);
+}
+
 std::uint64_t InferenceServer::register_pipeline(
     const std::string& name,
     const std::vector<const maddness::Amm*>& stages) {
@@ -415,6 +445,24 @@ void InferenceServer::note_promotion(std::uint64_t applied_records,
   promotion_.promoted = true;
   promotion_.applied = applied_records;
   promotion_.apply_rate_hz = apply_rate_hz;
+}
+
+std::uint64_t InferenceServer::compact_journal() {
+  // A checkpoint is required: the pruned records' accepted/completed
+  // counters live on only through the checkpoint state a restore reads.
+  if (!recovery_.journal || !recovery_.checkpoints) return 0;
+  maybe_checkpoint(accepted_.load(std::memory_order_relaxed),
+                   /*force=*/true);
+  // Never compact past the slowest connected follower's ack mark — its
+  // resume point must stay servable byte-exact.
+  const std::uint64_t bound =
+      recovery_.replication ? recovery_.replication->min_follower_ack()
+                            : ~std::uint64_t{0};
+  return recovery_.journal->compact(bound);
+}
+
+void InferenceServer::set_batch_observer(BatchObserver* observer) {
+  pool_->set_observer(observer);
 }
 
 std::string InferenceServer::render_prometheus() const {

@@ -188,6 +188,21 @@ class InferenceServer {
   engine::ModelRegistry& registry() { return *registry_; }
   const engine::ModelRegistry& registry() const { return *registry_; }
 
+  // ----------------------------------------------- staged rollout
+  /// First half of a rollout: installs `blob` as the next version of
+  /// `name` WITHOUT bumping "@latest", and force-checkpoints so the
+  /// staged bank is durable (and ships to replication followers) before
+  /// any shadow traffic references it. Returns the staged version.
+  std::uint64_t stage_model(const std::string& name, std::string blob);
+  /// Second half: publishes a staged version (atomic "@latest" bump)
+  /// and force-checkpoints so the promotion decision is durable and
+  /// replicates. The rollout controller calls this on a passed budget.
+  void promote_model(const std::string& name, std::uint64_t version);
+  /// Rollback: drops a staged-but-never-published version and
+  /// force-checkpoints the retraction. Throws CheckError if the version
+  /// was already published (use retire_model).
+  void discard_model(const std::string& name, std::uint64_t version);
+
   // ----------------------------------------------------- admission
   /// Submits `rows` quantized activation rows (rows x cols, row-major)
   /// against `model_ref` ("name", "name@latest", or "name@N"); the
@@ -261,6 +276,26 @@ class InferenceServer {
   /// Records that this server was promoted from a follower (surfaced
   /// as ssma_repl_role 2 plus apply counters in the exposition).
   void note_promotion(std::uint64_t applied_records, double apply_rate_hz);
+
+  /// Prunes the journal prefix that is both fully acknowledged and —
+  /// when replication is wired — replicated to the slowest handshaken
+  /// follower, so long-running leaders stop growing disk unboundedly.
+  /// No-op (returns 0) without a journal + checkpoint store (the
+  /// checkpoint carries the counters the pruned records backed).
+  /// Returns the number of records pruned.
+  std::uint64_t compact_journal();
+
+  /// Installs (or clears) the worker pool's post-ack batch observer —
+  /// the rollout subsystem's traffic tap. See WorkerPool::set_observer.
+  void set_batch_observer(BatchObserver* observer);
+  /// Forwards a shadow-comparison batch into the metrics sink (see
+  /// Metrics::record_shadow).
+  void record_shadow(const std::string& model, std::size_t rows,
+                     std::size_t drift_rows, std::int64_t max_abs_drift,
+                     double live_ns, double shadow_ns) {
+    metrics_.record_shadow(model, rows, drift_rows, max_abs_drift,
+                           live_ns, shadow_ns);
+  }
 
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
   /// Attribute a refusal decided upstream of submit() (e.g. the network

@@ -335,6 +335,15 @@ void WorkerPool::worker_main(int worker_id) {
     slot.in_flight.clear();
     shard_tokens_[static_cast<std::size_t>(worker_id)] += batch.tokens;
     metrics_.record_batch(model.name(), batch.tokens, queue_ns, total_ns);
+    // Post-ack tap: q/out are still this shard's live buffers and
+    // model_pin keeps the bank alive for the call. Runs after the
+    // futures resolve, so a slow (misbehaving) observer can never
+    // delay a client response — only the shard's next pickup.
+    if (auto* obs = observer_.load(std::memory_order_acquire))
+      obs->on_batch(model, q, out,
+                    std::chrono::duration<double, std::nano>(t_done -
+                                                             t_exec)
+                        .count());
   }
 
   if (eng->info().collects_ppa)

@@ -46,6 +46,23 @@ class ReplicationLog;
 using ExecutionMode [[deprecated("use engine::Backend")]] =
     engine::Backend;
 
+/// Post-ack tap on the worker hot path. `on_batch` runs on the shard
+/// thread after the batch's futures are fulfilled, with the stitched
+/// activation codes and the output accumulators still alive — an
+/// implementation MUST NOT block or allocate (the rollout sampler uses
+/// try-lock + preallocated buffers) or it taxes serving latency.
+class BatchObserver {
+ public:
+  virtual ~BatchObserver() = default;
+  /// `q` is the batch's stitched activation matrix at the live model's
+  /// scale, `out` the rows x nout int16 outputs, `service_ns` the
+  /// execute-through-ack wall time for the whole batch.
+  virtual void on_batch(const engine::ModelHandle& model,
+                        const maddness::QuantizedActivations& q,
+                        const std::vector<std::int16_t>& out,
+                        double service_ns) = 0;
+};
+
 struct WorkerPoolOptions {
   int num_workers = 4;
   /// Backend + macro shape + pacing for every shard's private engine.
@@ -98,6 +115,11 @@ class WorkerPool {
   void set_replication(replication::ReplicationLog* repl) {
     replication_.store(repl, std::memory_order_release);
   }
+  /// Attach (or detach, with nullptr) the post-ack batch tap. Workers
+  /// load it per batch, so attachment takes effect on the next batch.
+  void set_observer(BatchObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
   /// Total shard respawns performed by the supervisor.
   int respawn_count() const {
     return respawns_total_.load(std::memory_order_relaxed);
@@ -148,6 +170,7 @@ class WorkerPool {
   /// workers run (see set_journal / set_replication).
   std::atomic<recovery::RequestJournal*> journal_{nullptr};
   std::atomic<replication::ReplicationLog*> replication_{nullptr};
+  std::atomic<BatchObserver*> observer_{nullptr};
   std::vector<std::unique_ptr<ShardSlot>> slots_;
   std::thread supervisor_;
   std::mutex sup_mu_;

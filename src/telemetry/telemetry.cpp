@@ -76,6 +76,10 @@ const char* stage_name(Stage stage) {
       return "repl_apply";
     case Stage::kPromotion:
       return "promotion";
+    case Stage::kShadowExecute:
+      return "shadow_execute";
+    case Stage::kShadowCompare:
+      return "shadow_compare";
   }
   return "unknown";
 }

@@ -61,9 +61,11 @@ enum class Stage : std::uint8_t {
   kReplApply,       ///< follower: record persisted + replayed into the
                     ///< warm standby
   kPromotion,       ///< follower: seal -> drain -> serving transition
+  kShadowExecute,   ///< rollout: candidate bank run on the spare engine
+  kShadowCompare,   ///< rollout: live-vs-candidate drift comparison
 };
 
-inline constexpr int kNumStages = 18;
+inline constexpr int kNumStages = 20;
 const char* stage_name(Stage stage);
 
 /// Sentinel for "no request id attached" (spans outside any request,

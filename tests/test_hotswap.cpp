@@ -155,5 +155,77 @@ TEST(HotSwap, ExplicitVersionRefsKeepServingAfterTheBump) {
   server.shutdown();
 }
 
+TEST(HotSwap, StagedVersionEdgeCasesFailLoud) {
+  const ServeFixture fx = ServeFixture::make(4, 8, 32, 7);
+  engine::ModelRegistry reg;
+  reg.register_model("alpha", fx.amm);  // v1, published
+  const std::uint64_t staged =
+      reg.register_model("alpha", fx.amm.save_string(), /*publish=*/false);
+  EXPECT_EQ(staged, 2u);
+  EXPECT_EQ(reg.latest_version("alpha"), 1u);  // staged != latest
+  // A staged version is explicitly resolvable...
+  EXPECT_NE(reg.try_resolve("alpha", staged), nullptr);
+  EXPECT_EQ(reg.resolve("alpha@latest")->version(), 1u);
+  // ...but was never published, so it cannot be retired: the rollback
+  // path is discard_staged().
+  EXPECT_THROW(reg.retire("alpha", staged), CheckError);
+
+  reg.publish("alpha", staged);
+  EXPECT_EQ(reg.latest_version("alpha"), 2u);
+  // Double publish fails loud instead of silently no-opping.
+  EXPECT_THROW(reg.publish("alpha", staged), CheckError);
+  // As does publishing backwards, or a version never installed.
+  EXPECT_THROW(reg.publish("alpha", 1), CheckError);
+  EXPECT_THROW(reg.publish("alpha", 9), CheckError);
+  // A published version is not "staged" anymore: discard refuses it.
+  EXPECT_THROW(reg.discard_staged("alpha", staged), CheckError);
+  EXPECT_THROW(reg.discard_staged("alpha", 9), CheckError);
+
+  // discard_staged drops the version for new resolvers; an existing pin
+  // keeps serving (drain semantics, same as retire).
+  const std::uint64_t staged2 =
+      reg.register_model("alpha", fx.amm.save_string(), /*publish=*/false);
+  const engine::ModelRef pin = reg.resolve("alpha", staged2);
+  reg.discard_staged("alpha", staged2);
+  EXPECT_EQ(reg.try_resolve("alpha", staged2), nullptr);
+  EXPECT_EQ(pin->version(), staged2);
+  EXPECT_EQ(reg.latest_version("alpha"), 2u);
+}
+
+TEST(HotSwap, LatestResolutionIsMonotonicAcrossRacingPublishes) {
+  const ServeFixture fx = ServeFixture::make(4, 8, 32, 7);
+  engine::ModelRegistry reg;
+  reg.register_model("alpha", fx.amm);
+  constexpr std::uint64_t kLast = 32;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> published{1};
+
+  std::thread publisher([&] {
+    for (std::uint64_t v = 2; v <= kLast; ++v) {
+      EXPECT_EQ(reg.register_model("alpha", fx.amm.save_string(),
+                                   /*publish=*/false),
+                v);
+      reg.publish("alpha", v);
+      published.store(v, std::memory_order_release);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // "@latest" observed concurrently never moves backwards and never
+  // resolves a staged-but-unpublished version: the publish watermark
+  // read before each resolve is a floor on what it may return.
+  std::uint64_t prev = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const std::uint64_t floor = published.load(std::memory_order_acquire);
+    const engine::ModelRef h = reg.resolve("alpha@latest");
+    EXPECT_GE(h->version(), floor);
+    EXPECT_GE(h->version(), prev);
+    EXPECT_LE(h->version(), kLast);
+    prev = h->version();
+  }
+  publisher.join();
+  EXPECT_EQ(reg.latest_version("alpha"), kLast);
+}
+
 }  // namespace
 }  // namespace ssma::serve

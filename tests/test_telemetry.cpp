@@ -484,6 +484,10 @@ void fill_deterministic(serve::Metrics& m) {
   m.record_batch("", 40, {2000.0, 3000.0}, {30000.0, 40000.0});
   m.record_journal_append(4000.0);
   m.record_journal_append(9000.0);
+  // Two shadowed models: one healthy canary, one drifting.
+  m.record_shadow("alpha", 8, 1, 37, 64000.0, 52000.0);
+  m.record_shadow("alpha", 8, 0, 0, 61000.0, 50000.0);
+  m.record_shadow("beta", 4, 4, 32767, 30000.0, 64000.0);
 }
 
 serve::PromGauges golden_gauges() {
@@ -557,6 +561,22 @@ TEST(PrometheusTest, ExpositionShape) {
   EXPECT_TRUE(contains(
       text, "ssma_model_service_seconds_count{model=\"alpha\"} 4"));
   EXPECT_TRUE(contains(text, "quantile=\"0.99\""));
+  // Shadow-rollout block: per-model mirrored rows, drift and the
+  // live/shadow latency split.
+  EXPECT_TRUE(
+      contains(text, "ssma_shadow_rows_total{model=\"alpha\"} 16\n"));
+  EXPECT_TRUE(
+      contains(text, "ssma_shadow_batches_total{model=\"alpha\"} 2\n"));
+  EXPECT_TRUE(
+      contains(text, "ssma_shadow_drift_rows_total{model=\"alpha\"} 1\n"));
+  EXPECT_TRUE(
+      contains(text, "ssma_shadow_drift_rows_total{model=\"beta\"} 4\n"));
+  EXPECT_TRUE(
+      contains(text, "ssma_shadow_max_abs_drift{model=\"beta\"} 32767\n"));
+  EXPECT_TRUE(contains(
+      text, "ssma_shadow_seconds_total{model=\"alpha\",side=\"live\"} "));
+  EXPECT_TRUE(contains(
+      text, "ssma_shadow_seconds_total{model=\"beta\",side=\"shadow\"} "));
   // Kernel tiers statically enumerated even when all-zero.
   EXPECT_TRUE(
       contains(text, "ssma_kernel_lut_calls_total{tier=\"scalar\"} 0"));
@@ -564,6 +584,42 @@ TEST(PrometheusTest, ExpositionShape) {
       contains(text, "ssma_kernel_lut_calls_total{tier=\"avx2\"} 0"));
   EXPECT_TRUE(
       contains(text, "ssma_kernel_encode_bytes_total{tier=\"ssse3\"} 0"));
+}
+
+TEST(PrometheusTest, ShadowSlicesRoundTripThroughRestore) {
+  telemetry::kernel_profile_reset();
+  serve::Metrics m;
+  fill_deterministic(m);
+  const serve::MetricsSnapshot snap = m.snapshot();
+  ASSERT_EQ(snap.shadow.size(), 2u);
+
+  // Shadow slices are exact counters, so unlike the latency histograms
+  // they restore losslessly (this is what checkpoint restore calls).
+  serve::Metrics restored;
+  restored.restore(snap.requests, snap.tokens, snap.batches, snap.shadow);
+  const serve::MetricsSnapshot rs = restored.snapshot();
+  ASSERT_EQ(rs.shadow.size(), snap.shadow.size());
+  for (std::size_t i = 0; i < snap.shadow.size(); ++i) {
+    EXPECT_EQ(rs.shadow[i].model, snap.shadow[i].model);
+    EXPECT_EQ(rs.shadow[i].rows, snap.shadow[i].rows);
+    EXPECT_EQ(rs.shadow[i].batches, snap.shadow[i].batches);
+    EXPECT_EQ(rs.shadow[i].drift_rows, snap.shadow[i].drift_rows);
+    EXPECT_EQ(rs.shadow[i].max_abs_drift, snap.shadow[i].max_abs_drift);
+    EXPECT_DOUBLE_EQ(rs.shadow[i].live_ns_sum, snap.shadow[i].live_ns_sum);
+    EXPECT_DOUBLE_EQ(rs.shadow[i].shadow_ns_sum,
+                     snap.shadow[i].shadow_ns_sum);
+  }
+
+  // The restored exposition renders a byte-identical shadow block.
+  const auto shadow_block = [](const std::string& text) {
+    const std::size_t begin = text.find("# HELP ssma_shadow_rows_total");
+    const std::size_t end = text.find("# HELP ssma_kernel_lut_calls_total");
+    EXPECT_NE(begin, std::string::npos);
+    EXPECT_NE(end, std::string::npos);
+    return text.substr(begin, end - begin);
+  };
+  EXPECT_EQ(shadow_block(m.render_prometheus(golden_gauges())),
+            shadow_block(restored.render_prometheus(golden_gauges())));
 }
 
 TEST(PrometheusTest, LiveServerExposition) {
